@@ -1,0 +1,67 @@
+//! Microbenchmarks of the 2PL-HP lock table.
+//!
+//! Every dispatch acquires (and every commit releases) the transaction's
+//! lock set; the eviction path additionally tears down a victim. These
+//! are the per-transaction constant costs of the concurrency-control
+//! substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use quts_db::{LockMode, LockTable, StockId, TxnToken};
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lock_table");
+    g.bench_function("acquire_release_read", |b| {
+        let mut lt = LockTable::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnToken(t);
+            lt.acquire(txn, t as f64, StockId(black_box(7)), LockMode::Read);
+            lt.release_all(txn);
+        })
+    });
+    g.bench_function("acquire_release_write", |b| {
+        let mut lt = LockTable::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnToken(t);
+            lt.acquire(txn, t as f64, StockId(black_box(7)), LockMode::Write);
+            lt.release_all(txn);
+        })
+    });
+    g.bench_function("acquire_release_5_items", |b| {
+        let mut lt = LockTable::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let txn = TxnToken(t);
+            for i in 0..5u32 {
+                lt.acquire(txn, t as f64, StockId(i), LockMode::Read);
+            }
+            lt.release_all(txn);
+        })
+    });
+    g.finish();
+}
+
+fn bench_eviction(c: &mut Criterion) {
+    c.bench_function("lock_table/hp_eviction", |b| {
+        let mut lt = LockTable::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            // Low-priority reader takes the item, high-priority writer
+            // evicts it: the 2PL-HP restart path end-to-end.
+            t += 2;
+            let victim = TxnToken(t - 1);
+            let winner = TxnToken(t);
+            lt.acquire(victim, (t - 1) as f64, StockId(3), LockMode::Read);
+            lt.acquire(winner, t as f64, StockId(3), LockMode::Write);
+            lt.release_all(winner);
+        })
+    });
+}
+
+criterion_group!(benches, bench_uncontended, bench_eviction);
+criterion_main!(benches);

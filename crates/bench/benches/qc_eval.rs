@@ -1,0 +1,53 @@
+//! Microbenchmarks of the Quality Contract hot path.
+//!
+//! Contract evaluation happens at every query commit (profit) and every
+//! admission (VRD priority); on the paper's workload that is ~82k commits
+//! and admissions per 30 minutes — cheap, but these benches guard against
+//! regressions since the simulator calls them millions of times across an
+//! experiment sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use quts_qc::{ProfitFn, QualityContract};
+
+fn bench_profit_fns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("profit_fn");
+    let step = ProfitFn::step(25.0, 75.0);
+    g.bench_function("step", |b| {
+        b.iter(|| black_box(&step).value_at(black_box(42.0)))
+    });
+    let linear = ProfitFn::linear(25.0, 75.0);
+    g.bench_function("linear", |b| {
+        b.iter(|| black_box(&linear).value_at(black_box(42.0)))
+    });
+    let pw = ProfitFn::piecewise(vec![
+        (0.0, 25.0),
+        (10.0, 20.0),
+        (30.0, 12.0),
+        (50.0, 6.0),
+        (75.0, 0.0),
+    ])
+    .unwrap();
+    g.bench_function("piecewise_5pt", |b| {
+        b.iter(|| black_box(&pw).value_at(black_box(42.0)))
+    });
+    g.finish();
+}
+
+fn bench_contract(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contract");
+    let qc = QualityContract::step(25.0, 75.0, 25.0, 1);
+    g.bench_function("total_profit", |b| {
+        b.iter(|| black_box(&qc).total_profit(black_box(42.0), black_box(0.0)))
+    });
+    g.bench_function("vrd_priority", |b| {
+        b.iter(|| black_box(&qc).vrd_priority())
+    });
+    g.bench_function("construct_step", |b| {
+        b.iter(|| QualityContract::step(black_box(25.0), 75.0, 25.0, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_profit_fns, bench_contract);
+criterion_main!(benches);

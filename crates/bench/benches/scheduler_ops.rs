@@ -1,0 +1,87 @@
+//! Microbenchmarks of per-transaction scheduler operations.
+//!
+//! The admit → pop cycle is executed once per transaction (579k times per
+//! paper trace); QUTS additionally refreshes its atom/adaptation state on
+//! every call.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use quts_db::StockId;
+use quts_sched::{DualQueue, GlobalFifo, Quts};
+use quts_sim::{QueryId, QueryInfo, Scheduler, SimDuration, SimTime, UpdateId, UpdateInfo};
+
+fn qinfo(seq: u64) -> QueryInfo {
+    let arrival = SimTime::from_ms(seq);
+    QueryInfo {
+        arrival,
+        seq,
+        cost: SimDuration::from_ms(7),
+        qosmax: 25.0,
+        qodmax: 25.0,
+        rtmax_ms: Some(75.0),
+        vrd: 50.0 / 75.0,
+        expiry: arrival + SimDuration::from_secs(180),
+    }
+}
+
+fn uinfo(seq: u64) -> UpdateInfo {
+    UpdateInfo {
+        arrival: SimTime::from_ms(seq),
+        seq,
+        cost: SimDuration::from_ms(3),
+        stock: StockId((seq % 64) as u32),
+    }
+}
+
+fn bench_cycle<S: Scheduler, F: Fn() -> S>(c: &mut Criterion, name: &str, make: F) {
+    c.bench_function(&format!("scheduler/{name}/admit_pop_cycle"), |b| {
+        let mut s = make();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 2;
+            let now = SimTime::from_ms(seq);
+            s.admit_query(QueryId(seq as u32), &qinfo(seq), now);
+            s.admit_update(UpdateId(seq as u32), &uinfo(seq + 1), now);
+            black_box(s.pop_next(now));
+            black_box(s.pop_next(now));
+        })
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_cycle(c, "fifo", GlobalFifo::new);
+    bench_cycle(c, "uh", DualQueue::uh);
+    bench_cycle(c, "qh", DualQueue::qh);
+    bench_cycle(c, "quts", Quts::with_defaults);
+}
+
+fn bench_quts_refresh(c: &mut Criterion) {
+    c.bench_function("scheduler/quts/timer_refresh", |b| {
+        let mut s = Quts::with_defaults();
+        s.admit_query(QueryId(0), &qinfo(0), SimTime::ZERO);
+        let mut now_ms = 0u64;
+        b.iter(|| {
+            now_ms += 10; // one atom boundary per call
+            s.on_timer(SimTime::from_ms(now_ms));
+        })
+    });
+}
+
+fn bench_deep_queue(c: &mut Criterion) {
+    c.bench_function("scheduler/qh/pop_from_10k_queries", |b| {
+        b.iter_batched(
+            || {
+                let mut s = DualQueue::qh();
+                for i in 0..10_000u64 {
+                    s.admit_query(QueryId(i as u32), &qinfo(i), SimTime::ZERO);
+                }
+                s
+            },
+            |mut s| black_box(s.pop_next(SimTime::ZERO)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_all, bench_quts_refresh, bench_deep_queue);
+criterion_main!(benches);

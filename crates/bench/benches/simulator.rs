@@ -1,0 +1,35 @@
+//! End-to-end simulator throughput: one full (scaled) trace per
+//! iteration, per scheduling policy.
+//!
+//! The absolute numbers answer "how long does a paper-scale experiment
+//! take": at scale 60 (30 s of trace, ~9.7k transactions) a run is a few
+//! milliseconds, so a full-scale figure costs on the order of a second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use quts_bench::{paper_trace, run_policy, Policy};
+use quts_workload::{qcgen, QcPreset, QcShape};
+
+fn bench_policies(c: &mut Criterion) {
+    let mut trace = paper_trace(60, 1);
+    qcgen::assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Step, 7);
+    let txns = trace.queries.len() + trace.updates.len();
+
+    let mut g = c.benchmark_group("simulator_30s_trace");
+    g.throughput(criterion::Throughput::Elements(txns as u64));
+    g.sample_size(20);
+    for (name, policy) in [
+        ("fifo", Policy::Fifo),
+        ("uh", Policy::Uh),
+        ("qh", Policy::Qh),
+        ("quts", Policy::quts_default()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_policy(black_box(&trace), policy)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Workload-generation throughput: how fast the calibrated trace
+//! generator and QC presets produce a runnable workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use quts_workload::{qcgen, QcPreset, QcShape, StockWorkloadConfig};
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload_gen");
+    g.sample_size(20);
+    g.bench_function("generate_30s_trace", |b| {
+        let cfg = StockWorkloadConfig::default().scaled(60);
+        b.iter(|| black_box(cfg.generate()))
+    });
+    g.bench_function("assign_qcs_30s_trace", |b| {
+        let trace = StockWorkloadConfig::default().scaled(60).generate();
+        b.iter_batched(
+            || trace.clone(),
+            |mut t| {
+                qcgen::assign_qcs(&mut t, QcPreset::Spectrum { k: 5 }, QcShape::Step, 7);
+                black_box(t)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let trace = StockWorkloadConfig::default().scaled(120).generate();
+    let mut buf = Vec::new();
+    trace.write_csv(&mut buf).unwrap();
+    let mut g = c.benchmark_group("trace_csv");
+    g.sample_size(20);
+    g.bench_function("write_15s_trace", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            black_box(&trace).write_csv(&mut out).unwrap();
+            black_box(out)
+        })
+    });
+    g.bench_function("read_15s_trace", |b| {
+        b.iter(|| quts_workload::Trace::read_csv(&mut black_box(buf.as_slice())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_csv);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Runs every experiment binary in sequence — the one-shot reproduction
+//! of the paper's whole evaluation section. Each experiment is also
+//! available as its own binary; this wrapper simply invokes them in
+//! paper order with a shared scale.
+
+use std::process::Command;
+
+fn main() {
+    let scale = quts_bench::harness::experiment_scale();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+
+    let experiments = [
+        "table3_workload",
+        "fig5_trace",
+        "fig1_tradeoff",
+        "fig6_step_linear",
+        "fig7_fig8_spectrum",
+        "fig9_adaptability",
+        "fig10_sensitivity",
+        "ablations",
+    ];
+
+    let mut failed = Vec::new();
+    for name in experiments {
+        println!("################################################################");
+        let status = Command::new(dir.join(name))
+            .arg("--scale")
+            .arg(scale.to_string())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("experiment {name} failed: {other:?}");
+                failed.push(name);
+            }
+        }
+        println!();
+    }
+    if !failed.is_empty() {
+        eprintln!("failed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+    println!("all experiments completed");
+}

@@ -1,0 +1,153 @@
+//! Trace utilities: generate a calibrated workload to a file, inspect
+//! one, or replay one under a chosen policy.
+//!
+//! ```text
+//! trace_tools generate --scale 30 --seed 7 --preset balanced --out trace.csv
+//! trace_tools info --in trace.csv
+//! trace_tools run --in trace.csv --policy quts
+//! ```
+
+use quts_bench::Policy;
+use quts_metrics::TextTable;
+use quts_sched::QutsConfig;
+use quts_sim::{SimConfig, Simulator};
+use quts_workload::{qcgen, QcPreset, QcShape, StockWorkloadConfig, Trace, TraceStats};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+    };
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+
+    match command.as_str() {
+        "generate" => {
+            let scale: u32 = flag("--scale").and_then(|v| v.parse().ok()).unwrap_or(30);
+            let seed: u64 = flag("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+            let out = flag("--out").unwrap_or_else(|| "trace.csv".into());
+            let preset = parse_preset(&flag("--preset").unwrap_or_else(|| "balanced".into()));
+            let shape = match flag("--shape").as_deref() {
+                Some("linear") => QcShape::Linear,
+                _ => QcShape::Step,
+            };
+            let mut cfg = StockWorkloadConfig::default().scaled(scale);
+            cfg.seed = seed;
+            let mut trace = cfg.generate();
+            qcgen::assign_qcs(&mut trace, preset, shape, seed);
+            let file = File::create(&out).unwrap_or_else(|e| fail(&format!("create {out}: {e}")));
+            let mut w = BufWriter::new(file);
+            trace
+                .write_csv(&mut w)
+                .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+            println!(
+                "wrote {} queries + {} updates ({} stocks) to {out}",
+                trace.queries.len(),
+                trace.updates.len(),
+                trace.num_stocks
+            );
+        }
+        "info" => {
+            let trace = load(&flag("--in").unwrap_or_else(|| usage()));
+            let stats = TraceStats::compute(&trace);
+            let mut t = TextTable::new(["property", "value"]);
+            t.row(["queries".into(), stats.num_queries.to_string()]);
+            t.row(["updates".into(), stats.num_updates.to_string()]);
+            t.row(["stocks".into(), stats.num_stocks.to_string()]);
+            t.row(["horizon".into(), format!("{:.1} s", stats.horizon_s)]);
+            t.row(["offered load".into(), format!("{:.2}", stats.offered_load)]);
+            t.row([
+                "query cost".into(),
+                format!("{:.1} ~ {:.1} ms", stats.query_cost_ms.0, stats.query_cost_ms.1),
+            ]);
+            t.row([
+                "update cost".into(),
+                format!("{:.1} ~ {:.1} ms", stats.update_cost_ms.0, stats.update_cost_ms.1),
+            ]);
+            t.row([
+                "stocks below diagonal".into(),
+                format!("{:.0}%", stats.below_diagonal_fraction() * 100.0),
+            ]);
+            print!("{}", t.render());
+        }
+        "run" => {
+            let trace = load(&flag("--in").unwrap_or_else(|| usage()));
+            let policy = parse_policy(&flag("--policy").unwrap_or_else(|| "quts".into()));
+            let report = Simulator::new(
+                SimConfig::with_stocks(trace.num_stocks),
+                trace.queries,
+                trace.updates,
+                policy.build(),
+            )
+            .run();
+            println!("{}", report.summary());
+        }
+        _ => usage(),
+    }
+}
+
+fn load(path: &str) -> Trace {
+    let file = File::open(path).unwrap_or_else(|e| fail(&format!("open {path}: {e}")));
+    Trace::read_csv(&mut BufReader::new(file))
+        .unwrap_or_else(|e| fail(&format!("parse {path}: {e}")))
+}
+
+fn parse_preset(name: &str) -> QcPreset {
+    match name {
+        "balanced" => QcPreset::Balanced,
+        "phases" => QcPreset::Phases,
+        other => {
+            if let Some(k) = other
+                .strip_prefix("spectrum-")
+                .and_then(|k| k.parse::<u8>().ok())
+            {
+                if (1..=9).contains(&k) {
+                    return QcPreset::Spectrum { k };
+                }
+            }
+            fail(&format!("unknown preset {other:?} (balanced | phases | spectrum-1..9)"))
+        }
+    }
+}
+
+fn parse_policy(name: &str) -> Policy {
+    match name {
+        "fifo" => Policy::Fifo,
+        "fifo-uh" => Policy::FifoUh,
+        "fifo-qh" => Policy::FifoQh,
+        "uh" => Policy::Uh,
+        "qh" => Policy::Qh,
+        "quts" => Policy::Quts(QutsConfig::default()),
+        other => {
+            if let Some(rate) = other
+                .strip_prefix("greedy-")
+                .and_then(|r| r.parse::<f64>().ok())
+            {
+                return Policy::Greedy { exchange_rate: rate };
+            }
+            fail(&format!(
+                "unknown policy {other:?} (fifo | fifo-uh | fifo-qh | uh | qh | quts | greedy-<rate>)"
+            ))
+        }
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    exit(1);
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tools generate [--scale N] [--seed S] [--preset balanced|phases|spectrum-K] \
+         [--shape step|linear] [--out FILE]\n  trace_tools info --in FILE\n  trace_tools run --in FILE \
+         [--policy fifo|uh|qh|quts|greedy-RATE]"
+    );
+    exit(2);
+}

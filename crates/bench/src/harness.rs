@@ -1,0 +1,145 @@
+//! Experiment plumbing: build a calibrated trace, run it under a policy,
+//! collect the report.
+
+use quts_sched::{DualQueue, GlobalFifo, GlobalGreedy, Quts, QutsConfig};
+use quts_sim::{RunReport, Scheduler, SimConfig, Simulator};
+use quts_workload::{StockWorkloadConfig, Trace};
+
+/// The scheduling policies the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// Single-queue non-preemptive FIFO.
+    Fifo,
+    /// Naive dual queue, updates high, FIFO queries (Figure 1).
+    FifoUh,
+    /// Naive dual queue, queries high, FIFO queries (Figure 1).
+    FifoQh,
+    /// Update-High with VRD queries (Section 3.2).
+    Uh,
+    /// Query-High with VRD queries (Section 3.2).
+    Qh,
+    /// The paper's QUTS with the given configuration.
+    Quts(QutsConfig),
+    /// Single-priority-queue strawman with a fixed query/update exchange
+    /// rate (Section 3.1's impossibility argument).
+    Greedy {
+        /// Update priority on the query-VRD scale.
+        exchange_rate: f64,
+    },
+}
+
+impl Policy {
+    /// QUTS with paper-default parameters.
+    pub fn quts_default() -> Policy {
+        Policy::Quts(QutsConfig::default())
+    }
+
+    /// The four policies of the main comparison (Figures 6–8).
+    pub fn comparison_set() -> [Policy; 4] {
+        [Policy::Fifo, Policy::Uh, Policy::Qh, Policy::quts_default()]
+    }
+
+    /// Instantiates the scheduler.
+    pub fn build(&self) -> Box<dyn Scheduler> {
+        match self {
+            Policy::Fifo => Box::new(GlobalFifo::new()),
+            Policy::FifoUh => Box::new(DualQueue::fifo_uh()),
+            Policy::FifoQh => Box::new(DualQueue::fifo_qh()),
+            Policy::Uh => Box::new(DualQueue::uh()),
+            Policy::Qh => Box::new(DualQueue::qh()),
+            Policy::Quts(cfg) => Box::new(Quts::new(*cfg)),
+            Policy::Greedy { exchange_rate } => Box::new(GlobalGreedy::new(*exchange_rate)),
+        }
+    }
+}
+
+/// The calibrated paper workload shrunk by `scale` (1 = the full
+/// 30-minute trace; 30 = a one-minute equivalent with identical rates).
+pub fn paper_trace(scale: u32, seed: u64) -> Trace {
+    StockWorkloadConfig {
+        seed,
+        ..StockWorkloadConfig::default().scaled(scale)
+    }
+    .generate()
+}
+
+/// Runs `trace` under `policy` with default simulator settings.
+pub fn run_policy(trace: &Trace, policy: Policy) -> RunReport {
+    run_policy_with(trace, policy, SimConfig::default())
+}
+
+/// Runs `trace` under `policy` with explicit simulator settings
+/// (`num_stocks` is filled in from the trace).
+pub fn run_policy_with(trace: &Trace, policy: Policy, mut sim: SimConfig) -> RunReport {
+    sim.num_stocks = trace.num_stocks;
+    Simulator::new(
+        sim,
+        trace.queries.clone(),
+        trace.updates.clone(),
+        policy.build(),
+    )
+    .run()
+}
+
+/// The trace scale experiments run at: `--scale N` on the command line or
+/// the `QUTS_SCALE` environment variable; 1 (the paper's full 30-minute
+/// workload) by default. `N` divides the trace length and transaction
+/// counts while keeping rates — and therefore every scheduling effect —
+/// intact.
+pub fn experiment_scale() -> u32 {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+            return v;
+        }
+    }
+    std::env::var("QUTS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Standard experiment banner: what is being reproduced and at what scale.
+pub fn banner(experiment: &str, scale: u32) {
+    println!("== {experiment} ==");
+    if scale == 1 {
+        println!("workload: full paper scale (30 min, 82,129 queries, 496,892 updates)");
+    } else {
+        println!("workload: paper trace scaled down by {scale}x (rates preserved)");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_one() {
+        // No --scale argument and (in the test harness) no QUTS_SCALE.
+        if std::env::var("QUTS_SCALE").is_err() {
+            assert_eq!(experiment_scale(), 1);
+        }
+    }
+
+    #[test]
+    fn policies_run_on_a_tiny_trace() {
+        let trace = paper_trace(600, 1); // ~3 s, ~136 queries
+        for policy in [
+            Policy::Fifo,
+            Policy::FifoUh,
+            Policy::FifoQh,
+            Policy::Uh,
+            Policy::Qh,
+            Policy::quts_default(),
+        ] {
+            let r = run_policy(&trace, policy);
+            assert_eq!(
+                r.committed + r.expired,
+                trace.queries.len() as u64,
+                "{policy:?} lost queries"
+            );
+            assert!(r.total_pct() <= 1.0 + 1e-9);
+        }
+    }
+}

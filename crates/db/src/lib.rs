@@ -1,0 +1,39 @@
+//! # Main-memory web-database substrate
+//!
+//! The concrete system model of Section 2 of the QUTS paper: a
+//! main-memory database `D` of `Nd` independently refreshed, hash-accessed
+//! data items (stocks), serving **read-only queries** and **write-only
+//! blind updates**.
+//!
+//! * [`store`] — the hash-indexed in-memory stock table,
+//! * [`record`] — one stock's state including a bounded price history,
+//! * [`ops`] — executable read-only query operators (lookup, moving
+//!   average, comparison, portfolio aggregation) and blind-update
+//!   application,
+//! * [`register`] — the *update register table*: a new update's arrival
+//!   invalidates any pending update on the same item, so the system only
+//!   ever applies the freshest value,
+//! * [`lock`] — a 2PL-HP (two-phase locking, high priority) lock table:
+//!   read-write conflicts restart the lower-priority holder,
+//! * [`staleness`] — per-item unapplied-update counters (`#uu`) and time
+//!   differentials (`td`).
+//!
+//! CPU scheduling — who gets to run — is deliberately *not* here; that is
+//! the `quts-sched` crate. This crate is the machine being scheduled.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lock;
+pub mod ops;
+pub mod record;
+pub mod register;
+pub mod staleness;
+pub mod store;
+
+pub use lock::{Acquisition, LockMode, LockTable, TxnToken};
+pub use ops::{QueryOp, QueryResult, Trade};
+pub use record::StockRecord;
+pub use register::UpdateRegister;
+pub use staleness::StalenessTracker;
+pub use store::{StockId, Store};

@@ -1,0 +1,168 @@
+//! The update register table.
+//!
+//! "Users are only interested in the most recent value, thus we do not
+//! need to process all updates. The arrival of a new update automatically
+//! invalidates any pending update on the same data item. This is done by
+//! maintaining an update register table where each entry has hash-based
+//! access on the data item and an update identifier." (Section 2.1)
+//!
+//! The register maps each item to the identifier of its *single* pending
+//! (arrived but unapplied) update; registering a newer update returns the
+//! invalidated one so the caller can drop it from the queue without
+//! violating consistency.
+
+use crate::store::StockId;
+use std::collections::HashMap;
+
+/// Opaque update identifier assigned by the caller (the simulator uses
+/// its arrival sequence number).
+pub type UpdateId = u64;
+
+/// Tracks, per data item, the one pending update worth applying.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateRegister {
+    pending: HashMap<StockId, UpdateId>,
+    invalidated: u64,
+}
+
+impl UpdateRegister {
+    /// An empty register.
+    pub fn new() -> Self {
+        UpdateRegister::default()
+    }
+
+    /// Registers a newly arrived update for `item`. If an older update was
+    /// pending on the same item it is returned — the caller must drop it
+    /// (its work is subsumed by the new value).
+    pub fn register(&mut self, item: StockId, update: UpdateId) -> Option<UpdateId> {
+        let old = self.pending.insert(item, update);
+        if old.is_some() {
+            self.invalidated += 1;
+        }
+        old
+    }
+
+    /// Marks `update` applied (or aborted), clearing the pending slot if —
+    /// and only if — it is still the registered one.
+    ///
+    /// Returns `true` when the slot was cleared, `false` when a newer
+    /// update had already replaced it.
+    pub fn complete(&mut self, item: StockId, update: UpdateId) -> bool {
+        match self.pending.get(&item) {
+            Some(&current) if current == update => {
+                self.pending.remove(&item);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The currently pending update on `item`, if any.
+    pub fn pending(&self, item: StockId) -> Option<UpdateId> {
+        self.pending.get(&item).copied()
+    }
+
+    /// Number of items with a pending update.
+    pub fn pending_items(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total updates invalidated (dropped unapplied) so far — the work the
+    /// register saved the CPU.
+    pub fn invalidated_count(&self) -> u64 {
+        self.invalidated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: StockId = StockId(7);
+
+    #[test]
+    fn first_registration_has_no_victim() {
+        let mut r = UpdateRegister::new();
+        assert_eq!(r.register(S, 1), None);
+        assert_eq!(r.pending(S), Some(1));
+        assert_eq!(r.invalidated_count(), 0);
+    }
+
+    #[test]
+    fn newer_update_invalidates_older() {
+        let mut r = UpdateRegister::new();
+        r.register(S, 1);
+        assert_eq!(r.register(S, 2), Some(1));
+        assert_eq!(r.pending(S), Some(2));
+        assert_eq!(r.invalidated_count(), 1);
+    }
+
+    #[test]
+    fn complete_clears_only_current() {
+        let mut r = UpdateRegister::new();
+        r.register(S, 1);
+        r.register(S, 2);
+        // Update 1 was invalidated; completing it must not clear update 2.
+        assert!(!r.complete(S, 1));
+        assert_eq!(r.pending(S), Some(2));
+        assert!(r.complete(S, 2));
+        assert_eq!(r.pending(S), None);
+    }
+
+    #[test]
+    fn items_are_independent() {
+        let mut r = UpdateRegister::new();
+        r.register(StockId(1), 10);
+        r.register(StockId(2), 20);
+        assert_eq!(r.pending_items(), 2);
+        assert_eq!(r.register(StockId(1), 11), Some(10));
+        assert_eq!(r.pending(StockId(2)), Some(20));
+    }
+
+    #[test]
+    fn complete_on_empty_is_noop() {
+        let mut r = UpdateRegister::new();
+        assert!(!r.complete(S, 5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// At most one pending update per item, and it is always the
+        /// most recently registered one.
+        #[test]
+        fn latest_wins(ops in proptest::collection::vec((0u32..8, 0u64..1000), 1..200)) {
+            let mut r = UpdateRegister::new();
+            let mut latest: std::collections::HashMap<u32, u64> = Default::default();
+            let mut seq = 0u64;
+            for (item, _) in ops {
+                seq += 1;
+                r.register(StockId(item), seq);
+                latest.insert(item, seq);
+            }
+            for (item, id) in latest {
+                prop_assert_eq!(r.pending(StockId(item)), Some(id));
+            }
+        }
+
+        /// register→complete round trips leave the register empty, and the
+        /// invalidation count equals registrations minus distinct items.
+        #[test]
+        fn invalidation_accounting(items in proptest::collection::vec(0u32..16, 1..100)) {
+            let mut r = UpdateRegister::new();
+            for (i, &item) in items.iter().enumerate() {
+                r.register(StockId(item), i as u64);
+            }
+            let distinct: std::collections::HashSet<u32> = items.iter().copied().collect();
+            prop_assert_eq!(r.pending_items(), distinct.len());
+            prop_assert_eq!(
+                r.invalidated_count(),
+                (items.len() - distinct.len()) as u64
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Engine configuration.
+
+use quts_qc::StalenessAggregation;
+use std::time::Duration;
+
+/// Tuning of the live engine; defaults mirror the paper's system
+/// parameters (τ = 10 ms, ω = 1000 ms).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Atom time τ: minimal interval between class-priority re-draws.
+    pub tau: Duration,
+    /// Adaptation period ω: how often ρ is re-optimised.
+    pub omega: Duration,
+    /// Aging factor α of the ρ smoothing.
+    pub alpha: f64,
+    /// ρ before the first adaptation.
+    pub initial_rho: f64,
+    /// Seed for the atom coin flips.
+    pub seed: u64,
+    /// How multi-item query staleness aggregates.
+    pub staleness_agg: StalenessAggregation,
+    /// Artificial per-transaction CPU cost added on top of the real
+    /// operator execution (busy-spin), to emulate the paper's millisecond
+    /// service times in demos. `None` runs at native speed.
+    pub synthetic_query_cost: Option<Duration>,
+    /// As above, for updates.
+    pub synthetic_update_cost: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            tau: Duration::from_millis(10),
+            omega: Duration::from_millis(1000),
+            alpha: 0.2,
+            initial_rho: 0.75,
+            seed: 0x5157_5453,
+            staleness_agg: StalenessAggregation::Max,
+            synthetic_query_cost: None,
+            synthetic_update_cost: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Builder: synthetic service costs emulating the paper's trace
+    /// (query ≈ 7 ms, update ≈ 3 ms).
+    pub fn with_paper_costs(mut self) -> Self {
+        self.synthetic_query_cost = Some(Duration::from_millis(7));
+        self.synthetic_update_cost = Some(Duration::from_millis(3));
+        self
+    }
+
+    /// Builder: sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: sets τ.
+    pub fn with_tau(mut self, tau: Duration) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Builder: sets ω.
+    pub fn with_omega(mut self, omega: Duration) -> Self {
+        self.omega = omega;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(c.tau, Duration::from_millis(10));
+        assert_eq!(c.omega, Duration::from_millis(1000));
+        assert!(c.synthetic_query_cost.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let c = EngineConfig::default()
+            .with_paper_costs()
+            .with_seed(1)
+            .with_tau(Duration::from_millis(5))
+            .with_omega(Duration::from_millis(500));
+        assert_eq!(c.synthetic_query_cost, Some(Duration::from_millis(7)));
+        assert_eq!(c.synthetic_update_cost, Some(Duration::from_millis(3)));
+        assert_eq!(c.seed, 1);
+        assert_eq!(c.tau, Duration::from_millis(5));
+        assert_eq!(c.omega, Duration::from_millis(500));
+    }
+}

@@ -1,0 +1,43 @@
+//! # Live QUTS execution engine
+//!
+//! Where `quts-sim` replays traces on a virtual clock, this crate runs
+//! the paper's system *for real*: a scheduler thread owns the in-memory
+//! stock store and executes read-only queries and blind updates over
+//! wall-clock time, time-sharing the CPU between the two classes with
+//! the QUTS rules — ρ-biased atom draws, per-period ρ adaptation from
+//! submitted Quality Contracts, VRD query ordering, FIFO updates with
+//! register-table invalidation.
+//!
+//! The engine is deliberately single-worker: the paper's model is CPU
+//! scheduling on one core of a main-memory database, and a single
+//! executor keeps the scheduling semantics exact. Clients talk to it
+//! through a cloneable [`EngineHandle`] from any number of threads.
+//!
+//! ```
+//! use quts_engine::{Engine, EngineConfig};
+//! use quts_db::{QueryOp, Store, Trade};
+//! use quts_qc::QualityContract;
+//!
+//! let mut store = Store::new();
+//! let ibm = store.insert("IBM", 120.0);
+//! let engine = Engine::start(store, EngineConfig::default());
+//!
+//! engine.submit_update(Trade { stock: ibm, price: 121.0, volume: 10, trade_time_ms: 0 });
+//! let reply = engine
+//!     .submit_query(QueryOp::Lookup(ibm), QualityContract::step(1.0, 50.0, 2.0, 1))
+//!     .recv()
+//!     .unwrap();
+//! assert!(reply.profit() > 0.0);
+//! let _stats = engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod runtime;
+pub mod stats;
+
+pub use config::EngineConfig;
+pub use runtime::{Engine, EngineHandle, QueryReply};
+pub use stats::LiveStats;

@@ -1,0 +1,589 @@
+//! The scheduler/executor thread and its client handle.
+
+use crate::config::EngineConfig;
+use crate::stats::LiveStats;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
+use quts_qc::QualityContract;
+use quts_sched::RhoController;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The answer a query submission resolves to.
+#[derive(Debug, Clone)]
+pub struct QueryReply {
+    /// The computed result.
+    pub result: QueryResult,
+    /// Wall-clock response time in milliseconds.
+    pub rt_ms: f64,
+    /// Aggregated `#uu` staleness observed at execution.
+    pub staleness: f64,
+    /// QoS profit earned under the query's contract.
+    pub qos: f64,
+    /// QoD profit earned under the query's contract.
+    pub qod: f64,
+}
+
+impl QueryReply {
+    /// Total profit earned.
+    pub fn profit(&self) -> f64 {
+        self.qos + self.qod
+    }
+}
+
+enum Msg {
+    Query {
+        op: QueryOp,
+        qc: QualityContract,
+        submitted: Instant,
+        reply: Sender<QueryReply>,
+    },
+    Update(Trade),
+    Shutdown,
+}
+
+/// The running engine: owns the scheduler thread.
+pub struct Engine {
+    handle: EngineHandle,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// A cloneable client handle to a running [`Engine`].
+#[derive(Clone)]
+pub struct EngineHandle {
+    tx: Sender<Msg>,
+    stats: Arc<Mutex<LiveStats>>,
+}
+
+impl Engine {
+    /// Starts the engine over the given store.
+    pub fn start(store: Store, config: EngineConfig) -> Engine {
+        let (tx, rx) = unbounded();
+        let stats = Arc::new(Mutex::new(LiveStats {
+            rho: config.initial_rho,
+            ..LiveStats::default()
+        }));
+        let shared = Arc::clone(&stats);
+        let thread = std::thread::Builder::new()
+            .name("quts-engine".into())
+            .spawn(move || Runtime::new(store, config, rx, shared).run())
+            .expect("spawn engine thread");
+        Engine {
+            handle: EngineHandle { tx, stats },
+            thread,
+        }
+    }
+
+    /// The client handle (cloneable, usable from other threads).
+    pub fn handle(&self) -> EngineHandle {
+        self.handle.clone()
+    }
+
+    /// Submits a read-only query; the returned channel resolves once the
+    /// scheduler has executed it.
+    pub fn submit_query(&self, op: QueryOp, qc: QualityContract) -> Receiver<QueryReply> {
+        self.handle.submit_query(op, qc)
+    }
+
+    /// Submits a blind update.
+    pub fn submit_update(&self, trade: Trade) {
+        self.handle.submit_update(trade)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> LiveStats {
+        self.handle.stats()
+    }
+
+    /// Drains remaining work, stops the scheduler thread and returns the
+    /// final statistics.
+    pub fn shutdown(self) -> LiveStats {
+        let _ = self.handle.tx.send(Msg::Shutdown);
+        let _ = self.thread.join();
+        self.handle.stats()
+    }
+}
+
+impl EngineHandle {
+    /// Submits a read-only query (see [`Engine::submit_query`]).
+    pub fn submit_query(&self, op: QueryOp, qc: QualityContract) -> Receiver<QueryReply> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let _ = self.tx.send(Msg::Query {
+            op,
+            qc,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        });
+        reply_rx
+    }
+
+    /// Submits a blind update (see [`Engine::submit_update`]).
+    pub fn submit_update(&self, trade: Trade) {
+        let _ = self.tx.send(Msg::Update(trade));
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> LiveStats {
+        self.stats.lock().clone()
+    }
+}
+
+struct PendingQuery {
+    op: QueryOp,
+    qc: QualityContract,
+    submitted: Instant,
+    reply: Sender<QueryReply>,
+    vrd: f64,
+    seq: u64,
+}
+
+struct QueryEntry {
+    vrd: f64,
+    seq: u64,
+}
+
+impl PartialEq for QueryEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QueryEntry {}
+impl Ord for QueryEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.vrd
+            .total_cmp(&other.vrd)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QueryEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Runtime {
+    store: Store,
+    config: EngineConfig,
+    rx: Receiver<Msg>,
+    stats: Arc<Mutex<LiveStats>>,
+    tracker: StalenessTracker,
+
+    // Query queue: VRD heap over pending queries.
+    query_heap: BinaryHeap<QueryEntry>,
+    queries: HashMap<u64, PendingQuery>,
+    next_seq: u64,
+
+    // Update queue: FIFO with register-table invalidation.
+    update_queue: VecDeque<(StockId, u64)>,
+    register: HashMap<StockId, (u64, Trade)>,
+    next_update_id: u64,
+
+    rho: RhoController,
+    rng: StdRng,
+    state_is_query: bool,
+    state_until: Instant,
+    next_adapt: Instant,
+    acc_qos: f64,
+    acc_qod: f64,
+    start: Instant,
+}
+
+impl Runtime {
+    fn new(
+        store: Store,
+        config: EngineConfig,
+        rx: Receiver<Msg>,
+        stats: Arc<Mutex<LiveStats>>,
+    ) -> Runtime {
+        let now = Instant::now();
+        let rho = RhoController::new(config.alpha, config.initial_rho);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let state_is_query = rng.random::<f64>() < rho.rho();
+        let tracker = StalenessTracker::new(store.len());
+        Runtime {
+            tracker,
+            state_until: now + config.tau,
+            next_adapt: now + config.omega,
+            store,
+            config,
+            rx,
+            stats,
+            query_heap: BinaryHeap::new(),
+            queries: HashMap::new(),
+            next_seq: 0,
+            update_queue: VecDeque::new(),
+            register: HashMap::new(),
+            next_update_id: 0,
+            rho,
+            rng,
+            state_is_query,
+            acc_qos: 0.0,
+            acc_qod: 0.0,
+            start: now,
+        }
+    }
+
+    fn run(mut self) {
+        let mut shutting_down = false;
+        loop {
+            // Ingest everything already waiting.
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Msg::Shutdown) => shutting_down = true,
+                    Ok(msg) => self.ingest(msg),
+                    Err(_) => break,
+                }
+            }
+            self.refresh(Instant::now());
+
+            if self.execute_one() {
+                continue;
+            }
+            if shutting_down {
+                break;
+            }
+            // Nothing runnable: wait for work or the next boundary.
+            let boundary = self.state_until.min(self.next_adapt);
+            let timeout = boundary
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(200));
+            match self.rx.recv_timeout(timeout) {
+                Ok(Msg::Shutdown) => shutting_down = true,
+                Ok(msg) => self.ingest(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => shutting_down = true,
+            }
+        }
+    }
+
+    fn ingest(&mut self, msg: Msg) {
+        match msg {
+            Msg::Query {
+                op,
+                qc,
+                submitted,
+                reply,
+            } => {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.acc_qos += qc.qosmax();
+                self.acc_qod += qc.qodmax();
+                {
+                    let mut s = self.stats.lock();
+                    s.aggregates.submit(&qc);
+                }
+                let vrd = qc.vrd_priority();
+                self.query_heap.push(QueryEntry { vrd, seq });
+                self.queries.insert(
+                    seq,
+                    PendingQuery {
+                        op,
+                        qc,
+                        submitted,
+                        reply,
+                        vrd,
+                        seq,
+                    },
+                );
+            }
+            Msg::Update(trade) => {
+                if trade.stock.index() >= self.store.len() {
+                    return; // unknown item: drop (blind update to nowhere)
+                }
+                self.tracker
+                    .on_arrival(trade.stock, self.elapsed_us());
+                let id = self.next_update_id;
+                self.next_update_id += 1;
+                // Register-table semantics: the pending entry keeps its
+                // queue position, only its payload/identifier is swapped.
+                if let Some(entry) = self.register.get_mut(&trade.stock) {
+                    entry.1 = trade;
+                    self.stats.lock().updates_invalidated += 1;
+                } else {
+                    self.register.insert(trade.stock, (id, trade));
+                    self.update_queue.push_back((trade.stock, id));
+                }
+            }
+            Msg::Shutdown => {}
+        }
+    }
+
+    fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Processes ρ adaptations and atom boundaries up to `now`.
+    fn refresh(&mut self, now: Instant) {
+        while self.next_adapt <= now {
+            let rho = self.rho.adapt(self.acc_qos, self.acc_qod);
+            self.acc_qos = 0.0;
+            self.acc_qod = 0.0;
+            self.next_adapt += self.config.omega;
+            let mut s = self.stats.lock();
+            s.rho = rho;
+            s.adaptations += 1;
+            s.rho_history.push(rho);
+        }
+        while self.state_until <= now {
+            self.state_is_query = self.rng.random::<f64>() < self.rho.rho();
+            self.state_until += self.config.tau;
+        }
+    }
+
+    /// Runs one transaction per the QUTS rules; returns false when both
+    /// queues are empty.
+    fn execute_one(&mut self) -> bool {
+        let queries_pending = !self.query_heap.is_empty();
+        let updates_pending = !self.update_queue.is_empty();
+        if !queries_pending && !updates_pending {
+            return false;
+        }
+        // Favoured queue empty → re-draw for a fresh atom.
+        let favoured_empty = if self.state_is_query {
+            !queries_pending
+        } else {
+            !updates_pending
+        };
+        if favoured_empty {
+            self.state_is_query = self.rng.random::<f64>() < self.rho.rho();
+            self.state_until = Instant::now() + self.config.tau;
+        }
+        let run_query = if self.state_is_query {
+            queries_pending
+        } else {
+            !updates_pending
+        };
+        if run_query {
+            self.run_query();
+        } else {
+            self.run_update();
+        }
+        true
+    }
+
+    fn run_query(&mut self) {
+        let Some(entry) = self.query_heap.pop() else {
+            return;
+        };
+        let q = self
+            .queries
+            .remove(&entry.seq)
+            .expect("heap entry without pending query");
+        debug_assert_eq!(q.vrd, entry.vrd);
+        debug_assert_eq!(q.seq, entry.seq);
+
+        if let Some(cost) = self.config.synthetic_query_cost {
+            spin_for(cost);
+        }
+        let result = q.op.execute(&self.store);
+        let items = q.op.accessed_items();
+        let per_item = self.tracker.unapplied_over(&items);
+        let staleness = self.config.staleness_agg.aggregate(&per_item);
+        let rt_ms = q.submitted.elapsed().as_secs_f64() * 1000.0;
+
+        let (qos, qod) = q.qc.profit_split(rt_ms, staleness);
+        {
+            let mut s = self.stats.lock();
+            s.aggregates.gain(qos, qod);
+            s.response_time_ms.push(rt_ms);
+            s.staleness.push(staleness);
+        }
+        let _ = q.reply.send(QueryReply {
+            result,
+            rt_ms,
+            staleness,
+            qos,
+            qod,
+        });
+    }
+
+    fn run_update(&mut self) {
+        while let Some((stock, _id)) = self.update_queue.pop_front() {
+            // A queue entry is live while its item is still registered;
+            // the payload may be newer than when the entry was enqueued
+            // (register-table swap keeps the queue position).
+            let Some(&(_live_id, trade)) = self.register.get(&stock) else {
+                continue;
+            };
+            if let Some(cost) = self.config.synthetic_update_cost {
+                spin_for(cost);
+            }
+            self.store.apply_update(&trade);
+            self.tracker.on_apply(stock);
+            self.register.remove(&stock);
+            self.stats.lock().updates_applied += 1;
+            return;
+        }
+    }
+}
+
+/// Busy-spin for a duration (emulates CPU service demand; sleeping would
+/// free the CPU and break the single-server model).
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_stocks(n: u32) -> (Engine, Vec<StockId>) {
+        let store = Store::with_synthetic_stocks(n);
+        let ids = (0..n).map(StockId).collect();
+        let cfg = EngineConfig::default().with_seed(42);
+        (Engine::start(store, cfg), ids)
+    }
+
+    fn trade(stock: StockId, price: f64) -> Trade {
+        Trade {
+            stock,
+            price,
+            volume: 1,
+            trade_time_ms: 0,
+        }
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let (engine, ids) = engine_with_stocks(4);
+        let reply = engine
+            .submit_query(
+                QueryOp::Lookup(ids[0]),
+                QualityContract::step(10.0, 1000.0, 10.0, 1),
+            )
+            .recv_timeout(Duration::from_secs(5))
+            .expect("query answered");
+        assert_eq!(reply.result, QueryResult::Price(100.0));
+        assert!(reply.rt_ms < 1000.0);
+        assert_eq!(reply.staleness, 0.0);
+        assert_eq!(reply.profit(), 20.0);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn updates_reach_the_store() {
+        let (engine, ids) = engine_with_stocks(4);
+        engine.submit_update(trade(ids[1], 55.5));
+        // Queries queue behind the update; by the time this commits the
+        // update has been applied (or the query observes staleness > 0
+        // and the price mismatch tells us it was not yet applied).
+        let reply = engine
+            .submit_query(
+                QueryOp::Lookup(ids[1]),
+                QualityContract::step(1.0, 1000.0, 1.0, 1),
+            )
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        match reply.result {
+            QueryResult::Price(p) => {
+                if reply.staleness == 0.0 {
+                    assert_eq!(p, 55.5);
+                } else {
+                    assert_eq!(p, 100.0);
+                }
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.updates_applied, 1);
+    }
+
+    #[test]
+    fn invalidation_applies_only_freshest() {
+        let (engine, ids) = engine_with_stocks(2);
+        for i in 0..50 {
+            engine.submit_update(trade(ids[0], 100.0 + i as f64));
+        }
+        // Let the engine drain.
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = engine
+            .submit_query(
+                QueryOp::Lookup(ids[0]),
+                QualityContract::step(1.0, 1000.0, 1.0, 50),
+            )
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(reply.result, QueryResult::Price(149.0));
+        let stats = engine.shutdown();
+        assert_eq!(stats.updates_applied + stats.updates_invalidated, 50);
+        assert!(stats.updates_invalidated > 0, "bursts must collapse");
+    }
+
+    #[test]
+    fn many_clients_all_answered() {
+        let (engine, ids) = engine_with_stocks(8);
+        let handle = engine.handle();
+        let mut receivers = Vec::new();
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = handle.clone();
+                let ids = ids.clone();
+                std::thread::spawn(move || {
+                    let mut rs = Vec::new();
+                    for i in 0..25u32 {
+                        let stock = ids[((w * 25 + i) % 8) as usize];
+                        rs.push(h.submit_query(
+                            QueryOp::Lookup(stock),
+                            QualityContract::step(5.0, 1000.0, 5.0, 1),
+                        ));
+                        h.submit_update(trade(stock, 1.0 + i as f64));
+                    }
+                    rs
+                })
+            })
+            .collect();
+        for w in workers {
+            receivers.extend(w.join().unwrap());
+        }
+        for r in receivers {
+            let reply = r.recv_timeout(Duration::from_secs(10)).expect("answered");
+            assert!(reply.profit() <= 10.0 + 1e-12);
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.aggregates.submitted, 100);
+        assert_eq!(stats.aggregates.committed, 100);
+        assert!(stats.total_pct() > 0.0);
+    }
+
+    #[test]
+    fn rho_adapts_from_contracts() {
+        let store = Store::with_synthetic_stocks(2);
+        let cfg = EngineConfig::default()
+            .with_omega(Duration::from_millis(30))
+            .with_seed(7);
+        let engine = Engine::start(store, cfg);
+        // QoS-only contracts → rho must climb toward 1.
+        for _ in 0..20 {
+            let _ = engine.submit_query(
+                QueryOp::Lookup(StockId(0)),
+                QualityContract::step(10.0, 1000.0, 0.0, 1),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(200));
+        let stats = engine.stats();
+        assert!(stats.adaptations >= 2, "adaptation timer must fire");
+        assert!(stats.rho > 0.75, "rho should move toward 1, got {}", stats.rho);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let (engine, ids) = engine_with_stocks(2);
+        let rx = engine.submit_query(
+            QueryOp::Lookup(ids[0]),
+            QualityContract::step(1.0, 1000.0, 1.0, 1),
+        );
+        engine.submit_update(trade(ids[1], 7.0));
+        let stats = engine.shutdown();
+        assert!(rx.try_recv().is_ok(), "query answered before shutdown");
+        assert_eq!(stats.updates_applied, 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Live engine statistics, shared between the scheduler thread and
+//! clients.
+
+use quts_metrics::OnlineStats;
+use quts_qc::QcAggregates;
+
+/// A snapshot of the engine's accounting, readable at any time through
+/// [`EngineHandle::stats`](crate::EngineHandle::stats).
+#[derive(Debug, Clone, Default)]
+pub struct LiveStats {
+    /// Submitted maxima and gained profit (Table 1 symbols).
+    pub aggregates: QcAggregates,
+    /// Response times of answered queries, milliseconds.
+    pub response_time_ms: OnlineStats,
+    /// Staleness (`#uu`) observed by answered queries.
+    pub staleness: OnlineStats,
+    /// Updates applied to the store.
+    pub updates_applied: u64,
+    /// Updates dropped by register-table invalidation.
+    pub updates_invalidated: u64,
+    /// The scheduler's current ρ.
+    pub rho: f64,
+    /// Adaptation periods completed.
+    pub adaptations: u64,
+    /// ρ after each adaptation period, in order (Figure 9d live).
+    pub rho_history: Vec<f64>,
+}
+
+impl LiveStats {
+    /// Total gained profit over the submitted maximum.
+    pub fn total_pct(&self) -> f64 {
+        self.aggregates.total_pct()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_snapshot() {
+        let s = LiveStats::default();
+        assert_eq!(s.total_pct(), 0.0);
+        assert_eq!(s.updates_applied, 0);
+        assert_eq!(s.rho, 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # Measurement substrate
+//!
+//! Small, dependency-free building blocks used by the simulator, the live
+//! engine and the experiment harness:
+//!
+//! * [`welford`] — numerically stable online mean / variance / extrema,
+//! * [`histogram`] — log-bucketed latency histograms with percentiles,
+//! * [`timeseries`] — fixed-width time bins with moving-window smoothing
+//!   (the 5-second filter of the paper's Figure 9),
+//! * [`profit`] — gained-vs-maximum profit tracked over time bins,
+//! * [`table`] — plain-text table rendering for experiment output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod profit;
+pub mod table;
+pub mod timeseries;
+pub mod welford;
+
+pub use histogram::LogHistogram;
+pub use profit::ProfitSeries;
+pub use table::TextTable;
+pub use timeseries::BinnedSeries;
+pub use welford::OnlineStats;

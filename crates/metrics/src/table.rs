@@ -1,0 +1,146 @@
+//! Minimal plain-text table rendering for experiment output.
+//!
+//! Every experiment binary prints its reproduction of a paper table or
+//! figure as an aligned text table; this keeps the harness free of
+//! formatting crates.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// extend the table width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.header, &widths);
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&mut out, &sep, &widths);
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        if i > 0 {
+            out.push_str("  ");
+        }
+        out.push_str(cell);
+        for _ in cell.chars().count()..*width {
+            out.push(' ');
+        }
+    }
+    // Trim trailing padding for clean diffs.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Formats a fraction as a percentage with one decimal, e.g. `0.423` →
+/// `"42.3%"`.
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a millisecond quantity with adaptive precision.
+pub fn ms(value: f64) -> String {
+    if value >= 100.0 {
+        format!("{value:.0} ms")
+    } else if value >= 1.0 {
+        format!("{value:.1} ms")
+    } else {
+        format!("{value:.3} ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["policy", "profit"]);
+        t.row(["FIFO", "0.42"]);
+        t.row(["QUTS", "0.97"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[1].starts_with("------"));
+        assert!(lines[2].starts_with("FIFO"));
+        // Columns aligned: "profit" and "0.42" start at the same offset.
+        let off_header = lines[0].find("profit").unwrap();
+        let off_row = lines[2].find("0.42").unwrap();
+        assert_eq!(off_header, off_row);
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "y", "z"]);
+        let s = t.render();
+        assert!(s.lines().count() == 3);
+        assert!(s.contains('z'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.4231), "42.3%");
+        assert_eq!(ms(322.4), "322 ms");
+        assert_eq!(ms(23.04), "23.0 ms");
+        assert_eq!(ms(0.5), "0.500 ms");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(["only", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

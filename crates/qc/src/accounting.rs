@@ -1,0 +1,187 @@
+//! Aggregate QC accounting — the symbols of the paper's Table 1.
+//!
+//! `QOSmax` / `QODmax` sum the per-query maxima over a set of submitted
+//! queries; `QOS` / `QOD` sum the profit actually gained. QUTS' ρ
+//! computation consumes the per-adaptation-period maxima, and every
+//! experiment reports gained-over-max percentages.
+
+use crate::contract::QualityContract;
+
+/// Running totals of submitted (maximum) and gained profit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct QcAggregates {
+    /// `QOSmax`: sum of `qosmax` over submitted queries.
+    pub qos_max: f64,
+    /// `QODmax`: sum of `qodmax` over submitted queries.
+    pub qod_max: f64,
+    /// `QOS`: total gained QoS profit.
+    pub qos_gained: f64,
+    /// `QOD`: total gained QoD profit.
+    pub qod_gained: f64,
+    /// Number of queries submitted.
+    pub submitted: u64,
+    /// Number of queries that committed (gained profit recorded).
+    pub committed: u64,
+}
+
+impl QcAggregates {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a submitted query's contract (contributes to the maxima).
+    pub fn submit(&mut self, qc: &QualityContract) {
+        self.qos_max += qc.qosmax();
+        self.qod_max += qc.qodmax();
+        self.submitted += 1;
+    }
+
+    /// Records the profit gained by a committed query.
+    pub fn gain(&mut self, qos: f64, qod: f64) {
+        debug_assert!(qos >= 0.0 && qod >= 0.0);
+        self.qos_gained += qos;
+        self.qod_gained += qod;
+        self.committed += 1;
+    }
+
+    /// `Qmax = QOSmax + QODmax`.
+    pub fn q_max(&self) -> f64 {
+        self.qos_max + self.qod_max
+    }
+
+    /// `Q = QOS + QOD`, the total gained profit.
+    pub fn q_gained(&self) -> f64 {
+        self.qos_gained + self.qod_gained
+    }
+
+    /// `QOSmax% = QOSmax / Qmax` (zero when nothing was submitted).
+    pub fn qos_max_pct(&self) -> f64 {
+        ratio(self.qos_max, self.q_max())
+    }
+
+    /// `QODmax% = QODmax / Qmax`.
+    pub fn qod_max_pct(&self) -> f64 {
+        ratio(self.qod_max, self.q_max())
+    }
+
+    /// Gained QoS profit as a fraction of `Qmax` — the dark bars of the
+    /// paper's Figures 6–8.
+    pub fn qos_pct(&self) -> f64 {
+        ratio(self.qos_gained, self.q_max())
+    }
+
+    /// Gained QoD profit as a fraction of `Qmax` — the light bars.
+    pub fn qod_pct(&self) -> f64 {
+        ratio(self.qod_gained, self.q_max())
+    }
+
+    /// Total gained profit as a fraction of `Qmax` (bar heights).
+    pub fn total_pct(&self) -> f64 {
+        ratio(self.q_gained(), self.q_max())
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &QcAggregates) {
+        self.qos_max += other.qos_max;
+        self.qod_max += other.qod_max;
+        self.qos_gained += other.qos_gained;
+        self.qod_gained += other.qod_gained;
+        self.submitted += other.submitted;
+        self.committed += other.committed;
+    }
+
+    /// Resets all counters — used by QUTS at each adaptation-period
+    /// boundary.
+    pub fn reset(&mut self) {
+        *self = QcAggregates::default();
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qc(qos: f64, qod: f64) -> QualityContract {
+        QualityContract::step(qos.max(0.0), 50.0, qod.max(0.0), 1)
+    }
+
+    #[test]
+    fn submit_accumulates_maxima() {
+        let mut agg = QcAggregates::new();
+        agg.submit(&qc(10.0, 30.0));
+        agg.submit(&qc(20.0, 40.0));
+        assert_eq!(agg.qos_max, 30.0);
+        assert_eq!(agg.qod_max, 70.0);
+        assert_eq!(agg.q_max(), 100.0);
+        assert_eq!(agg.submitted, 2);
+    }
+
+    #[test]
+    fn percentages() {
+        let mut agg = QcAggregates::new();
+        agg.submit(&qc(50.0, 50.0));
+        agg.gain(25.0, 50.0);
+        assert!((agg.qos_max_pct() - 0.5).abs() < 1e-12);
+        assert!((agg.qod_max_pct() - 0.5).abs() < 1e-12);
+        assert!((agg.qos_pct() - 0.25).abs() < 1e-12);
+        assert!((agg.qod_pct() - 0.5).abs() < 1e-12);
+        assert!((agg.total_pct() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_ledger_has_zero_percentages() {
+        let agg = QcAggregates::new();
+        assert_eq!(agg.total_pct(), 0.0);
+        assert_eq!(agg.qos_max_pct(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = QcAggregates::new();
+        a.submit(&qc(10.0, 10.0));
+        a.gain(5.0, 10.0);
+        let mut b = QcAggregates::new();
+        b.submit(&qc(30.0, 10.0));
+        b.gain(30.0, 0.0);
+        a.merge(&b);
+        assert_eq!(a.qos_max, 40.0);
+        assert_eq!(a.qos_gained, 35.0);
+        assert_eq!(a.submitted, 2);
+        assert_eq!(a.committed, 2);
+        a.reset();
+        assert_eq!(a, QcAggregates::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn percentages_are_consistent(entries in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 1..50)) {
+            let mut agg = QcAggregates::new();
+            for &(qos, qod) in &entries {
+                let c = QualityContract::step(qos, 50.0, qod, 1);
+                agg.submit(&c);
+                // Gain at most the maxima.
+                agg.gain(qos * 0.5, qod * 0.25);
+            }
+            prop_assert!((agg.qos_max_pct() + agg.qod_max_pct() - 1.0).abs() < 1e-9
+                || agg.q_max() == 0.0);
+            prop_assert!(agg.total_pct() <= 1.0 + 1e-9);
+            prop_assert!((agg.qos_pct() + agg.qod_pct() - agg.total_pct()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! The general Quality Contract: arbitrarily many quality dimensions.
+//!
+//! "In the general case of Quality Contracts, users specify a number of
+//! non-increasing functions over the QoS/QoD metrics of interest, along
+//! with the amount of 'worth' to them" (Section 2.2). The two-dimension
+//! [`QualityContract`] covers everything the
+//! paper evaluates; [`MultiContract`] is the full framework — a service
+//! provider can add dimensions like result precision, sample coverage,
+//! or replica distance without touching the scheduler, because QUTS only
+//! consumes the per-family maxima (`QOSmax` / `QODmax`).
+
+use crate::contract::{Composition, QualityContract};
+use crate::profit::ProfitFn;
+use std::collections::HashMap;
+
+/// Which profit family a dimension contributes to — the split QUTS' ρ
+/// optimisation runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Family {
+    /// Quality of Service: how well the system serves (latency,
+    /// availability, …).
+    Service,
+    /// Quality of Data: how good the served data is (staleness,
+    /// precision, …).
+    Data,
+}
+
+/// One named quality dimension of a [`MultiContract`].
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dimension {
+    /// Metric name, the key measurements are reported under.
+    pub name: String,
+    /// QoS or QoD family.
+    pub family: Family,
+    /// Non-increasing profit over the metric.
+    pub profit: ProfitFn,
+}
+
+/// The standard metric name for response time in milliseconds.
+pub const RESPONSE_TIME_MS: &str = "response_time_ms";
+/// The standard metric name for staleness in unapplied updates.
+pub const STALENESS_UU: &str = "staleness_uu";
+
+/// A Quality Contract over any number of named dimensions.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MultiContract {
+    dimensions: Vec<Dimension>,
+    /// How QoD profit depends on QoS profit.
+    pub composition: Composition,
+    /// Maximum lifetime in milliseconds (see
+    /// [`QualityContract::default_lifetime_ms`]).
+    pub lifetime_ms: Option<f64>,
+}
+
+/// Outcome of evaluating a [`MultiContract`] against measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfitBreakdown {
+    /// Earned profit per dimension, in declaration order.
+    pub per_dimension: Vec<(String, f64)>,
+    /// Total earned QoS-family profit.
+    pub qos: f64,
+    /// Total earned QoD-family profit.
+    pub qod: f64,
+}
+
+impl ProfitBreakdown {
+    /// Total profit earned.
+    pub fn total(&self) -> f64 {
+        self.qos + self.qod
+    }
+}
+
+/// Evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A dimension's metric was not measured.
+    MissingMetric(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::MissingMetric(name) => write!(f, "no measurement for metric {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl MultiContract {
+    /// An empty contract (worth nothing) to build on.
+    pub fn new() -> Self {
+        MultiContract {
+            dimensions: Vec::new(),
+            composition: Composition::QoSIndependent,
+            lifetime_ms: None,
+        }
+    }
+
+    /// Builder: adds a dimension.
+    ///
+    /// # Panics
+    /// Panics if a dimension with the same name already exists.
+    pub fn with_dimension(
+        mut self,
+        name: impl Into<String>,
+        family: Family,
+        profit: ProfitFn,
+    ) -> Self {
+        let name = name.into();
+        assert!(
+            self.dimensions.iter().all(|d| d.name != name),
+            "duplicate dimension {name:?}"
+        );
+        self.dimensions.push(Dimension {
+            name,
+            family,
+            profit,
+        });
+        self
+    }
+
+    /// Builder: sets the composition mode.
+    pub fn with_composition(mut self, composition: Composition) -> Self {
+        self.composition = composition;
+        self
+    }
+
+    /// Builder: sets an explicit lifetime in milliseconds.
+    pub fn with_lifetime_ms(mut self, lifetime_ms: f64) -> Self {
+        assert!(lifetime_ms.is_finite() && lifetime_ms > 0.0);
+        self.lifetime_ms = Some(lifetime_ms);
+        self
+    }
+
+    /// The dimensions in declaration order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Sum of maxima over the QoS family (`QOSmax` for the ρ model).
+    pub fn qosmax(&self) -> f64 {
+        self.family_max(Family::Service)
+    }
+
+    /// Sum of maxima over the QoD family (`QODmax` for the ρ model).
+    pub fn qodmax(&self) -> f64 {
+        self.family_max(Family::Data)
+    }
+
+    /// Maximum total profit.
+    pub fn total_max(&self) -> f64 {
+        self.qosmax() + self.qodmax()
+    }
+
+    fn family_max(&self, family: Family) -> f64 {
+        self.dimensions
+            .iter()
+            .filter(|d| d.family == family)
+            .map(|d| d.profit.max_profit())
+            .sum()
+    }
+
+    /// Evaluates the contract against a full set of measurements.
+    ///
+    /// # Errors
+    /// Fails when any dimension's metric is missing — a partial
+    /// evaluation would silently misprice the query.
+    pub fn evaluate(&self, metrics: &Measurements) -> Result<ProfitBreakdown, EvalError> {
+        let mut per_dimension = Vec::with_capacity(self.dimensions.len());
+        let mut qos = 0.0;
+        let mut qod = 0.0;
+        for d in &self.dimensions {
+            let value = metrics
+                .get(&d.name)
+                .ok_or_else(|| EvalError::MissingMetric(d.name.clone()))?;
+            let earned = d.profit.value_at(value);
+            per_dimension.push((d.name.clone(), earned));
+            match d.family {
+                Family::Service => qos += earned,
+                Family::Data => qod += earned,
+            }
+        }
+        if self.composition == Composition::QoSDependent && qos <= 0.0 && self.qosmax() > 0.0 {
+            // The QoS side earned nothing: forfeit the data-family profit.
+            for (i, d) in self.dimensions.iter().enumerate() {
+                if d.family == Family::Data {
+                    per_dimension[i].1 = 0.0;
+                }
+            }
+            qod = 0.0;
+        }
+        Ok(ProfitBreakdown {
+            per_dimension,
+            qos,
+            qod,
+        })
+    }
+
+    /// Lowers a two-dimensional contract (exactly one response-time QoS
+    /// dimension named [`RESPONSE_TIME_MS`] and one staleness QoD
+    /// dimension named [`STALENESS_UU`], or fewer) to the scheduler's
+    /// standard [`QualityContract`]. Returns `None` for richer contracts.
+    pub fn to_standard(&self) -> Option<QualityContract> {
+        let mut qos: Option<&ProfitFn> = None;
+        let mut qod: Option<&ProfitFn> = None;
+        for d in &self.dimensions {
+            match (d.name.as_str(), d.family) {
+                (RESPONSE_TIME_MS, Family::Service) if qos.is_none() => qos = Some(&d.profit),
+                (STALENESS_UU, Family::Data) if qod.is_none() => qod = Some(&d.profit),
+                _ => return None,
+            }
+        }
+        let mut qc = QualityContract::from_fns(
+            qos.cloned().unwrap_or(ProfitFn::Zero),
+            qod.cloned().unwrap_or(ProfitFn::Zero),
+        )
+        .with_composition(self.composition);
+        if let Some(lt) = self.lifetime_ms {
+            qc = qc.with_lifetime_ms(lt);
+        }
+        Some(qc)
+    }
+
+    /// Lifts a standard contract into the general framework.
+    pub fn from_standard(qc: &QualityContract) -> MultiContract {
+        let mut mc = MultiContract::new().with_composition(qc.composition);
+        mc.lifetime_ms = qc.lifetime_ms;
+        if !qc.qos.is_zero() {
+            mc = mc.with_dimension(RESPONSE_TIME_MS, Family::Service, qc.qos.clone());
+        }
+        if !qc.qod.is_zero() {
+            mc = mc.with_dimension(STALENESS_UU, Family::Data, qc.qod.clone());
+        }
+        mc
+    }
+}
+
+impl Default for MultiContract {
+    fn default() -> Self {
+        MultiContract::new()
+    }
+}
+
+/// Named metric values a query finished with.
+#[derive(Debug, Clone, Default)]
+pub struct Measurements(HashMap<String, f64>);
+
+impl Measurements {
+    /// An empty measurement set.
+    pub fn new() -> Self {
+        Measurements::default()
+    }
+
+    /// Records a metric (builder style).
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.0.insert(name.into(), value);
+        self
+    }
+
+    /// Records a metric.
+    pub fn insert(&mut self, name: impl Into<String>, value: f64) {
+        self.0.insert(name.into(), value);
+    }
+
+    /// Reads a metric.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.0.get(name).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_dim() -> MultiContract {
+        MultiContract::new()
+            .with_dimension(RESPONSE_TIME_MS, Family::Service, ProfitFn::step(5.0, 50.0))
+            .with_dimension(STALENESS_UU, Family::Data, ProfitFn::step(3.0, 1.0))
+            .with_dimension("precision", Family::Data, ProfitFn::linear(2.0, 0.1))
+    }
+
+    #[test]
+    fn family_maxima() {
+        let mc = three_dim();
+        assert_eq!(mc.qosmax(), 5.0);
+        assert_eq!(mc.qodmax(), 5.0);
+        assert_eq!(mc.total_max(), 10.0);
+    }
+
+    #[test]
+    fn evaluation_sums_per_family() {
+        let mc = three_dim();
+        let m = Measurements::new()
+            .with(RESPONSE_TIME_MS, 20.0)
+            .with(STALENESS_UU, 0.0)
+            .with("precision", 0.05);
+        let b = mc.evaluate(&m).unwrap();
+        assert_eq!(b.qos, 5.0);
+        assert!((b.qod - (3.0 + 1.0)).abs() < 1e-12);
+        assert!((b.total() - 9.0).abs() < 1e-12);
+        assert_eq!(b.per_dimension.len(), 3);
+        assert_eq!(b.per_dimension[0], (RESPONSE_TIME_MS.to_string(), 5.0));
+    }
+
+    #[test]
+    fn missing_metric_is_an_error() {
+        let mc = three_dim();
+        let m = Measurements::new().with(RESPONSE_TIME_MS, 20.0);
+        assert_eq!(
+            mc.evaluate(&m),
+            Err(EvalError::MissingMetric(STALENESS_UU.into()))
+        );
+    }
+
+    #[test]
+    fn qos_dependent_forfeits_data_profit() {
+        let mc = three_dim().with_composition(Composition::QoSDependent);
+        let m = Measurements::new()
+            .with(RESPONSE_TIME_MS, 60.0) // deadline blown
+            .with(STALENESS_UU, 0.0)
+            .with("precision", 0.0);
+        let b = mc.evaluate(&m).unwrap();
+        assert_eq!(b.qos, 0.0);
+        assert_eq!(b.qod, 0.0);
+        assert!(b.per_dimension.iter().all(|(_, p)| *p == 0.0));
+    }
+
+    #[test]
+    fn standard_round_trip() {
+        let qc = QualityContract::step(10.0, 50.0, 20.0, 1).with_lifetime_ms(5_000.0);
+        let mc = MultiContract::from_standard(&qc);
+        assert_eq!(mc.qosmax(), 10.0);
+        assert_eq!(mc.qodmax(), 20.0);
+        let back = mc.to_standard().expect("two-dimensional");
+        assert_eq!(back, qc);
+    }
+
+    #[test]
+    fn rich_contracts_do_not_lower() {
+        assert!(three_dim().to_standard().is_none());
+        // Unknown names do not lower either.
+        let odd = MultiContract::new().with_dimension("latency_p99", Family::Service, ProfitFn::step(1.0, 9.0));
+        assert!(odd.to_standard().is_none());
+    }
+
+    #[test]
+    fn pure_qod_contract_lowers() {
+        let mc = MultiContract::new().with_dimension(
+            STALENESS_UU,
+            Family::Data,
+            ProfitFn::step(4.0, 2.0),
+        );
+        let qc = mc.to_standard().unwrap();
+        assert_eq!(qc.qosmax(), 0.0);
+        assert_eq!(qc.qodmax(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate dimension")]
+    fn duplicate_names_rejected() {
+        let _ = MultiContract::new()
+            .with_dimension("x", Family::Service, ProfitFn::step(1.0, 1.0))
+            .with_dimension("x", Family::Data, ProfitFn::step(1.0, 1.0));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Evaluated profit is bounded by the declared maxima, whatever
+        /// the measurements.
+        #[test]
+        fn bounded_by_maxima(
+            rt in 0.0..1e4f64,
+            uu in 0.0..100.0f64,
+            precision in 0.0..1.0f64,
+        ) {
+            let mc = MultiContract::new()
+                .with_dimension(RESPONSE_TIME_MS, Family::Service, ProfitFn::linear(7.0, 80.0))
+                .with_dimension(STALENESS_UU, Family::Data, ProfitFn::step(5.0, 2.0))
+                .with_dimension("precision", Family::Data, ProfitFn::linear(3.0, 0.5));
+            let m = Measurements::new()
+                .with(RESPONSE_TIME_MS, rt)
+                .with(STALENESS_UU, uu)
+                .with("precision", precision);
+            let b = mc.evaluate(&m).unwrap();
+            prop_assert!(b.qos <= mc.qosmax() + 1e-9);
+            prop_assert!(b.qod <= mc.qodmax() + 1e-9);
+            prop_assert!(b.total() >= 0.0);
+        }
+
+        /// Lowering to the standard contract preserves evaluation.
+        #[test]
+        fn lowering_preserves_profit(
+            qos in 0.0..50.0f64,
+            qod in 0.0..50.0f64,
+            rt in 0.0..300.0f64,
+            uu in 0.0..5.0f64,
+        ) {
+            let qc = QualityContract::step(qos, 100.0, qod, 2);
+            let mc = MultiContract::from_standard(&qc);
+            let m = Measurements::new()
+                .with(RESPONSE_TIME_MS, rt)
+                .with(STALENESS_UU, uu);
+            let b = mc.evaluate(&m).unwrap();
+            // Within the lifetime, the standard contract must agree.
+            prop_assert!((b.total() - qc.total_profit(rt, uu)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The single-priority-queue baseline: global FIFO.
+//!
+//! Section 3.1 of the paper argues that FIFO is the only reasonable
+//! single-queue policy — query priorities (time + profit) and update
+//! priorities (staleness + profit) are fundamentally incomparable, so no
+//! global priority scheme can use the full QC information. FIFO simply
+//! interleaves queries and updates by arrival and never preempts.
+//!
+//! Ordering uses the engine's global arrival sequence numbers, so an
+//! update that replaces an invalidated one (register-table swap) keeps
+//! the old queue position.
+
+use quts_sim::{QueryId, QueryInfo, Scheduler, SimTime, TxnRef, UpdateId, UpdateInfo};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Key {
+    Query(u32),
+    Update(u32),
+}
+
+impl Key {
+    fn txn(self) -> TxnRef {
+        match self {
+            Key::Query(q) => TxnRef::Query(QueryId(q)),
+            Key::Update(u) => TxnRef::Update(UpdateId(u)),
+        }
+    }
+}
+
+/// Non-preemptive FIFO over the merged arrival stream of both classes.
+#[derive(Debug, Default)]
+pub struct GlobalFifo {
+    heap: BinaryHeap<Reverse<(u64, Key)>>,
+    seqs: HashMap<Key, u64>,
+    dropped: HashSet<UpdateId>,
+    live: usize,
+}
+
+impl GlobalFifo {
+    /// An empty global FIFO.
+    pub fn new() -> Self {
+        GlobalFifo::default()
+    }
+
+    fn push(&mut self, seq: u64, key: Key) {
+        self.seqs.insert(key, seq);
+        self.heap.push(Reverse((seq, key)));
+        self.live += 1;
+    }
+}
+
+impl Scheduler for GlobalFifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn admit_query(&mut self, id: QueryId, info: &QueryInfo, _now: SimTime) {
+        self.push(info.seq, Key::Query(id.0));
+    }
+
+    fn admit_update(&mut self, id: UpdateId, info: &UpdateInfo, _now: SimTime) {
+        self.push(info.seq, Key::Update(id.0));
+    }
+
+    fn drop_update(&mut self, id: UpdateId) {
+        if self.seqs.remove(&Key::Update(id.0)).is_some() && self.dropped.insert(id) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    fn pop_next(&mut self, _now: SimTime) -> Option<TxnRef> {
+        while let Some(Reverse((_, key))) = self.heap.pop() {
+            if let Key::Update(u) = key {
+                if self.dropped.remove(&UpdateId(u)) {
+                    continue;
+                }
+            }
+            self.live -= 1;
+            return Some(key.txn());
+        }
+        None
+    }
+
+    fn requeue(&mut self, txn: TxnRef, _now: SimTime) {
+        let key = match txn {
+            TxnRef::Query(q) => Key::Query(q.0),
+            TxnRef::Update(u) => Key::Update(u.0),
+        };
+        let &seq = self
+            .seqs
+            .get(&key)
+            .expect("requeued transaction was never admitted");
+        self.heap.push(Reverse((seq, key)));
+        self.live += 1;
+    }
+
+    fn should_preempt(&mut self, _now: SimTime, _running: TxnRef) -> bool {
+        false
+    }
+
+    fn has_pending(&self) -> bool {
+        self.live > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testutil::{qinfo, uinfo};
+
+    #[test]
+    fn arrival_order_is_preserved() {
+        let mut s = GlobalFifo::new();
+        let now = SimTime::ZERO;
+        s.admit_update(UpdateId(0), &uinfo(0, 0), now);
+        s.admit_query(QueryId(0), &qinfo(1, 10.0, 10.0, 50.0), now);
+        s.admit_update(UpdateId(1), &uinfo(2, 1), now);
+        assert!(s.has_pending());
+        assert_eq!(s.pop_next(now), Some(TxnRef::Update(UpdateId(0))));
+        assert_eq!(s.pop_next(now), Some(TxnRef::Query(QueryId(0))));
+        assert_eq!(s.pop_next(now), Some(TxnRef::Update(UpdateId(1))));
+        assert_eq!(s.pop_next(now), None);
+        assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn never_preempts() {
+        let mut s = GlobalFifo::new();
+        let now = SimTime::ZERO;
+        s.admit_query(QueryId(0), &qinfo(0, 10.0, 10.0, 50.0), now);
+        assert!(!s.should_preempt(now, TxnRef::Update(UpdateId(9))));
+        assert!(!s.should_preempt(now, TxnRef::Query(QueryId(9))));
+    }
+
+    #[test]
+    fn dropped_update_is_skipped_and_uncounted() {
+        let mut s = GlobalFifo::new();
+        let now = SimTime::ZERO;
+        s.admit_update(UpdateId(0), &uinfo(0, 0), now);
+        s.admit_update(UpdateId(1), &uinfo(1, 0), now);
+        s.drop_update(UpdateId(0));
+        s.drop_update(UpdateId(0)); // idempotent
+        assert!(s.has_pending());
+        assert_eq!(s.pop_next(now), Some(TxnRef::Update(UpdateId(1))));
+        assert!(!s.has_pending());
+    }
+
+    #[test]
+    fn replacement_update_inherits_position() {
+        let mut s = GlobalFifo::new();
+        let now = SimTime::ZERO;
+        s.admit_update(UpdateId(0), &uinfo(5, 0), now);
+        s.admit_query(QueryId(0), &qinfo(6, 1.0, 1.0, 50.0), now);
+        // Update 1 replaces update 0, carrying the old seq 5 (the engine
+        // passes the inherited value in `info.seq`).
+        s.drop_update(UpdateId(0));
+        s.admit_update(UpdateId(1), &uinfo(5, 0), now);
+        // It still precedes the query that arrived after the original.
+        assert_eq!(s.pop_next(now), Some(TxnRef::Update(UpdateId(1))));
+        assert_eq!(s.pop_next(now), Some(TxnRef::Query(QueryId(0))));
+    }
+
+    #[test]
+    fn requeue_restores_position() {
+        let mut s = GlobalFifo::new();
+        let now = SimTime::ZERO;
+        s.admit_query(QueryId(0), &qinfo(0, 1.0, 1.0, 50.0), now);
+        s.admit_query(QueryId(1), &qinfo(1, 1.0, 1.0, 50.0), now);
+        let first = s.pop_next(now).unwrap();
+        s.requeue(first, now);
+        assert_eq!(s.pop_next(now), Some(first));
+        assert_eq!(s.pop_next(now), Some(TxnRef::Query(QueryId(1))));
+    }
+}

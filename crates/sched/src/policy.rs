@@ -1,0 +1,438 @@
+//! Low-level (per-class) queue orderings.
+//!
+//! The two-level design deliberately leaves the per-class policy open:
+//! "QUTS can utilize any priority scheme that considers both time and
+//! profit constraints for queries and staleness and profit constraints
+//! for updates" (Section 4). The paper — and our default — uses VRD for
+//! queries and FIFO for updates; the alternatives here feed the ablation
+//! benches.
+
+use quts_sim::{QueryId, QueryInfo, UpdateId, UpdateInfo};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+/// Priority rule for the query queue. All rules earn a higher priority
+/// for "more profit sooner".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryOrder {
+    /// Value over Relative Deadline: `(qosmax + qodmax) / rtmax`
+    /// (Haritsa et al.; the paper's choice).
+    #[default]
+    Vrd,
+    /// Arrival order.
+    Fifo,
+    /// Earliest absolute deadline (`arrival + rtmax`) first.
+    Edf,
+    /// Profit per unit of CPU demand: `(qosmax + qodmax) / cost`.
+    ProfitDensity,
+}
+
+impl QueryOrder {
+    /// The priority key for a query; larger keys run first.
+    pub fn key(self, info: &QueryInfo) -> f64 {
+        match self {
+            QueryOrder::Vrd => info.vrd,
+            QueryOrder::Fifo => -(info.seq as f64),
+            QueryOrder::Edf => {
+                let rtmax_us = info
+                    .rtmax_ms
+                    .map(|ms| (ms * 1000.0) as u64)
+                    .unwrap_or(info.expiry.as_micros().saturating_sub(info.arrival.as_micros()));
+                -((info.arrival.as_micros() + rtmax_us) as f64)
+            }
+            QueryOrder::ProfitDensity => {
+                (info.qosmax + info.qodmax) / info.cost.as_ms_f64().max(1e-9)
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueryOrder::Vrd => "VRD",
+            QueryOrder::Fifo => "FIFO",
+            QueryOrder::Edf => "EDF",
+            QueryOrder::ProfitDensity => "PD",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    key: f64,
+    seq: u64,
+    id: QueryId,
+}
+
+impl PartialEq for QEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for QEntry {}
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: larger key first; ties broken by earlier arrival.
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of queries under a [`QueryOrder`].
+#[derive(Debug)]
+pub struct QueryQueue {
+    order: QueryOrder,
+    heap: BinaryHeap<QEntry>,
+    // Key/seq memo so a paused query can be re-inserted without its info.
+    memo: HashMap<QueryId, (f64, u64)>,
+}
+
+impl QueryQueue {
+    /// An empty queue with the given ordering.
+    pub fn new(order: QueryOrder) -> Self {
+        QueryQueue {
+            order,
+            heap: BinaryHeap::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    /// The configured ordering.
+    pub fn order(&self) -> QueryOrder {
+        self.order
+    }
+
+    /// Admits a newly arrived query.
+    pub fn admit(&mut self, id: QueryId, info: &QueryInfo) {
+        let key = self.order.key(info);
+        self.memo.insert(id, (key, info.seq));
+        self.heap.push(QEntry {
+            key,
+            seq: info.seq,
+            id,
+        });
+    }
+
+    /// Re-inserts a paused (previously popped) query under its original
+    /// priority. The memo survives popping, so pausing needs no
+    /// re-computation.
+    ///
+    /// # Panics
+    /// Panics if the query was never admitted.
+    pub fn requeue(&mut self, id: QueryId) {
+        let &(key, seq) = self
+            .memo
+            .get(&id)
+            .expect("requeued query was never admitted");
+        self.heap.push(QEntry { key, seq, id });
+    }
+
+    /// Removes and returns the highest-priority query.
+    pub fn pop(&mut self) -> Option<QueryId> {
+        self.heap.pop().map(|e| e.id)
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of queued queries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// A FIFO queue of updates with O(1) lazy removal of invalidated entries.
+#[derive(Debug, Default)]
+pub struct UpdateQueue {
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    dropped: HashSet<UpdateId>,
+    memo: HashMap<UpdateId, u64>,
+    live: usize,
+}
+
+impl UpdateQueue {
+    /// An empty update queue.
+    pub fn new() -> Self {
+        UpdateQueue::default()
+    }
+
+    /// Admits a newly arrived update (FIFO position by arrival order).
+    pub fn admit(&mut self, id: UpdateId, info: &UpdateInfo) {
+        self.memo.insert(id, info.seq);
+        self.heap.push(std::cmp::Reverse((info.seq, id.0)));
+        self.live += 1;
+    }
+
+    /// Re-inserts a paused (previously popped) update at its original
+    /// FIFO position.
+    ///
+    /// # Panics
+    /// Panics if the update was never admitted.
+    pub fn requeue(&mut self, id: UpdateId) {
+        let &seq = self
+            .memo
+            .get(&id)
+            .expect("requeued update was never admitted");
+        self.heap.push(std::cmp::Reverse((seq, id.0)));
+        self.live += 1;
+    }
+
+    /// Marks a *queued* update invalidated; it will be skipped when its
+    /// heap entry is reached. Idempotent.
+    pub fn drop_update(&mut self, id: UpdateId) {
+        if self.memo.remove(&id).is_some() && self.dropped.insert(id) {
+            self.live = self.live.saturating_sub(1);
+        }
+    }
+
+    /// Removes and returns the oldest live update.
+    pub fn pop(&mut self) -> Option<UpdateId> {
+        while let Some(std::cmp::Reverse((_, raw))) = self.heap.pop() {
+            let id = UpdateId(raw);
+            if self.dropped.remove(&id) {
+                continue;
+            }
+            self.live -= 1;
+            return Some(id);
+        }
+        None
+    }
+
+    /// Whether no live updates are queued.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of live updates queued.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use quts_db::StockId;
+    use quts_sim::{SimDuration, SimTime};
+
+    /// A QueryInfo with the given arrival order, profits and deadline.
+    pub fn qinfo(seq: u64, qosmax: f64, qodmax: f64, rtmax_ms: f64) -> QueryInfo {
+        let arrival = SimTime::from_ms(seq);
+        QueryInfo {
+            arrival,
+            seq,
+            cost: SimDuration::from_ms(7),
+            qosmax,
+            qodmax,
+            rtmax_ms: Some(rtmax_ms),
+            vrd: (qosmax + qodmax) / rtmax_ms,
+            expiry: arrival + SimDuration::from_ms(1000),
+        }
+    }
+
+    /// An UpdateInfo with the given arrival order.
+    pub fn uinfo(seq: u64, stock: u32) -> UpdateInfo {
+        UpdateInfo {
+            arrival: SimTime::from_ms(seq),
+            seq,
+            cost: SimDuration::from_ms(3),
+            stock: StockId(stock),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn vrd_orders_by_profit_over_deadline() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        q.admit(QueryId(0), &qinfo(0, 10.0, 10.0, 100.0)); // vrd 0.2
+        q.admit(QueryId(1), &qinfo(1, 40.0, 40.0, 100.0)); // vrd 0.8
+        q.admit(QueryId(2), &qinfo(2, 30.0, 0.0, 50.0)); // vrd 0.6
+        assert_eq!(q.pop(), Some(QueryId(1)));
+        assert_eq!(q.pop(), Some(QueryId(2)));
+        assert_eq!(q.pop(), Some(QueryId(0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_orders_by_arrival() {
+        let mut q = QueryQueue::new(QueryOrder::Fifo);
+        q.admit(QueryId(5), &qinfo(5, 99.0, 99.0, 10.0));
+        q.admit(QueryId(6), &qinfo(6, 1.0, 1.0, 999.0));
+        assert_eq!(q.pop(), Some(QueryId(5)));
+        assert_eq!(q.pop(), Some(QueryId(6)));
+    }
+
+    #[test]
+    fn edf_prefers_earliest_deadline() {
+        let mut q = QueryQueue::new(QueryOrder::Edf);
+        q.admit(QueryId(0), &qinfo(0, 1.0, 1.0, 500.0)); // deadline 500
+        q.admit(QueryId(1), &qinfo(1, 1.0, 1.0, 50.0)); // deadline 51
+        assert_eq!(q.pop(), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn profit_density_prefers_cheap_profit() {
+        let mut q = QueryQueue::new(QueryOrder::ProfitDensity);
+        q.admit(QueryId(0), &qinfo(0, 10.0, 0.0, 100.0));
+        q.admit(QueryId(1), &qinfo(1, 50.0, 0.0, 100.0)); // same cost, more profit
+        assert_eq!(q.pop(), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn vrd_ties_break_by_arrival() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        q.admit(QueryId(0), &qinfo(0, 10.0, 10.0, 100.0));
+        q.admit(QueryId(1), &qinfo(1, 10.0, 10.0, 100.0));
+        assert_eq!(q.pop(), Some(QueryId(0)));
+        assert_eq!(q.pop(), Some(QueryId(1)));
+    }
+
+    #[test]
+    fn requeue_restores_priority() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        q.admit(QueryId(0), &qinfo(0, 40.0, 40.0, 100.0));
+        q.admit(QueryId(1), &qinfo(1, 10.0, 10.0, 100.0));
+        let popped = q.pop().unwrap();
+        assert_eq!(popped, QueryId(0));
+        // Pause: it must come back ahead of the low-priority one.
+        q.requeue(popped);
+        assert_eq!(q.pop(), Some(QueryId(0)));
+        assert_eq!(q.pop(), Some(QueryId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "never admitted")]
+    fn requeue_unknown_query_panics() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        q.requeue(QueryId(3));
+    }
+
+    #[test]
+    fn update_queue_is_fifo() {
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 1));
+        u.admit(UpdateId(2), &uinfo(2, 2));
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.pop(), Some(UpdateId(0)));
+        assert_eq!(u.pop(), Some(UpdateId(1)));
+        assert_eq!(u.pop(), Some(UpdateId(2)));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn dropped_updates_are_skipped() {
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 0));
+        u.drop_update(UpdateId(0));
+        assert_eq!(u.len(), 1);
+        assert_eq!(u.pop(), Some(UpdateId(1)));
+        assert!(u.is_empty());
+        assert_eq!(u.pop(), None);
+    }
+
+    #[test]
+    fn double_drop_is_idempotent() {
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.drop_update(UpdateId(0));
+        u.drop_update(UpdateId(0));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn update_requeue_keeps_fifo_position() {
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 1));
+        let first = u.pop().unwrap();
+        assert_eq!(first, UpdateId(0));
+        // Paused update 0 returns: must still precede update 1.
+        u.requeue(first);
+        assert_eq!(u.pop(), Some(UpdateId(0)));
+        assert_eq!(u.pop(), Some(UpdateId(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::testutil::*;
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the order, every admitted query pops exactly once.
+        #[test]
+        fn conservation(
+            n in 1u32..100,
+            order_pick in 0usize..4,
+        ) {
+            let order = [QueryOrder::Vrd, QueryOrder::Fifo, QueryOrder::Edf, QueryOrder::ProfitDensity][order_pick];
+            let mut q = QueryQueue::new(order);
+            for i in 0..n {
+                q.admit(QueryId(i), &qinfo(i as u64, (i % 7) as f64 + 1.0, (i % 3) as f64, 50.0 + i as f64));
+            }
+            let mut seen = std::collections::HashSet::new();
+            while let Some(id) = q.pop() {
+                prop_assert!(seen.insert(id));
+            }
+            prop_assert_eq!(seen.len(), n as usize);
+        }
+
+        /// VRD pops in non-increasing key order.
+        #[test]
+        fn vrd_is_sorted(profits in proptest::collection::vec((1.0..100.0f64, 1.0..100.0f64, 10.0..200.0f64), 1..60)) {
+            let mut q = QueryQueue::new(QueryOrder::Vrd);
+            let mut keys = HashMap::new();
+            for (i, &(qos, qod, rt)) in profits.iter().enumerate() {
+                let info = qinfo(i as u64, qos, qod, rt);
+                keys.insert(QueryId(i as u32), info.vrd);
+                q.admit(QueryId(i as u32), &info);
+            }
+            let mut last = f64::INFINITY;
+            while let Some(id) = q.pop() {
+                let k = keys[&id];
+                prop_assert!(k <= last + 1e-12);
+                last = k;
+            }
+        }
+
+        /// Update queue: pops are in arrival order and never include
+        /// dropped ids.
+        #[test]
+        fn update_queue_fifo_with_drops(drops in proptest::collection::hash_set(0u32..50, 0..20)) {
+            let mut u = UpdateQueue::new();
+            for i in 0..50u32 {
+                u.admit(UpdateId(i), &uinfo(i as u64, 0));
+            }
+            for &d in &drops {
+                u.drop_update(UpdateId(d));
+            }
+            let mut last = None;
+            let mut count = 0;
+            while let Some(id) = u.pop() {
+                prop_assert!(!drops.contains(&id.0));
+                if let Some(prev) = last {
+                    prop_assert!(id.0 > prev);
+                }
+                last = Some(id.0);
+                count += 1;
+            }
+            prop_assert_eq!(count, 50 - drops.len());
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The ρ model: how much CPU should queries get?
+//!
+//! Section 4.1 of the paper models the total profit as a function of the
+//! query CPU share ρ:
+//!
+//! ```text
+//! QOS  ≈ QOSmax · ρ                      (Eq. 1)
+//! QOD  ≈ QODmax · ρ · (1 − ρ)            (Eq. 2)
+//! Q    ≈ QOSmax · ρ + QODmax · ρ · (1−ρ) (Eq. 3)
+//! ```
+//!
+//! QoS profit grows with query CPU; QoD profit needs update CPU *and*
+//! queries must still commit before their lifetime, hence the `ρ·(1−ρ)`
+//! term. Setting `dQ/dρ = 0` gives the closed-form optimum
+//!
+//! ```text
+//! ρ* = min( QOSmax / (2·QODmax) + 0.5 , 1 )   (Eq. 4)
+//! ```
+//!
+//! — never below 0.5: queries should hold the higher priority more than
+//! half the time under this model. [`RhoController`] adds the paper's
+//! aging scheme (Eq. 5–6): at each adaptation boundary the new optimum is
+//! blended with the previous value, `ρ_k = (1−α)·ρ_{k−1} + α·ρ_new`.
+
+/// The modelled total profit `Q(ρ)` of Eq. 3, given the submitted maxima.
+pub fn modeled_profit(rho: f64, qos_max: f64, qod_max: f64) -> f64 {
+    qos_max * rho + qod_max * rho * (1.0 - rho)
+}
+
+/// The closed-form optimal query CPU share of Eq. 4.
+///
+/// Degenerate inputs: with no QoD potential the optimum is 1 (all CPU to
+/// queries); with no profit at all there is nothing to optimise and the
+/// neutral 0.75 (midpoint of the feasible `[0.5, 1]` band) is returned.
+pub fn optimal_rho(qos_max: f64, qod_max: f64) -> f64 {
+    debug_assert!(qos_max >= 0.0 && qod_max >= 0.0);
+    if qod_max <= 0.0 {
+        if qos_max <= 0.0 {
+            return 0.75;
+        }
+        return 1.0;
+    }
+    (qos_max / (2.0 * qod_max) + 0.5).min(1.0)
+}
+
+/// Smoothed, periodically re-optimised ρ (Eq. 5–6).
+#[derive(Debug, Clone)]
+pub struct RhoController {
+    alpha: f64,
+    rho: f64,
+}
+
+impl RhoController {
+    /// A controller with aging factor `alpha` and an initial ρ.
+    ///
+    /// # Panics
+    /// Panics unless `alpha ∈ (0, 1]` and `rho ∈ [0, 1]`.
+    pub fn new(alpha: f64, initial_rho: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&initial_rho),
+            "rho must be in [0, 1]"
+        );
+        RhoController {
+            alpha,
+            rho: initial_rho,
+        }
+    }
+
+    /// The current smoothed ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The configured aging factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Adaptation-boundary step: feeds the previous period's submitted
+    /// `QOSmax` / `QODmax` sums, returns the new smoothed ρ.
+    ///
+    /// A period in which nothing was submitted carries no information and
+    /// leaves ρ unchanged (rather than dragging it toward a default).
+    pub fn adapt(&mut self, qos_max: f64, qod_max: f64) -> f64 {
+        if qos_max > 0.0 || qod_max > 0.0 {
+            let target = optimal_rho(qos_max, qod_max);
+            self.rho = (1.0 - self.alpha) * self.rho + self.alpha * target;
+        }
+        self.rho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_equation_4() {
+        // Balanced preferences: rho = 0.5/(2*0.5)+0.5 = 1.0.
+        assert_eq!(optimal_rho(0.5, 0.5), 1.0);
+        // QoD-heavy: QOSmax% = 0.1, QODmax% = 0.9 → 0.1/1.8 + 0.5 ≈ 0.556.
+        assert!((optimal_rho(0.1, 0.9) - (0.1 / 1.8 + 0.5)).abs() < 1e-12);
+        // Strong QoS: clamps at 1.
+        assert_eq!(optimal_rho(10.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn rho_never_below_half_with_positive_profit() {
+        for qos in [0.0, 0.1, 1.0, 10.0] {
+            for qod in [0.1, 1.0, 10.0] {
+                let r = optimal_rho(qos, qod);
+                assert!((0.5..=1.0).contains(&r), "rho {r} for ({qos}, {qod})");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(optimal_rho(1.0, 0.0), 1.0);
+        assert_eq!(optimal_rho(0.0, 0.0), 0.75);
+        assert!((optimal_rho(0.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controller_smooths_toward_target() {
+        let mut c = RhoController::new(0.5, 0.6);
+        // Target is 1.0 (QoS-only): each step halves the distance.
+        c.adapt(10.0, 0.0);
+        assert!((c.rho() - 0.8).abs() < 1e-12);
+        c.adapt(10.0, 0.0);
+        assert!((c.rho() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_period_leaves_rho_unchanged() {
+        let mut c = RhoController::new(0.3, 0.77);
+        c.adapt(0.0, 0.0);
+        assert_eq!(c.rho(), 0.77);
+    }
+
+    #[test]
+    fn alpha_one_jumps_to_target() {
+        let mut c = RhoController::new(1.0, 0.5);
+        c.adapt(1.0, 1.0);
+        assert_eq!(c.rho(), 1.0);
+        c.adapt(0.0, 1.0);
+        assert_eq!(c.rho(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = RhoController::new(0.0, 0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Eq. 4 really does maximise Eq. 3 over a fine grid.
+        #[test]
+        fn closed_form_is_argmax(qos in 0.01..100.0f64, qod in 0.01..100.0f64) {
+            let star = optimal_rho(qos, qod);
+            let best = modeled_profit(star, qos, qod);
+            for i in 0..=1000 {
+                let rho = i as f64 / 1000.0;
+                prop_assert!(modeled_profit(rho, qos, qod) <= best + 1e-9);
+            }
+        }
+
+        /// The controller always stays within [0.5, 1] once fed positive
+        /// profit, starting from any feasible point in that band.
+        #[test]
+        fn controller_stays_in_band(
+            alpha in 0.01..1.0f64,
+            init in 0.5..1.0f64,
+            periods in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..50),
+        ) {
+            let mut c = RhoController::new(alpha, init);
+            for (qos, qod) in periods {
+                let r = c.adapt(qos, qod);
+                prop_assert!((0.5..=1.0).contains(&r), "rho left the band: {r}");
+            }
+        }
+
+        /// Repeatedly adapting to a fixed workload converges to its
+        /// closed-form optimum.
+        #[test]
+        fn converges_to_target(qos in 0.01..10.0f64, qod in 0.01..10.0f64) {
+            let mut c = RhoController::new(0.3, 0.75);
+            for _ in 0..200 {
+                c.adapt(qos, qod);
+            }
+            prop_assert!((c.rho() - optimal_rho(qos, qod)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! The line protocol: parsing requests and rendering responses.
+//!
+//! Grammar (whitespace-separated, case-insensitive verbs):
+//!
+//! ```text
+//! request   := get | avg | cmp | upd | stats | quit
+//! get       := "GET" symbol contract?
+//! avg       := "AVG" symbol window contract?
+//! cmp       := "CMP" symbol symbol+ contract?
+//! upd       := "UPD" symbol price volume
+//! stats     := "STATS"
+//! quit      := "QUIT"
+//! contract  := qos? qod?             (absent sides are worth nothing)
+//! qos       := "QOS" max rtmax_ms
+//! qod       := "QOD" max uumax
+//! ```
+
+use quts_qc::QualityContract;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Price lookup.
+    Get {
+        /// Ticker symbol.
+        symbol: String,
+        /// The attached contract.
+        qc: QualityContract,
+    },
+    /// Moving average over the last `window` applied prices.
+    Avg {
+        /// Ticker symbol.
+        symbol: String,
+        /// History window.
+        window: usize,
+        /// The attached contract.
+        qc: QualityContract,
+    },
+    /// Price spread across several symbols.
+    Cmp {
+        /// Ticker symbols (at least two).
+        symbols: Vec<String>,
+        /// The attached contract.
+        qc: QualityContract,
+    },
+    /// A blind update from the feed.
+    Upd {
+        /// Ticker symbol.
+        symbol: String,
+        /// Trade price.
+        price: f64,
+        /// Shares traded.
+        volume: u64,
+    },
+    /// Engine statistics snapshot.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parse failure with a client-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(msg: impl Into<String>) -> ParseError {
+    ParseError(msg.into())
+}
+
+/// Parses one request line.
+pub fn parse(line: &str) -> Result<Request, ParseError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some((verb, rest)) = tokens.split_first() else {
+        return Err(err("empty request"));
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "GET" => {
+            let (symbol, rest) = take_symbol(rest)?;
+            let qc = parse_contract(rest)?;
+            Ok(Request::Get { symbol, qc })
+        }
+        "AVG" => {
+            let (symbol, rest) = take_symbol(rest)?;
+            let (window_tok, rest) = rest
+                .split_first()
+                .ok_or_else(|| err("AVG needs a window"))?;
+            let window: usize = window_tok
+                .parse()
+                .map_err(|_| err(format!("bad window {window_tok:?}")))?;
+            if window == 0 || window > 1024 {
+                return Err(err("window must be 1..=1024"));
+            }
+            let qc = parse_contract(rest)?;
+            Ok(Request::Avg { symbol, window, qc })
+        }
+        "CMP" => {
+            let mut symbols = Vec::new();
+            let mut rest = rest;
+            while let Some((tok, tail)) = rest.split_first() {
+                if is_contract_keyword(tok) {
+                    break;
+                }
+                symbols.push(validate_symbol(tok)?);
+                rest = tail;
+            }
+            if symbols.len() < 2 {
+                return Err(err("CMP needs at least two symbols"));
+            }
+            let qc = parse_contract(rest)?;
+            Ok(Request::Cmp { symbols, qc })
+        }
+        "UPD" => {
+            let (symbol, rest) = take_symbol(rest)?;
+            let [price_tok, volume_tok] = rest else {
+                return Err(err("UPD needs price and volume"));
+            };
+            let price: f64 = price_tok
+                .parse()
+                .map_err(|_| err(format!("bad price {price_tok:?}")))?;
+            if !(price.is_finite() && price > 0.0) {
+                return Err(err("price must be positive"));
+            }
+            let volume: u64 = volume_tok
+                .parse()
+                .map_err(|_| err(format!("bad volume {volume_tok:?}")))?;
+            Ok(Request::Upd {
+                symbol,
+                price,
+                volume,
+            })
+        }
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Request::Stats)
+            } else {
+                Err(err("STATS takes no arguments"))
+            }
+        }
+        "QUIT" => {
+            if rest.is_empty() {
+                Ok(Request::Quit)
+            } else {
+                Err(err("QUIT takes no arguments"))
+            }
+        }
+        other => Err(err(format!("unknown verb {other:?}"))),
+    }
+}
+
+fn is_contract_keyword(tok: &str) -> bool {
+    tok.eq_ignore_ascii_case("QOS") || tok.eq_ignore_ascii_case("QOD")
+}
+
+fn validate_symbol(tok: &str) -> Result<String, ParseError> {
+    if tok.is_empty() || tok.len() > 12 {
+        return Err(err(format!("bad symbol {tok:?}")));
+    }
+    if !tok
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
+    {
+        return Err(err(format!("bad symbol {tok:?}")));
+    }
+    Ok(tok.to_ascii_uppercase())
+}
+
+fn take_symbol<'a>(rest: &'a [&'a str]) -> Result<(String, &'a [&'a str]), ParseError> {
+    let (tok, tail) = rest.split_first().ok_or_else(|| err("missing symbol"))?;
+    Ok((validate_symbol(tok)?, tail))
+}
+
+/// Parses the optional `QOS max rtmax` / `QOD max uumax` clauses; a
+/// request without a contract is best-effort (worth nothing).
+fn parse_contract(mut rest: &[&str]) -> Result<QualityContract, ParseError> {
+    let mut qos: Option<(f64, f64)> = None;
+    let mut qod: Option<(f64, u32)> = None;
+    while let Some((tok, tail)) = rest.split_first() {
+        let upper = tok.to_ascii_uppercase();
+        match upper.as_str() {
+            "QOS" => {
+                if qos.is_some() {
+                    return Err(err("duplicate QOS clause"));
+                }
+                let [max, rtmax, tail @ ..] = tail else {
+                    return Err(err("QOS needs <max> <rtmax_ms>"));
+                };
+                let max: f64 = max.parse().map_err(|_| err("bad QOS max"))?;
+                let rtmax: f64 = rtmax.parse().map_err(|_| err("bad rtmax"))?;
+                if !(max.is_finite() && max >= 0.0 && rtmax.is_finite() && rtmax > 0.0) {
+                    return Err(err("QOS values out of range"));
+                }
+                qos = Some((max, rtmax));
+                rest = tail;
+            }
+            "QOD" => {
+                if qod.is_some() {
+                    return Err(err("duplicate QOD clause"));
+                }
+                let [max, uumax, tail @ ..] = tail else {
+                    return Err(err("QOD needs <max> <uumax>"));
+                };
+                let max: f64 = max.parse().map_err(|_| err("bad QOD max"))?;
+                let uumax: u32 = uumax.parse().map_err(|_| err("bad uumax"))?;
+                if !(max.is_finite() && max >= 0.0) || uumax == 0 {
+                    return Err(err("QOD values out of range"));
+                }
+                qod = Some((max, uumax));
+                rest = tail;
+            }
+            other => return Err(err(format!("unexpected token {other:?}"))),
+        }
+    }
+    let (qosmax, rtmax) = qos.unwrap_or((0.0, 1.0));
+    let (qodmax, uumax) = qod.unwrap_or((0.0, 1));
+    Ok(QualityContract::step(qosmax, rtmax, qodmax, uumax))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_with_full_contract() {
+        let r = parse("GET ibm QOS 5 50 QOD 2 1").unwrap();
+        let Request::Get { symbol, qc } = r else {
+            panic!("wrong variant");
+        };
+        assert_eq!(symbol, "IBM");
+        assert_eq!(qc.qosmax(), 5.0);
+        assert_eq!(qc.rtmax_ms(), Some(50.0));
+        assert_eq!(qc.qodmax(), 2.0);
+        assert_eq!(qc.qod_profit(1.0), 0.0);
+    }
+
+    #[test]
+    fn get_without_contract_is_best_effort() {
+        let Request::Get { qc, .. } = parse("GET AOL").unwrap() else {
+            panic!();
+        };
+        assert_eq!(qc.total_max(), 0.0);
+    }
+
+    #[test]
+    fn avg_and_cmp() {
+        assert_eq!(
+            parse("AVG GE 16").unwrap(),
+            Request::Avg {
+                symbol: "GE".into(),
+                window: 16,
+                qc: QualityContract::step(0.0, 1.0, 0.0, 1)
+            }
+        );
+        let Request::Cmp { symbols, .. } = parse("CMP ibm aol ge QOD 3 2").unwrap() else {
+            panic!();
+        };
+        assert_eq!(symbols, vec!["IBM", "AOL", "GE"]);
+    }
+
+    #[test]
+    fn upd() {
+        assert_eq!(
+            parse("UPD IBM 121.5 300").unwrap(),
+            Request::Upd {
+                symbol: "IBM".into(),
+                price: 121.5,
+                volume: 300
+            }
+        );
+    }
+
+    #[test]
+    fn control_verbs() {
+        assert_eq!(parse("stats").unwrap(), Request::Stats);
+        assert_eq!(parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "NOPE",
+            "GET",
+            "GET toolongsymbolname",
+            "GET IBM QOS 5",
+            "GET IBM QOS 5 50 QOS 5 50",
+            "GET IBM QOD 2 0",
+            "AVG IBM 0",
+            "AVG IBM 9999",
+            "UPD IBM -3 5",
+            "UPD IBM 1.0",
+            "CMP IBM",
+            "STATS NOW",
+            "GET IBM PLEASE",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+}

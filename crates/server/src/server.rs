@@ -1,0 +1,321 @@
+//! The TCP listener: one thread per connection over a shared engine
+//! handle.
+
+use crate::protocol::{parse, Request};
+use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
+use quts_engine::{Engine, EngineConfig, EngineHandle, LiveStats};
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: SocketAddr,
+    /// Engine configuration.
+    pub engine: EngineConfig,
+    /// Per-query wait budget before the server answers `ERR timeout`.
+    pub query_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static address"),
+            engine: EngineConfig::default(),
+            query_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running QUTS web-database server.
+pub struct Server {
+    engine: Option<Engine>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+struct Shared {
+    handle: EngineHandle,
+    symbols: HashMap<String, StockId>,
+    trade_seq: AtomicU64,
+    query_timeout: Duration,
+}
+
+impl Server {
+    /// Starts an engine over `store` and serves it on `config.addr`.
+    ///
+    /// # Errors
+    /// Fails if the address cannot be bound.
+    pub fn start(store: Store, config: ServerConfig) -> io::Result<Server> {
+        let symbols: HashMap<String, StockId> = store
+            .iter()
+            .map(|(id, rec)| (rec.symbol().to_ascii_uppercase(), id))
+            .collect();
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Engine::start(store, config.engine);
+        let shared = Arc::new(Shared {
+            handle: engine.handle(),
+            symbols,
+            trade_seq: AtomicU64::new(0),
+            query_timeout: config.query_timeout,
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("quts-server-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("quts-server-conn".into())
+                        .spawn(move || {
+                            let _ = serve_connection(stream, &shared);
+                        });
+                }
+            })
+            .expect("spawn acceptor");
+
+        Ok(Server {
+            engine: Some(engine),
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Engine statistics snapshot.
+    pub fn stats(&self) -> LiveStats {
+        self.engine.as_ref().expect("running").stats()
+    }
+
+    /// Stops accepting, drains the engine, and returns final statistics.
+    pub fn shutdown(mut self) -> LiveStats {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the acceptor with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.engine.take().expect("running").shutdown()
+    }
+}
+
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match parse(&line) {
+            Err(e) => format!("ERR {e}"),
+            Ok(Request::Quit) => {
+                writeln!(writer, "BYE")?;
+                return Ok(());
+            }
+            Ok(request) => handle(request, shared),
+        };
+        writeln!(writer, "{response}")?;
+    }
+    Ok(())
+}
+
+fn handle(request: Request, shared: &Shared) -> String {
+    match request {
+        Request::Get { symbol, qc } => match shared.symbols.get(&symbol) {
+            Some(&id) => run_query(QueryOp::Lookup(id), qc, shared),
+            None => format!("ERR unknown symbol {symbol}"),
+        },
+        Request::Avg { symbol, window, qc } => match shared.symbols.get(&symbol) {
+            Some(&stock) => run_query(QueryOp::MovingAverage { stock, window }, qc, shared),
+            None => format!("ERR unknown symbol {symbol}"),
+        },
+        Request::Cmp { symbols, qc } => {
+            let mut ids = Vec::with_capacity(symbols.len());
+            for s in &symbols {
+                match shared.symbols.get(s) {
+                    Some(&id) => ids.push(id),
+                    None => return format!("ERR unknown symbol {s}"),
+                }
+            }
+            run_query(QueryOp::Compare(ids), qc, shared)
+        }
+        Request::Upd {
+            symbol,
+            price,
+            volume,
+        } => match shared.symbols.get(&symbol) {
+            Some(&stock) => {
+                let seq = shared.trade_seq.fetch_add(1, Ordering::Relaxed);
+                shared.handle.submit_update(Trade {
+                    stock,
+                    price,
+                    volume,
+                    trade_time_ms: seq,
+                });
+                "OK".into()
+            }
+            None => format!("ERR unknown symbol {symbol}"),
+        },
+        Request::Stats => {
+            let s = shared.handle.stats();
+            format!(
+                "OK submitted={} committed={} profit={:.2} of={:.2} rho={:.3} applied={} invalidated={}",
+                s.aggregates.submitted,
+                s.aggregates.committed,
+                s.aggregates.q_gained(),
+                s.aggregates.q_max(),
+                s.rho,
+                s.updates_applied,
+                s.updates_invalidated,
+            )
+        }
+        Request::Quit => unreachable!("handled by the connection loop"),
+    }
+}
+
+fn run_query(op: QueryOp, qc: quts_qc::QualityContract, shared: &Shared) -> String {
+    let rx = shared.handle.submit_query(op, qc);
+    match rx.recv_timeout(shared.query_timeout) {
+        Ok(reply) => {
+            let payload = match reply.result {
+                QueryResult::Price(p) => format!("price={p:.2}"),
+                QueryResult::Average(a) => format!("avg={a:.2}"),
+                QueryResult::Spread { min, max, spread } => {
+                    format!("min={min:.2} max={max:.2} spread={spread:.2}")
+                }
+                QueryResult::Value(v) => format!("value={v:.2}"),
+            };
+            format!(
+                "OK {payload} rt={:.2}ms uu={} qos={:.2} qod={:.2}",
+                reply.rt_ms, reply.staleness, reply.qos, reply.qod
+            )
+        }
+        Err(_) => "ERR timeout".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    struct Client {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl Client {
+        fn connect(addr: SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            Client {
+                reader: BufReader::new(stream.try_clone().unwrap()),
+                writer: stream,
+            }
+        }
+
+        fn send(&mut self, line: &str) -> String {
+            writeln!(self.writer, "{line}").expect("send");
+            let mut response = String::new();
+            self.reader.read_line(&mut response).expect("recv");
+            response.trim_end().to_string()
+        }
+    }
+
+    fn test_server() -> Server {
+        let mut store = Store::new();
+        store.insert("IBM", 120.0);
+        store.insert("AOL", 55.0);
+        store.insert("GE", 52.0);
+        Server::start(store, ServerConfig::default()).expect("start")
+    }
+
+    #[test]
+    fn full_session() {
+        let server = test_server();
+        let mut c = Client::connect(server.addr());
+
+        let r = c.send("GET IBM QOS 5 1000 QOD 2 1");
+        assert!(r.starts_with("OK price=120.00"), "{r}");
+        assert!(r.contains("qos=5.00"), "{r}");
+
+        assert_eq!(c.send("UPD IBM 121.5 300"), "OK");
+        // Wait for the update to apply, then read it back.
+        std::thread::sleep(Duration::from_millis(50));
+        let r = c.send("GET IBM");
+        assert!(r.starts_with("OK price=121.50"), "{r}");
+
+        let r = c.send("CMP IBM AOL GE");
+        assert!(r.contains("min=52.00"), "{r}");
+        assert!(r.contains("spread=69.50"), "{r}");
+
+        let r = c.send("AVG IBM 2");
+        assert!(r.starts_with("OK avg=120.75"), "{r}");
+
+        let r = c.send("STATS");
+        assert!(r.contains("applied=1"), "{r}");
+
+        assert_eq!(c.send("QUIT"), "BYE");
+        let stats = server.shutdown();
+        assert_eq!(stats.aggregates.committed, 4);
+        assert_eq!(stats.updates_applied, 1);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let server = test_server();
+        let mut c = Client::connect(server.addr());
+        assert!(c.send("GET MSFT").starts_with("ERR unknown symbol"));
+        assert!(c.send("BOGUS").starts_with("ERR"));
+        assert!(c.send("GET IBM QOS 1").starts_with("ERR"));
+        // The connection still works afterwards.
+        assert!(c.send("GET IBM").starts_with("OK"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let server = test_server();
+        let addr = server.addr();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(addr);
+                    for i in 0..10 {
+                        let r = c.send(&format!("GET IBM QOS 1 1000 QOD 1 {}", i + 1));
+                        assert!(r.starts_with("OK"), "{r}");
+                        assert_eq!(c.send("UPD AOL 60.0 10"), "OK");
+                    }
+                    c.send("QUIT");
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.aggregates.committed, 40);
+        assert_eq!(stats.updates_applied + stats.updates_invalidated, 40);
+    }
+}

@@ -1,0 +1,171 @@
+//! Results of one simulation run.
+
+use crate::time::{SimDuration, SimTime};
+use crate::txn::QueryId;
+use quts_metrics::{LogHistogram, OnlineStats, ProfitSeries};
+use quts_qc::QcAggregates;
+
+/// Per-query detail, collected when
+/// [`SimConfig::collect_outcomes`](crate::engine::SimConfig) is set.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query.
+    pub id: QueryId,
+    /// Response time in milliseconds (time to expiry for expired queries).
+    pub rt_ms: f64,
+    /// Aggregated staleness (`#uu`) observed at commit; zero for expired.
+    pub staleness: f64,
+    /// QoS profit earned.
+    pub qos: f64,
+    /// QoD profit earned.
+    pub qod: f64,
+    /// Whether the query exceeded its lifetime and was aborted.
+    pub expired: bool,
+    /// Commit (or expiry) time.
+    pub finished_at: SimTime,
+}
+
+/// Everything measured during one run of the simulator.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Name of the scheduling policy.
+    pub scheduler: &'static str,
+    /// Profit ledger: submitted maxima and gained totals (Table 1 symbols).
+    pub aggregates: QcAggregates,
+    /// Profit binned over time (Figure 9 series).
+    pub profit: ProfitSeries,
+    /// Response-time statistics over committed queries, in milliseconds.
+    pub response_time_ms: OnlineStats,
+    /// Response-time histogram over committed queries, in microseconds.
+    pub rt_histogram_us: LogHistogram,
+    /// Staleness (`#uu` after aggregation) over committed queries.
+    pub staleness: OnlineStats,
+    /// How long applied updates had been pending (first unapplied arrival
+    /// on the item → application), in milliseconds.
+    pub update_delay_ms: OnlineStats,
+    /// Queries that committed.
+    pub committed: u64,
+    /// Queries aborted at their lifetime deadline.
+    pub expired: u64,
+    /// Updates whose value reached the database.
+    pub updates_applied: u64,
+    /// Updates dropped unapplied (invalidated by a newer arrival).
+    pub updates_invalidated: u64,
+    /// 2PL-HP restarts suffered by queries.
+    pub query_restarts: u64,
+    /// 2PL-HP restarts suffered by updates.
+    pub update_restarts: u64,
+    /// Total CPU time consumed.
+    pub cpu_busy: SimDuration,
+    /// CPU time consumed by queries (including work lost to restarts).
+    pub cpu_busy_query: SimDuration,
+    /// CPU time consumed by updates (including work lost to restarts).
+    pub cpu_busy_update: SimDuration,
+    /// Simulation end time (last event processed).
+    pub end_time: SimTime,
+    /// ρ history for adaptive schedulers (empty otherwise).
+    pub rho_history: Vec<(SimTime, f64)>,
+    /// Per-query outcomes if collection was enabled.
+    pub outcomes: Option<Vec<QueryOutcome>>,
+}
+
+impl RunReport {
+    /// Gained QoS profit over `Qmax` (dark bars of Figures 6–8).
+    pub fn qos_pct(&self) -> f64 {
+        self.aggregates.qos_pct()
+    }
+
+    /// Gained QoD profit over `Qmax` (light bars of Figures 6–8).
+    pub fn qod_pct(&self) -> f64 {
+        self.aggregates.qod_pct()
+    }
+
+    /// Total gained profit over `Qmax` (bar heights).
+    pub fn total_pct(&self) -> f64 {
+        self.aggregates.total_pct()
+    }
+
+    /// Mean response time over committed queries, in milliseconds.
+    pub fn avg_response_time_ms(&self) -> f64 {
+        self.response_time_ms.mean()
+    }
+
+    /// Mean staleness (`#uu`) over committed queries — the y-axis of the
+    /// paper's Figure 1 (averaged over all queries).
+    pub fn avg_staleness(&self) -> f64 {
+        self.staleness.mean()
+    }
+
+    /// CPU utilisation over the run.
+    pub fn cpu_utilisation(&self) -> f64 {
+        if self.end_time.as_micros() == 0 {
+            0.0
+        } else {
+            self.cpu_busy.as_micros() as f64 / self.end_time.as_micros() as f64
+        }
+    }
+
+    /// One-line summary for logs and quick comparisons.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<10} profit {:>5.1}% (QoS {:>5.1}% QoD {:>5.1}%)  rt {:>9.1}ms  #uu {:>6.3}  \
+             committed {} expired {} applied {} invalidated {}",
+            self.scheduler,
+            self.total_pct() * 100.0,
+            self.qos_pct() * 100.0,
+            self.qod_pct() * 100.0,
+            self.avg_response_time_ms(),
+            self.avg_staleness(),
+            self.committed,
+            self.expired,
+            self.updates_applied,
+            self.updates_invalidated,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            scheduler: "test",
+            aggregates: QcAggregates::new(),
+            profit: ProfitSeries::new(1_000_000),
+            response_time_ms: OnlineStats::new(),
+            rt_histogram_us: LogHistogram::new(),
+            staleness: OnlineStats::new(),
+            update_delay_ms: OnlineStats::new(),
+            committed: 0,
+            expired: 0,
+            updates_applied: 0,
+            updates_invalidated: 0,
+            query_restarts: 0,
+            update_restarts: 0,
+            cpu_busy: SimDuration::ZERO,
+            cpu_busy_query: SimDuration::ZERO,
+            cpu_busy_update: SimDuration::ZERO,
+            end_time: SimTime::ZERO,
+            rho_history: Vec::new(),
+            outcomes: None,
+        }
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = empty_report();
+        assert_eq!(r.total_pct(), 0.0);
+        assert_eq!(r.avg_response_time_ms(), 0.0);
+        assert_eq!(r.cpu_utilisation(), 0.0);
+        assert!(r.summary().contains("test"));
+    }
+
+    #[test]
+    fn utilisation() {
+        let mut r = empty_report();
+        r.cpu_busy = SimDuration::from_secs(30);
+        r.end_time = SimTime::from_secs(60);
+        assert!((r.cpu_utilisation() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Virtual time: microsecond-precision instants and durations.
+//!
+//! The paper's quantities span 1 ms (update costs) to 30 minutes (the
+//! trace); integer microseconds cover that range exactly and keep event
+//! ordering free of floating-point ties.
+
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in microseconds since the start of
+/// the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulation time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// An instant from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// An instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The instant as fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration since an earlier instant (saturating at zero).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// A duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// A duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// A duration from fractional milliseconds (rounded to the µs grid).
+    pub fn from_ms_f64(ms: f64) -> Self {
+        assert!(ms.is_finite() && ms >= 0.0, "duration must be non-negative");
+        SimDuration((ms * 1_000.0).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Whether this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("time went backwards"))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_ms(5).as_micros(), 5_000);
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_ms(10).as_ms_f64(), 10.0);
+        assert_eq!(SimDuration::from_ms_f64(1.5).as_micros(), 1_500);
+        assert_eq!(SimTime::from_secs(3).as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(10) + SimDuration::from_ms(5);
+        assert_eq!(t, SimTime::from_ms(15));
+        assert_eq!(t - SimTime::from_ms(10), SimDuration::from_ms(5));
+        let mut u = SimTime::ZERO;
+        u += SimDuration::from_ms(7);
+        assert_eq!(u, SimTime::from_ms(7));
+    }
+
+    #[test]
+    fn since_saturates() {
+        assert_eq!(SimTime::from_ms(5).since(SimTime::from_ms(10)), SimDuration::ZERO);
+        assert_eq!(SimTime::from_ms(10).since(SimTime::from_ms(4)), SimDuration::from_ms(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn sub_panics_on_negative() {
+        let _ = SimTime::from_ms(1) - SimTime::from_ms(2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_ms(1500).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_ms(10).to_string(), "10.000ms");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = vec![SimTime::from_ms(3), SimTime::ZERO, SimTime::from_ms(1)];
+        times.sort();
+        assert_eq!(times, vec![SimTime::ZERO, SimTime::from_ms(1), SimTime::from_ms(3)]);
+    }
+}

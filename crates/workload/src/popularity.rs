@@ -1,0 +1,278 @@
+//! Item popularity: Zipf samplers and anti-correlated rankings.
+//!
+//! Figure 5c of the paper plots per-stock update frequency against query
+//! frequency: both are heavily skewed (a few hot stocks dominate), most
+//! points sit below the diagonal (more updates than queries), and "many
+//! of the updates occur on the stocks with very few queries". We model
+//! this with two Zipf distributions over *ranks* plus a configurable
+//! anti-correlation between the query ranking and the update ranking of
+//! each stock.
+
+use quts_db::StockId;
+use rand::RngExt;
+
+/// Samples ranks `0..n` with probability ∝ `1 / (rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A Zipf sampler over `n` ranks with exponent `s` (`s = 0` is
+    /// uniform; larger `s` is more skewed).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 0..n {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true — `new` rejects
+    /// that), kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank (0 = most popular).
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of a rank.
+    pub fn mass(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - prev
+    }
+}
+
+/// Maps popularity *ranks* to stock ids for the two transaction classes.
+///
+/// Query ranks are assigned by a random permutation; update ranks blend
+/// the query ranking with random noise under a signed correlation knob:
+///
+/// * `+1` — fully anti-correlated: the most-updated stock is the
+///   least-queried one,
+/// * `0` — independent rankings,
+/// * `-1` — fully correlated: hot stocks are hot for both classes (the
+///   usual shape of real market data, where heavily traded tickers are
+///   also heavily watched).
+#[derive(Debug, Clone)]
+pub struct PopularityMap {
+    query_rank_to_stock: Vec<StockId>,
+    update_rank_to_stock: Vec<StockId>,
+}
+
+impl PopularityMap {
+    /// Builds the two rankings over `n` stocks.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `anti_correlation` is outside `[-1, 1]`.
+    pub fn new<R: rand::Rng + ?Sized>(rng: &mut R, n: u32, anti_correlation: f64) -> Self {
+        assert!(n > 0, "need at least one stock");
+        assert!(
+            (-1.0..=1.0).contains(&anti_correlation),
+            "anti-correlation must be in [-1, 1]"
+        );
+        // Query ranking: random permutation of the stocks.
+        let mut query_rank_to_stock: Vec<StockId> = (0..n).map(StockId).collect();
+        shuffle(rng, &mut query_rank_to_stock);
+
+        // Stock → its query rank.
+        let mut query_rank_of = vec![0usize; n as usize];
+        for (rank, &s) in query_rank_to_stock.iter().enumerate() {
+            query_rank_of[s.index()] = rank;
+        }
+
+        // Update ranking: order stocks by a score that grows with their
+        // query *coldness* (positive knob) or *hotness* (negative knob),
+        // blended with uniform noise.
+        let strength = anti_correlation.abs();
+        let mut scored: Vec<(f64, u32)> = (0..n)
+            .map(|s| {
+                let coldness = query_rank_of[s as usize] as f64 / n as f64;
+                let signal = if anti_correlation >= 0.0 {
+                    coldness
+                } else {
+                    1.0 - coldness
+                };
+                let noise: f64 = rng.random();
+                (strength * signal + (1.0 - strength) * noise, s)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        let update_rank_to_stock = scored.into_iter().map(|(_, s)| StockId(s)).collect();
+
+        PopularityMap {
+            query_rank_to_stock,
+            update_rank_to_stock,
+        }
+    }
+
+    /// The stock at a given query-popularity rank (0 = hottest).
+    pub fn query_stock(&self, rank: usize) -> StockId {
+        self.query_rank_to_stock[rank]
+    }
+
+    /// The stock at a given update-popularity rank (0 = hottest).
+    pub fn update_stock(&self, rank: usize) -> StockId {
+        self.update_rank_to_stock[rank]
+    }
+
+    /// Number of stocks.
+    pub fn len(&self) -> usize {
+        self.query_rank_to_stock.len()
+    }
+
+    /// Always false (construction rejects zero stocks).
+    pub fn is_empty(&self) -> bool {
+        self.query_rank_to_stock.is_empty()
+    }
+}
+
+/// Fisher–Yates shuffle (avoids depending on rand's `SliceRandom`
+/// across version churn).
+fn shuffle<R: rand::Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn zipf_masses_sum_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_rank0_dominates() {
+        let z = ZipfSampler::new(1000, 1.0);
+        assert!(z.mass(0) > z.mass(1));
+        assert!(z.mass(1) > z.mass(10));
+        assert!(z.mass(10) > z.mass(500));
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.mass(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_skew() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = rng();
+        let mut counts = [0u32; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 carries ~1/H(100) ≈ 19% of the mass.
+        assert!(counts[0] > 8_000, "rank 0 sampled {}", counts[0]);
+        assert!(counts[0] > counts[10] && counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn popularity_map_is_a_bijection() {
+        let m = PopularityMap::new(&mut rng(), 50, 0.5);
+        let mut q: Vec<u32> = (0..50).map(|r| m.query_stock(r).0).collect();
+        let mut u: Vec<u32> = (0..50).map(|r| m.update_stock(r).0).collect();
+        q.sort_unstable();
+        u.sort_unstable();
+        assert_eq!(q, (0..50).collect::<Vec<_>>());
+        assert_eq!(u, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn full_anti_correlation_reverses_ranking() {
+        let m = PopularityMap::new(&mut rng(), 20, 1.0);
+        for rank in 0..20 {
+            assert_eq!(m.update_stock(rank), m.query_stock(19 - rank));
+        }
+    }
+
+    #[test]
+    fn full_correlation_matches_rankings() {
+        let m = PopularityMap::new(&mut rng(), 20, -1.0);
+        for rank in 0..20 {
+            assert_eq!(m.update_stock(rank), m.query_stock(rank));
+        }
+    }
+
+    #[test]
+    fn zero_anti_correlation_is_independent_ish() {
+        // Not a strict statistical test: just check it is not the exact
+        // reversal and the map is still a bijection.
+        let m = PopularityMap::new(&mut rng(), 200, 0.0);
+        let reversed = (0..200).all(|r| m.update_stock(r) == m.query_stock(199 - r));
+        assert!(!reversed);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = PopularityMap::new(&mut StdRng::seed_from_u64(5), 64, 0.7);
+        let b = PopularityMap::new(&mut StdRng::seed_from_u64(5), 64, 0.7);
+        assert_eq!(a.query_rank_to_stock, b.query_rank_to_stock);
+        assert_eq!(a.update_rank_to_stock, b.update_rank_to_stock);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        #[test]
+        fn zipf_samples_in_range(n in 1usize..500, s in 0.0..3.0f64, seed in 0u64..100) {
+            let z = ZipfSampler::new(n, s);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..100 {
+                prop_assert!(z.sample(&mut rng) < n);
+            }
+        }
+
+        #[test]
+        fn map_is_always_bijective(n in 1u32..300, a in -1.0..=1.0f64, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let m = PopularityMap::new(&mut rng, n, a);
+            let mut seen = std::collections::HashSet::new();
+            for r in 0..n as usize {
+                prop_assert!(seen.insert(m.update_stock(r)));
+            }
+            prop_assert_eq!(seen.len(), n as usize);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Quality Contract presets for the paper's experiments.
+//!
+//! Every experiment re-uses the same trace but changes how contracts are
+//! drawn:
+//!
+//! * **Balanced** — Figure 6: `qosmax, qodmax ~ U[$10, $50]` (so
+//!   `QOSmax% = QODmax% = 0.5`), `rtmax ~ U[50, 100] ms`, `uumax = 1`.
+//! * **Spectrum(k)** — Table 4 / Figures 7–8: nine points with
+//!   `QODmax% = k/10`, `qodmax ~ U[$10k, $10k+9]`,
+//!   `qosmax ~ U[$10(10−k), $10(10−k)+9]`.
+//! * **Phases** — Figure 9: the run is split into four equal intervals
+//!   whose `qosmax:qodmax` ratio flips between 1:5 and 5:1, creating the
+//!   sudden preference changes QUTS must adapt to.
+
+use quts_qc::QualityContract;
+use quts_sim::SimTime;
+use rand::RngExt;
+
+/// Step or linear contract shape (Figures 2 and 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QcShape {
+    /// Step functions: full profit strictly within the cutoff.
+    #[default]
+    Step,
+    /// Linear decay to zero at the cutoff.
+    Linear,
+}
+
+/// A distribution over Quality Contracts, parameterised by arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QcPreset {
+    /// Figure 6 setup: balanced QoS/QoD preferences.
+    Balanced,
+    /// Table 4 setup: `QODmax% = k/10` for `k ∈ 1..=9`.
+    Spectrum {
+        /// The spectrum point `k` (1 ⇒ QoD-light … 9 ⇒ QoD-heavy).
+        k: u8,
+    },
+    /// Figure 9 setup: four phases alternating 1:5 / 5:1 QoS:QoD ratios.
+    Phases,
+}
+
+impl QcPreset {
+    /// The nine Table 4 presets in order (`QODmax%` 0.1 → 0.9).
+    pub fn spectrum_points() -> impl Iterator<Item = QcPreset> {
+        (1..=9).map(|k| QcPreset::Spectrum { k })
+    }
+
+    /// The nominal `QODmax%` of this preset (phase presets report the
+    /// run-wide average, 0.5).
+    pub fn qod_max_pct(&self) -> f64 {
+        match self {
+            QcPreset::Balanced | QcPreset::Phases => 0.5,
+            QcPreset::Spectrum { k } => *k as f64 / 10.0,
+        }
+    }
+
+    /// Draws one contract for a query arriving at `arrival` in a run of
+    /// length `horizon`.
+    ///
+    /// # Panics
+    /// Panics on `Spectrum { k }` with `k` outside `1..=9`.
+    pub fn draw<R: rand::Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shape: QcShape,
+        arrival: SimTime,
+        horizon: SimTime,
+    ) -> QualityContract {
+        let rtmax = rng.random_range(50.0..100.0);
+        let uumax = 1;
+        let (qosmax, qodmax) = match self {
+            QcPreset::Balanced => (
+                rng.random_range(10.0..50.0),
+                rng.random_range(10.0..50.0),
+            ),
+            QcPreset::Spectrum { k } => {
+                assert!((1..=9).contains(k), "spectrum point must be 1..=9");
+                let k = *k as f64;
+                let qod = rng.random_range(10.0 * k..10.0 * k + 10.0);
+                let qos = rng.random_range(10.0 * (10.0 - k)..10.0 * (10.0 - k) + 10.0);
+                (qos, qod)
+            }
+            QcPreset::Phases => {
+                // Four equal intervals; ratio 1:5, 5:1, 1:5, 5:1.
+                let h = horizon.as_micros().max(1);
+                let phase = (arrival.as_micros().saturating_mul(4) / h).min(3);
+                let hi = rng.random_range(50.0..100.0);
+                let lo = hi / 5.0;
+                if phase.is_multiple_of(2) {
+                    (lo, hi) // QoD-heavy phases first, matching Fig 9b
+                } else {
+                    (hi, lo)
+                }
+            }
+        };
+        match shape {
+            QcShape::Step => QualityContract::step(qosmax, rtmax, qodmax, uumax),
+            QcShape::Linear => QualityContract::linear(qosmax, rtmax, qodmax, uumax),
+        }
+    }
+}
+
+/// Assigns contracts drawn from `preset` to every query of a trace,
+/// deterministically per seed.
+pub fn assign_qcs(
+    trace: &mut crate::trace::Trace,
+    preset: QcPreset,
+    shape: QcShape,
+    seed: u64,
+) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let horizon = trace.horizon();
+    for q in &mut trace.queries {
+        q.qc = preset.draw(&mut rng, shape, q.arrival, horizon);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    const H: SimTime = SimTime::from_secs(300);
+
+    #[test]
+    fn balanced_ranges() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let qc = QcPreset::Balanced.draw(&mut r, QcShape::Step, SimTime::ZERO, H);
+            assert!((10.0..50.0).contains(&qc.qosmax()));
+            assert!((10.0..50.0).contains(&qc.qodmax()));
+            let rt = qc.rtmax_ms().unwrap();
+            assert!((50.0..100.0).contains(&rt));
+            // uumax = 1: any missed update forfeits QoD profit.
+            assert_eq!(qc.qod_profit(1.0), 0.0);
+            assert_eq!(qc.qod_profit(0.0), qc.qodmax());
+        }
+    }
+
+    #[test]
+    fn spectrum_matches_table4() {
+        let mut r = rng();
+        for k in 1u8..=9 {
+            let p = QcPreset::Spectrum { k };
+            assert!((p.qod_max_pct() - k as f64 / 10.0).abs() < 1e-12);
+            for _ in 0..50 {
+                let qc = p.draw(&mut r, QcShape::Step, SimTime::ZERO, H);
+                let (lo_d, hi_d) = (10.0 * k as f64, 10.0 * k as f64 + 10.0);
+                let (lo_s, hi_s) = (10.0 * (10 - k) as f64, 10.0 * (10 - k) as f64 + 10.0);
+                assert!(qc.qodmax() >= lo_d && qc.qodmax() < hi_d);
+                assert!(qc.qosmax() >= lo_s && qc.qosmax() < hi_s);
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_percentages_average_out() {
+        let mut r = rng();
+        let p = QcPreset::Spectrum { k: 3 };
+        let mut qos = 0.0;
+        let mut qod = 0.0;
+        for _ in 0..2000 {
+            let qc = p.draw(&mut r, QcShape::Step, SimTime::ZERO, H);
+            qos += qc.qosmax();
+            qod += qc.qodmax();
+        }
+        let pct = qod / (qos + qod);
+        assert!((pct - 0.3).abs() < 0.02, "QODmax% came out at {pct}");
+    }
+
+    #[test]
+    fn phases_flip_preferences() {
+        let mut r = rng();
+        // Phase 0 (first quarter): QoD-heavy.
+        let qc = QcPreset::Phases.draw(&mut r, QcShape::Step, SimTime::ZERO, H);
+        assert!(qc.qodmax() > qc.qosmax());
+        assert!((qc.qodmax() / qc.qosmax() - 5.0).abs() < 1e-9);
+        // Phase 1 (second quarter): QoS-heavy.
+        let qc = QcPreset::Phases.draw(&mut r, QcShape::Step, SimTime::from_secs(80), H);
+        assert!(qc.qosmax() > qc.qodmax());
+        // Phase 3 (last quarter): QoS-heavy again.
+        let qc = QcPreset::Phases.draw(&mut r, QcShape::Step, SimTime::from_secs(299), H);
+        assert!(qc.qosmax() > qc.qodmax());
+    }
+
+    #[test]
+    fn linear_shape_produces_linear_fns() {
+        let mut r = rng();
+        let qc = QcPreset::Balanced.draw(&mut r, QcShape::Linear, SimTime::ZERO, H);
+        let rt = qc.rtmax_ms().unwrap();
+        let half = qc.qos_profit(rt / 2.0);
+        assert!((half - qc.qosmax() / 2.0).abs() < 1e-9, "not linear");
+    }
+
+    #[test]
+    fn assign_qcs_is_deterministic() {
+        use crate::trace::Trace;
+        use quts_db::QueryOp;
+        use quts_db::StockId;
+        use quts_sim::{QuerySpec, SimDuration};
+        let mk = || Trace {
+            num_stocks: 1,
+            queries: (0..20)
+                .map(|i| QuerySpec {
+                    arrival: SimTime::from_ms(i * 10),
+                    op: QueryOp::Lookup(StockId(0)),
+                    cost: SimDuration::from_ms(5),
+                    qc: QualityContract::step(1.0, 50.0, 1.0, 1),
+                })
+                .collect(),
+            updates: vec![],
+        };
+        let mut a = mk();
+        let mut b = mk();
+        assign_qcs(&mut a, QcPreset::Balanced, QcShape::Step, 11);
+        assign_qcs(&mut b, QcPreset::Balanced, QcShape::Step, 11);
+        for (x, y) in a.queries.iter().zip(&b.queries) {
+            assert_eq!(x.qc.qosmax(), y.qc.qosmax());
+            assert_eq!(x.qc.qodmax(), y.qc.qodmax());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "spectrum point")]
+    fn bad_spectrum_point_rejected() {
+        let _ = QcPreset::Spectrum { k: 0 }.draw(&mut rng(), QcShape::Step, SimTime::ZERO, H);
+    }
+}

@@ -1,0 +1,174 @@
+//! Trace characteristic summaries — the data behind Table 3 and
+//! Figure 5 of the paper.
+
+use crate::trace::Trace;
+use quts_metrics::BinnedSeries;
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Number of queries.
+    pub num_queries: usize,
+    /// Number of updates.
+    pub num_updates: usize,
+    /// Number of stocks.
+    pub num_stocks: u32,
+    /// Trace length in seconds.
+    pub horizon_s: f64,
+    /// Query cost range observed, in ms.
+    pub query_cost_ms: (f64, f64),
+    /// Update cost range observed, in ms.
+    pub update_cost_ms: (f64, f64),
+    /// Queries per second, binned (Figure 5a).
+    pub queries_per_second: Vec<u64>,
+    /// Updates per second, binned (Figure 5b).
+    pub updates_per_second: Vec<u64>,
+    /// Per-stock `(query accesses, update count)` (Figure 5c).
+    pub per_stock: Vec<(u64, u64)>,
+    /// Offered CPU load (demand / horizon).
+    pub offered_load: f64,
+}
+
+impl TraceStats {
+    /// Computes the statistics of a trace.
+    pub fn compute(trace: &Trace) -> Self {
+        let horizon_s = trace.horizon().as_secs_f64().max(1e-9);
+        let bin = 1_000_000; // 1 s in µs
+
+        let mut q_series = BinnedSeries::new(bin);
+        let mut q_cost = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut per_stock = vec![(0u64, 0u64); trace.num_stocks as usize];
+        for q in &trace.queries {
+            q_series.record_event(q.arrival.as_micros());
+            let ms = q.cost.as_ms_f64();
+            q_cost = (q_cost.0.min(ms), q_cost.1.max(ms));
+            for s in q.op.accessed_items() {
+                per_stock[s.index()].0 += 1;
+            }
+        }
+        let mut u_series = BinnedSeries::new(bin);
+        let mut u_cost = (f64::INFINITY, f64::NEG_INFINITY);
+        for u in &trace.updates {
+            u_series.record_event(u.arrival.as_micros());
+            let ms = u.cost.as_ms_f64();
+            u_cost = (u_cost.0.min(ms), u_cost.1.max(ms));
+            per_stock[u.trade.stock.index()].1 += 1;
+        }
+
+        let demand_s =
+            trace.query_demand().as_secs_f64() + trace.update_demand().as_secs_f64();
+
+        TraceStats {
+            num_queries: trace.queries.len(),
+            num_updates: trace.updates.len(),
+            num_stocks: trace.num_stocks,
+            horizon_s,
+            query_cost_ms: if trace.queries.is_empty() { (0.0, 0.0) } else { q_cost },
+            update_cost_ms: if trace.updates.is_empty() { (0.0, 0.0) } else { u_cost },
+            queries_per_second: q_series.counts().to_vec(),
+            updates_per_second: u_series.counts().to_vec(),
+            per_stock,
+            offered_load: demand_s / horizon_s,
+        }
+    }
+
+    /// Fraction of stocks with more updates than query accesses — the
+    /// "most points are below the diagonal" observation of Figure 5c
+    /// (computed over stocks touched by either class).
+    pub fn below_diagonal_fraction(&self) -> f64 {
+        let active: Vec<_> = self
+            .per_stock
+            .iter()
+            .filter(|&&(q, u)| q > 0 || u > 0)
+            .collect();
+        if active.is_empty() {
+            return 0.0;
+        }
+        active.iter().filter(|&&&(q, u)| u > q).count() as f64 / active.len() as f64
+    }
+
+    /// Mean queries per second.
+    pub fn mean_query_rate(&self) -> f64 {
+        self.num_queries as f64 / self.horizon_s
+    }
+
+    /// Mean updates per second.
+    pub fn mean_update_rate(&self) -> f64 {
+        self.num_updates as f64 / self.horizon_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stockgen::StockWorkloadConfig;
+
+    fn small_trace() -> Trace {
+        StockWorkloadConfig {
+            num_stocks: 64,
+            num_queries: 1000,
+            num_updates: 6000,
+            horizon_s: 20.0,
+            seed: 5,
+            ..StockWorkloadConfig::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn counts_and_rates() {
+        let t = small_trace();
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.num_queries, 1000);
+        assert_eq!(s.num_updates, 6000);
+        assert_eq!(s.num_stocks, 64);
+        assert!((s.mean_query_rate() - 1000.0 / s.horizon_s).abs() < 1e-9);
+        assert_eq!(
+            s.queries_per_second.iter().sum::<u64>(),
+            1000
+        );
+        assert_eq!(s.updates_per_second.iter().sum::<u64>(), 6000);
+    }
+
+    #[test]
+    fn per_stock_totals() {
+        let t = small_trace();
+        let s = TraceStats::compute(&t);
+        let total_updates: u64 = s.per_stock.iter().map(|&(_, u)| u).sum();
+        assert_eq!(total_updates, 6000);
+        // Query accesses ≥ queries (multi-stock ops count each item).
+        let total_accesses: u64 = s.per_stock.iter().map(|&(q, _)| q).sum();
+        assert!(total_accesses >= 1000);
+    }
+
+    #[test]
+    fn updates_dominate_most_stocks() {
+        // 6 updates per query on average: Figure 5c's below-diagonal
+        // shape must emerge.
+        let s = TraceStats::compute(&small_trace());
+        assert!(
+            s.below_diagonal_fraction() > 0.5,
+            "below-diagonal fraction {}",
+            s.below_diagonal_fraction()
+        );
+    }
+
+    #[test]
+    fn costs_within_config() {
+        let s = TraceStats::compute(&small_trace());
+        assert!(s.query_cost_ms.0 >= 5.0 && s.query_cost_ms.1 <= 9.0);
+        assert!(s.update_cost_ms.0 >= 1.0 && s.update_cost_ms.1 <= 5.0);
+        assert!(s.offered_load > 0.5);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = TraceStats::compute(&Trace {
+            num_stocks: 4,
+            ..Trace::default()
+        });
+        assert_eq!(s.num_queries, 0);
+        assert_eq!(s.below_diagonal_fraction(), 0.0);
+        assert_eq!(s.query_cost_ms, (0.0, 0.0));
+    }
+}

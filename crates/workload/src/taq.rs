@@ -1,0 +1,328 @@
+//! Loading real trade data in TAQ-style CSV.
+//!
+//! The paper's update trace is the NYSE consolidated trades file for
+//! April 24, 2000, obtained through WRDS (Wharton Research Data
+//! Services). That data cannot be redistributed, but anyone with access
+//! can export it in the ubiquitous TAQ CSV shape and replay the *real*
+//! update stream through this reproduction:
+//!
+//! ```text
+//! SYMBOL,DATE,TIME,PRICE,SIZE
+//! IBM,20000424,09:30:00,110.5,300
+//! AOL,20000424,09:30:00,55.875,1200
+//! ...
+//! ```
+//!
+//! [`TaqLoader`] maps ticker symbols to dense [`StockId`]s in order of
+//! first appearance, converts exchange timestamps to trace-relative
+//! simulation time, and assigns per-trade CPU costs from the configured
+//! range (the paper's 1–5 ms). Combine the result with synthetic queries
+//! over the same symbol universe via
+//! [`StockWorkloadConfig`](crate::StockWorkloadConfig) or hand-built
+//! query specs.
+
+use quts_db::{StockId, Trade};
+use quts_sim::{SimDuration, SimTime, UpdateSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::io::{self, BufRead};
+
+/// Configuration for TAQ ingestion.
+#[derive(Debug, Clone)]
+pub struct TaqLoader {
+    /// CPU cost range per update, milliseconds (paper: 1–5 ms).
+    pub cost_ms: (f64, f64),
+    /// Seed for the cost draws.
+    pub seed: u64,
+    /// Trades strictly before this wall-clock time are skipped
+    /// (`HH:MM:SS`; the paper keeps 09:30:00–10:00:00).
+    pub start_time: Option<String>,
+    /// Trades at or after this wall-clock time are skipped.
+    pub end_time: Option<String>,
+}
+
+impl Default for TaqLoader {
+    fn default() -> Self {
+        TaqLoader {
+            cost_ms: (1.0, 5.0),
+            seed: 0x7451,
+            start_time: None,
+            end_time: None,
+        }
+    }
+}
+
+/// The result of loading a TAQ file.
+#[derive(Debug, Clone)]
+pub struct TaqUpdates {
+    /// The update trace, sorted by arrival, starting at time zero.
+    pub updates: Vec<UpdateSpec>,
+    /// Symbol table: index = [`StockId`] value.
+    pub symbols: Vec<String>,
+}
+
+impl TaqUpdates {
+    /// Number of distinct symbols (the store size the trace needs).
+    pub fn num_stocks(&self) -> u32 {
+        self.symbols.len() as u32
+    }
+
+    /// The id assigned to a symbol, if it appeared.
+    pub fn id_of(&self, symbol: &str) -> Option<StockId> {
+        self.symbols
+            .iter()
+            .position(|s| s == symbol)
+            .map(|i| StockId(i as u32))
+    }
+}
+
+impl TaqLoader {
+    /// Restricts loading to the paper's 9:30–10:00 am window.
+    pub fn paper_window(mut self) -> Self {
+        self.start_time = Some("09:30:00".into());
+        self.end_time = Some("10:00:00".into());
+        self
+    }
+
+    /// Parses TAQ-style CSV. Lines starting with `SYMBOL` or `#` are
+    /// treated as headers/comments.
+    ///
+    /// # Errors
+    /// Fails on malformed rows (wrong field count, unparseable time,
+    /// price, or size) and on out-of-order timestamps within the file.
+    pub fn load<R: BufRead>(&self, reader: R) -> io::Result<TaqUpdates> {
+        let start = self
+            .start_time
+            .as_deref()
+            .map(parse_hms)
+            .transpose()?
+            .unwrap_or(0);
+        let end = self
+            .end_time
+            .as_deref()
+            .map(parse_hms)
+            .transpose()?
+            .unwrap_or(u64::MAX);
+        if start >= end {
+            return Err(bad("start_time must precede end_time"));
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut symbols: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        let mut rows: Vec<(u64, u32, f64, u64)> = Vec::new();
+
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line?;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with("SYMBOL") {
+                continue;
+            }
+            let f: Vec<&str> = trimmed.split(',').collect();
+            if f.len() != 5 {
+                return Err(bad(&format!(
+                    "line {}: expected 5 fields, got {}",
+                    lineno + 1,
+                    f.len()
+                )));
+            }
+            let t_s = parse_hms(f[2].trim())
+                .map_err(|e| bad(&format!("line {}: {e}", lineno + 1)))?;
+            if t_s < start || t_s >= end {
+                continue;
+            }
+            let price: f64 = f[3]
+                .trim()
+                .parse()
+                .map_err(|_| bad(&format!("line {}: bad price {:?}", lineno + 1, f[3])))?;
+            if !(price.is_finite() && price > 0.0) {
+                return Err(bad(&format!("line {}: non-positive price", lineno + 1)));
+            }
+            let size: u64 = f[4]
+                .trim()
+                .parse()
+                .map_err(|_| bad(&format!("line {}: bad size {:?}", lineno + 1, f[4])))?;
+            let symbol = f[0].trim().to_string();
+            let id = *index.entry(symbol.clone()).or_insert_with(|| {
+                symbols.push(symbol);
+                (symbols.len() - 1) as u32
+            });
+            rows.push((t_s, id, price, size));
+        }
+
+        // TAQ files are time-ordered; trades within the same second get
+        // deterministic sub-second offsets to avoid pile-ups at second
+        // boundaries.
+        if !rows.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err(bad("trades are not in time order"));
+        }
+        let base = rows.first().map(|r| r.0).unwrap_or(start.min(end));
+        let mut per_second: HashMap<u64, u32> = HashMap::new();
+        let mut counts: HashMap<u64, u32> = HashMap::new();
+        for &(t_s, ..) in &rows {
+            *counts.entry(t_s).or_default() += 1;
+        }
+
+        let updates = rows
+            .into_iter()
+            .map(|(t_s, id, price, size)| {
+                let k = per_second.entry(t_s).or_default();
+                let n = counts[&t_s] as u64;
+                let offset_us = (*k as u64) * 1_000_000 / n;
+                *k += 1;
+                let arrival = SimTime((t_s - base) * 1_000_000 + offset_us);
+                UpdateSpec {
+                    arrival,
+                    cost: SimDuration::from_ms_f64(
+                        rng.random_range(self.cost_ms.0..=self.cost_ms.1),
+                    ),
+                    trade: Trade {
+                        stock: StockId(id),
+                        price,
+                        volume: size,
+                        trade_time_ms: arrival.as_micros() / 1000,
+                    },
+                }
+            })
+            .collect();
+
+        Ok(TaqUpdates { updates, symbols })
+    }
+}
+
+fn parse_hms(s: &str) -> io::Result<u64> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(bad(&format!("bad time {s:?} (want HH:MM:SS)")));
+    }
+    let h: u64 = parts[0].parse().map_err(|_| bad("bad hour"))?;
+    let m: u64 = parts[1].parse().map_err(|_| bad("bad minute"))?;
+    let sec: u64 = parts[2].parse().map_err(|_| bad("bad second"))?;
+    if h > 23 || m > 59 || sec > 59 {
+        return Err(bad(&format!("time {s:?} out of range")));
+    }
+    Ok(h * 3600 + m * 60 + sec)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::other(msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+SYMBOL,DATE,TIME,PRICE,SIZE
+IBM,20000424,09:30:00,110.5,300
+AOL,20000424,09:30:00,55.875,1200
+IBM,20000424,09:30:01,110.625,500
+GE,20000424,09:30:02,52.0,1000
+AOL,20000424,10:00:00,56.0,100
+";
+
+    #[test]
+    fn loads_and_maps_symbols() {
+        let out = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(out.symbols, vec!["IBM", "AOL", "GE"]);
+        assert_eq!(out.num_stocks(), 3);
+        assert_eq!(out.id_of("GE"), Some(StockId(2)));
+        assert_eq!(out.id_of("MSFT"), None);
+        assert_eq!(out.updates.len(), 5);
+    }
+
+    #[test]
+    fn times_are_relative_and_sorted() {
+        let out = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(out.updates[0].arrival, SimTime::ZERO);
+        assert!(out
+            .updates
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        // Second trade of 09:30:00 is offset within the second.
+        assert!(out.updates[1].arrival > SimTime::ZERO);
+        assert!(out.updates[1].arrival < SimTime::from_secs(1));
+        // 09:30:01 maps to t = 1 s.
+        assert_eq!(out.updates[2].arrival, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn paper_window_excludes_the_close() {
+        let out = TaqLoader::default()
+            .paper_window()
+            .load(SAMPLE.as_bytes())
+            .unwrap();
+        // The 10:00:00 trade is excluded (end-exclusive window).
+        assert_eq!(out.updates.len(), 4);
+    }
+
+    #[test]
+    fn costs_in_range_and_deterministic() {
+        let a = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
+        let b = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
+        for (x, y) in a.updates.iter().zip(&b.updates) {
+            assert_eq!(x.cost, y.cost);
+            let ms = x.cost.as_ms_f64();
+            assert!((1.0..=5.0).contains(&ms));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(TaqLoader::default()
+            .load("IBM,20000424,09:30:00,110.5".as_bytes())
+            .is_err());
+        assert!(TaqLoader::default()
+            .load("IBM,20000424,93000,110.5,300".as_bytes())
+            .is_err());
+        assert!(TaqLoader::default()
+            .load("IBM,20000424,09:30:00,zero,300".as_bytes())
+            .is_err());
+        assert!(TaqLoader::default()
+            .load("IBM,20000424,09:30:00,-5.0,300".as_bytes())
+            .is_err());
+        assert!(TaqLoader::default()
+            .load("IBM,20000424,25:00:00,1.0,300".as_bytes())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_order_files() {
+        let bad = "\
+IBM,20000424,09:31:00,1.0,1
+IBM,20000424,09:30:00,1.0,1
+";
+        assert!(TaqLoader::default().load(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn loaded_updates_run_in_the_simulator() {
+        use crate::qcgen::{assign_qcs, QcPreset, QcShape};
+        use crate::trace::Trace;
+        let out = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
+        // Synthetic queries over the TAQ symbol universe.
+        let mut trace = Trace {
+            num_stocks: out.num_stocks(),
+            queries: (0..10)
+                .map(|i| quts_sim::QuerySpec {
+                    arrival: SimTime::from_ms(i * 100),
+                    op: quts_db::QueryOp::Lookup(StockId((i % 3) as u32)),
+                    cost: SimDuration::from_ms(5),
+                    qc: quts_qc::QualityContract::step(1.0, 100.0, 1.0, 1),
+                })
+                .collect(),
+            updates: out.updates,
+        };
+        assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Step, 1);
+        let report = quts_sim::Simulator::new(
+            quts_sim::SimConfig::with_stocks(trace.num_stocks),
+            trace.queries,
+            trace.updates,
+            quts_sched::GlobalFifo::new(),
+        )
+        .run();
+        assert_eq!(report.committed, 10);
+        assert_eq!(report.updates_applied + report.updates_invalidated, 5);
+    }
+}

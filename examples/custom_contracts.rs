@@ -1,0 +1,101 @@
+//! Designing richer Quality Contracts: piecewise profit functions,
+//! QoS-dependent composition, explicit lifetimes, and provider "plans".
+//!
+//! The paper envisions service providers shipping parameterised QC
+//! templates users instantiate with a single knob (Section 2.2,
+//! "Usability of Quality Contracts"). This example builds such a plan
+//! family and shows how the knob shifts the scheduler's behaviour.
+//!
+//! ```text
+//! cargo run --release --example custom_contracts
+//! ```
+
+use quts::prelude::*;
+
+/// A provider plan: one budget, one knob. `freshness` in [0, 1] moves
+/// budget from the QoS side to the QoD side — "a local plan with more
+/// minutes or a national plan with fewer minutes under the same budget".
+fn plan(budget: f64, freshness: f64) -> QualityContract {
+    assert!((0.0..=1.0).contains(&freshness));
+    let qod_budget = budget * freshness;
+    let qos_budget = budget - qod_budget;
+    // QoS: full value within 40 ms, graceful decay to 120 ms, nothing after.
+    let qos = if qos_budget > 0.0 {
+        ProfitFn::piecewise(vec![
+            (40.0, qos_budget),
+            (80.0, qos_budget * 0.4),
+            (120.0, 0.0),
+        ])
+        .expect("valid piecewise function")
+    } else {
+        ProfitFn::Zero
+    };
+    // QoD: full value when fresh, half value at one missed update.
+    let qod = if qod_budget > 0.0 {
+        ProfitFn::piecewise(vec![
+            (0.0, qod_budget),
+            (1.0, qod_budget * 0.5),
+            (2.0, 0.0),
+        ])
+        .expect("valid piecewise function")
+    } else {
+        ProfitFn::Zero
+    };
+    QualityContract::from_fns(qos, qod).with_lifetime_ms(5_000.0)
+}
+
+fn main() {
+    // The plan family, over the freshness knob.
+    println!("one $10 budget, one knob:");
+    for freshness in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let qc = plan(10.0, freshness);
+        println!(
+            "  freshness={freshness:.2}: worth ${:.2} at 30 ms fresh, ${:.2} at 100 ms fresh, \
+             ${:.2} at 30 ms with 1 missed update",
+            qc.total_profit(30.0, 0.0),
+            qc.total_profit(100.0, 0.0),
+            qc.total_profit(30.0, 1.0),
+        );
+    }
+    println!();
+
+    // Attach plans to a real workload: one third of users per knob value.
+    let mut trace = StockWorkloadConfig::paper_scaled_to(10.0).generate();
+    for (i, q) in trace.queries.iter_mut().enumerate() {
+        q.qc = plan(10.0, [0.1, 0.5, 0.9][i % 3]);
+    }
+
+    let report = Simulator::new(
+        SimConfig::with_stocks(trace.num_stocks),
+        trace.queries.clone(),
+        trace.updates.clone(),
+        Quts::with_defaults(),
+    )
+    .run();
+    println!(
+        "QUTS on the mixed-plan workload: {:.1}% of offered profit \
+         (QoS {:.1}%, QoD {:.1}%), avg rt {:.1} ms",
+        report.total_pct() * 100.0,
+        report.qos_pct() * 100.0,
+        report.qod_pct() * 100.0,
+        report.avg_response_time_ms(),
+    );
+
+    // QoS-dependent composition: freshness only pays if the answer was on
+    // time. Compare both modes on the same workload.
+    let mut dependent = trace.clone();
+    for q in &mut dependent.queries {
+        q.qc.composition = Composition::QoSDependent;
+    }
+    let dep_report = Simulator::new(
+        SimConfig::with_stocks(dependent.num_stocks),
+        dependent.queries,
+        dependent.updates,
+        Quts::with_defaults(),
+    )
+    .run();
+    println!(
+        "same workload, QoS-dependent contracts: {:.1}% (late answers forfeit QoD profit)",
+        dep_report.total_pct() * 100.0,
+    );
+}

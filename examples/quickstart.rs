@@ -1,0 +1,63 @@
+//! Quickstart: express preferences with Quality Contracts, schedule a
+//! workload with QUTS, and read the profit the system earned.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use quts::prelude::*;
+
+fn main() {
+    // 1. Quality Contracts: each query says what speed and freshness are
+    //    worth to its user (Figure 2 of the paper).
+    let speed_lover = QualityContract::step(5.0, 50.0, 1.0, 1); // $5 if < 50 ms
+    let freshness_lover = QualityContract::step(1.0, 50.0, 5.0, 1); // $5 if 0 missed updates
+    println!("speed lover   : qosmax ${}, qodmax ${}", speed_lover.qosmax(), speed_lover.qodmax());
+    println!("freshness lover: qosmax ${}, qodmax ${}", freshness_lover.qosmax(), freshness_lover.qodmax());
+    println!();
+
+    // 2. A workload: ten seconds of the paper's calibrated stock trace
+    //    (82k queries + 497k updates scaled down, rates preserved).
+    let mut trace = StockWorkloadConfig::paper_scaled_to(10.0).generate();
+    assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Step, 7);
+    println!(
+        "workload: {} queries + {} updates over {:.1} s on {} stocks",
+        trace.queries.len(),
+        trace.updates.len(),
+        trace.horizon().as_secs_f64(),
+        trace.num_stocks
+    );
+    println!();
+
+    // 3. Schedule it three ways and compare the earned profit.
+    for scheduler in ["QH", "UH", "QUTS"] {
+        let report = match scheduler {
+            "QH" => run(&trace, DualQueue::qh()),
+            "UH" => run(&trace, DualQueue::uh()),
+            _ => run(&trace, Quts::with_defaults()),
+        };
+        println!(
+            "{:<5} earned {:>5.1}% of the offered profit  \
+             (QoS {:>5.1}%, QoD {:>5.1}%, avg rt {:.1} ms, avg #uu {:.3})",
+            report.scheduler,
+            report.total_pct() * 100.0,
+            report.qos_pct() * 100.0,
+            report.qod_pct() * 100.0,
+            report.avg_response_time_ms(),
+            report.avg_staleness(),
+        );
+    }
+    println!();
+    println!("QUTS adapts its query/update CPU split to the submitted contracts;");
+    println!("the fixed-priority baselines each sacrifice one quality dimension.");
+}
+
+fn run<S: Scheduler>(trace: &Trace, scheduler: S) -> RunReport {
+    Simulator::new(
+        SimConfig::with_stocks(trace.num_stocks),
+        trace.queries.clone(),
+        trace.updates.clone(),
+        scheduler,
+    )
+    .run()
+}

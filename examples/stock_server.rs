@@ -1,0 +1,83 @@
+//! A complete web-database in one process: the TCP server fronting the
+//! live QUTS engine, exercised by an in-process trade feed and a client.
+//!
+//! In a second terminal you can also talk to it by hand:
+//!
+//! ```text
+//! cargo run --release --example stock_server
+//! # then: nc 127.0.0.1 <printed port>
+//! GET IBM QOS 5 50 QOD 2 1
+//! UPD IBM 123.45 500
+//! STATS
+//! QUIT
+//! ```
+
+use quts::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn main() {
+    let mut store = Store::new();
+    for (symbol, price) in [
+        ("IBM", 110.5),
+        ("AOL", 55.9),
+        ("GE", 52.1),
+        ("MSFT", 71.3),
+        ("INTC", 128.0),
+    ] {
+        store.insert(symbol, price);
+    }
+    let server = Server::start(store, ServerConfig::default()).expect("bind");
+    println!("serving on {}", server.addr());
+
+    // A feed thread pushing trades over the wire, like any other client.
+    let addr = server.addr();
+    let feed = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("feed connect");
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        for i in 0..50u32 {
+            let symbol = ["IBM", "AOL", "GE"][(i % 3) as usize];
+            let price = 100.0 + i as f64 * 0.1;
+            writeln!(writer, "UPD {symbol} {price:.2} {}", 100 + i).unwrap();
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), "OK");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        writeln!(writer, "QUIT").unwrap();
+    });
+
+    // An interactive-style client session.
+    let stream = TcpStream::connect(server.addr()).expect("client connect");
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut ask = |line: &str| -> String {
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        print!("> {line}\n< {response}");
+        response
+    };
+
+    ask("GET IBM QOS 5 50 QOD 2 1");
+    ask("AVG IBM 8 QOS 1 100");
+    ask("CMP IBM AOL GE MSFT INTC");
+    std::thread::sleep(Duration::from_millis(150)); // let the feed land
+    ask("GET IBM QOS 5 50 QOD 2 1");
+    ask("STATS");
+    ask("QUIT");
+
+    feed.join().unwrap();
+    let stats = server.shutdown();
+    println!(
+        "\nserved {} queries, applied {} trades ({} collapsed), earned ${:.2} of ${:.2}",
+        stats.aggregates.committed,
+        stats.updates_applied,
+        stats.updates_invalidated,
+        stats.aggregates.q_gained(),
+        stats.aggregates.q_max(),
+    );
+}

@@ -1,0 +1,183 @@
+//! Cross-crate integration: workload generation → scheduling → simulation
+//! → accounting, for every policy.
+
+use quts::prelude::*;
+
+fn small_trace(seed: u64) -> Trace {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(5.0);
+    cfg.seed = seed;
+    let mut trace = cfg.generate();
+    assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Step, seed);
+    trace
+}
+
+fn run_with(trace: &Trace, scheduler: Box<dyn Scheduler>) -> RunReport {
+    Simulator::new(
+        SimConfig::with_stocks(trace.num_stocks),
+        trace.queries.clone(),
+        trace.updates.clone(),
+        scheduler,
+    )
+    .run()
+}
+
+fn all_policies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(GlobalFifo::new()),
+        Box::new(DualQueue::uh()),
+        Box::new(DualQueue::qh()),
+        Box::new(DualQueue::fifo_uh()),
+        Box::new(DualQueue::fifo_qh()),
+        Box::new(Quts::with_defaults()),
+    ]
+}
+
+#[test]
+fn every_policy_conserves_transactions() {
+    let trace = small_trace(1);
+    for scheduler in all_policies() {
+        let name = scheduler.name();
+        let r = run_with(&trace, scheduler);
+        assert_eq!(
+            r.committed + r.expired,
+            trace.queries.len() as u64,
+            "{name}: every query must commit or expire"
+        );
+        assert_eq!(
+            r.updates_applied + r.updates_invalidated,
+            trace.updates.len() as u64,
+            "{name}: every update must apply or be invalidated"
+        );
+    }
+}
+
+#[test]
+fn profit_is_bounded_by_submitted_maxima() {
+    let trace = small_trace(2);
+    for scheduler in all_policies() {
+        let name = scheduler.name();
+        let r = run_with(&trace, scheduler);
+        assert!(r.total_pct() <= 1.0 + 1e-9, "{name}: profit above Qmax");
+        assert!(r.qos_pct() >= 0.0 && r.qod_pct() >= 0.0, "{name}");
+        assert!(
+            (r.qos_pct() + r.qod_pct() - r.total_pct()).abs() < 1e-9,
+            "{name}: profit split inconsistent"
+        );
+    }
+}
+
+#[test]
+fn cpu_accounting_is_consistent() {
+    let trace = small_trace(3);
+    for scheduler in all_policies() {
+        let name = scheduler.name();
+        let r = run_with(&trace, scheduler);
+        assert!(
+            r.cpu_busy.as_micros() <= r.end_time.as_micros(),
+            "{name}: busier than the wall clock"
+        );
+        assert_eq!(
+            r.cpu_busy.as_micros(),
+            r.cpu_busy_query.as_micros() + r.cpu_busy_update.as_micros(),
+            "{name}: class split must add up"
+        );
+        // The run must at least execute every committed query and every
+        // applied update once.
+        assert!(r.cpu_busy.as_micros() > 0, "{name}: CPU never ran");
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let trace = small_trace(4);
+    for make in [
+        || Box::new(GlobalFifo::new()) as Box<dyn Scheduler>,
+        || Box::new(DualQueue::uh()) as Box<dyn Scheduler>,
+        || Box::new(Quts::with_defaults()) as Box<dyn Scheduler>,
+    ] {
+        let a = run_with(&trace, make());
+        let b = run_with(&trace, make());
+        assert_eq!(a.aggregates, b.aggregates, "{}", a.scheduler);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.updates_applied, b.updates_applied);
+        assert_eq!(a.cpu_busy, b.cpu_busy);
+        assert_eq!(a.end_time, b.end_time);
+        assert_eq!(a.rho_history, b.rho_history);
+    }
+}
+
+#[test]
+fn update_high_guarantees_zero_staleness() {
+    // "UH guarantees zero data staleness" (Section 3.2): with updates
+    // always preempting, no committed query ever observes a missed
+    // update.
+    for seed in [1, 2, 3] {
+        let trace = small_trace(seed);
+        for scheduler in [
+            Box::new(DualQueue::uh()) as Box<dyn Scheduler>,
+            Box::new(DualQueue::fifo_uh()),
+        ] {
+            let r = run_with(&trace, scheduler);
+            assert_eq!(r.avg_staleness(), 0.0, "seed {seed}");
+            assert_eq!(r.staleness.max().unwrap_or(0.0), 0.0, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn query_high_minimises_response_time() {
+    let trace = small_trace(5);
+    let qh = run_with(&trace, Box::new(DualQueue::qh()));
+    for scheduler in [
+        Box::new(GlobalFifo::new()) as Box<dyn Scheduler>,
+        Box::new(DualQueue::uh()),
+    ] {
+        let r = run_with(&trace, scheduler);
+        assert!(
+            qh.avg_response_time_ms() <= r.avg_response_time_ms() + 1e-9,
+            "QH must have the lowest response time (vs {})",
+            r.scheduler
+        );
+    }
+}
+
+#[test]
+fn quts_seed_changes_flips_not_outcomes_much() {
+    // Different QUTS seeds change individual coin flips but the run must
+    // stay valid and earn similar profit.
+    let trace = small_trace(6);
+    let profits: Vec<f64> = [1u64, 2, 3]
+        .iter()
+        .map(|&s| {
+            run_with(
+                &trace,
+                Box::new(Quts::new(QutsConfig::default().with_seed(s))),
+            )
+            .total_pct()
+        })
+        .collect();
+    let spread = profits.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - profits.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.1, "QUTS seeds moved profit by {spread}");
+}
+
+#[test]
+fn staleness_aggregation_modes_order_sensibly() {
+    let trace = small_trace(7);
+    let run_agg = |agg| {
+        let sim = SimConfig {
+            staleness_agg: agg,
+            num_stocks: trace.num_stocks,
+            ..SimConfig::default()
+        };
+        Simulator::new(sim, trace.queries.clone(), trace.updates.clone(), DualQueue::qh()).run()
+    };
+    let max = run_agg(StalenessAggregation::Max);
+    let sum = run_agg(StalenessAggregation::Sum);
+    let mean = run_agg(StalenessAggregation::Mean);
+    // Sum-aggregated staleness dominates max, which dominates mean.
+    assert!(sum.avg_staleness() >= max.avg_staleness() - 1e-9);
+    assert!(max.avg_staleness() >= mean.avg_staleness() - 1e-9);
+    // Harsher staleness aggregation can only lose QoD profit.
+    assert!(sum.qod_pct() <= mean.qod_pct() + 1e-9);
+}

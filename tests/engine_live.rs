@@ -1,0 +1,128 @@
+//! Live-engine integration: the wall-clock engine must agree with the
+//! database substrate on final state and with the QC framework on
+//! accounting.
+
+use quts::prelude::*;
+use std::time::Duration;
+
+#[test]
+fn final_store_state_matches_direct_application() {
+    // Stream a deterministic trade sequence through the engine; the last
+    // value per stock must equal applying the trades directly.
+    let mut reference = Store::new();
+    let mut live = Store::new();
+    let mut ids = Vec::new();
+    for i in 0..6 {
+        ids.push(reference.insert(format!("S{i}"), 100.0));
+        live.insert(format!("S{i}"), 100.0);
+    }
+
+    let trades: Vec<Trade> = (0..200u64)
+        .map(|n| Trade {
+            stock: ids[(n % 6) as usize],
+            price: 10.0 + (n as f64) * 0.25,
+            volume: n,
+            trade_time_ms: n,
+        })
+        .collect();
+
+    for t in &trades {
+        reference.apply_update(t);
+    }
+
+    let engine = Engine::start(live, EngineConfig::default().with_seed(3));
+    for t in &trades {
+        engine.submit_update(*t);
+    }
+    let stats = engine.shutdown();
+    assert_eq!(
+        stats.updates_applied + stats.updates_invalidated,
+        trades.len() as u64
+    );
+
+    // Verify through fresh queries against a restarted engine is not
+    // possible (store moved); instead compare via a final engine run:
+    // re-start an engine on a fresh store and query it after applying.
+    let mut verify = Store::new();
+    for i in 0..6 {
+        verify.insert(format!("S{i}"), 100.0);
+    }
+    let engine = Engine::start(verify, EngineConfig::default().with_seed(4));
+    for t in &trades {
+        engine.submit_update(*t);
+    }
+    // Updates precede the queries in the channel, and the engine answers
+    // queries only after working through the backlog per its schedule —
+    // nothing here races because we only check the *final* values.
+    std::thread::sleep(Duration::from_millis(50));
+    for (i, &id) in ids.iter().enumerate() {
+        let reply = engine
+            .submit_query(
+                QueryOp::Lookup(id),
+                QualityContract::step(1.0, 10_000.0, 1.0, 1),
+            )
+            .recv_timeout(Duration::from_secs(5))
+            .expect("answered");
+        if reply.staleness == 0.0 {
+            assert_eq!(
+                reply.result,
+                QueryResult::Price(reference.record(ids[i]).price()),
+                "stock {i} diverged"
+            );
+        }
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn accounting_matches_qc_framework() {
+    let mut store = Store::new();
+    let id = store.insert("X", 1.0);
+    let engine = Engine::start(store, EngineConfig::default().with_seed(5));
+
+    let qc = QualityContract::step(10.0, 10_000.0, 20.0, 1);
+    let reply = engine
+        .submit_query(QueryOp::Lookup(id), qc.clone())
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    // Re-derive the profit from the reply's own rt/staleness.
+    assert_eq!(reply.qos, qc.qos_profit(reply.rt_ms));
+    assert_eq!(reply.qod, qc.qod_profit(reply.staleness));
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.aggregates.submitted, 1);
+    assert_eq!(stats.aggregates.committed, 1);
+    assert!((stats.aggregates.q_max() - 30.0).abs() < 1e-12);
+    assert!((stats.aggregates.q_gained() - reply.profit()).abs() < 1e-12);
+}
+
+#[test]
+fn moving_average_sees_applied_history() {
+    let mut store = Store::new();
+    let id = store.insert("AVG", 10.0);
+    let engine = Engine::start(store, EngineConfig::default().with_seed(6));
+
+    // With clustering semantics only the freshest pending update applies;
+    // spacing submissions out lets each apply.
+    for i in 1..=4u64 {
+        engine.submit_update(Trade {
+            stock: id,
+            price: 10.0 * (i + 1) as f64,
+            volume: 1,
+            trade_time_ms: i,
+        });
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let reply = engine
+        .submit_query(
+            QueryOp::MovingAverage { stock: id, window: 32 },
+            QualityContract::step(1.0, 10_000.0, 1.0, 1),
+        )
+        .recv_timeout(Duration::from_secs(5))
+        .unwrap();
+    let stats = engine.shutdown();
+    if stats.updates_applied == 4 {
+        // 10, 20, 30, 40, 50 applied in order.
+        assert_eq!(reply.result, QueryResult::Average(30.0));
+    }
+}

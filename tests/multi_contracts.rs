@@ -1,0 +1,80 @@
+//! The general N-dimensional contract framework, end to end: provider
+//! templates built as [`MultiContract`]s, lowered to the scheduler's
+//! standard two-dimensional form, run through the simulator, and
+//! re-priced from the per-query outcomes.
+
+use quts::prelude::*;
+use quts::qc::multi::{RESPONSE_TIME_MS, STALENESS_UU};
+
+fn template(budget: f64, freshness: f64) -> MultiContract {
+    MultiContract::new()
+        .with_dimension(
+            RESPONSE_TIME_MS,
+            Family::Service,
+            ProfitFn::linear(budget * (1.0 - freshness), 120.0),
+        )
+        .with_dimension(
+            STALENESS_UU,
+            Family::Data,
+            ProfitFn::step(budget * freshness, 1.0),
+        )
+}
+
+#[test]
+fn lowered_contracts_drive_the_scheduler() {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(5.0);
+    cfg.seed = 31;
+    let mut trace = cfg.generate();
+
+    // Assign lowered multi-contracts: a third of users per knob value.
+    let knobs = [0.1, 0.5, 0.9];
+    for (i, q) in trace.queries.iter_mut().enumerate() {
+        q.qc = template(30.0, knobs[i % 3])
+            .to_standard()
+            .expect("two-dimensional template lowers");
+    }
+
+    let report = Simulator::new(
+        SimConfig {
+            collect_outcomes: true,
+            ..SimConfig::with_stocks(trace.num_stocks)
+        },
+        trace.queries.clone(),
+        trace.updates.clone(),
+        Quts::with_defaults(),
+    )
+    .run();
+    assert_eq!(report.committed + report.expired, trace.queries.len() as u64);
+    assert!(report.total_pct() > 0.3, "earned {}", report.total_pct());
+
+    // Re-price every outcome through the *general* evaluator: it must
+    // agree with what the simulator credited.
+    let outcomes = report.outcomes.expect("collected");
+    for o in outcomes.iter().filter(|o| !o.expired) {
+        let mc = template(30.0, knobs[o.id.0 as usize % 3]);
+        let m = Measurements::new()
+            .with(RESPONSE_TIME_MS, o.rt_ms)
+            .with(STALENESS_UU, o.staleness);
+        let b = mc.evaluate(&m).expect("all metrics present");
+        assert!(
+            (b.qos - o.qos).abs() < 1e-9 && (b.qod - o.qod).abs() < 1e-9,
+            "query {:?}: simulator credited ({}, {}), evaluator says ({}, {})",
+            o.id,
+            o.qos,
+            o.qod,
+            b.qos,
+            b.qod
+        );
+    }
+}
+
+#[test]
+fn qosmax_split_survives_lowering() {
+    for freshness in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let mc = template(40.0, freshness);
+        let qc = mc.to_standard().unwrap();
+        assert!((mc.qosmax() - qc.qosmax()).abs() < 1e-12);
+        assert!((mc.qodmax() - qc.qodmax()).abs() < 1e-12);
+        assert!((mc.total_max() - 40.0).abs() < 1e-12);
+    }
+}

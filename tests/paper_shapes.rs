@@ -1,0 +1,176 @@
+//! Regression tests for the paper's qualitative results — the shapes of
+//! Figures 1 and 6–10 must keep holding as the code evolves.
+//!
+//! These run on a 1-minute slice of the calibrated workload (rates, and
+//! therefore all scheduling dynamics, preserved).
+
+use quts::prelude::*;
+
+fn trace(preset: QcPreset) -> Trace {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(60.0);
+    cfg.seed = 11;
+    let mut t = cfg.generate();
+    assign_qcs(&mut t, preset, QcShape::Step, 11);
+    t
+}
+
+fn run(trace: &Trace, scheduler: Box<dyn Scheduler>) -> RunReport {
+    Simulator::new(
+        SimConfig::with_stocks(trace.num_stocks),
+        trace.queries.clone(),
+        trace.updates.clone(),
+        scheduler,
+    )
+    .run()
+}
+
+#[test]
+fn figure1_naive_policies_are_mutually_dominating() {
+    let t = trace(QcPreset::Balanced);
+    let fifo = run(&t, Box::new(GlobalFifo::new()));
+    let uh = run(&t, Box::new(DualQueue::fifo_uh()));
+    let qh = run(&t, Box::new(DualQueue::fifo_qh()));
+
+    // Response time: QH << FIFO << UH.
+    assert!(qh.avg_response_time_ms() < fifo.avg_response_time_ms());
+    assert!(fifo.avg_response_time_ms() < uh.avg_response_time_ms());
+    // Staleness: UH = 0 <= FIFO <= QH.
+    assert_eq!(uh.avg_staleness(), 0.0);
+    assert!(fifo.avg_staleness() <= qh.avg_staleness() + 1e-9);
+    // UH pays an order of magnitude in latency for its freshness.
+    assert!(uh.avg_response_time_ms() > 10.0 * qh.avg_response_time_ms());
+}
+
+#[test]
+fn figure6_quts_takes_the_best_of_both() {
+    let t = trace(QcPreset::Balanced);
+    let fifo = run(&t, Box::new(GlobalFifo::new()));
+    let uh = run(&t, Box::new(DualQueue::uh()));
+    let qh = run(&t, Box::new(DualQueue::qh()));
+    let quts = run(&t, Box::new(Quts::with_defaults()));
+
+    for r in [&fifo, &uh, &qh] {
+        assert!(
+            quts.total_pct() >= r.total_pct() - 0.01,
+            "QUTS ({:.3}) must not lose to {} ({:.3})",
+            quts.total_pct(),
+            r.scheduler,
+            r.total_pct()
+        );
+    }
+    // FIFO earns the worst QoS share of the four.
+    for r in [&uh, &qh, &quts] {
+        assert!(fifo.qos_pct() <= r.qos_pct() + 0.02);
+    }
+    // QUTS close to the best QoS (QH's) and the best QoD (UH's).
+    assert!(quts.qos_pct() > qh.qos_pct() - 0.05);
+    assert!(quts.qod_pct() > uh.qod_pct() - 0.05);
+}
+
+#[test]
+fn figure6_linear_contracts_show_the_same_ordering() {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(60.0);
+    cfg.seed = 11;
+    let mut t = cfg.generate();
+    assign_qcs(&mut t, QcPreset::Balanced, QcShape::Linear, 11);
+
+    let uh = run(&t, Box::new(DualQueue::uh()));
+    let qh = run(&t, Box::new(DualQueue::qh()));
+    let quts = run(&t, Box::new(Quts::with_defaults()));
+    assert!(quts.total_pct() >= uh.total_pct() - 0.01);
+    assert!(quts.total_pct() >= qh.total_pct() - 0.01);
+}
+
+#[test]
+fn figure8_quts_never_loses_across_the_spectrum() {
+    for k in [1u8, 5, 9] {
+        let t = trace(QcPreset::Spectrum { k });
+        let uh = run(&t, Box::new(DualQueue::uh()));
+        let qh = run(&t, Box::new(DualQueue::qh()));
+        let quts = run(&t, Box::new(Quts::with_defaults()));
+        assert!(
+            quts.total_pct() >= uh.total_pct() - 0.01,
+            "k={k}: QUTS {:.3} vs UH {:.3}",
+            quts.total_pct(),
+            uh.total_pct()
+        );
+        assert!(
+            quts.total_pct() >= qh.total_pct() - 0.015,
+            "k={k}: QUTS {:.3} vs QH {:.3}",
+            quts.total_pct(),
+            qh.total_pct()
+        );
+    }
+}
+
+#[test]
+fn figure8_uh_gap_grows_toward_the_qos_heavy_end() {
+    // UH sacrifices QoS, so its shortfall against QUTS is largest where
+    // QoS carries the money (paper: up to 101% better at the ends).
+    let gap = |k| {
+        let t = trace(QcPreset::Spectrum { k });
+        let uh = run(&t, Box::new(DualQueue::uh()));
+        let quts = run(&t, Box::new(Quts::with_defaults()));
+        quts.total_pct() / uh.total_pct().max(1e-9)
+    };
+    let qos_heavy = gap(1);
+    let qod_heavy = gap(9);
+    assert!(
+        qos_heavy > qod_heavy,
+        "QUTS/UH should shrink toward the QoD-heavy end: {qos_heavy:.2} vs {qod_heavy:.2}"
+    );
+    assert!(qos_heavy > 1.5, "QUTS should beat UH clearly at k=1: {qos_heavy:.2}");
+}
+
+#[test]
+fn figure9_rho_stays_in_band_and_tracks_preferences() {
+    let t = trace(QcPreset::Phases);
+    let quts = run(&t, Box::new(Quts::with_defaults()));
+    assert!(!quts.rho_history.is_empty());
+    for &(_, rho) in &quts.rho_history {
+        assert!((0.5..=1.0).contains(&rho), "rho {rho} out of [0.5, 1]");
+    }
+    // Settled rho of the second half of each phase.
+    let horizon = t.horizon().as_secs_f64();
+    let settled = |phase: usize| {
+        let lo = horizon * (phase as f64 + 0.5) / 4.0;
+        let hi = horizon * (phase as f64 + 1.0) / 4.0;
+        let xs: Vec<f64> = quts
+            .rho_history
+            .iter()
+            .filter(|(time, _)| (lo..hi).contains(&time.as_secs_f64()))
+            .map(|&(_, r)| r)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    // Phases alternate QoD-heavy (target 0.6) and QoS-heavy (target 1.0).
+    assert!(settled(0) < 0.75 && settled(2) < 0.75, "{} {}", settled(0), settled(2));
+    assert!(settled(1) > 0.9 && settled(3) > 0.9, "{} {}", settled(1), settled(3));
+}
+
+#[test]
+fn figure10_omega_insensitivity() {
+    let t = trace(QcPreset::Phases);
+    let mut profits = Vec::new();
+    for omega_ms in [200u64, 1_000, 10_000] {
+        let cfg = QutsConfig::default().with_omega(SimDuration::from_ms(omega_ms));
+        profits.push(run(&t, Box::new(Quts::new(cfg))).total_pct());
+    }
+    let spread = profits.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - profits.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread < 0.08, "omega sensitivity too high: {spread:.3}");
+}
+
+#[test]
+fn figure10_tau_extremes_do_not_win() {
+    let t = trace(QcPreset::Phases);
+    let profit = |tau_ms| {
+        let cfg = QutsConfig::default().with_tau(SimDuration::from_ms(tau_ms));
+        run(&t, Box::new(Quts::new(cfg))).total_pct()
+    };
+    let default = profit(10);
+    let coarse = profit(1_000);
+    // A 1-second atom is far above the query service time; it must not
+    // beat the paper's default meaningfully.
+    assert!(coarse <= default + 0.02, "tau=1000ms {coarse:.3} vs tau=10ms {default:.3}");
+}

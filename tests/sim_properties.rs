@@ -1,0 +1,175 @@
+//! Property-based tests of simulator invariants over randomly generated
+//! miniature workloads — every policy, every seed, the bookkeeping must
+//! hold.
+
+use proptest::prelude::*;
+use quts::prelude::*;
+use quts_db::{QueryOp, Trade};
+
+const STOCKS: u32 = 12;
+
+#[derive(Debug, Clone)]
+struct MiniWorkload {
+    queries: Vec<QuerySpec>,
+    updates: Vec<UpdateSpec>,
+}
+
+fn arb_workload() -> impl Strategy<Value = MiniWorkload> {
+    let queries = proptest::collection::vec(
+        (
+            0u64..2_000,          // arrival ms
+            0u32..STOCKS,         // stock
+            1u64..12,             // cost ms
+            0.0..50.0f64,         // qosmax
+            0.0..50.0f64,         // qodmax
+            10.0..150.0f64,       // rtmax ms
+            1u32..4,              // uumax
+            proptest::bool::ANY,  // step vs linear
+        ),
+        0..40,
+    );
+    let updates = proptest::collection::vec(
+        (0u64..2_000, 0u32..STOCKS, 1u64..6, 1.0..500.0f64),
+        0..120,
+    );
+    (queries, updates).prop_map(|(qs, us)| {
+        let mut queries: Vec<QuerySpec> = qs
+            .into_iter()
+            .map(|(ms, stock, cost, qos, qod, rtmax, uumax, step)| QuerySpec {
+                arrival: SimTime::from_ms(ms),
+                op: QueryOp::Lookup(StockId(stock)),
+                cost: SimDuration::from_ms(cost),
+                qc: if step {
+                    QualityContract::step(qos, rtmax, qod, uumax)
+                } else {
+                    QualityContract::linear(qos, rtmax, qod, uumax)
+                },
+            })
+            .collect();
+        queries.sort_by_key(|q| q.arrival);
+        let mut updates: Vec<UpdateSpec> = us
+            .into_iter()
+            .map(|(ms, stock, cost, price)| UpdateSpec {
+                arrival: SimTime::from_ms(ms),
+                cost: SimDuration::from_ms(cost),
+                trade: Trade {
+                    stock: StockId(stock),
+                    price,
+                    volume: 1,
+                    trade_time_ms: ms,
+                },
+            })
+            .collect();
+        updates.sort_by_key(|u| u.arrival);
+        MiniWorkload { queries, updates }
+    })
+}
+
+fn policies() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(GlobalFifo::new()),
+        Box::new(DualQueue::uh()),
+        Box::new(DualQueue::qh()),
+        Box::new(Quts::with_defaults()),
+    ]
+}
+
+fn run(w: &MiniWorkload, s: Box<dyn Scheduler>) -> RunReport {
+    // Zero dispatch overhead keeps the work-accounting bounds exact.
+    let cfg = SimConfig {
+        switch_cost: SimDuration::ZERO,
+        ..SimConfig::with_stocks(STOCKS)
+    };
+    Simulator::new(cfg, w.queries.clone(), w.updates.clone(), s).run()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_and_bounds(w in arb_workload()) {
+        for s in policies() {
+            let name = s.name();
+            let r = run(&w, s);
+            prop_assert_eq!(
+                r.committed + r.expired,
+                w.queries.len() as u64,
+                "{} lost queries", name
+            );
+            prop_assert_eq!(
+                r.updates_applied + r.updates_invalidated,
+                w.updates.len() as u64,
+                "{} lost updates", name
+            );
+            prop_assert!(r.total_pct() <= 1.0 + 1e-9, "{} overearned", name);
+            prop_assert!(r.cpu_busy.as_micros() <= r.end_time.as_micros());
+        }
+    }
+
+    #[test]
+    fn uh_freshness_guarantee(w in arb_workload()) {
+        let r = run(&w, Box::new(DualQueue::uh()));
+        prop_assert_eq!(r.staleness.max().unwrap_or(0.0), 0.0);
+    }
+
+    #[test]
+    fn determinism(w in arb_workload()) {
+        let a = run(&w, Box::new(Quts::with_defaults()));
+        let b = run(&w, Box::new(Quts::with_defaults()));
+        prop_assert_eq!(a.aggregates, b.aggregates);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.cpu_busy, b.cpu_busy);
+    }
+
+    /// The CPU never does less work than the transactions it reports
+    /// finishing (restart waste can only add).
+    #[test]
+    fn busy_time_covers_reported_work(w in arb_workload()) {
+        for s in policies() {
+            let name = s.name();
+            let r = run(&w, s);
+            let applied_cost: u64 = w
+                .updates
+                .iter()
+                .map(|u| u.cost.as_micros())
+                .sum::<u64>();
+            // Can't easily know which updates applied; upper bound check:
+            prop_assert!(
+                r.cpu_busy_update.as_micros() <= applied_cost + r.update_restarts * 12_000,
+                "{}: update busy time out of range", name
+            );
+            let query_cost: u64 = w.queries.iter().map(|q| q.cost.as_micros()).sum();
+            prop_assert!(
+                r.cpu_busy_query.as_micros()
+                    <= query_cost + (r.query_restarts + r.expired) * 24_000,
+                "{}: query busy time out of range", name
+            );
+        }
+    }
+
+    /// Raising every contract's profit proportionally must not change the
+    /// percentage outcomes (scheduling is scale-invariant in money).
+    #[test]
+    fn profit_scale_invariance(w in arb_workload(), factor in 1.5..10.0f64) {
+        // VRD priorities scale uniformly, so the schedule is identical.
+        let mut scaled = w.clone();
+        for q in &mut scaled.queries {
+            let qos = q.qc.qosmax() * factor;
+            let qod = q.qc.qodmax() * factor;
+            let rt = q.qc.rtmax_ms().unwrap_or(100.0);
+            q.qc = QualityContract::step(qos, rt, qod, 1)
+                .with_lifetime_ms(q.qc.default_lifetime_ms());
+        }
+        let mut base = w.clone();
+        for q in &mut base.queries {
+            let qos = q.qc.qosmax();
+            let qod = q.qc.qodmax();
+            let rt = q.qc.rtmax_ms().unwrap_or(100.0);
+            q.qc = QualityContract::step(qos, rt, qod, 1)
+                .with_lifetime_ms(q.qc.default_lifetime_ms());
+        }
+        let a = run(&base, Box::new(DualQueue::qh()));
+        let b = run(&scaled, Box::new(DualQueue::qh()));
+        prop_assert!((a.total_pct() - b.total_pct()).abs() < 1e-9);
+    }
+}

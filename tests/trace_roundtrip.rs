@@ -1,0 +1,73 @@
+//! Trace serialization: a generated workload survives a CSV round trip
+//! bit-for-bit as far as the simulator is concerned — the replayed trace
+//! produces the identical report.
+
+use quts::prelude::*;
+
+#[test]
+fn csv_round_trip_preserves_simulation_results() {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(3.0);
+    cfg.seed = 99;
+    let mut trace = cfg.generate();
+    assign_qcs(&mut trace, QcPreset::Spectrum { k: 3 }, QcShape::Step, 99);
+
+    let mut buf = Vec::new();
+    trace.write_csv(&mut buf).expect("serialise");
+    let restored = Trace::read_csv(&mut buf.as_slice()).expect("parse");
+
+    assert_eq!(restored.num_stocks, trace.num_stocks);
+    assert_eq!(restored.queries.len(), trace.queries.len());
+    assert_eq!(restored.updates.len(), trace.updates.len());
+
+    let run = |t: &Trace| {
+        Simulator::new(
+            SimConfig::with_stocks(t.num_stocks),
+            t.queries.clone(),
+            t.updates.clone(),
+            Quts::with_defaults(),
+        )
+        .run()
+    };
+    let original = run(&trace);
+    let replayed = run(&restored);
+    assert_eq!(original.aggregates, replayed.aggregates);
+    assert_eq!(original.committed, replayed.committed);
+    assert_eq!(original.expired, replayed.expired);
+    assert_eq!(original.updates_applied, replayed.updates_applied);
+    assert_eq!(original.cpu_busy, replayed.cpu_busy);
+    assert_eq!(original.end_time, replayed.end_time);
+}
+
+#[test]
+fn linear_contracts_round_trip() {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(2.0);
+    cfg.seed = 5;
+    let mut trace = cfg.generate();
+    assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Linear, 5);
+
+    let mut buf = Vec::new();
+    trace.write_csv(&mut buf).unwrap();
+    let restored = Trace::read_csv(&mut buf.as_slice()).unwrap();
+    for (a, b) in trace.queries.iter().zip(&restored.queries) {
+        assert_eq!(a.qc, b.qc);
+        assert_eq!(a.op, b.op);
+    }
+}
+
+#[test]
+fn trace_stats_survive_round_trip() {
+    let mut cfg = StockWorkloadConfig::paper_scaled_to(2.0);
+    cfg.seed = 6;
+    let trace = cfg.generate();
+    let mut buf = Vec::new();
+    trace.write_csv(&mut buf).unwrap();
+    let restored = Trace::read_csv(&mut buf.as_slice()).unwrap();
+
+    let a = TraceStats::compute(&trace);
+    let b = TraceStats::compute(&restored);
+    assert_eq!(a.num_queries, b.num_queries);
+    assert_eq!(a.num_updates, b.num_updates);
+    assert_eq!(a.queries_per_second, b.queries_per_second);
+    assert_eq!(a.updates_per_second, b.updates_per_second);
+    assert_eq!(a.per_stock, b.per_stock);
+}
