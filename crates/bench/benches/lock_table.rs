@@ -6,8 +6,8 @@
 //! substrate.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use quts_db::{LockMode, LockTable, StockId, TxnToken};
+use std::hint::black_box;
 
 fn bench_uncontended(c: &mut Criterion) {
     let mut g = c.benchmark_group("lock_table");

@@ -7,8 +7,8 @@
 //! experiment sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use quts_qc::{ProfitFn, QualityContract};
+use std::hint::black_box;
 
 fn bench_profit_fns(c: &mut Criterion) {
     let mut g = c.benchmark_group("profit_fn");
@@ -40,9 +40,7 @@ fn bench_contract(c: &mut Criterion) {
     g.bench_function("total_profit", |b| {
         b.iter(|| black_box(&qc).total_profit(black_box(42.0), black_box(0.0)))
     });
-    g.bench_function("vrd_priority", |b| {
-        b.iter(|| black_box(&qc).vrd_priority())
-    });
+    g.bench_function("vrd_priority", |b| b.iter(|| black_box(&qc).vrd_priority()));
     g.bench_function("construct_step", |b| {
         b.iter(|| QualityContract::step(black_box(25.0), 75.0, 25.0, 1))
     });

@@ -5,10 +5,10 @@
 //! every call.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use quts_db::StockId;
 use quts_sched::{DualQueue, GlobalFifo, Quts};
 use quts_sim::{QueryId, QueryInfo, Scheduler, SimDuration, SimTime, UpdateId, UpdateInfo};
+use std::hint::black_box;
 
 fn qinfo(seq: u64) -> QueryInfo {
     let arrival = SimTime::from_ms(seq);

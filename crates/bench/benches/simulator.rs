@@ -6,9 +6,9 @@
 //! milliseconds, so a full-scale figure costs on the order of a second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use quts_bench::{paper_trace, run_policy, Policy};
 use quts_workload::{qcgen, QcPreset, QcShape};
+use std::hint::black_box;
 
 fn bench_policies(c: &mut Criterion) {
     let mut trace = paper_trace(60, 1);

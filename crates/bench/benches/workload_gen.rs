@@ -2,8 +2,8 @@
 //! generator and QC presets produce a runnable workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use quts_workload::{qcgen, QcPreset, QcShape, StockWorkloadConfig};
+use std::hint::black_box;
 
 fn bench_generate(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload_gen");

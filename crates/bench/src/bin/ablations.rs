@@ -25,7 +25,12 @@ fn main() {
     let mut balanced = base.clone();
     qcgen::assign_qcs(&mut balanced, QcPreset::Balanced, QcShape::Step, 7);
     let mut qod_heavy = base.clone();
-    qcgen::assign_qcs(&mut qod_heavy, QcPreset::Spectrum { k: 9 }, QcShape::Step, 7);
+    qcgen::assign_qcs(
+        &mut qod_heavy,
+        QcPreset::Spectrum { k: 9 },
+        QcShape::Step,
+        7,
+    );
     let mut phases = base;
     qcgen::assign_qcs(&mut phases, QcPreset::Phases, QcShape::Step, 7);
 
@@ -33,7 +38,10 @@ fn main() {
     println!("1. aging factor alpha (QUTS, Figure 9 workload)");
     let mut t = TextTable::new(["alpha", "total profit %"]);
     for alpha in [0.05, 0.1, 0.2, 0.5, 1.0] {
-        let r = run_policy(&phases, Policy::Quts(QutsConfig::default().with_alpha(alpha)));
+        let r = run_policy(
+            &phases,
+            Policy::Quts(QutsConfig::default().with_alpha(alpha)),
+        );
         t.row([format!("{alpha}"), pct(r.total_pct())]);
     }
     print!("{}", t.render());
@@ -85,7 +93,13 @@ fn main() {
 
     // 4. Register-table queue-position inheritance.
     println!("4. update re-entry semantics (QH, QoD-heavy QCs)");
-    let mut t = TextTable::new(["re-entry", "total%", "mean #uu", "worst #uu", "mean apply delay"]);
+    let mut t = TextTable::new([
+        "re-entry",
+        "total%",
+        "mean #uu",
+        "worst #uu",
+        "mean apply delay",
+    ]);
     for (mode, name) in [
         (UpdateReentry::InheritPosition, "inherit position (default)"),
         (UpdateReentry::Tail, "tail (naive)"),
@@ -127,7 +141,12 @@ fn main() {
         t.row([name, cells[0].clone(), cells[1].clone(), cells[2].clone()]);
     };
     for rate in [0.0, 0.2, 0.5, 1.0, 5.0] {
-        row(format!("Greedy rate={rate}"), Policy::Greedy { exchange_rate: rate });
+        row(
+            format!("Greedy rate={rate}"),
+            Policy::Greedy {
+                exchange_rate: rate,
+            },
+        );
     }
     row("QUTS".to_string(), Policy::quts_default());
     print!("{}", t.render());

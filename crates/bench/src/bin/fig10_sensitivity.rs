@@ -26,11 +26,17 @@ fn main() {
     for omega_ms in [100u64, 500, 1_000, 5_000, 10_000, 50_000, 100_000] {
         let cfg = QutsConfig::default().with_omega(SimDuration::from_ms(omega_ms));
         let r = run_policy(&trace, Policy::Quts(cfg));
-        t.row([format!("{:.1} s", omega_ms as f64 / 1000.0), pct(r.total_pct())]);
+        t.row([
+            format!("{:.1} s", omega_ms as f64 / 1000.0),
+            pct(r.total_pct()),
+        ]);
         omega_profits.push(r.total_pct());
     }
     print!("{}", t.render());
-    let spread = omega_profits.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    let spread = omega_profits
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
         - omega_profits.iter().cloned().fold(f64::INFINITY, f64::min);
     println!();
     println!(

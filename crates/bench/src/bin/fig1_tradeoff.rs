@@ -18,7 +18,10 @@ use quts_workload::{qcgen, QcPreset, QcShape};
 
 fn main() {
     let scale = harness::experiment_scale();
-    harness::banner("Figure 1: impact of naive scheduling on the RT/staleness trade-off", scale);
+    harness::banner(
+        "Figure 1: impact of naive scheduling on the RT/staleness trade-off",
+        scale,
+    );
 
     let mut trace = paper_trace(scale, 1);
     qcgen::assign_qcs(&mut trace, QcPreset::Balanced, QcShape::Step, 7);

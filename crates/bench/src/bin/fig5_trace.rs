@@ -23,11 +23,7 @@ fn main() {
         let hi = ((i + 1) * n / 6).max(lo + 1).min(n);
         series[lo..hi].iter().sum::<u64>() as f64 / (hi - lo) as f64
     };
-    let mut t = TextTable::new([
-        "trace sixth",
-        "queries/s (Fig 5a)",
-        "updates/s (Fig 5b)",
-    ]);
+    let mut t = TextTable::new(["trace sixth", "queries/s (Fig 5a)", "updates/s (Fig 5b)"]);
     for i in 0..6 {
         t.row([
             format!("{}/6", i + 1),
@@ -51,7 +47,11 @@ fn main() {
     println!("Figure 5c: per-stock query accesses vs update counts");
     let mut by_updates: Vec<&(u64, u64)> = stats.per_stock.iter().collect();
     by_updates.sort_by_key(|&&(_, u)| std::cmp::Reverse(u));
-    let mut c = TextTable::new(["percentile of stocks (by updates)", "updates", "query accesses"]);
+    let mut c = TextTable::new([
+        "percentile of stocks (by updates)",
+        "updates",
+        "query accesses",
+    ]);
     for (label, idx) in [
         ("top 0.1%", stats.per_stock.len() / 1000),
         ("top 1%", stats.per_stock.len() / 100),

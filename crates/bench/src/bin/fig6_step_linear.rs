@@ -13,11 +13,17 @@ use quts_workload::{qcgen, QcPreset, QcShape};
 
 fn main() {
     let scale = harness::experiment_scale();
-    harness::banner("Figure 6: step vs linear QCs, profit percentage per policy", scale);
+    harness::banner(
+        "Figure 6: step vs linear QCs, profit percentage per policy",
+        scale,
+    );
 
     let base = paper_trace(scale, 1);
 
-    for (shape, label) in [(QcShape::Step, "(a) step QCs"), (QcShape::Linear, "(b) linear QCs")] {
+    for (shape, label) in [
+        (QcShape::Step, "(a) step QCs"),
+        (QcShape::Linear, "(b) linear QCs"),
+    ] {
         println!("{label}");
         let mut trace = base.clone();
         qcgen::assign_qcs(&mut trace, QcPreset::Balanced, shape, 7);

@@ -14,7 +14,10 @@ use quts_workload::{qcgen, QcPreset, QcShape};
 
 fn main() {
     let scale = harness::experiment_scale();
-    harness::banner("Figures 7-8: profit across the QC spectrum (Table 4 setups)", scale);
+    harness::banner(
+        "Figures 7-8: profit across the QC spectrum (Table 4 setups)",
+        scale,
+    );
 
     let base = paper_trace(scale, 1);
     let policies = [
@@ -78,5 +81,7 @@ fn main() {
     );
     let never_worse = quts.iter().zip(&results[2]).all(|(q, h)| q.2 >= h.2 - 0.01)
         && quts.iter().zip(&results[1]).all(|(q, u)| q.2 >= u.2 - 0.01);
-    println!("shape check: QUTS better or equal to the best baseline at every point: {never_worse}");
+    println!(
+        "shape check: QUTS better or equal to the best baseline at every point: {never_worse}"
+    );
 }

@@ -47,7 +47,11 @@ fn main() {
     for i in (0..n).step_by(step) {
         let sec = i as f64;
         let phase = ((sec / horizon_s * 4.0) as usize).min(3);
-        let ratio = if phase.is_multiple_of(2) { "1:5" } else { "5:1" };
+        let ratio = if phase.is_multiple_of(2) {
+            "1:5"
+        } else {
+            "5:1"
+        };
         t.row([
             format!("{sec:.0}"),
             format!("{} ({ratio})", phase + 1),

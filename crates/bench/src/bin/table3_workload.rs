@@ -27,12 +27,18 @@ fn main() {
     let mut t = TextTable::new(["parameter", "measured", "paper (scaled)"]);
     t.row([
         "query execution time".into(),
-        format!("{:.1} ~ {:.1} ms", stats.query_cost_ms.0, stats.query_cost_ms.1),
+        format!(
+            "{:.1} ~ {:.1} ms",
+            stats.query_cost_ms.0, stats.query_cost_ms.1
+        ),
         "5 ~ 9 ms".to_string(),
     ]);
     t.row([
         "update execution time".into(),
-        format!("{:.1} ~ {:.1} ms", stats.update_cost_ms.0, stats.update_cost_ms.1),
+        format!(
+            "{:.1} ~ {:.1} ms",
+            stats.update_cost_ms.0, stats.update_cost_ms.1
+        ),
         "1 ~ 5 ms".to_string(),
     ]);
     t.row([

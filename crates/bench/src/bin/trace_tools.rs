@@ -64,11 +64,17 @@ fn main() {
             t.row(["offered load".into(), format!("{:.2}", stats.offered_load)]);
             t.row([
                 "query cost".into(),
-                format!("{:.1} ~ {:.1} ms", stats.query_cost_ms.0, stats.query_cost_ms.1),
+                format!(
+                    "{:.1} ~ {:.1} ms",
+                    stats.query_cost_ms.0, stats.query_cost_ms.1
+                ),
             ]);
             t.row([
                 "update cost".into(),
-                format!("{:.1} ~ {:.1} ms", stats.update_cost_ms.0, stats.update_cost_ms.1),
+                format!(
+                    "{:.1} ~ {:.1} ms",
+                    stats.update_cost_ms.0, stats.update_cost_ms.1
+                ),
             ]);
             t.row([
                 "stocks below diagonal".into(),
@@ -111,7 +117,9 @@ fn parse_preset(name: &str) -> QcPreset {
                     return QcPreset::Spectrum { k };
                 }
             }
-            fail(&format!("unknown preset {other:?} (balanced | phases | spectrum-1..9)"))
+            fail(&format!(
+                "unknown preset {other:?} (balanced | phases | spectrum-1..9)"
+            ))
         }
     }
 }
@@ -129,7 +137,9 @@ fn parse_policy(name: &str) -> Policy {
                 .strip_prefix("greedy-")
                 .and_then(|r| r.parse::<f64>().ok())
             {
-                return Policy::Greedy { exchange_rate: rate };
+                return Policy::Greedy {
+                    exchange_rate: rate,
+                };
             }
             fail(&format!(
                 "unknown policy {other:?} (fifo | fifo-uh | fifo-qh | uh | qh | quts | greedy-<rate>)"

@@ -130,8 +130,16 @@ mod tests {
     #[test]
     fn moving_average() {
         let (mut st, a, _, _) = store3();
-        st.apply_update(&Trade { stock: a, price: 30.0, volume: 1, trade_time_ms: 1 });
-        let q = QueryOp::MovingAverage { stock: a, window: 2 };
+        st.apply_update(&Trade {
+            stock: a,
+            price: 30.0,
+            volume: 1,
+            trade_time_ms: 1,
+        });
+        let q = QueryOp::MovingAverage {
+            stock: a,
+            window: 2,
+        };
         assert_eq!(q.execute(&st), QueryResult::Average(20.0));
     }
 
@@ -141,7 +149,11 @@ mod tests {
         let q = QueryOp::Compare(vec![a, b, c]);
         assert_eq!(
             q.execute(&st),
-            QueryResult::Spread { min: 10.0, max: 30.0, spread: 20.0 }
+            QueryResult::Spread {
+                min: 10.0,
+                max: 30.0,
+                spread: 20.0
+            }
         );
         assert_eq!(q.accessed_items(), vec![a, b, c]);
     }
@@ -157,10 +169,19 @@ mod tests {
     fn update_changes_query_answers() {
         let (mut st, a, b, _) = store3();
         let q = QueryOp::Compare(vec![a, b]);
-        st.apply_update(&Trade { stock: a, price: 50.0, volume: 1, trade_time_ms: 1 });
+        st.apply_update(&Trade {
+            stock: a,
+            price: 50.0,
+            volume: 1,
+            trade_time_ms: 1,
+        });
         assert_eq!(
             q.execute(&st),
-            QueryResult::Spread { min: 20.0, max: 50.0, spread: 30.0 }
+            QueryResult::Spread {
+                min: 20.0,
+                max: 50.0,
+                spread: 30.0
+            }
         );
     }
 

@@ -94,7 +94,11 @@ impl Store {
     /// # Panics
     /// Panics on an id not issued by this store.
     pub fn apply_update(&mut self, trade: &Trade) {
-        self.records[trade.stock.index()].apply_trade(trade.price, trade.volume, trade.trade_time_ms);
+        self.records[trade.stock.index()].apply_trade(
+            trade.price,
+            trade.volume,
+            trade.trade_time_ms,
+        );
     }
 
     /// Iterates over all `(id, record)` pairs.

@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::fault::FaultPlan;
 use quts_qc::StalenessAggregation;
 use std::time::Duration;
 
@@ -25,6 +26,35 @@ pub struct EngineConfig {
     pub synthetic_query_cost: Option<Duration>,
     /// As above, for updates.
     pub synthetic_update_cost: Option<Duration>,
+
+    // --- Admission control & load shedding ---
+    /// Capacity of the submission channel. Submissions beyond it fail
+    /// with [`SubmitError::QueueFull`](crate::SubmitError) instead of
+    /// growing memory without bound.
+    pub queue_capacity: usize,
+    /// High-water mark on queries admitted but not yet executed. At the
+    /// mark the scheduler stops draining the submission channel, so
+    /// backpressure reaches submitters as `QueueFull`.
+    pub max_pending_queries: usize,
+    /// High-water mark on distinct pending updates (the register table
+    /// already collapses same-item bursts). At the mark the oldest
+    /// pending update is dropped — its payload is the least valuable in
+    /// the queue, and its item correctly stays accounted stale.
+    pub max_pending_updates: usize,
+
+    // --- Panic supervision ---
+    /// Restart the scheduler over the surviving store after a panic
+    /// (instead of poisoning the engine immediately).
+    pub restart_on_panic: bool,
+    /// Restart budget; a panic beyond it poisons the engine.
+    pub max_restarts: u32,
+    /// Base delay before the first restart; doubles per attempt, capped
+    /// at one second.
+    pub restart_backoff: Duration,
+
+    /// Injected faults for chaos tests; the default plan injects
+    /// nothing.
+    pub fault: FaultPlan,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +68,13 @@ impl Default for EngineConfig {
             staleness_agg: StalenessAggregation::Max,
             synthetic_query_cost: None,
             synthetic_update_cost: None,
+            queue_capacity: 1024,
+            max_pending_queries: 4096,
+            max_pending_updates: 16384,
+            restart_on_panic: false,
+            max_restarts: 4,
+            restart_backoff: Duration::from_millis(10),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -68,6 +105,46 @@ impl EngineConfig {
         self.omega = omega;
         self
     }
+
+    /// Builder: sets the submission channel capacity.
+    pub fn with_queue_capacity(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        self.queue_capacity = cap;
+        self
+    }
+
+    /// Builder: sets the pending-query high-water mark.
+    pub fn with_max_pending_queries(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "pending-query cap must be positive");
+        self.max_pending_queries = cap;
+        self
+    }
+
+    /// Builder: sets the pending-update high-water mark.
+    pub fn with_max_pending_updates(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "pending-update cap must be positive");
+        self.max_pending_updates = cap;
+        self
+    }
+
+    /// Builder: enables panic restarts with the given budget.
+    pub fn with_restart_on_panic(mut self, max_restarts: u32) -> Self {
+        self.restart_on_panic = true;
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Builder: sets the base restart backoff.
+    pub fn with_restart_backoff(mut self, base: Duration) -> Self {
+        self.restart_backoff = base;
+        self
+    }
+
+    /// Builder: installs a fault-injection plan.
+    pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -80,6 +157,33 @@ mod tests {
         assert_eq!(c.tau, Duration::from_millis(10));
         assert_eq!(c.omega, Duration::from_millis(1000));
         assert!(c.synthetic_query_cost.is_none());
+    }
+
+    #[test]
+    fn defaults_are_hardened_but_fault_free() {
+        let c = EngineConfig::default();
+        assert!(c.queue_capacity > 0);
+        assert!(c.max_pending_queries >= c.queue_capacity);
+        assert!(!c.restart_on_panic, "restarts are opt-in");
+        assert!(c.fault.is_noop(), "no faults unless asked");
+    }
+
+    #[test]
+    fn robustness_builders() {
+        let c = EngineConfig::default()
+            .with_queue_capacity(8)
+            .with_max_pending_queries(16)
+            .with_max_pending_updates(32)
+            .with_restart_on_panic(2)
+            .with_restart_backoff(Duration::from_millis(1))
+            .with_fault_plan(FaultPlan::default().panic_after(5));
+        assert_eq!(c.queue_capacity, 8);
+        assert_eq!(c.max_pending_queries, 16);
+        assert_eq!(c.max_pending_updates, 32);
+        assert!(c.restart_on_panic);
+        assert_eq!(c.max_restarts, 2);
+        assert_eq!(c.restart_backoff, Duration::from_millis(1));
+        assert_eq!(c.fault.panic_after_txns, Some(5));
     }
 
     #[test]

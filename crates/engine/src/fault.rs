@@ -1,0 +1,145 @@
+//! Deterministic fault injection for the live engine.
+//!
+//! A [`FaultPlan`] rides on [`EngineConfig`](crate::EngineConfig) and
+//! lets tests provoke the failure modes the engine must survive:
+//! scheduler panics, per-transaction stalls, self-inflicted update-feed
+//! bursts, and dropped reply channels. The plan is pure configuration;
+//! the mutable progress counters live in [`FaultState`] so they survive
+//! supervisor restarts (a "panic after N transactions" fault fires once
+//! per engine, not once per incarnation).
+//!
+//! Production engines run with the default (empty) plan, which injects
+//! nothing and costs one relaxed atomic increment per transaction.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A self-inflicted burst of synthetic updates, emulating a hot feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateBurst {
+    /// Inject a burst every this many executed transactions.
+    pub every_txns: u64,
+    /// Number of synthetic updates per burst.
+    pub size: u32,
+}
+
+/// What to break, and when. The default plan breaks nothing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Panic the scheduler thread once, right before executing the N-th
+    /// transaction.
+    pub panic_after_txns: Option<u64>,
+    /// Busy-spin this long before every transaction (emulates a slow
+    /// operator or a stalled page).
+    pub stall_per_txn: Option<Duration>,
+    /// Drop (never send) every k-th query reply, leaving the client with
+    /// a disconnected channel instead of an answer.
+    pub drop_reply_every: Option<u64>,
+    /// Periodically flood the update queue with synthetic trades.
+    pub update_burst: Option<UpdateBurst>,
+}
+
+impl FaultPlan {
+    /// Builder: panic once before the `n`-th transaction.
+    pub fn panic_after(mut self, n: u64) -> Self {
+        self.panic_after_txns = Some(n);
+        self
+    }
+
+    /// Builder: stall before every transaction.
+    pub fn stall_per_txn(mut self, stall: Duration) -> Self {
+        self.stall_per_txn = Some(stall);
+        self
+    }
+
+    /// Builder: drop every `k`-th query reply.
+    pub fn drop_reply_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "drop_reply_every(0) is meaningless");
+        self.drop_reply_every = Some(k);
+        self
+    }
+
+    /// Builder: inject `size` synthetic updates every `every_txns`
+    /// transactions.
+    pub fn update_burst(mut self, every_txns: u64, size: u32) -> Self {
+        assert!(every_txns > 0, "update_burst period must be positive");
+        self.update_burst = Some(UpdateBurst { every_txns, size });
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_noop(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+}
+
+/// Mutable fault progress, shared across supervisor restarts.
+#[derive(Debug, Default)]
+pub(crate) struct FaultState {
+    /// Transactions executed over the engine's whole life.
+    txns: AtomicU64,
+    /// Whether the one-shot injected panic already fired.
+    panic_fired: AtomicBool,
+    /// Query replies produced over the engine's whole life.
+    replies: AtomicU64,
+}
+
+impl FaultState {
+    /// Counts one transaction; returns its 1-based global index.
+    pub(crate) fn next_txn(&self) -> u64 {
+        self.txns.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Whether the one-shot panic should fire for transaction `txn`
+    /// under `plan` (true exactly once per engine).
+    pub(crate) fn should_panic(&self, plan: &FaultPlan, txn: u64) -> bool {
+        match plan.panic_after_txns {
+            Some(at) if txn >= at => !self.panic_fired.swap(true, Ordering::Relaxed),
+            _ => false,
+        }
+    }
+
+    /// Counts one reply; true when `plan` says this one must be dropped.
+    pub(crate) fn should_drop_reply(&self, plan: &FaultPlan) -> bool {
+        match plan.drop_reply_every {
+            Some(k) => (self.replies.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(k),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_noop() {
+        assert!(FaultPlan::default().is_noop());
+        assert!(!FaultPlan::default().panic_after(3).is_noop());
+    }
+
+    #[test]
+    fn panic_fires_exactly_once() {
+        let plan = FaultPlan::default().panic_after(3);
+        let state = FaultState::default();
+        assert!(!state.should_panic(&plan, 1));
+        assert!(!state.should_panic(&plan, 2));
+        assert!(state.should_panic(&plan, 3));
+        assert!(!state.should_panic(&plan, 4), "one-shot");
+    }
+
+    #[test]
+    fn reply_drops_follow_the_period() {
+        let plan = FaultPlan::default().drop_reply_every(3);
+        let state = FaultState::default();
+        let drops: Vec<bool> = (0..6).map(|_| state.should_drop_reply(&plan)).collect();
+        assert_eq!(drops, [false, false, true, false, false, true]);
+    }
+
+    #[test]
+    fn txn_counter_is_monotonic() {
+        let state = FaultState::default();
+        assert_eq!(state.next_txn(), 1);
+        assert_eq!(state.next_txn(), 2);
+    }
+}

@@ -13,6 +13,24 @@
 //! executor keeps the scheduling semantics exact. Clients talk to it
 //! through a cloneable [`EngineHandle`] from any number of threads.
 //!
+//! The engine is hardened for overload and failure:
+//!
+//! - **Bounded admission** — submissions go through a bounded queue;
+//!   past capacity they fail fast with [`SubmitError::QueueFull`]
+//!   instead of growing memory without bound.
+//! - **Profit-aware shedding** — queries whose contract lifetime ran
+//!   out are aborted unexecuted ([`QueryError::Expired`], zero profit),
+//!   and the pending-update backlog is capped by a high-water mark on
+//!   top of register-table invalidation.
+//! - **Panic supervision** — the scheduler runs under `catch_unwind`;
+//!   a panic either restarts it over the surviving store (opt-in, with
+//!   capped exponential backoff) or poisons the engine. Either way
+//!   every in-flight [`QueryTicket`] resolves: an answer or a clean
+//!   error, never a hang.
+//! - **Fault injection** — a [`FaultPlan`] on [`EngineConfig`] drives
+//!   chaos tests (injected panics, stalls, update bursts, dropped
+//!   replies).
+//!
 //! ```
 //! use quts_engine::{Engine, EngineConfig};
 //! use quts_db::{QueryOp, Store, Trade};
@@ -22,9 +40,12 @@
 //! let ibm = store.insert("IBM", 120.0);
 //! let engine = Engine::start(store, EngineConfig::default());
 //!
-//! engine.submit_update(Trade { stock: ibm, price: 121.0, volume: 10, trade_time_ms: 0 });
+//! engine
+//!     .submit_update(Trade { stock: ibm, price: 121.0, volume: 10, trade_time_ms: 0 })
+//!     .expect("admitted");
 //! let reply = engine
 //!     .submit_query(QueryOp::Lookup(ibm), QualityContract::step(1.0, 50.0, 2.0, 1))
+//!     .expect("admitted")
 //!     .recv()
 //!     .unwrap();
 //! assert!(reply.profit() > 0.0);
@@ -35,9 +56,13 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod fault;
 pub mod runtime;
 pub mod stats;
+pub mod supervisor;
 
 pub use config::EngineConfig;
-pub use runtime::{Engine, EngineHandle, QueryReply};
+pub use fault::{FaultPlan, UpdateBurst};
+pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
 pub use stats::LiveStats;
+pub use supervisor::EngineState;

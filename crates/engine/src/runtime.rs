@@ -1,16 +1,19 @@
 //! The scheduler/executor thread and its client handle.
 
 use crate::config::EngineConfig;
+use crate::fault::FaultState;
 use crate::stats::LiveStats;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use crate::supervisor::{self, EngineState, STATE_RUNNING};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
 use quts_qc::QualityContract;
 use quts_sched::RhoController;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::AtomicU8;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -36,18 +39,100 @@ impl QueryReply {
     }
 }
 
-enum Msg {
+/// Why a submission was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity; back off and retry.
+    QueueFull,
+    /// The engine is poisoned or stopped; no further work will run.
+    EngineDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::EngineDown => write!(f, "engine is down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why an admitted query produced no result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The contract lifetime ran out before execution; the query was
+    /// shed unexecuted for zero profit.
+    Expired,
+    /// The engine died (or dropped the reply) before answering.
+    EngineDown,
+    /// The caller-side wait timed out; the query may still execute.
+    Timeout,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Expired => write!(f, "query lifetime expired before execution"),
+            QueryError::EngineDown => write!(f, "engine went down before answering"),
+            QueryError::Timeout => write!(f, "timed out waiting for the reply"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A claim on one admitted query's eventual outcome.
+///
+/// Resolves exactly once: with the reply, or with a [`QueryError`] —
+/// never a hang. If the engine dies with the query in flight, the reply
+/// channel disconnects and the ticket reports
+/// [`QueryError::EngineDown`].
+pub struct QueryTicket {
+    rx: Receiver<Result<QueryReply, QueryError>>,
+}
+
+impl QueryTicket {
+    /// Blocks until the query resolves.
+    pub fn recv(&self) -> Result<QueryReply, QueryError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(QueryError::EngineDown),
+        }
+    }
+
+    /// Blocks up to `timeout` for the resolution.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<QueryReply, QueryError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(RecvTimeoutError::Timeout) => Err(QueryError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(QueryError::EngineDown),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the query is still pending.
+    pub fn try_recv(&self) -> Option<Result<QueryReply, QueryError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(QueryError::EngineDown)),
+        }
+    }
+}
+
+pub(crate) enum Msg {
     Query {
         op: QueryOp,
         qc: QualityContract,
         submitted: Instant,
-        reply: Sender<QueryReply>,
+        reply: Sender<Result<QueryReply, QueryError>>,
     },
     Update(Trade),
     Shutdown,
 }
 
-/// The running engine: owns the scheduler thread.
+/// The running engine: owns the supervised scheduler thread.
 pub struct Engine {
     handle: EngineHandle,
     thread: std::thread::JoinHandle<()>,
@@ -58,23 +143,29 @@ pub struct Engine {
 pub struct EngineHandle {
     tx: Sender<Msg>,
     stats: Arc<Mutex<LiveStats>>,
+    state: Arc<AtomicU8>,
 }
 
 impl Engine {
     /// Starts the engine over the given store.
     pub fn start(store: Store, config: EngineConfig) -> Engine {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(config.queue_capacity);
         let stats = Arc::new(Mutex::new(LiveStats {
             rho: config.initial_rho,
             ..LiveStats::default()
         }));
-        let shared = Arc::clone(&stats);
+        let state = Arc::new(AtomicU8::new(STATE_RUNNING));
+        let faults = Arc::new(FaultState::default());
+        let shared_stats = Arc::clone(&stats);
+        let shared_state = Arc::clone(&state);
         let thread = std::thread::Builder::new()
             .name("quts-engine".into())
-            .spawn(move || Runtime::new(store, config, rx, shared).run())
+            .spawn(move || {
+                supervisor::supervise(store, config, rx, shared_stats, shared_state, faults)
+            })
             .expect("spawn engine thread");
         Engine {
-            handle: EngineHandle { tx, stats },
+            handle: EngineHandle { tx, stats, state },
             thread,
         }
     }
@@ -84,20 +175,29 @@ impl Engine {
         self.handle.clone()
     }
 
-    /// Submits a read-only query; the returned channel resolves once the
-    /// scheduler has executed it.
-    pub fn submit_query(&self, op: QueryOp, qc: QualityContract) -> Receiver<QueryReply> {
+    /// Submits a read-only query; the ticket resolves once the scheduler
+    /// has executed (or shed) it.
+    pub fn submit_query(
+        &self,
+        op: QueryOp,
+        qc: QualityContract,
+    ) -> Result<QueryTicket, SubmitError> {
         self.handle.submit_query(op, qc)
     }
 
     /// Submits a blind update.
-    pub fn submit_update(&self, trade: Trade) {
+    pub fn submit_update(&self, trade: Trade) -> Result<(), SubmitError> {
         self.handle.submit_update(trade)
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> LiveStats {
         self.handle.stats()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> EngineState {
+        self.handle.state()
     }
 
     /// Drains remaining work, stops the scheduler thread and returns the
@@ -111,25 +211,53 @@ impl Engine {
 
 impl EngineHandle {
     /// Submits a read-only query (see [`Engine::submit_query`]).
-    pub fn submit_query(&self, op: QueryOp, qc: QualityContract) -> Receiver<QueryReply> {
+    pub fn submit_query(
+        &self,
+        op: QueryOp,
+        qc: QualityContract,
+    ) -> Result<QueryTicket, SubmitError> {
+        if self.state() != EngineState::Running {
+            return Err(SubmitError::EngineDown);
+        }
         let (reply_tx, reply_rx) = bounded(1);
-        let _ = self.tx.send(Msg::Query {
+        match self.tx.try_send(Msg::Query {
             op,
             qc,
             submitted: Instant::now(),
             reply: reply_tx,
-        });
-        reply_rx
+        }) {
+            Ok(()) => Ok(QueryTicket { rx: reply_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.lock().queue_full_rejections += 1;
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::EngineDown),
+        }
     }
 
     /// Submits a blind update (see [`Engine::submit_update`]).
-    pub fn submit_update(&self, trade: Trade) {
-        let _ = self.tx.send(Msg::Update(trade));
+    pub fn submit_update(&self, trade: Trade) -> Result<(), SubmitError> {
+        if self.state() != EngineState::Running {
+            return Err(SubmitError::EngineDown);
+        }
+        match self.tx.try_send(Msg::Update(trade)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                self.stats.lock().queue_full_rejections += 1;
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::EngineDown),
+        }
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> LiveStats {
         self.stats.lock().clone()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> EngineState {
+        supervisor::load_state(&self.state)
     }
 }
 
@@ -137,7 +265,7 @@ struct PendingQuery {
     op: QueryOp,
     qc: QualityContract,
     submitted: Instant,
-    reply: Sender<QueryReply>,
+    reply: Sender<Result<QueryReply, QueryError>>,
     vrd: f64,
     seq: u64,
 }
@@ -149,29 +277,30 @@ struct QueryEntry {
 
 impl PartialEq for QueryEntry {
     fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
+        self.cmp(other) == std::cmp::Ordering::Equal
     }
 }
 impl Eq for QueryEntry {}
 impl Ord for QueryEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.vrd
             .total_cmp(&other.vrd)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl PartialOrd for QueryEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-struct Runtime {
-    store: Store,
+pub(crate) struct Runtime<'a> {
+    store: &'a mut Store,
+    tracker: &'a mut StalenessTracker,
     config: EngineConfig,
     rx: Receiver<Msg>,
     stats: Arc<Mutex<LiveStats>>,
-    tracker: StalenessTracker,
+    faults: Arc<FaultState>,
 
     // Query queue: VRD heap over pending queries.
     query_heap: BinaryHeap<QueryEntry>,
@@ -185,34 +314,37 @@ struct Runtime {
 
     rho: RhoController,
     rng: StdRng,
+    /// Set once a shutdown is requested; fault-injected update bursts
+    /// stop so the backlog can actually drain.
+    draining: bool,
     state_is_query: bool,
     state_until: Instant,
     next_adapt: Instant,
     acc_qos: f64,
     acc_qod: f64,
-    start: Instant,
+    epoch: Instant,
 }
 
-impl Runtime {
-    fn new(
-        store: Store,
-        config: EngineConfig,
+impl<'a> Runtime<'a> {
+    pub(crate) fn new(
+        store: &'a mut Store,
+        tracker: &'a mut StalenessTracker,
+        config: &EngineConfig,
         rx: Receiver<Msg>,
         stats: Arc<Mutex<LiveStats>>,
-    ) -> Runtime {
+        faults: Arc<FaultState>,
+    ) -> Runtime<'a> {
         let now = Instant::now();
         let rho = RhoController::new(config.alpha, config.initial_rho);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let state_is_query = rng.random::<f64>() < rho.rho();
-        let tracker = StalenessTracker::new(store.len());
         Runtime {
-            tracker,
-            state_until: now + config.tau,
-            next_adapt: now + config.omega,
             store,
-            config,
+            tracker,
+            config: config.clone(),
             rx,
             stats,
+            faults,
             query_heap: BinaryHeap::new(),
             queries: HashMap::new(),
             next_seq: 0,
@@ -221,20 +353,29 @@ impl Runtime {
             next_update_id: 0,
             rho,
             rng,
+            draining: false,
             state_is_query,
+            state_until: now + config.tau,
+            next_adapt: now + config.omega,
             acc_qos: 0.0,
             acc_qod: 0.0,
-            start: now,
+            epoch: now,
         }
     }
 
-    fn run(mut self) {
+    pub(crate) fn run(mut self) {
         let mut shutting_down = false;
         loop {
-            // Ingest everything already waiting.
-            loop {
+            // Ingest everything already waiting — but stop draining at the
+            // pending-query high-water mark, so overload backs up into the
+            // bounded submission channel and rejects at the door instead
+            // of growing the heap without bound.
+            while self.queries.len() < self.config.max_pending_queries {
                 match self.rx.try_recv() {
-                    Ok(Msg::Shutdown) => shutting_down = true,
+                    Ok(Msg::Shutdown) => {
+                        shutting_down = true;
+                        self.draining = true;
+                    }
                     Ok(msg) => self.ingest(msg),
                     Err(_) => break,
                 }
@@ -253,10 +394,16 @@ impl Runtime {
                 .saturating_duration_since(Instant::now())
                 .max(Duration::from_micros(200));
             match self.rx.recv_timeout(timeout) {
-                Ok(Msg::Shutdown) => shutting_down = true,
+                Ok(Msg::Shutdown) => {
+                    shutting_down = true;
+                    self.draining = true;
+                }
                 Ok(msg) => self.ingest(msg),
                 Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => shutting_down = true,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutting_down = true;
+                    self.draining = true;
+                }
             }
         }
     }
@@ -295,16 +442,25 @@ impl Runtime {
                 if trade.stock.index() >= self.store.len() {
                     return; // unknown item: drop (blind update to nowhere)
                 }
-                self.tracker
-                    .on_arrival(trade.stock, self.elapsed_us());
-                let id = self.next_update_id;
-                self.next_update_id += 1;
+                self.tracker.on_arrival(trade.stock, self.elapsed_us());
                 // Register-table semantics: the pending entry keeps its
                 // queue position, only its payload/identifier is swapped.
                 if let Some(entry) = self.register.get_mut(&trade.stock) {
                     entry.1 = trade;
                     self.stats.lock().updates_invalidated += 1;
                 } else {
+                    if self.update_queue.len() >= self.config.max_pending_updates {
+                        // High-water mark: drop the head. Its payload is
+                        // the oldest in the queue (least valuable to
+                        // apply), and the tracker keeps its item
+                        // correctly accounted stale.
+                        if let Some((victim, _)) = self.update_queue.pop_front() {
+                            self.register.remove(&victim);
+                            self.stats.lock().updates_dropped_overload += 1;
+                        }
+                    }
+                    let id = self.next_update_id;
+                    self.next_update_id += 1;
                     self.register.insert(trade.stock, (id, trade));
                     self.update_queue.push_back((trade.stock, id));
                 }
@@ -314,7 +470,7 @@ impl Runtime {
     }
 
     fn elapsed_us(&self) -> u64 {
-        self.start.elapsed().as_micros() as u64
+        self.epoch.elapsed().as_micros() as u64
     }
 
     /// Processes ρ adaptations and atom boundaries up to `now`.
@@ -353,6 +509,21 @@ impl Runtime {
             self.state_is_query = self.rng.random::<f64>() < self.rho.rho();
             self.state_until = Instant::now() + self.config.tau;
         }
+        // Fault hooks fire per real transaction.
+        let txn = self.faults.next_txn();
+        if self.faults.should_panic(&self.config.fault, txn) {
+            panic!("fault injection: panic at transaction {txn}");
+        }
+        if let Some(stall) = self.config.fault.stall_per_txn {
+            spin_for(stall);
+        }
+        if let Some(burst) = self.config.fault.update_burst {
+            // Repeating bursts stop once a shutdown drain begins, or the
+            // backlog would refill forever and the drain never finish.
+            if !self.draining && txn.is_multiple_of(burst.every_txns) && !self.store.is_empty() {
+                self.inject_burst(burst.size);
+            }
+        }
         let run_query = if self.state_is_query {
             queries_pending
         } else {
@@ -366,21 +537,48 @@ impl Runtime {
         true
     }
 
+    /// Injected fault: synthetic hot-feed trades through the normal
+    /// ingest path (register-table invalidation and high-water included).
+    fn inject_burst(&mut self, size: u32) {
+        for _ in 0..size {
+            let stock = StockId(self.rng.random_range(0..self.store.len() as u32));
+            let price = self.rng.random_range(1.0..500.0);
+            self.ingest(Msg::Update(Trade {
+                stock,
+                price,
+                volume: 1,
+                trade_time_ms: 0,
+            }));
+        }
+    }
+
     fn run_query(&mut self) {
-        let Some(entry) = self.query_heap.pop() else {
-            return;
+        // Profit-aware shedding: a query past its contract lifetime can
+        // no longer earn anything, so abort it unexecuted (zero profit,
+        // no service time spent) and move on to one that can still pay.
+        let q = loop {
+            let Some(entry) = self.query_heap.pop() else {
+                return;
+            };
+            let q = self
+                .queries
+                .remove(&entry.seq)
+                .expect("heap entry without pending query");
+            debug_assert_eq!(q.vrd, entry.vrd);
+            debug_assert_eq!(q.seq, entry.seq);
+            let age_ms = q.submitted.elapsed().as_secs_f64() * 1000.0;
+            if age_ms >= q.qc.default_lifetime_ms() {
+                self.stats.lock().shed_expired += 1;
+                let _ = q.reply.send(Err(QueryError::Expired));
+                continue;
+            }
+            break q;
         };
-        let q = self
-            .queries
-            .remove(&entry.seq)
-            .expect("heap entry without pending query");
-        debug_assert_eq!(q.vrd, entry.vrd);
-        debug_assert_eq!(q.seq, entry.seq);
 
         if let Some(cost) = self.config.synthetic_query_cost {
             spin_for(cost);
         }
-        let result = q.op.execute(&self.store);
+        let result = q.op.execute(self.store);
         let items = q.op.accessed_items();
         let per_item = self.tracker.unapplied_over(&items);
         let staleness = self.config.staleness_agg.aggregate(&per_item);
@@ -393,13 +591,18 @@ impl Runtime {
             s.response_time_ms.push(rt_ms);
             s.staleness.push(staleness);
         }
-        let _ = q.reply.send(QueryReply {
+        if self.faults.should_drop_reply(&self.config.fault) {
+            // Injected fault: vanish the reply. The client's ticket sees
+            // the channel disconnect, never a hang.
+            return;
+        }
+        let _ = q.reply.send(Ok(QueryReply {
             result,
             rt_ms,
             staleness,
             qos,
             qod,
-        });
+        }));
     }
 
     fn run_update(&mut self) {
@@ -459,6 +662,7 @@ mod tests {
                 QueryOp::Lookup(ids[0]),
                 QualityContract::step(10.0, 1000.0, 10.0, 1),
             )
+            .expect("admitted")
             .recv_timeout(Duration::from_secs(5))
             .expect("query answered");
         assert_eq!(reply.result, QueryResult::Price(100.0));
@@ -471,7 +675,7 @@ mod tests {
     #[test]
     fn updates_reach_the_store() {
         let (engine, ids) = engine_with_stocks(4);
-        engine.submit_update(trade(ids[1], 55.5));
+        engine.submit_update(trade(ids[1], 55.5)).unwrap();
         // Queries queue behind the update; by the time this commits the
         // update has been applied (or the query observes staleness > 0
         // and the price mismatch tells us it was not yet applied).
@@ -480,6 +684,7 @@ mod tests {
                 QueryOp::Lookup(ids[1]),
                 QualityContract::step(1.0, 1000.0, 1.0, 1),
             )
+            .unwrap()
             .recv_timeout(Duration::from_secs(5))
             .unwrap();
         match reply.result {
@@ -500,7 +705,9 @@ mod tests {
     fn invalidation_applies_only_freshest() {
         let (engine, ids) = engine_with_stocks(2);
         for i in 0..50 {
-            engine.submit_update(trade(ids[0], 100.0 + i as f64));
+            engine
+                .submit_update(trade(ids[0], 100.0 + i as f64))
+                .unwrap();
         }
         // Let the engine drain.
         std::thread::sleep(Duration::from_millis(100));
@@ -509,6 +716,7 @@ mod tests {
                 QueryOp::Lookup(ids[0]),
                 QualityContract::step(1.0, 1000.0, 1.0, 50),
             )
+            .unwrap()
             .recv_timeout(Duration::from_secs(5))
             .unwrap();
         assert_eq!(reply.result, QueryResult::Price(149.0));
@@ -521,30 +729,33 @@ mod tests {
     fn many_clients_all_answered() {
         let (engine, ids) = engine_with_stocks(8);
         let handle = engine.handle();
-        let mut receivers = Vec::new();
+        let mut tickets = Vec::new();
         let workers: Vec<_> = (0..4)
             .map(|w| {
                 let h = handle.clone();
                 let ids = ids.clone();
                 std::thread::spawn(move || {
-                    let mut rs = Vec::new();
+                    let mut ts = Vec::new();
                     for i in 0..25u32 {
                         let stock = ids[((w * 25 + i) % 8) as usize];
-                        rs.push(h.submit_query(
-                            QueryOp::Lookup(stock),
-                            QualityContract::step(5.0, 1000.0, 5.0, 1),
-                        ));
-                        h.submit_update(trade(stock, 1.0 + i as f64));
+                        ts.push(
+                            h.submit_query(
+                                QueryOp::Lookup(stock),
+                                QualityContract::step(5.0, 1000.0, 5.0, 1),
+                            )
+                            .expect("admitted"),
+                        );
+                        h.submit_update(trade(stock, 1.0 + i as f64)).unwrap();
                     }
-                    rs
+                    ts
                 })
             })
             .collect();
         for w in workers {
-            receivers.extend(w.join().unwrap());
+            tickets.extend(w.join().unwrap());
         }
-        for r in receivers {
-            let reply = r.recv_timeout(Duration::from_secs(10)).expect("answered");
+        for t in tickets {
+            let reply = t.recv_timeout(Duration::from_secs(10)).expect("answered");
             assert!(reply.profit() <= 10.0 + 1e-12);
         }
         let stats = engine.shutdown();
@@ -570,20 +781,86 @@ mod tests {
         std::thread::sleep(Duration::from_millis(200));
         let stats = engine.stats();
         assert!(stats.adaptations >= 2, "adaptation timer must fire");
-        assert!(stats.rho > 0.75, "rho should move toward 1, got {}", stats.rho);
+        assert!(
+            stats.rho > 0.75,
+            "rho should move toward 1, got {}",
+            stats.rho
+        );
         engine.shutdown();
     }
 
     #[test]
     fn shutdown_drains_pending_work() {
         let (engine, ids) = engine_with_stocks(2);
-        let rx = engine.submit_query(
-            QueryOp::Lookup(ids[0]),
-            QualityContract::step(1.0, 1000.0, 1.0, 1),
-        );
-        engine.submit_update(trade(ids[1], 7.0));
+        let ticket = engine
+            .submit_query(
+                QueryOp::Lookup(ids[0]),
+                QualityContract::step(1.0, 1000.0, 1.0, 1),
+            )
+            .unwrap();
+        engine.submit_update(trade(ids[1], 7.0)).unwrap();
         let stats = engine.shutdown();
-        assert!(rx.try_recv().is_ok(), "query answered before shutdown");
+        assert!(
+            matches!(ticket.try_recv(), Some(Ok(_))),
+            "query answered before shutdown"
+        );
         assert_eq!(stats.updates_applied, 1);
     }
+
+    #[test]
+    fn submissions_fail_fast_after_shutdown() {
+        let (engine, ids) = engine_with_stocks(2);
+        let handle = engine.handle();
+        engine.shutdown();
+        assert_eq!(handle.state(), EngineState::Stopped);
+        assert_eq!(
+            handle
+                .submit_query(
+                    QueryOp::Lookup(ids[0]),
+                    QualityContract::step(1.0, 1000.0, 1.0, 1),
+                )
+                .err(),
+            Some(SubmitError::EngineDown)
+        );
+        assert_eq!(
+            handle.submit_update(trade(ids[0], 1.0)).err(),
+            Some(SubmitError::EngineDown)
+        );
+    }
+
+    #[test]
+    fn expired_queries_are_shed_with_zero_profit() {
+        let store = Store::with_synthetic_stocks(2);
+        // A long stall up front guarantees the short-lived query is still
+        // queued when its lifetime runs out.
+        let cfg = EngineConfig::default()
+            .with_seed(3)
+            .with_fault_plan(FaultPlan::default().stall_per_txn(Duration::from_millis(60)));
+        let engine = Engine::start(store, cfg);
+        let doomed = engine
+            .submit_query(
+                QueryOp::Lookup(StockId(0)),
+                QualityContract::step(5.0, 1000.0, 5.0, 1).with_lifetime_ms(5.0),
+            )
+            .unwrap();
+        // A second query keeps the scheduler busy past the lifetime.
+        let healthy = engine
+            .submit_query(
+                QueryOp::Lookup(StockId(1)),
+                QualityContract::step(5.0, 1000.0, 5.0, 1),
+            )
+            .unwrap();
+        assert!(matches!(
+            doomed.recv_timeout(Duration::from_secs(5)),
+            Err(QueryError::Expired)
+        ));
+        healthy
+            .recv_timeout(Duration::from_secs(5))
+            .expect("healthy answered");
+        let stats = engine.shutdown();
+        assert_eq!(stats.shed_expired, 1);
+        assert_eq!(stats.aggregates.committed, 1, "shed query never commits");
+    }
+
+    use crate::fault::FaultPlan;
 }

@@ -24,6 +24,17 @@ pub struct LiveStats {
     pub adaptations: u64,
     /// ρ after each adaptation period, in order (Figure 9d live).
     pub rho_history: Vec<f64>,
+
+    // --- Overload & robustness counters ---
+    /// Submissions refused because the admission queue was full.
+    pub queue_full_rejections: u64,
+    /// Queries aborted unexecuted because their contract lifetime ran
+    /// out while queued (zero profit).
+    pub shed_expired: u64,
+    /// Pending updates dropped at the backlog high-water mark.
+    pub updates_dropped_overload: u64,
+    /// Scheduler restarts after panics.
+    pub engine_restarts: u64,
 }
 
 impl LiveStats {
@@ -43,5 +54,9 @@ mod tests {
         assert_eq!(s.total_pct(), 0.0);
         assert_eq!(s.updates_applied, 0);
         assert_eq!(s.rho, 0.0);
+        assert_eq!(s.queue_full_rejections, 0);
+        assert_eq!(s.shed_expired, 0);
+        assert_eq!(s.updates_dropped_overload, 0);
+        assert_eq!(s.engine_restarts, 0);
     }
 }

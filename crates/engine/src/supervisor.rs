@@ -1,0 +1,133 @@
+//! Panic supervision for the scheduler thread.
+//!
+//! The engine thread runs the [`Runtime`](crate::runtime) inside
+//! `catch_unwind`. On a panic the supervisor either restarts the
+//! scheduler over the surviving [`Store`] (capped exponential backoff,
+//! bounded restart budget) or poisons the engine: queued work is
+//! refused, every in-flight reply channel resolves with a disconnect,
+//! and all future submissions fail fast with
+//! [`SubmitError::EngineDown`](crate::SubmitError). In both cases the
+//! invariant clients rely on holds: **every submitted query either gets
+//! an answer or a clean error — never a hang.**
+//!
+//! What survives a restart: the store (all applied updates) and the
+//! staleness tracker. What dies with the crashed incarnation: pending
+//! queries (their clients see a disconnect) and pending updates (their
+//! items simply stay stale until the feed sends fresh trades — exactly
+//! what the tracker already reports).
+
+use crate::config::EngineConfig;
+use crate::fault::FaultState;
+use crate::runtime::{Msg, Runtime};
+use crate::stats::LiveStats;
+use crossbeam::channel::Receiver;
+use parking_lot::Mutex;
+use quts_db::{StalenessTracker, Store};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lifecycle of the engine, readable through
+/// [`EngineHandle::state`](crate::EngineHandle::state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineState {
+    /// The scheduler thread is accepting and executing work.
+    Running,
+    /// The scheduler panicked beyond its restart budget; submissions
+    /// fail with [`SubmitError::EngineDown`](crate::SubmitError).
+    Poisoned,
+    /// The engine shut down cleanly.
+    Stopped,
+}
+
+pub(crate) const STATE_RUNNING: u8 = 0;
+pub(crate) const STATE_POISONED: u8 = 1;
+pub(crate) const STATE_STOPPED: u8 = 2;
+
+pub(crate) fn load_state(state: &AtomicU8) -> EngineState {
+    match state.load(Ordering::Acquire) {
+        STATE_RUNNING => EngineState::Running,
+        STATE_POISONED => EngineState::Poisoned,
+        _ => EngineState::Stopped,
+    }
+}
+
+/// Backoff before restart attempt `n` (1-based): base × 2ⁿ⁻¹, capped.
+pub(crate) fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    const CAP: Duration = Duration::from_secs(1);
+    base.saturating_mul(1u32 << (attempt - 1).min(16)).min(CAP)
+}
+
+/// Body of the engine thread: run the scheduler, absorb its panics.
+pub(crate) fn supervise(
+    mut store: Store,
+    config: EngineConfig,
+    rx: Receiver<Msg>,
+    stats: Arc<Mutex<LiveStats>>,
+    state: Arc<AtomicU8>,
+    faults: Arc<FaultState>,
+) {
+    let mut tracker = StalenessTracker::new(store.len());
+    let mut restarts = 0u32;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            Runtime::new(
+                &mut store,
+                &mut tracker,
+                &config,
+                rx.clone(),
+                Arc::clone(&stats),
+                Arc::clone(&faults),
+            )
+            .run()
+        }));
+        match outcome {
+            Ok(()) => {
+                state.store(STATE_STOPPED, Ordering::Release);
+                return;
+            }
+            Err(_panic) => {
+                // The crashed incarnation's pending queries resolved
+                // their reply channels by dropping them in the unwind.
+                if config.restart_on_panic && restarts < config.max_restarts {
+                    restarts += 1;
+                    stats.lock().engine_restarts += 1;
+                    std::thread::sleep(backoff_delay(config.restart_backoff, restarts));
+                    continue;
+                }
+                // Out of budget: poison, then refuse everything queued.
+                // New submissions fail fast on the state flag; stragglers
+                // that raced past it are discarded when `rx` drops below,
+                // which disconnects their reply channels too.
+                state.store(STATE_POISONED, Ordering::Release);
+                while rx.try_recv().is_ok() {}
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(10);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(10));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(20));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(40));
+        assert_eq!(backoff_delay(base, 30), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn state_codes_round_trip() {
+        let s = AtomicU8::new(STATE_RUNNING);
+        assert_eq!(load_state(&s), EngineState::Running);
+        s.store(STATE_POISONED, Ordering::Release);
+        assert_eq!(load_state(&s), EngineState::Poisoned);
+        s.store(STATE_STOPPED, Ordering::Release);
+        assert_eq!(load_state(&s), EngineState::Stopped);
+    }
+}

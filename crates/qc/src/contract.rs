@@ -209,7 +209,9 @@ impl QualityContract {
     /// `(qosmax + qodmax) / rtmax`. Contracts with no response-time
     /// deadline fall back to dividing by the lifetime.
     pub fn vrd_priority(&self) -> f64 {
-        let deadline = self.rtmax_ms().unwrap_or_else(|| self.default_lifetime_ms());
+        let deadline = self
+            .rtmax_ms()
+            .unwrap_or_else(|| self.default_lifetime_ms());
         self.total_max() / deadline
     }
 }
@@ -250,8 +252,8 @@ mod tests {
 
     #[test]
     fn qos_dependent_forfeits_qod_after_deadline() {
-        let qc = QualityContract::step(1.0, 50.0, 2.0, 1)
-            .with_composition(Composition::QoSDependent);
+        let qc =
+            QualityContract::step(1.0, 50.0, 2.0, 1).with_composition(Composition::QoSDependent);
         assert_eq!(qc.total_profit(200.0, 0.0), 0.0);
         assert_eq!(qc.total_profit(20.0, 0.0), 3.0);
     }

@@ -42,6 +42,6 @@ pub mod profit;
 
 pub use accounting::QcAggregates;
 pub use contract::{Composition, QualityContract};
-pub use multi::{Family, Measurements, MultiContract};
 pub use metric::{Staleness, StalenessAggregation};
+pub use multi::{Family, Measurements, MultiContract};
 pub use profit::ProfitFn;

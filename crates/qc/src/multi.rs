@@ -343,7 +343,11 @@ mod tests {
     fn rich_contracts_do_not_lower() {
         assert!(three_dim().to_standard().is_none());
         // Unknown names do not lower either.
-        let odd = MultiContract::new().with_dimension("latency_p99", Family::Service, ProfitFn::step(1.0, 9.0));
+        let odd = MultiContract::new().with_dimension(
+            "latency_p99",
+            Family::Service,
+            ProfitFn::step(1.0, 9.0),
+        );
         assert!(odd.to_standard().is_none());
     }
 

@@ -53,7 +53,10 @@ impl ProfitFn {
     /// Panics if `max` is negative or not finite, or `cutoff` is not
     /// positive.
     pub fn step(max: f64, cutoff: f64) -> Self {
-        assert!(max.is_finite() && max >= 0.0, "profit must be finite and >= 0");
+        assert!(
+            max.is_finite() && max >= 0.0,
+            "profit must be finite and >= 0"
+        );
         assert!(cutoff > 0.0, "cutoff must be positive");
         ProfitFn::Step { max, cutoff }
     }
@@ -64,7 +67,10 @@ impl ProfitFn {
     /// Panics if `max` is negative or not finite, or `cutoff` is not
     /// positive.
     pub fn linear(max: f64, cutoff: f64) -> Self {
-        assert!(max.is_finite() && max >= 0.0, "profit must be finite and >= 0");
+        assert!(
+            max.is_finite() && max >= 0.0,
+            "profit must be finite and >= 0"
+        );
         assert!(cutoff > 0.0, "cutoff must be positive");
         ProfitFn::Linear { max, cutoff }
     }
@@ -188,8 +194,12 @@ pub enum PiecewiseError {
 impl std::fmt::Display for PiecewiseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PiecewiseError::Empty => write!(f, "piecewise profit function needs at least one point"),
-            PiecewiseError::Unsorted => write!(f, "piecewise breakpoints must be strictly increasing"),
+            PiecewiseError::Empty => {
+                write!(f, "piecewise profit function needs at least one point")
+            }
+            PiecewiseError::Unsorted => {
+                write!(f, "piecewise breakpoints must be strictly increasing")
+            }
             PiecewiseError::Increasing => write!(f, "profit must be non-increasing in the metric"),
             PiecewiseError::NonFinite => write!(f, "coordinates must be finite and non-negative"),
         }

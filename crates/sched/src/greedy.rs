@@ -166,11 +166,7 @@ impl Scheduler for GlobalGreedy {
                     .expect("requeued query was never admitted");
                 memo.2 += 1;
                 let (priority, seq, _) = *memo;
-                self.heap.push(Entry {
-                    priority,
-                    seq,
-                    txn,
-                });
+                self.heap.push(Entry { priority, seq, txn });
                 self.live_queries += 1;
             }
             TxnRef::Update(u) => {

@@ -34,10 +34,11 @@ impl QueryOrder {
             QueryOrder::Vrd => info.vrd,
             QueryOrder::Fifo => -(info.seq as f64),
             QueryOrder::Edf => {
-                let rtmax_us = info
-                    .rtmax_ms
-                    .map(|ms| (ms * 1000.0) as u64)
-                    .unwrap_or(info.expiry.as_micros().saturating_sub(info.arrival.as_micros()));
+                let rtmax_us = info.rtmax_ms.map(|ms| (ms * 1000.0) as u64).unwrap_or(
+                    info.expiry
+                        .as_micros()
+                        .saturating_sub(info.arrival.as_micros()),
+                );
                 -((info.arrival.as_micros() + rtmax_us) as f64)
             }
             QueryOrder::ProfitDensity => {

@@ -17,7 +17,9 @@
 
 use crate::policy::{QueryOrder, QueryQueue, UpdateQueue};
 use crate::rho::RhoController;
-use quts_sim::{Class, QueryId, QueryInfo, Scheduler, SimDuration, SimTime, TxnRef, UpdateId, UpdateInfo};
+use quts_sim::{
+    Class, QueryId, QueryInfo, Scheduler, SimDuration, SimTime, TxnRef, UpdateId, UpdateInfo,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -375,7 +377,7 @@ mod tests {
         s.admit_query(QueryId(0), &qos_only(0), SimTime::ZERO);
         s.on_timer(SimTime::from_ms(1000));
         let _ = s.pop_next(SimTime::from_ms(1001)); // drain the query
-        // Only updates remain: work conservation must still serve them.
+                                                    // Only updates remain: work conservation must still serve them.
         s.admit_update(UpdateId(0), &uinfo(0, 0), SimTime::from_ms(1002));
         assert_eq!(
             s.pop_next(SimTime::from_ms(1003)),
@@ -390,7 +392,7 @@ mod tests {
         s.on_timer(SimTime::from_ms(1000));
         assert_eq!(s.rho(), 1.0);
         let _ = s.pop_next(SimTime::from_ms(1000)); // drain the query queue
-        // Update running, no queries waiting → keep running.
+                                                    // Update running, no queries waiting → keep running.
         assert!(!s.should_preempt(SimTime::from_ms(1001), TxnRef::Update(UpdateId(0))));
         // A query arrives → state is Query (ρ=1) → preempt the update.
         s.admit_query(QueryId(1), &qos_only(1), SimTime::from_ms(1002));

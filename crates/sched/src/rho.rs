@@ -57,10 +57,7 @@ impl RhoController {
     /// Panics unless `alpha ∈ (0, 1]` and `rho ∈ [0, 1]`.
     pub fn new(alpha: f64, initial_rho: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        assert!(
-            (0.0..=1.0).contains(&initial_rho),
-            "rho must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&initial_rho), "rho must be in [0, 1]");
         RhoController {
             alpha,
             rho: initial_rho,

@@ -303,3 +303,77 @@ mod tests {
         }
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Valid-by-construction symbols (uppercase, never a contract
+    /// keyword, so they survive a round trip through the parser).
+    fn symbol() -> impl Strategy<Value = String> {
+        proptest::collection::vec(0usize..38, 1..13).prop_map(|idx| {
+            const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-";
+            let s: String = idx.iter().map(|&i| CHARS[i] as char).collect();
+            if s == "QOS" || s == "QOD" {
+                "SAFE".to_string()
+            } else {
+                s
+            }
+        })
+    }
+
+    proptest! {
+        /// The parser is total: any byte soup (decoded lossily, as the
+        /// server does with a line off the wire) returns Ok or Err,
+        /// never panics.
+        #[test]
+        fn parse_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..200)) {
+            let line = String::from_utf8_lossy(&bytes);
+            let _ = parse(&line);
+        }
+
+        /// Valid GET requests round-trip through render + parse.
+        #[test]
+        fn get_round_trips(
+            sym in symbol(),
+            qosmax in 0.0..100.0f64,
+            rtmax in 0.5..5000.0f64,
+            qodmax in 0.0..100.0f64,
+            uumax in 1u32..50,
+        ) {
+            let line = format!("GET {sym} QOS {qosmax} {rtmax} QOD {qodmax} {uumax}");
+            let parsed = parse(&line).expect("valid GET must parse");
+            prop_assert_eq!(parsed, Request::Get {
+                symbol: sym,
+                qc: QualityContract::step(qosmax, rtmax, qodmax, uumax),
+            });
+        }
+
+        /// Valid AVG/CMP/UPD requests round-trip through render + parse.
+        #[test]
+        fn other_verbs_round_trip(
+            a in symbol(),
+            b in symbol(),
+            window in 1usize..1025,
+            price in 0.01..10_000.0f64,
+            volume in 0u64..1_000_000,
+        ) {
+            let parsed = parse(&format!("AVG {a} {window}")).expect("valid AVG must parse");
+            prop_assert_eq!(parsed, Request::Avg {
+                symbol: a.clone(),
+                window,
+                qc: QualityContract::step(0.0, 1.0, 0.0, 1),
+            });
+
+            let parsed = parse(&format!("CMP {a} {b}")).expect("valid CMP must parse");
+            prop_assert_eq!(parsed, Request::Cmp {
+                symbols: vec![a.clone(), b],
+                qc: QualityContract::step(0.0, 1.0, 0.0, 1),
+            });
+
+            let parsed = parse(&format!("UPD {a} {price} {volume}")).expect("valid UPD must parse");
+            prop_assert_eq!(parsed, Request::Upd { symbol: a, price, volume });
+        }
+    }
+}

@@ -1,13 +1,19 @@
 //! The TCP listener: one thread per connection over a shared engine
 //! handle.
+//!
+//! Overload behavior is explicit: a full engine admission queue answers
+//! `ERR overloaded`, a dead engine `ERR unavailable`, an expired query
+//! `ERR expired`, and a connection past the cap is told `ERR busy` and
+//! closed. Connections idle past `idle_timeout` are closed to reclaim
+//! their threads.
 
 use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
-use quts_engine::{Engine, EngineConfig, EngineHandle, LiveStats};
+use quts_engine::{Engine, EngineConfig, EngineHandle, LiveStats, QueryError, SubmitError};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -20,6 +26,12 @@ pub struct ServerConfig {
     pub engine: EngineConfig,
     /// Per-query wait budget before the server answers `ERR timeout`.
     pub query_timeout: Duration,
+    /// Close connections that stay silent this long; `None` waits
+    /// forever.
+    pub idle_timeout: Option<Duration>,
+    /// Maximum simultaneous connections; excess clients get `ERR busy`
+    /// and are disconnected.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -28,6 +40,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".parse().expect("static address"),
             engine: EngineConfig::default(),
             query_timeout: Duration::from_secs(10),
+            idle_timeout: Some(Duration::from_secs(300)),
+            max_connections: 1024,
         }
     }
 }
@@ -45,7 +59,27 @@ struct Shared {
     symbols: HashMap<String, StockId>,
     trade_seq: AtomicU64,
     query_timeout: Duration,
+    idle_timeout: Option<Duration>,
+    max_connections: usize,
+    active_connections: AtomicUsize,
 }
+
+/// Holds one slot in the connection cap; releases it on drop (however
+/// the connection thread exits).
+struct ConnGuard {
+    shared: Arc<Shared>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared
+            .active_connections
+            .fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// How often the acceptor re-checks the shutdown flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
 impl Server {
     /// Starts an engine over `store` and serves it on `config.addr`.
@@ -58,6 +92,9 @@ impl Server {
             .map(|(id, rec)| (rec.symbol().to_ascii_uppercase(), id))
             .collect();
         let listener = TcpListener::bind(config.addr)?;
+        // Nonblocking accept lets the acceptor observe the shutdown flag
+        // without needing a wake-up connection.
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let engine = Engine::start(store, config.engine);
         let shared = Arc::new(Shared {
@@ -65,6 +102,9 @@ impl Server {
             symbols,
             trade_seq: AtomicU64::new(0),
             query_timeout: config.query_timeout,
+            idle_timeout: config.idle_timeout,
+            max_connections: config.max_connections,
+            active_connections: AtomicUsize::new(0),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -72,17 +112,14 @@ impl Server {
         let acceptor = std::thread::Builder::new()
             .name("quts-server-accept".into())
             .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_shutdown.load(Ordering::Acquire) {
-                        break;
+                while !accept_shutdown.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => accept_one(stream, &shared),
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => std::thread::sleep(ACCEPT_POLL),
                     }
-                    let Ok(stream) = conn else { continue };
-                    let shared = Arc::clone(&shared);
-                    let _ = std::thread::Builder::new()
-                        .name("quts-server-conn".into())
-                        .spawn(move || {
-                            let _ = serve_connection(stream, &shared);
-                        });
                 }
             })
             .expect("spawn acceptor");
@@ -108,8 +145,6 @@ impl Server {
     /// Stops accepting, drains the engine, and returns final statistics.
     pub fn shutdown(mut self) -> LiveStats {
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the acceptor with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -117,11 +152,48 @@ impl Server {
     }
 }
 
+fn accept_one(stream: TcpStream, shared: &Arc<Shared>) {
+    // The listener's nonblocking mode can be inherited by the accepted
+    // socket; connection handling is blocking (with a read timeout).
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let active = &shared.active_connections;
+    if active
+        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+            (n < shared.max_connections).then_some(n + 1)
+        })
+        .is_err()
+    {
+        let mut stream = stream;
+        let _ = writeln!(stream, "ERR busy");
+        return;
+    }
+    let guard = ConnGuard {
+        shared: Arc::clone(shared),
+    };
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("quts-server-conn".into())
+        .spawn(move || {
+            let _guard = guard;
+            let _ = serve_connection(stream, &shared);
+        });
+}
+
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    stream.set_read_timeout(shared.idle_timeout)?;
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
-        let line = line?;
+        let line = match line {
+            Ok(line) => line,
+            // Read timeout: the connection sat idle too long; close it.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
         if line.trim().is_empty() {
             continue;
         }
@@ -165,20 +237,23 @@ fn handle(request: Request, shared: &Shared) -> String {
         } => match shared.symbols.get(&symbol) {
             Some(&stock) => {
                 let seq = shared.trade_seq.fetch_add(1, Ordering::Relaxed);
-                shared.handle.submit_update(Trade {
+                match shared.handle.submit_update(Trade {
                     stock,
                     price,
                     volume,
                     trade_time_ms: seq,
-                });
-                "OK".into()
+                }) {
+                    Ok(()) => "OK".into(),
+                    Err(e) => submit_error(e),
+                }
             }
             None => format!("ERR unknown symbol {symbol}"),
         },
         Request::Stats => {
             let s = shared.handle.stats();
             format!(
-                "OK submitted={} committed={} profit={:.2} of={:.2} rho={:.3} applied={} invalidated={}",
+                "OK submitted={} committed={} profit={:.2} of={:.2} rho={:.3} applied={} \
+                 invalidated={} rejected={} shed={} dropped={} restarts={}",
                 s.aggregates.submitted,
                 s.aggregates.committed,
                 s.aggregates.q_gained(),
@@ -186,15 +261,29 @@ fn handle(request: Request, shared: &Shared) -> String {
                 s.rho,
                 s.updates_applied,
                 s.updates_invalidated,
+                s.queue_full_rejections,
+                s.shed_expired,
+                s.updates_dropped_overload,
+                s.engine_restarts,
             )
         }
         Request::Quit => unreachable!("handled by the connection loop"),
     }
 }
 
+fn submit_error(e: SubmitError) -> String {
+    match e {
+        SubmitError::QueueFull => "ERR overloaded".into(),
+        SubmitError::EngineDown => "ERR unavailable".into(),
+    }
+}
+
 fn run_query(op: QueryOp, qc: quts_qc::QualityContract, shared: &Shared) -> String {
-    let rx = shared.handle.submit_query(op, qc);
-    match rx.recv_timeout(shared.query_timeout) {
+    let ticket = match shared.handle.submit_query(op, qc) {
+        Ok(ticket) => ticket,
+        Err(e) => return submit_error(e),
+    };
+    match ticket.recv_timeout(shared.query_timeout) {
         Ok(reply) => {
             let payload = match reply.result {
                 QueryResult::Price(p) => format!("price={p:.2}"),
@@ -209,7 +298,9 @@ fn run_query(op: QueryOp, qc: quts_qc::QualityContract, shared: &Shared) -> Stri
                 reply.rt_ms, reply.staleness, reply.qos, reply.qod
             )
         }
-        Err(_) => "ERR timeout".into(),
+        Err(QueryError::Expired) => "ERR expired".into(),
+        Err(QueryError::EngineDown) => "ERR unavailable".into(),
+        Err(QueryError::Timeout) => "ERR timeout".into(),
     }
 }
 
@@ -237,18 +328,26 @@ mod tests {
 
         fn send(&mut self, line: &str) -> String {
             writeln!(self.writer, "{line}").expect("send");
+            self.read()
+        }
+
+        fn read(&mut self) -> String {
             let mut response = String::new();
             self.reader.read_line(&mut response).expect("recv");
             response.trim_end().to_string()
         }
     }
 
-    fn test_server() -> Server {
+    fn test_server_with(config: ServerConfig) -> Server {
         let mut store = Store::new();
         store.insert("IBM", 120.0);
         store.insert("AOL", 55.0);
         store.insert("GE", 52.0);
-        Server::start(store, ServerConfig::default()).expect("start")
+        Server::start(store, config).expect("start")
+    }
+
+    fn test_server() -> Server {
+        test_server_with(ServerConfig::default())
     }
 
     #[test]
@@ -275,6 +374,8 @@ mod tests {
 
         let r = c.send("STATS");
         assert!(r.contains("applied=1"), "{r}");
+        assert!(r.contains("rejected=0"), "{r}");
+        assert!(r.contains("restarts=0"), "{r}");
 
         assert_eq!(c.send("QUIT"), "BYE");
         let stats = server.shutdown();
@@ -317,5 +418,52 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.aggregates.committed, 40);
         assert_eq!(stats.updates_applied + stats.updates_invalidated, 40);
+    }
+
+    #[test]
+    fn connection_cap_answers_busy() {
+        let server = test_server_with(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let mut first = Client::connect(server.addr());
+        // A round-trip guarantees the acceptor has registered the slot.
+        assert!(first.send("GET IBM").starts_with("OK"));
+
+        let mut second = Client::connect(server.addr());
+        assert_eq!(second.read(), "ERR busy");
+
+        // Releasing the slot lets the next client in.
+        assert_eq!(first.send("QUIT"), "BYE");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut c = Client::connect(server.addr());
+            let r = c.send("GET IBM");
+            if r == "ERR busy" {
+                assert!(std::time::Instant::now() < deadline, "slot never freed");
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+            assert!(r.starts_with("OK"), "{r}");
+            break;
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_closed() {
+        let server = test_server_with(ServerConfig {
+            idle_timeout: Some(Duration::from_millis(100)),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(server.addr());
+        assert!(c.send("GET IBM").starts_with("OK"));
+        std::thread::sleep(Duration::from_millis(400));
+        // The server closed the socket: the next read sees EOF.
+        writeln!(c.writer, "GET IBM").expect("send");
+        let mut response = String::new();
+        let n = c.reader.read_line(&mut response).unwrap_or(0);
+        assert_eq!(n, 0, "expected EOF after idle timeout, got {response:?}");
+        server.shutdown();
     }
 }

@@ -24,8 +24,10 @@ use crate::event::{Event, EventQueue, TxnEvent};
 use crate::report::{QueryOutcome, RunReport};
 use crate::scheduler::{Class, QueryInfo, Scheduler, TxnRef, UpdateInfo};
 use crate::time::{SimDuration, SimTime};
-use crate::txn::{QueryId, QueryState, QuerySpec, TxnStatus, UpdateId, UpdateSpec, UpdateState};
-use quts_db::{Acquisition, LockMode, LockTable, StalenessTracker, Store, TxnToken, UpdateRegister};
+use crate::txn::{QueryId, QuerySpec, QueryState, TxnStatus, UpdateId, UpdateSpec, UpdateState};
+use quts_db::{
+    Acquisition, LockMode, LockTable, StalenessTracker, Store, TxnToken, UpdateRegister,
+};
 use quts_metrics::{LogHistogram, OnlineStats, ProfitSeries};
 use quts_qc::{QcAggregates, StalenessAggregation};
 
@@ -326,7 +328,11 @@ impl<S: Scheduler> Simulator<S> {
             let ea = self.events.peek_time();
 
             let arrival = match (qa, ua) {
-                (Some(q), Some(u)) => Some(if u <= q { (u, Class::Update) } else { (q, Class::Query) }),
+                (Some(q), Some(u)) => Some(if u <= q {
+                    (u, Class::Update)
+                } else {
+                    (q, Class::Query)
+                }),
                 (Some(q), None) => Some((q, Class::Query)),
                 (None, Some(u)) => Some((u, Class::Update)),
                 (None, None) => None,
@@ -555,15 +561,11 @@ impl<S: Scheduler> Simulator<S> {
             StalenessMetric::UnappliedUpdates => self.tracker.unapplied_over(&items),
             StalenessMetric::TimeDifferentialMs => items
                 .iter()
-                .map(|&s| {
-                    self.tracker.time_differential(s, now.as_micros()) as f64 / 1000.0
-                })
+                .map(|&s| self.tracker.time_differential(s, now.as_micros()) as f64 / 1000.0)
                 .collect(),
             StalenessMetric::ValueDistance => items
                 .iter()
-                .map(|&s| {
-                    (self.master_price[s.index()] - self.store.record(s).price()).abs()
-                })
+                .map(|&s| (self.master_price[s.index()] - self.store.record(s).price()).abs())
                 .collect(),
         };
         let staleness = self.config.staleness_agg.aggregate(&per_item);
@@ -584,7 +586,8 @@ impl<S: Scheduler> Simulator<S> {
             self.aggregates.gain(qos, qod);
             self.profit.gain(now.as_micros(), qos, qod);
             self.response_time_ms.push(rt_ms);
-            self.rt_histogram_us.record((now - spec.arrival).as_micros());
+            self.rt_histogram_us
+                .record((now - spec.arrival).as_micros());
             self.staleness.push(staleness);
         }
         if let Some(outcomes) = &mut self.outcomes {
@@ -735,9 +738,7 @@ impl<S: Scheduler> Simulator<S> {
                     }
                 }
                 Acquisition::Blocked { holder } => {
-                    unreachable!(
-                        "monotonic dispatch priorities cannot block (holder {holder:?})"
-                    )
+                    unreachable!("monotonic dispatch priorities cannot block (holder {holder:?})")
                 }
             }
         }
@@ -1037,7 +1038,11 @@ mod tests {
         q.qc = QualityContract::step(1.0, 1000.0, 1.0, 5);
         let r = Simulator::new(cfg, vec![q], vec![update(1, 0, 2)], TestFifo::new()).run();
         let out = &r.outcomes.unwrap()[0];
-        assert!((out.staleness - 9.0).abs() < 1e-9, "td was {}", out.staleness);
+        assert!(
+            (out.staleness - 9.0).abs() < 1e-9,
+            "td was {}",
+            out.staleness
+        );
         assert_eq!(out.qod, 0.0, "9 ms of staleness exceeds the 5 ms cutoff");
         assert_eq!(out.qos, 1.0);
     }
@@ -1058,7 +1063,11 @@ mod tests {
         u.trade.price = 142.0;
         let r = Simulator::new(cfg, vec![q], vec![u], TestFifo::new()).run();
         let out = &r.outcomes.unwrap()[0];
-        assert!((out.staleness - 42.0).abs() < 1e-9, "vd was {}", out.staleness);
+        assert!(
+            (out.staleness - 42.0).abs() < 1e-9,
+            "vd was {}",
+            out.staleness
+        );
         assert_eq!(out.qod, 1.0, "42.0 distance is within the 50.0 cutoff");
     }
 

@@ -120,21 +120,33 @@ mod tests {
         let t = SimTime::from_ms(5);
         q.push(
             t,
-            Event::Completion { txn: TxnEvent::Query(QueryId(1)), run_token: 0 },
+            Event::Completion {
+                txn: TxnEvent::Query(QueryId(1)),
+                run_token: 0,
+            },
         );
         q.push(
             t,
-            Event::Completion { txn: TxnEvent::Update(UpdateId(2)), run_token: 0 },
+            Event::Completion {
+                txn: TxnEvent::Update(UpdateId(2)),
+                run_token: 0,
+            },
         );
         q.push(t, Event::Timer);
         let events: Vec<Event> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert!(matches!(
             events[0],
-            Event::Completion { txn: TxnEvent::Query(QueryId(1)), .. }
+            Event::Completion {
+                txn: TxnEvent::Query(QueryId(1)),
+                ..
+            }
         ));
         assert!(matches!(
             events[1],
-            Event::Completion { txn: TxnEvent::Update(UpdateId(2)), .. }
+            Event::Completion {
+                txn: TxnEvent::Update(UpdateId(2)),
+                ..
+            }
         ));
         assert_eq!(events[2], Event::Timer);
     }

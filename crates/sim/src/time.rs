@@ -166,8 +166,14 @@ mod tests {
 
     #[test]
     fn since_saturates() {
-        assert_eq!(SimTime::from_ms(5).since(SimTime::from_ms(10)), SimDuration::ZERO);
-        assert_eq!(SimTime::from_ms(10).since(SimTime::from_ms(4)), SimDuration::from_ms(6));
+        assert_eq!(
+            SimTime::from_ms(5).since(SimTime::from_ms(10)),
+            SimDuration::ZERO
+        );
+        assert_eq!(
+            SimTime::from_ms(10).since(SimTime::from_ms(4)),
+            SimDuration::from_ms(6)
+        );
     }
 
     #[test]
@@ -186,6 +192,9 @@ mod tests {
     fn ordering_is_total() {
         let mut times = vec![SimTime::from_ms(3), SimTime::ZERO, SimTime::from_ms(1)];
         times.sort();
-        assert_eq!(times, vec![SimTime::ZERO, SimTime::from_ms(1), SimTime::from_ms(3)]);
+        assert_eq!(
+            times,
+            vec![SimTime::ZERO, SimTime::from_ms(1), SimTime::from_ms(3)]
+        );
     }
 }

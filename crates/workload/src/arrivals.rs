@@ -20,7 +20,7 @@ use rand::RngExt;
 /// # Panics
 /// Panics if `shape` is empty, has a non-positive total weight, or the
 /// horizon is not positive.
-pub fn arrivals_with_shape<R: rand::Rng + ?Sized>(
+pub fn arrivals_with_shape<R: RngExt + ?Sized>(
     rng: &mut R,
     n: usize,
     horizon_s: f64,
@@ -64,11 +64,7 @@ pub fn arrivals_with_shape<R: rand::Rng + ?Sized>(
 }
 
 /// Uniform-rate special case of [`arrivals_with_shape`].
-pub fn uniform_arrivals<R: rand::Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    horizon_s: f64,
-) -> Vec<SimTime> {
+pub fn uniform_arrivals<R: RngExt + ?Sized>(rng: &mut R, n: usize, horizon_s: f64) -> Vec<SimTime> {
     arrivals_with_shape(rng, n, horizon_s, &[1.0])
 }
 
@@ -93,7 +89,7 @@ pub fn declining_shape(segments: usize, start: f64, end: f64) -> Vec<f64> {
 /// A near-flat shape with per-segment multiplicative jitter in
 /// `[1-jitter, 1+jitter]` — the paper's Figure 5a query profile ("small
 /// changes over time").
-pub fn jittered_flat_shape<R: rand::Rng + ?Sized>(
+pub fn jittered_flat_shape<R: RngExt + ?Sized>(
     rng: &mut R,
     segments: usize,
     jitter: f64,

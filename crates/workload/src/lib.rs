@@ -32,7 +32,7 @@ pub mod taq;
 pub mod trace;
 
 pub use qcgen::{QcPreset, QcShape};
-pub use stockgen::StockWorkloadConfig;
 pub use stats::TraceStats;
+pub use stockgen::StockWorkloadConfig;
 pub use taq::{TaqLoader, TaqUpdates};
 pub use trace::Trace;

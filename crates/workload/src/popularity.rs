@@ -51,7 +51,7 @@ impl ZipfSampler {
     }
 
     /// Draws a rank (0 = most popular).
-    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
         self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
     }
@@ -85,7 +85,7 @@ impl PopularityMap {
     ///
     /// # Panics
     /// Panics if `n` is zero or `anti_correlation` is outside `[-1, 1]`.
-    pub fn new<R: rand::Rng + ?Sized>(rng: &mut R, n: u32, anti_correlation: f64) -> Self {
+    pub fn new<R: RngExt + ?Sized>(rng: &mut R, n: u32, anti_correlation: f64) -> Self {
         assert!(n > 0, "need at least one stock");
         assert!(
             (-1.0..=1.0).contains(&anti_correlation),
@@ -149,7 +149,7 @@ impl PopularityMap {
 
 /// Fisher–Yates shuffle (avoids depending on rand's `SliceRandom`
 /// across version churn).
-fn shuffle<R: rand::Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+fn shuffle<R: RngExt + ?Sized, T>(rng: &mut R, items: &mut [T]) {
     for i in (1..items.len()).rev() {
         let j = rng.random_range(0..=i);
         items.swap(i, j);

@@ -60,7 +60,7 @@ impl QcPreset {
     ///
     /// # Panics
     /// Panics on `Spectrum { k }` with `k` outside `1..=9`.
-    pub fn draw<R: rand::Rng + ?Sized>(
+    pub fn draw<R: RngExt + ?Sized>(
         &self,
         rng: &mut R,
         shape: QcShape,
@@ -70,10 +70,7 @@ impl QcPreset {
         let rtmax = rng.random_range(50.0..100.0);
         let uumax = 1;
         let (qosmax, qodmax) = match self {
-            QcPreset::Balanced => (
-                rng.random_range(10.0..50.0),
-                rng.random_range(10.0..50.0),
-            ),
+            QcPreset::Balanced => (rng.random_range(10.0..50.0), rng.random_range(10.0..50.0)),
             QcPreset::Spectrum { k } => {
                 assert!((1..=9).contains(k), "spectrum point must be 1..=9");
                 let k = *k as f64;
@@ -103,12 +100,7 @@ impl QcPreset {
 
 /// Assigns contracts drawn from `preset` to every query of a trace,
 /// deterministically per seed.
-pub fn assign_qcs(
-    trace: &mut crate::trace::Trace,
-    preset: QcPreset,
-    shape: QcShape,
-    seed: u64,
-) {
+pub fn assign_qcs(trace: &mut crate::trace::Trace, preset: QcPreset, shape: QcShape, seed: u64) {
     use rand::SeedableRng;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let horizon = trace.horizon();

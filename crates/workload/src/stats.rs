@@ -55,16 +55,23 @@ impl TraceStats {
             per_stock[u.trade.stock.index()].1 += 1;
         }
 
-        let demand_s =
-            trace.query_demand().as_secs_f64() + trace.update_demand().as_secs_f64();
+        let demand_s = trace.query_demand().as_secs_f64() + trace.update_demand().as_secs_f64();
 
         TraceStats {
             num_queries: trace.queries.len(),
             num_updates: trace.updates.len(),
             num_stocks: trace.num_stocks,
             horizon_s,
-            query_cost_ms: if trace.queries.is_empty() { (0.0, 0.0) } else { q_cost },
-            update_cost_ms: if trace.updates.is_empty() { (0.0, 0.0) } else { u_cost },
+            query_cost_ms: if trace.queries.is_empty() {
+                (0.0, 0.0)
+            } else {
+                q_cost
+            },
+            update_cost_ms: if trace.updates.is_empty() {
+                (0.0, 0.0)
+            } else {
+                u_cost
+            },
             queries_per_second: q_series.counts().to_vec(),
             updates_per_second: u_series.counts().to_vec(),
             per_stock,
@@ -123,10 +130,7 @@ mod tests {
         assert_eq!(s.num_updates, 6000);
         assert_eq!(s.num_stocks, 64);
         assert!((s.mean_query_rate() - 1000.0 / s.horizon_s).abs() < 1e-9);
-        assert_eq!(
-            s.queries_per_second.iter().sum::<u64>(),
-            1000
-        );
+        assert_eq!(s.queries_per_second.iter().sum::<u64>(), 1000);
         assert_eq!(s.updates_per_second.iter().sum::<u64>(), 6000);
     }
 

@@ -123,12 +123,11 @@ impl BurstModel {
     }
 
     /// Multiplies a per-second rate profile by sampled bursts.
-    fn apply<R: rand::Rng + ?Sized>(&self, rng: &mut R, per_second: &mut [f64]) {
+    fn apply<R: RngExt + ?Sized>(&self, rng: &mut R, per_second: &mut [f64]) {
         let horizon_s = per_second.len() as f64;
         let expected = self.per_minute * horizon_s / 60.0;
         // Deterministic-count approximation of a Poisson number of bursts.
-        let count = expected.floor() as usize
-            + usize::from(rng.random::<f64>() < expected.fract());
+        let count = expected.floor() as usize + usize::from(rng.random::<f64>() < expected.fract());
         for _ in 0..count {
             let start = rng.random_range(0.0..horizon_s);
             let duration = rng.random_range(self.duration_s.0..=self.duration_s.1);
@@ -263,8 +262,7 @@ impl StockWorkloadConfig {
         let n_heads = ((self.num_updates as f64 / mean_cluster).ceil() as usize)
             .clamp(1, self.num_updates.max(1));
         let head_times = arrivals_with_shape(&mut rng, n_heads, self.horizon_s, &u_shape);
-        let mut events: Vec<(quts_sim::SimTime, StockId)> =
-            Vec::with_capacity(self.num_updates);
+        let mut events: Vec<(quts_sim::SimTime, StockId)> = Vec::with_capacity(self.num_updates);
         'outer: for head in head_times {
             let stock = popularity.update_stock(update_zipf.sample(&mut rng));
             let mut t = head;
@@ -523,7 +521,10 @@ mod tests {
         assert!(t.updates.iter().all(|u| u.trade.price > 0.0));
         // The walk actually moves.
         let first = t.updates.first().unwrap().trade.price;
-        assert!(t.updates.iter().any(|u| (u.trade.price - first).abs() > 1e-9));
+        assert!(t
+            .updates
+            .iter()
+            .any(|u| (u.trade.price - first).abs() > 1e-9));
     }
 
     #[test]

@@ -127,8 +127,8 @@ impl TaqLoader {
                     f.len()
                 )));
             }
-            let t_s = parse_hms(f[2].trim())
-                .map_err(|e| bad(&format!("line {}: {e}", lineno + 1)))?;
+            let t_s =
+                parse_hms(f[2].trim()).map_err(|e| bad(&format!("line {}: {e}", lineno + 1)))?;
             if t_s < start || t_s >= end {
                 continue;
             }
@@ -236,10 +236,7 @@ AOL,20000424,10:00:00,56.0,100
     fn times_are_relative_and_sorted() {
         let out = TaqLoader::default().load(SAMPLE.as_bytes()).unwrap();
         assert_eq!(out.updates[0].arrival, SimTime::ZERO);
-        assert!(out
-            .updates
-            .windows(2)
-            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(out.updates.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         // Second trade of 09:30:00 is offset within the second.
         assert!(out.updates[1].arrival > SimTime::ZERO);
         assert!(out.updates[1].arrival < SimTime::from_secs(1));

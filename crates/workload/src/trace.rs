@@ -24,8 +24,16 @@ pub struct Trace {
 impl Trace {
     /// Trace duration: the latest arrival.
     pub fn horizon(&self) -> SimTime {
-        let q = self.queries.last().map(|q| q.arrival).unwrap_or(SimTime::ZERO);
-        let u = self.updates.last().map(|u| u.arrival).unwrap_or(SimTime::ZERO);
+        let q = self
+            .queries
+            .last()
+            .map(|q| q.arrival)
+            .unwrap_or(SimTime::ZERO);
+        let u = self
+            .updates
+            .last()
+            .map(|u| u.arrival)
+            .unwrap_or(SimTime::ZERO);
         q.max(u)
     }
 
@@ -107,9 +115,7 @@ fn fmt_f(x: f64) -> String {
 fn encode_op(op: &QueryOp) -> (&'static str, String, String) {
     match op {
         QueryOp::Lookup(s) => ("L", s.0.to_string(), String::new()),
-        QueryOp::MovingAverage { stock, window } => {
-            ("M", stock.0.to_string(), window.to_string())
-        }
+        QueryOp::MovingAverage { stock, window } => ("M", stock.0.to_string(), window.to_string()),
         QueryOp::Compare(stocks) => (
             "C",
             stocks
@@ -251,7 +257,10 @@ mod tests {
                 },
                 QuerySpec {
                     arrival: SimTime::from_ms(2),
-                    op: QueryOp::MovingAverage { stock: StockId(1), window: 8 },
+                    op: QueryOp::MovingAverage {
+                        stock: StockId(1),
+                        window: 8,
+                    },
                     cost: SimDuration::from_ms(7),
                     qc: QualityContract::linear(5.5, 80.0, 1.25, 2),
                 },
@@ -346,10 +355,9 @@ mod proptests {
             }),
             proptest::collection::vec(0u32..64, 1..6)
                 .prop_map(|v| QueryOp::Compare(v.into_iter().map(StockId).collect())),
-            proptest::collection::vec((0u32..64, 0.5..100.0f64), 1..5)
-                .prop_map(|v| QueryOp::Portfolio(
-                    v.into_iter().map(|(s, w)| (StockId(s), w)).collect()
-                )),
+            proptest::collection::vec((0u32..64, 0.5..100.0f64), 1..5).prop_map(|v| {
+                QueryOp::Portfolio(v.into_iter().map(|(s, w)| (StockId(s), w)).collect())
+            }),
         ]
     }
 
@@ -368,7 +376,13 @@ mod proptests {
             0..30,
         );
         let updates = proptest::collection::vec(
-            (0u64..1_000_000, 0u32..64, 100u64..8_000, 0.01..900.0f64, 0u64..10_000),
+            (
+                0u64..1_000_000,
+                0u32..64,
+                100u64..8_000,
+                0.01..900.0f64,
+                0u64..10_000,
+            ),
             0..30,
         );
         (queries, updates).prop_map(|(qs, us)| {

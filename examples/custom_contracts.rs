@@ -32,12 +32,8 @@ fn plan(budget: f64, freshness: f64) -> QualityContract {
     };
     // QoD: full value when fresh, half value at one missed update.
     let qod = if qod_budget > 0.0 {
-        ProfitFn::piecewise(vec![
-            (0.0, qod_budget),
-            (1.0, qod_budget * 0.5),
-            (2.0, 0.0),
-        ])
-        .expect("valid piecewise function")
+        ProfitFn::piecewise(vec![(0.0, qod_budget), (1.0, qod_budget * 0.5), (2.0, 0.0)])
+            .expect("valid piecewise function")
     } else {
         ProfitFn::Zero
     };

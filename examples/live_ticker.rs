@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 fn main() {
     // A small market.
     let mut store = Store::new();
-    let symbols = ["AAPL", "IBM", "MSFT", "ORCL", "SUNW", "CSCO", "INTC", "DELL"];
+    let symbols = [
+        "AAPL", "IBM", "MSFT", "ORCL", "SUNW", "CSCO", "INTC", "DELL",
+    ];
     let ids: Vec<StockId> = symbols
         .iter()
         .enumerate()
@@ -42,7 +44,8 @@ fn main() {
                 n += 1;
                 price *= 1.0 + 0.001 * ((n % 7) as f64 - 3.0);
                 let stock = ids[(n % 3) as usize]; // hot tickers
-                h.submit_update(Trade {
+                                                   // Backpressure: a full admission queue just skips a beat.
+                let _ = h.submit_update(Trade {
                     stock,
                     price,
                     volume: 100 + n % 900,
@@ -56,9 +59,18 @@ fn main() {
 
     // Client threads with different preferences.
     let clients: Vec<_> = [
-        ("day-trader (speed)", QualityContract::step(9.0, 20.0, 1.0, 1)),
-        ("analyst (freshness)", QualityContract::step(1.0, 200.0, 9.0, 1)),
-        ("balanced investor", QualityContract::step(5.0, 80.0, 5.0, 1)),
+        (
+            "day-trader (speed)",
+            QualityContract::step(9.0, 20.0, 1.0, 1),
+        ),
+        (
+            "analyst (freshness)",
+            QualityContract::step(1.0, 200.0, 9.0, 1),
+        ),
+        (
+            "balanced investor",
+            QualityContract::step(5.0, 80.0, 5.0, 1),
+        ),
     ]
     .into_iter()
     .map(|(name, qc)| {
@@ -71,13 +83,18 @@ fn main() {
             while Instant::now() < deadline {
                 let op = match asked % 3 {
                     0 => QueryOp::Lookup(ids[(asked % 8) as usize]),
-                    1 => QueryOp::MovingAverage { stock: ids[0], window: 8 },
+                    1 => QueryOp::MovingAverage {
+                        stock: ids[0],
+                        window: 8,
+                    },
                     _ => QueryOp::Compare(vec![ids[0], ids[1], ids[2]]),
                 };
-                if let Ok(reply) = h.submit_query(op, qc.clone()).recv_timeout(Duration::from_secs(2)) {
-                    earned += reply.profit();
-                    fresh += (reply.staleness == 0.0) as u32;
-                    asked += 1;
+                if let Ok(ticket) = h.submit_query(op, qc.clone()) {
+                    if let Ok(reply) = ticket.recv_timeout(Duration::from_secs(2)) {
+                        earned += reply.profit();
+                        fresh += (reply.staleness == 0.0) as u32;
+                        asked += 1;
+                    }
                 }
                 std::thread::sleep(Duration::from_millis(6));
             }
@@ -89,9 +106,7 @@ fn main() {
     let trades = feed.join().unwrap();
     for c in clients {
         let (name, asked, earned, fresh) = c.join().unwrap();
-        println!(
-            "{name:<20} {asked:>4} queries, earned ${earned:>8.2}, {fresh:>4} served fresh"
-        );
+        println!("{name:<20} {asked:>4} queries, earned ${earned:>8.2}, {fresh:>4} served fresh");
     }
 
     let stats = engine.shutdown();

@@ -12,8 +12,16 @@ fn main() {
     //    worth to its user (Figure 2 of the paper).
     let speed_lover = QualityContract::step(5.0, 50.0, 1.0, 1); // $5 if < 50 ms
     let freshness_lover = QualityContract::step(1.0, 50.0, 5.0, 1); // $5 if 0 missed updates
-    println!("speed lover   : qosmax ${}, qodmax ${}", speed_lover.qosmax(), speed_lover.qodmax());
-    println!("freshness lover: qosmax ${}, qodmax ${}", freshness_lover.qosmax(), freshness_lover.qodmax());
+    println!(
+        "speed lover   : qosmax ${}, qodmax ${}",
+        speed_lover.qosmax(),
+        speed_lover.qodmax()
+    );
+    println!(
+        "freshness lover: qosmax ${}, qodmax ${}",
+        freshness_lover.qosmax(),
+        freshness_lover.qodmax()
+    );
     println!();
 
     // 2. A workload: ten seconds of the paper's calibrated stock trace

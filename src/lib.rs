@@ -55,17 +55,20 @@ pub use quts_workload as workload;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
-    pub use quts_engine::{Engine, EngineConfig};
+    pub use quts_engine::{
+        Engine, EngineConfig, EngineState, FaultPlan, LiveStats, QueryError, QueryTicket,
+        SubmitError,
+    };
     pub use quts_qc::{
-        Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates,
-        QualityContract, StalenessAggregation,
+        Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates, QualityContract,
+        StalenessAggregation,
     };
     pub use quts_sched::{DualQueue, GlobalFifo, GlobalGreedy, QueryOrder, Quts, QutsConfig};
+    pub use quts_server::{Server, ServerConfig};
     pub use quts_sim::{
         QuerySpec, RunReport, Scheduler, SimConfig, SimDuration, SimTime, Simulator,
         StalenessMetric, UpdateReentry, UpdateSpec,
     };
-    pub use quts_server::{Server, ServerConfig};
     pub use quts_workload::qcgen::assign_qcs;
     pub use quts_workload::{QcPreset, QcShape, StockWorkloadConfig, Trace, TraceStats};
 }

@@ -40,7 +40,12 @@ impl Scheduler for Chaos {
         let at = self.rng.random_range(0..=self.queries.len());
         self.queries.insert(at, id);
     }
-    fn admit_update(&mut self, id: quts_sim::UpdateId, _info: &quts_sim::UpdateInfo, _now: SimTime) {
+    fn admit_update(
+        &mut self,
+        id: quts_sim::UpdateId,
+        _info: &quts_sim::UpdateInfo,
+        _now: SimTime,
+    ) {
         let at = self.rng.random_range(0..=self.updates.len());
         self.updates.insert(at, id);
     }
@@ -49,8 +54,8 @@ impl Scheduler for Chaos {
     }
     fn pop_next(&mut self, _now: SimTime) -> Option<TxnRef> {
         self.updates.retain(|u| !self.dropped.contains(u));
-        let pick_query = self.updates.is_empty()
-            || (!self.queries.is_empty() && self.rng.random::<f64>() < 0.5);
+        let pick_query =
+            self.updates.is_empty() || (!self.queries.is_empty() && self.rng.random::<f64>() < 0.5);
         if pick_query && !self.queries.is_empty() {
             let at = self.rng.random_range(0..self.queries.len());
             return Some(TxnRef::Query(self.queries.remove(at)));
@@ -69,8 +74,7 @@ impl Scheduler for Chaos {
     }
     fn should_preempt(&mut self, _now: SimTime, _running: TxnRef) -> bool {
         // Preempt 20% of the time whenever anything is queued.
-        (!self.queries.is_empty() || !self.updates.is_empty())
-            && self.rng.random::<f64>() < 0.2
+        (!self.queries.is_empty() || !self.updates.is_empty()) && self.rng.random::<f64>() < 0.2
     }
     fn next_timer(&mut self, now: SimTime) -> Option<SimTime> {
         // Random wakeups to exercise the timer machinery.
@@ -88,7 +92,11 @@ impl Scheduler for Chaos {
 // A pair of TxnRef re-exports the test needs (not in prelude).
 use quts_sim::TxnRef;
 
-fn mini_workload(seed: u64, n_queries: usize, n_updates: usize) -> (Vec<QuerySpec>, Vec<UpdateSpec>) {
+fn mini_workload(
+    seed: u64,
+    n_queries: usize,
+    n_updates: usize,
+) -> (Vec<QuerySpec>, Vec<UpdateSpec>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries: Vec<QuerySpec> = (0..n_queries)
         .map(|_| QuerySpec {

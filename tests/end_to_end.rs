@@ -170,7 +170,13 @@ fn staleness_aggregation_modes_order_sensibly() {
             num_stocks: trace.num_stocks,
             ..SimConfig::default()
         };
-        Simulator::new(sim, trace.queries.clone(), trace.updates.clone(), DualQueue::qh()).run()
+        Simulator::new(
+            sim,
+            trace.queries.clone(),
+            trace.updates.clone(),
+            DualQueue::qh(),
+        )
+        .run()
     };
     let max = run_agg(StalenessAggregation::Max);
     let sum = run_agg(StalenessAggregation::Sum);

@@ -1,0 +1,306 @@
+//! Fault-injection and overload tests for the live engine.
+//!
+//! The invariant under test everywhere: a client that submits a query
+//! gets exactly one resolution — an answer or a clean error — **never a
+//! hang**, no matter what the scheduler does (panics, restarts, stalls,
+//! floods, dropped replies, shutdown races).
+
+use quts::prelude::*;
+use std::time::Duration;
+
+fn stocks(n: u32) -> (Store, Vec<StockId>) {
+    let store = Store::with_synthetic_stocks(n);
+    let ids = (0..n).map(StockId).collect();
+    (store, ids)
+}
+
+fn qc() -> QualityContract {
+    QualityContract::step(5.0, 1000.0, 5.0, 1)
+}
+
+/// Resolution must not be a caller-side timeout: that would mean the
+/// reply channel never settled.
+fn assert_settled(outcome: &Result<quts::engine::QueryReply, QueryError>) {
+    assert!(
+        !matches!(outcome, Err(QueryError::Timeout)),
+        "ticket hung: reply channel never resolved"
+    );
+}
+
+#[test]
+fn panic_without_restart_poisons_and_resolves_every_client() {
+    let (store, ids) = stocks(4);
+    let cfg = EngineConfig::default()
+        .with_seed(1)
+        .with_fault_plan(FaultPlan::default().panic_after(1));
+    let engine = Engine::start(store, cfg);
+    let handle = engine.handle();
+
+    let mut tickets = Vec::new();
+    for i in 0..20u32 {
+        match handle.submit_query(QueryOp::Lookup(ids[(i % 4) as usize]), qc()) {
+            Ok(t) => tickets.push(t),
+            // Late submissions may already see the poisoned engine.
+            Err(SubmitError::EngineDown) => {}
+            Err(SubmitError::QueueFull) => panic!("capacity is ample here"),
+        }
+    }
+
+    // Every admitted ticket resolves; after the injected panic nothing
+    // hangs, clients get a clean error (or an answer, for work that ran
+    // before the crash).
+    for t in &tickets {
+        assert_settled(&t.recv_timeout(Duration::from_secs(10)));
+    }
+
+    // The supervisor poisons the engine (no restart budget configured).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.state() == EngineState::Running {
+        assert!(std::time::Instant::now() < deadline, "never poisoned");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.state(), EngineState::Poisoned);
+    assert!(matches!(
+        handle.submit_query(QueryOp::Lookup(ids[0]), qc()),
+        Err(SubmitError::EngineDown)
+    ));
+    assert!(matches!(
+        handle.submit_update(Trade {
+            stock: ids[0],
+            price: 1.0,
+            volume: 1,
+            trade_time_ms: 0
+        }),
+        Err(SubmitError::EngineDown)
+    ));
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.engine_restarts, 0);
+}
+
+#[test]
+fn restart_on_panic_continues_over_the_surviving_store() {
+    let (store, ids) = stocks(2);
+    let cfg = EngineConfig::default()
+        .with_seed(2)
+        .with_restart_on_panic(3)
+        .with_restart_backoff(Duration::from_millis(1))
+        .with_fault_plan(FaultPlan::default().panic_after(2));
+    let engine = Engine::start(store, cfg);
+
+    // Transaction 1: apply an update, mutating the store.
+    engine
+        .submit_update(Trade {
+            stock: ids[0],
+            price: 77.0,
+            volume: 1,
+            trade_time_ms: 0,
+        })
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Transaction 2 panics (injected). Whatever was in flight resolves
+    // with a clean error; the supervisor restarts the scheduler.
+    let crashed = engine
+        .submit_query(QueryOp::Lookup(ids[0]), qc())
+        .expect("admitted");
+    assert_settled(&crashed.recv_timeout(Duration::from_secs(10)));
+
+    // The restarted scheduler serves the pre-crash store state: the
+    // applied update survived, and the staleness tracker knows the item
+    // is fresh.
+    let reply = engine
+        .submit_query(QueryOp::Lookup(ids[0]), qc())
+        .expect("engine is running again")
+        .recv_timeout(Duration::from_secs(10))
+        .expect("answered after restart");
+    assert_eq!(reply.result, QueryResult::Price(77.0));
+    assert_eq!(reply.staleness, 0.0, "tracker survived the restart");
+
+    assert_eq!(engine.state(), EngineState::Running);
+    let stats = engine.shutdown();
+    assert_eq!(stats.engine_restarts, 1);
+    assert_eq!(stats.updates_applied, 1);
+}
+
+#[test]
+fn overload_burst_is_rejected_at_the_door_and_admitted_work_resolves() {
+    let (store, ids) = stocks(8);
+    let capacity = 16usize;
+    let cfg = EngineConfig::default()
+        .with_seed(3)
+        .with_queue_capacity(capacity)
+        .with_max_pending_queries(2 * capacity)
+        .with_paper_costs(); // ~7 ms per query: the burst far outruns service
+    let engine = Engine::start(store, cfg);
+    let handle = engine.handle();
+
+    // 10x capacity, submitted as fast as the CPU allows.
+    let mut admitted = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..(10 * capacity) {
+        match handle.submit_query(QueryOp::Lookup(ids[i % 8]), qc()) {
+            Ok(t) => admitted.push(t),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(SubmitError::EngineDown) => panic!("engine must stay up under load"),
+        }
+    }
+    assert!(rejected > 0, "a 10x burst must hit the admission limit");
+    assert!(
+        admitted.len() >= capacity,
+        "at least one channel's worth must be admitted"
+    );
+
+    // Every admitted query resolves with an answer (lifetimes here are
+    // effectively unbounded, so nothing sheds).
+    for t in &admitted {
+        t.recv_timeout(Duration::from_secs(30))
+            .expect("admitted work resolves");
+    }
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.queue_full_rejections, rejected);
+    assert_eq!(stats.aggregates.submitted, admitted.len() as u64);
+    assert_eq!(stats.aggregates.committed, admitted.len() as u64);
+}
+
+#[test]
+fn expired_queries_shed_with_zero_profit() {
+    let (store, ids) = stocks(2);
+    let cfg = EngineConfig::default()
+        .with_seed(4)
+        .with_fault_plan(FaultPlan::default().stall_per_txn(Duration::from_millis(25)));
+    let engine = Engine::start(store, cfg);
+
+    // Short-lived queries behind a 25 ms-per-transaction scheduler: the
+    // first may execute in time, the tail expires in the queue.
+    let tickets: Vec<_> = (0..10)
+        .map(|i| {
+            engine
+                .submit_query(QueryOp::Lookup(ids[i % 2]), qc().with_lifetime_ms(10.0))
+                .expect("admitted")
+        })
+        .collect();
+
+    let mut answered_profit = 0.0;
+    let mut answered = 0u64;
+    let mut shed = 0u64;
+    for t in &tickets {
+        match t.recv_timeout(Duration::from_secs(10)) {
+            Ok(reply) => {
+                answered += 1;
+                answered_profit += reply.profit();
+            }
+            Err(QueryError::Expired) => shed += 1,
+            Err(e) => panic!("unexpected outcome {e:?}"),
+        }
+    }
+    assert_eq!(answered + shed, 10, "every ticket resolves exactly once");
+    assert!(shed > 0, "the tail must expire behind the stall");
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.shed_expired, shed);
+    assert_eq!(stats.aggregates.committed, answered);
+    assert_eq!(
+        stats.aggregates.submitted, 10,
+        "shed queries still count as submitted"
+    );
+    // Shed queries earn exactly nothing: the ledger holds only the
+    // answered queries' profit.
+    let ledger = stats.aggregates.qos_gained + stats.aggregates.qod_gained;
+    assert!(
+        (ledger - answered_profit).abs() < 1e-9,
+        "ledger {ledger} vs replies {answered_profit}"
+    );
+}
+
+#[test]
+fn dropped_replies_become_clean_errors_not_hangs() {
+    let (store, ids) = stocks(4);
+    let cfg = EngineConfig::default()
+        .with_seed(5)
+        .with_fault_plan(FaultPlan::default().drop_reply_every(2));
+    let engine = Engine::start(store, cfg);
+
+    let tickets: Vec<_> = (0..10)
+        .map(|i| {
+            engine
+                .submit_query(QueryOp::Lookup(ids[i % 4]), qc())
+                .expect("admitted")
+        })
+        .collect();
+
+    let mut ok = 0;
+    let mut dropped = 0;
+    for t in &tickets {
+        match t.recv_timeout(Duration::from_secs(10)) {
+            Ok(_) => ok += 1,
+            Err(QueryError::EngineDown) => dropped += 1,
+            Err(e) => panic!("unexpected outcome {e:?}"),
+        }
+    }
+    assert_eq!(ok + dropped, 10);
+    assert_eq!(dropped, 5, "every second reply is dropped by the plan");
+
+    // The engine executed everything even though half the replies
+    // vanished on the way out.
+    let stats = engine.shutdown();
+    assert_eq!(stats.aggregates.committed, 10);
+}
+
+#[test]
+fn update_floods_hit_the_high_water_mark_but_memory_stays_bounded() {
+    let (store, ids) = stocks(64);
+    let cfg = EngineConfig::default()
+        .with_seed(6)
+        .with_max_pending_updates(8)
+        .with_fault_plan(FaultPlan::default().update_burst(5, 20));
+    let engine = Engine::start(store, cfg);
+
+    // Drive transactions so the periodic bursts keep firing; the engine
+    // must keep answering throughout.
+    for i in 0..30u32 {
+        let reply = engine
+            .submit_query(QueryOp::Lookup(ids[(i % 64) as usize]), qc())
+            .expect("admitted")
+            .recv_timeout(Duration::from_secs(10));
+        assert_settled(&reply);
+        reply.expect("answered under flood");
+    }
+
+    let stats = engine.shutdown();
+    assert!(
+        stats.updates_dropped_overload > 0,
+        "bursts of distinct items must overflow an 8-entry backlog"
+    );
+    // Conservation: every synthetic arrival was applied, collapsed by
+    // the register table, or dropped at the high-water mark.
+    assert!(stats.updates_applied > 0, "the backlog still drains");
+}
+
+#[test]
+fn shutdown_with_inflight_queries_resolves_every_ticket() {
+    let (store, ids) = stocks(4);
+    let cfg = EngineConfig::default().with_seed(7).with_paper_costs();
+    let engine = Engine::start(store, cfg);
+
+    // A backlog the scheduler cannot possibly have finished when the
+    // shutdown lands.
+    let tickets: Vec<_> = (0..50)
+        .map(|i| {
+            engine
+                .submit_query(QueryOp::Lookup(ids[i % 4]), qc())
+                .expect("admitted")
+        })
+        .collect();
+    let stats = engine.shutdown();
+
+    // Shutdown drains: every in-flight query was answered, none hang.
+    for t in &tickets {
+        match t.try_recv() {
+            Some(outcome) => assert_settled(&outcome),
+            None => panic!("ticket unresolved after shutdown"),
+        }
+    }
+    assert_eq!(stats.aggregates.committed, 50);
+}

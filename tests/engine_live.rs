@@ -32,7 +32,7 @@ fn final_store_state_matches_direct_application() {
 
     let engine = Engine::start(live, EngineConfig::default().with_seed(3));
     for t in &trades {
-        engine.submit_update(*t);
+        engine.submit_update(*t).expect("admitted");
     }
     let stats = engine.shutdown();
     assert_eq!(
@@ -49,7 +49,7 @@ fn final_store_state_matches_direct_application() {
     }
     let engine = Engine::start(verify, EngineConfig::default().with_seed(4));
     for t in &trades {
-        engine.submit_update(*t);
+        engine.submit_update(*t).expect("admitted");
     }
     // Updates precede the queries in the channel, and the engine answers
     // queries only after working through the backlog per its schedule —
@@ -61,6 +61,7 @@ fn final_store_state_matches_direct_application() {
                 QueryOp::Lookup(id),
                 QualityContract::step(1.0, 10_000.0, 1.0, 1),
             )
+            .expect("admitted")
             .recv_timeout(Duration::from_secs(5))
             .expect("answered");
         if reply.staleness == 0.0 {
@@ -83,6 +84,7 @@ fn accounting_matches_qc_framework() {
     let qc = QualityContract::step(10.0, 10_000.0, 20.0, 1);
     let reply = engine
         .submit_query(QueryOp::Lookup(id), qc.clone())
+        .expect("admitted")
         .recv_timeout(Duration::from_secs(5))
         .unwrap();
     // Re-derive the profit from the reply's own rt/staleness.
@@ -105,19 +107,25 @@ fn moving_average_sees_applied_history() {
     // With clustering semantics only the freshest pending update applies;
     // spacing submissions out lets each apply.
     for i in 1..=4u64 {
-        engine.submit_update(Trade {
-            stock: id,
-            price: 10.0 * (i + 1) as f64,
-            volume: 1,
-            trade_time_ms: i,
-        });
+        engine
+            .submit_update(Trade {
+                stock: id,
+                price: 10.0 * (i + 1) as f64,
+                volume: 1,
+                trade_time_ms: i,
+            })
+            .expect("admitted");
         std::thread::sleep(Duration::from_millis(20));
     }
     let reply = engine
         .submit_query(
-            QueryOp::MovingAverage { stock: id, window: 32 },
+            QueryOp::MovingAverage {
+                stock: id,
+                window: 32,
+            },
             QualityContract::step(1.0, 10_000.0, 1.0, 1),
         )
+        .expect("admitted")
         .recv_timeout(Duration::from_secs(5))
         .unwrap();
     let stats = engine.shutdown();

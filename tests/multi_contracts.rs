@@ -44,7 +44,10 @@ fn lowered_contracts_drive_the_scheduler() {
         Quts::with_defaults(),
     )
     .run();
-    assert_eq!(report.committed + report.expired, trace.queries.len() as u64);
+    assert_eq!(
+        report.committed + report.expired,
+        trace.queries.len() as u64
+    );
     assert!(report.total_pct() > 0.3, "earned {}", report.total_pct());
 
     // Re-price every outcome through the *general* evaluator: it must

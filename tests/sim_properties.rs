@@ -17,34 +17,34 @@ struct MiniWorkload {
 fn arb_workload() -> impl Strategy<Value = MiniWorkload> {
     let queries = proptest::collection::vec(
         (
-            0u64..2_000,          // arrival ms
-            0u32..STOCKS,         // stock
-            1u64..12,             // cost ms
-            0.0..50.0f64,         // qosmax
-            0.0..50.0f64,         // qodmax
-            10.0..150.0f64,       // rtmax ms
-            1u32..4,              // uumax
-            proptest::bool::ANY,  // step vs linear
+            0u64..2_000,         // arrival ms
+            0u32..STOCKS,        // stock
+            1u64..12,            // cost ms
+            0.0..50.0f64,        // qosmax
+            0.0..50.0f64,        // qodmax
+            10.0..150.0f64,      // rtmax ms
+            1u32..4,             // uumax
+            proptest::bool::ANY, // step vs linear
         ),
         0..40,
     );
-    let updates = proptest::collection::vec(
-        (0u64..2_000, 0u32..STOCKS, 1u64..6, 1.0..500.0f64),
-        0..120,
-    );
+    let updates =
+        proptest::collection::vec((0u64..2_000, 0u32..STOCKS, 1u64..6, 1.0..500.0f64), 0..120);
     (queries, updates).prop_map(|(qs, us)| {
         let mut queries: Vec<QuerySpec> = qs
             .into_iter()
-            .map(|(ms, stock, cost, qos, qod, rtmax, uumax, step)| QuerySpec {
-                arrival: SimTime::from_ms(ms),
-                op: QueryOp::Lookup(StockId(stock)),
-                cost: SimDuration::from_ms(cost),
-                qc: if step {
-                    QualityContract::step(qos, rtmax, qod, uumax)
-                } else {
-                    QualityContract::linear(qos, rtmax, qod, uumax)
+            .map(
+                |(ms, stock, cost, qos, qod, rtmax, uumax, step)| QuerySpec {
+                    arrival: SimTime::from_ms(ms),
+                    op: QueryOp::Lookup(StockId(stock)),
+                    cost: SimDuration::from_ms(cost),
+                    qc: if step {
+                        QualityContract::step(qos, rtmax, qod, uumax)
+                    } else {
+                        QualityContract::linear(qos, rtmax, qod, uumax)
+                    },
                 },
-            })
+            )
             .collect();
         queries.sort_by_key(|q| q.arrival);
         let mut updates: Vec<UpdateSpec> = us

@@ -1,0 +1,386 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` subset the workspace uses —
+//! [`channel::bounded`] / [`channel::unbounded`] MPMC channels with
+//! `send`, `try_send`, `recv`, `try_recv` and `recv_timeout` — over a
+//! `Mutex` + `Condvar` queue. Semantics match crossbeam where the
+//! workspace depends on them:
+//!
+//! - cloneable senders *and* receivers (MPMC);
+//! - a receiver drains buffered messages even after every sender is
+//!   dropped, and only then reports disconnection;
+//! - senders observe disconnection once every receiver is gone;
+//! - `try_send` on a full bounded channel fails without blocking.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels (crossbeam-channel subset).
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when a message is enqueued or endpoints disconnect.
+        not_empty: Condvar,
+        /// Signalled when a message is dequeued or endpoints disconnect.
+        not_full: Condvar,
+        cap: Option<usize>,
+    }
+
+    fn shared<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    /// An unbounded channel: sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        shared(None)
+    }
+
+    /// A bounded channel holding at most `cap` messages.
+    ///
+    /// `cap` must be at least 1 (rendezvous channels are not supported
+    /// by this stand-in, and the workspace never creates them).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "zero-capacity channels are not supported");
+        shared(Some(cap))
+    }
+
+    /// Error for [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error for [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    /// Error for [`Receiver::recv`]: empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now.
+        Empty,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived within the timeout.
+        Timeout,
+        /// Empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (or all receivers left).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.inner.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.inner.not_full.wait(state).expect("channel lock");
+                    }
+                    _ => {
+                        state.queue.push_back(msg);
+                        drop(state);
+                        self.inner.not_empty.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Enqueues without blocking; fails on a full bounded channel.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.inner.cap {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the buffer is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or all senders left).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.inner.not_empty.wait(state).expect("channel lock");
+            }
+        }
+
+        /// Dequeues without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.inner.state.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel lock");
+                state = guard;
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.inner.state.lock().expect("channel lock").queue.len()
+        }
+
+        /// Whether the buffer is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// A draining blocking iterator (ends on disconnect).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.state.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.state.lock().expect("channel lock");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Crossbeam discards buffered messages once every receiver
+                // is gone; values owned by queued messages (e.g. reply
+                // senders) must be dropped here, not when the last sender
+                // leaves.
+                let orphans: Vec<T> = state.queue.drain(..).collect();
+                drop(state);
+                drop(orphans);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn round_trip() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn bounded_try_send_full() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn drain_after_sender_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+        }
+
+        #[test]
+        fn receiver_drop_discards_buffered_messages() {
+            let probe = std::sync::Arc::new(());
+            let (tx, rx) = unbounded();
+            tx.send(std::sync::Arc::clone(&probe)).unwrap();
+            tx.send(std::sync::Arc::clone(&probe)).unwrap();
+            assert_eq!(std::sync::Arc::strong_count(&probe), 3);
+            drop(rx);
+            // The sender is still alive, but the buffered values are gone.
+            assert_eq!(std::sync::Arc::strong_count(&probe), 1);
+            drop(tx);
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (tx, rx) = unbounded::<u32>();
+            let start = std::time::Instant::now();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            assert!(start.elapsed() >= Duration::from_millis(20));
+            drop(tx);
+        }
+
+        #[test]
+        fn cross_thread() {
+            let (tx, rx) = bounded(4);
+            let producer = std::thread::spawn(move || {
+                for i in 0..1000 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut seen = 0;
+            while let Ok(v) = rx.recv() {
+                assert_eq!(v, seen);
+                seen += 1;
+            }
+            producer.join().unwrap();
+            assert_eq!(seen, 1000);
+        }
+    }
+}

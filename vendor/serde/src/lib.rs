@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its metric and
+//! contract types (behind optional `serde` features) but contains no
+//! in-tree serializer, so marker traits plus no-op derives keep every
+//! `#[cfg_attr(feature = "serde", derive(...))]` compiling without
+//! crates.io access. Swap for the real crates before adding actual
+//! serialization.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

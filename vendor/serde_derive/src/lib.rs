@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derives for the vendored serde
+//! stand-in.
+//!
+//! The workspace only *derives* the serde traits (behind the optional
+//! `serde` features) and never serializes through them in-tree, so the
+//! derives legitimately expand to nothing. If a future PR adds real
+//! serialization, replace the vendor stubs with the real crates.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
