@@ -9,6 +9,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use quts_db::{LockMode, LockTable, StockId, TxnToken};
 use std::hint::black_box;
 
+/// Tokens cycle over a bounded window, as they do in the simulator
+/// (transaction ids are bounded by the trace): a released token may be
+/// reused, which keeps the dense per-token table at its steady-state size.
+const TOKEN_WINDOW: u64 = 0x3FF;
+
 fn bench_uncontended(c: &mut Criterion) {
     let mut g = c.benchmark_group("lock_table");
     g.bench_function("acquire_release_read", |b| {
@@ -16,7 +21,7 @@ fn bench_uncontended(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            let txn = TxnToken(t);
+            let txn = TxnToken(t & TOKEN_WINDOW);
             lt.acquire(txn, t as f64, StockId(black_box(7)), LockMode::Read);
             lt.release_all(txn);
         })
@@ -26,7 +31,7 @@ fn bench_uncontended(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            let txn = TxnToken(t);
+            let txn = TxnToken(t & TOKEN_WINDOW);
             lt.acquire(txn, t as f64, StockId(black_box(7)), LockMode::Write);
             lt.release_all(txn);
         })
@@ -36,7 +41,7 @@ fn bench_uncontended(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            let txn = TxnToken(t);
+            let txn = TxnToken(t & TOKEN_WINDOW);
             for i in 0..5u32 {
                 lt.acquire(txn, t as f64, StockId(i), LockMode::Read);
             }
@@ -54,8 +59,8 @@ fn bench_eviction(c: &mut Criterion) {
             // Low-priority reader takes the item, high-priority writer
             // evicts it: the 2PL-HP restart path end-to-end.
             t += 2;
-            let victim = TxnToken(t - 1);
-            let winner = TxnToken(t);
+            let victim = TxnToken((t - 1) & TOKEN_WINDOW);
+            let winner = TxnToken(t & TOKEN_WINDOW);
             lt.acquire(victim, (t - 1) as f64, StockId(3), LockMode::Read);
             lt.acquire(winner, t as f64, StockId(3), LockMode::Write);
             lt.release_all(winner);

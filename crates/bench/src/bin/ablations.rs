@@ -1,194 +1,9 @@
-//! Ablations over the design choices DESIGN.md calls out.
-//!
-//! These are not paper figures; they quantify the assumptions the
-//! reproduction had to make and the knobs the paper leaves open:
-//!
-//! 1. the aging factor α ("the exact α does not matter much"),
-//! 2. the staleness aggregation for multi-item queries (Max/Sum/Mean),
-//! 3. QoS-Dependent vs QoS-Independent contract composition,
-//! 4. the update register table's queue-position inheritance (vs naive
-//!    tail re-entry, which starves hot items),
-//! 5. the low-level query policy under QUTS (VRD/EDF/FIFO/profit-density).
-
-use quts_bench::{harness, paper_trace, run_policy, run_policy_with, Policy};
-use quts_metrics::{table::pct, TextTable};
-use quts_qc::{Composition, StalenessAggregation};
-use quts_sched::{QueryOrder, QutsConfig};
-use quts_sim::{engine::UpdateReentry, SimConfig};
-use quts_workload::{qcgen, QcPreset, QcShape};
+//! Thin command-line wrapper; the experiment itself lives in
+//! `quts_bench::experiments::ablations`.
 
 fn main() {
-    let scale = harness::experiment_scale();
-    harness::banner("Ablations over the reproduction's design choices", scale);
-
-    let base = paper_trace(scale, 1);
-    let mut balanced = base.clone();
-    qcgen::assign_qcs(&mut balanced, QcPreset::Balanced, QcShape::Step, 7);
-    let mut qod_heavy = base.clone();
-    qcgen::assign_qcs(
-        &mut qod_heavy,
-        QcPreset::Spectrum { k: 9 },
-        QcShape::Step,
-        7,
-    );
-    let mut phases = base;
-    qcgen::assign_qcs(&mut phases, QcPreset::Phases, QcShape::Step, 7);
-
-    // 1. Aging factor α (phase workload: adaptation speed matters most).
-    println!("1. aging factor alpha (QUTS, Figure 9 workload)");
-    let mut t = TextTable::new(["alpha", "total profit %"]);
-    for alpha in [0.05, 0.1, 0.2, 0.5, 1.0] {
-        let r = run_policy(
-            &phases,
-            Policy::Quts(QutsConfig::default().with_alpha(alpha)),
-        );
-        t.row([format!("{alpha}"), pct(r.total_pct())]);
-    }
-    print!("{}", t.render());
-    println!();
-
-    // 2. Staleness aggregation for multi-item queries.
-    println!("2. staleness aggregation (QUTS, balanced QCs)");
-    let mut t = TextTable::new(["aggregation", "total profit %", "#uu"]);
-    for (agg, name) in [
-        (StalenessAggregation::Max, "max"),
-        (StalenessAggregation::Sum, "sum"),
-        (StalenessAggregation::Mean, "mean"),
-    ] {
-        let sim = SimConfig {
-            staleness_agg: agg,
-            ..SimConfig::default()
-        };
-        let r = run_policy_with(&balanced, Policy::quts_default(), sim);
-        t.row([
-            name.to_string(),
-            pct(r.total_pct()),
-            format!("{:.3}", r.avg_staleness()),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-
-    // 3. Composition mode.
-    println!("3. contract composition (QUTS, balanced QCs)");
-    let mut t = TextTable::new(["composition", "QoS%", "QoD%", "total%"]);
-    for (comp, name) in [
-        (Composition::QoSIndependent, "QoS-independent (paper)"),
-        (Composition::QoSDependent, "QoS-dependent"),
-    ] {
-        let mut trace = balanced.clone();
-        for q in &mut trace.queries {
-            q.qc.composition = comp;
-        }
-        let r = run_policy(&trace, Policy::quts_default());
-        t.row([
-            name.to_string(),
-            pct(r.qos_pct()),
-            pct(r.qod_pct()),
-            pct(r.total_pct()),
-        ]);
-    }
-    print!("{}", t.render());
-    println!();
-
-    // 4. Register-table queue-position inheritance.
-    println!("4. update re-entry semantics (QH, QoD-heavy QCs)");
-    let mut t = TextTable::new([
-        "re-entry",
-        "total%",
-        "mean #uu",
-        "worst #uu",
-        "mean apply delay",
-    ]);
-    for (mode, name) in [
-        (UpdateReentry::InheritPosition, "inherit position (default)"),
-        (UpdateReentry::Tail, "tail (naive)"),
-    ] {
-        let sim = SimConfig {
-            update_reentry: mode,
-            ..SimConfig::default()
-        };
-        let r = run_policy_with(&qod_heavy, Policy::Qh, sim);
-        t.row([
-            name.to_string(),
-            pct(r.total_pct()),
-            format!("{:.3}", r.avg_staleness()),
-            format!("{:.0}", r.staleness.max().unwrap_or(0.0)),
-            format!("{:.0} ms", r.update_delay_ms.mean()),
-        ]);
-    }
-    print!("{}", t.render());
-    println!(
-        "(tail re-entry keeps reborn updates at the back of the queue, so frequently          traded stocks accumulate unbounded #uu while cold stocks stay fresh)"
-    );
-    println!();
-
-    // 5. Single-priority-queue exchange rates (Section 3.1's strawman).
-    println!("5. one merged priority queue: the exchange-rate strawman");
-    println!("   (queries ranked by VRD; every update worth `rate` on the same scale)");
-    let mut t = TextTable::new(["policy", "QoS-heavy k=1", "balanced k=5", "QoD-heavy k=9"]);
-    let mut spectrum_traces = Vec::new();
-    for k in [1u8, 5, 9] {
-        let mut tr = paper_trace(scale, 1);
-        qcgen::assign_qcs(&mut tr, QcPreset::Spectrum { k }, QcShape::Step, 7);
-        spectrum_traces.push(tr);
-    }
-    let mut row = |name: String, policy: Policy| {
-        let cells: Vec<String> = spectrum_traces
-            .iter()
-            .map(|tr| pct(run_policy(tr, policy).total_pct()))
-            .collect();
-        t.row([name, cells[0].clone(), cells[1].clone(), cells[2].clone()]);
-    };
-    for rate in [0.0, 0.2, 0.5, 1.0, 5.0] {
-        row(
-            format!("Greedy rate={rate}"),
-            Policy::Greedy {
-                exchange_rate: rate,
-            },
-        );
-    }
-    row("QUTS".to_string(), Policy::quts_default());
-    print!("{}", t.render());
-    println!(
-        "(no single exchange rate matches QUTS at every point: low rates mimic QH, \
-         high rates mimic UH — the scales are incomparable, which is the paper's \
-         argument for two-level scheduling)"
-    );
-    println!();
-
-    // 6. Adaptive vs frozen rho (what the feedback loop is worth).
-    println!("6. adaptive rho vs static allocations (Figure 9 workload)");
-    let mut t = TextTable::new(["variant", "total profit %"]);
-    for rho in [0.5, 0.6, 0.75, 0.9, 1.0] {
-        let cfg = QutsConfig::default().with_fixed_rho(rho);
-        let r = run_policy(&phases, Policy::Quts(cfg));
-        t.row([format!("fixed rho={rho}"), pct(r.total_pct())]);
-    }
-    let r = run_policy(&phases, Policy::quts_default());
-    t.row(["adaptive (paper)".to_string(), pct(r.total_pct())]);
-    print!("{}", t.render());
-    println!("(adaptation must match or beat every static allocation)");
-    println!();
-
-    // 7. Low-level query policy under QUTS.
-    println!("7. low-level query policy (QUTS, balanced QCs)");
-    let mut t = TextTable::new(["policy", "QoS%", "QoD%", "total%", "rt (ms)"]);
-    for order in [
-        QueryOrder::Vrd,
-        QueryOrder::Edf,
-        QueryOrder::Fifo,
-        QueryOrder::ProfitDensity,
-    ] {
-        let cfg = QutsConfig::default().with_query_order(order);
-        let r = run_policy(&balanced, Policy::Quts(cfg));
-        t.row([
-            order.label().to_string(),
-            pct(r.qos_pct()),
-            pct(r.qod_pct()),
-            pct(r.total_pct()),
-            format!("{:.1}", r.avg_response_time_ms()),
-        ]);
-    }
-    print!("{}", t.render());
+    let scale = quts_bench::harness::experiment_scale();
+    let jobs = quts_bench::jobs();
+    let mut out = std::io::stdout().lock();
+    quts_bench::experiments::ablations::run(scale, jobs, &mut out).expect("write to stdout");
 }

@@ -1,75 +1,10 @@
-//! Figure 10 — sensitivity of QUTS to its two parameters.
-//!
-//! (a) the adaptation period ω swept from 0.1 s to 100 s barely moves
-//! total profit; (b) the atom time τ swept from 1 ms to 1000 ms peaks
-//! around 10 ms — just above the maximum query execution time — and
-//! degrades at both extremes (contention at 1 ms; coarse allocation at
-//! 1000 ms). Setup as in Figure 9 (phase-flipping QCs).
-
-use quts_bench::{harness, paper_trace, run_policy, Policy};
-use quts_metrics::{table::pct, TextTable};
-use quts_sched::QutsConfig;
-use quts_sim::SimDuration;
-use quts_workload::{qcgen, QcPreset, QcShape};
+//! Thin command-line wrapper; the experiment itself lives in
+//! `quts_bench::experiments::fig10_sensitivity`.
 
 fn main() {
-    let scale = harness::experiment_scale();
-    harness::banner("Figure 10: sensitivity of QUTS to omega and tau", scale);
-
-    let mut trace = paper_trace(scale, 1);
-    qcgen::assign_qcs(&mut trace, QcPreset::Phases, QcShape::Step, 7);
-
-    // (a) adaptation period sweep, tau fixed at the 10 ms default.
-    println!("(a) adaptation period omega (tau = 10 ms)");
-    let mut t = TextTable::new(["omega", "total profit %"]);
-    let mut omega_profits = Vec::new();
-    for omega_ms in [100u64, 500, 1_000, 5_000, 10_000, 50_000, 100_000] {
-        let cfg = QutsConfig::default().with_omega(SimDuration::from_ms(omega_ms));
-        let r = run_policy(&trace, Policy::Quts(cfg));
-        t.row([
-            format!("{:.1} s", omega_ms as f64 / 1000.0),
-            pct(r.total_pct()),
-        ]);
-        omega_profits.push(r.total_pct());
-    }
-    print!("{}", t.render());
-    let spread = omega_profits
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
-        - omega_profits.iter().cloned().fold(f64::INFINITY, f64::min);
-    println!();
-    println!(
-        "shape check: profit varies little across three orders of magnitude of omega: \
-         spread {:.1} pp (paper: 'very little')",
-        spread * 100.0
-    );
-
-    // (b) atom time sweep, omega fixed at the 1000 ms default.
-    println!();
-    println!("(b) atom time tau (omega = 1000 ms)");
-    let mut t = TextTable::new(["tau", "total profit %"]);
-    let mut tau_profits = Vec::new();
-    let taus = [1u64, 5, 10, 50, 100, 500, 1_000];
-    for &tau_ms in &taus {
-        let cfg = QutsConfig::default().with_tau(SimDuration::from_ms(tau_ms));
-        let r = run_policy(&trace, Policy::Quts(cfg));
-        t.row([format!("{tau_ms} ms"), pct(r.total_pct())]);
-        tau_profits.push(r.total_pct());
-    }
-    print!("{}", t.render());
-    let best = tau_profits
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| taus[i])
-        .unwrap();
-    println!();
-    println!(
-        "best tau: {best} ms (paper: ~10 ms, 'above the maximum execution time of most queries')"
-    );
-    println!(
-        "shape check: tau = 1000 ms is not better than the 5-50 ms band: {}",
-        tau_profits[6] <= tau_profits[1].max(tau_profits[2]).max(tau_profits[3]) + 1e-9
-    );
+    let scale = quts_bench::harness::experiment_scale();
+    let jobs = quts_bench::jobs();
+    let mut out = std::io::stdout().lock();
+    quts_bench::experiments::fig10_sensitivity::run(scale, jobs, &mut out)
+        .expect("write to stdout");
 }

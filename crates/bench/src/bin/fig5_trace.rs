@@ -1,77 +1,9 @@
-//! Figure 5 — trace characteristics.
-//!
-//! (a) the query rate shows only small changes over time; (b) the update
-//! rate trends downward through the half hour; (c) per-stock query and
-//! update frequencies are both heavily skewed, and most stocks lie below
-//! the diagonal (more updates than queries).
-
-use quts_bench::harness;
-use quts_metrics::TextTable;
-use quts_workload::{StockWorkloadConfig, TraceStats};
+//! Thin command-line wrapper; the experiment itself lives in
+//! `quts_bench::experiments::fig5_trace`.
 
 fn main() {
-    let scale = harness::experiment_scale();
-    harness::banner("Figure 5: trace characteristics", scale);
-
-    let trace = StockWorkloadConfig::default().scaled(scale).generate();
-    let stats = TraceStats::compute(&trace);
-
-    // (a) + (b): arrival rates per sixth of the trace.
-    let sixth = |series: &[u64], i: usize| -> f64 {
-        let n = series.len().max(1);
-        let lo = i * n / 6;
-        let hi = ((i + 1) * n / 6).max(lo + 1).min(n);
-        series[lo..hi].iter().sum::<u64>() as f64 / (hi - lo) as f64
-    };
-    let mut t = TextTable::new(["trace sixth", "queries/s (Fig 5a)", "updates/s (Fig 5b)"]);
-    for i in 0..6 {
-        t.row([
-            format!("{}/6", i + 1),
-            format!("{:.1}", sixth(&stats.queries_per_second, i)),
-            format!("{:.1}", sixth(&stats.updates_per_second, i)),
-        ]);
-    }
-    print!("{}", t.render());
-    let first_u = sixth(&stats.updates_per_second, 0);
-    let last_u = sixth(&stats.updates_per_second, 5);
-    println!();
-    println!(
-        "shape check (5b): update rate declines over the trace: {} ({:.0}/s -> {:.0}/s)",
-        first_u > last_u,
-        first_u,
-        last_u
-    );
-
-    // (c): the query-vs-update scatter, summarised.
-    println!();
-    println!("Figure 5c: per-stock query accesses vs update counts");
-    let mut by_updates: Vec<&(u64, u64)> = stats.per_stock.iter().collect();
-    by_updates.sort_by_key(|&&(_, u)| std::cmp::Reverse(u));
-    let mut c = TextTable::new([
-        "percentile of stocks (by updates)",
-        "updates",
-        "query accesses",
-    ]);
-    for (label, idx) in [
-        ("top 0.1%", stats.per_stock.len() / 1000),
-        ("top 1%", stats.per_stock.len() / 100),
-        ("top 10%", stats.per_stock.len() / 10),
-        ("median", stats.per_stock.len() / 2),
-    ] {
-        let &&(q, u) = &by_updates[idx.min(by_updates.len() - 1)];
-        c.row([label.to_string(), u.to_string(), q.to_string()]);
-    }
-    print!("{}", c.render());
-    println!();
-    println!(
-        "fraction of active stocks below the diagonal (updates > queries): {:.2} \
-         (paper: 'most stocks')",
-        stats.below_diagonal_fraction()
-    );
-    let updates_total: u64 = stats.per_stock.iter().map(|&(_, u)| u).sum();
-    let queries_total: u64 = stats.per_stock.iter().map(|&(q, _)| q).sum();
-    println!(
-        "updates per query access overall: {:.2} (paper: ~6.0)",
-        updates_total as f64 / queries_total.max(1) as f64
-    );
+    let scale = quts_bench::harness::experiment_scale();
+    let jobs = quts_bench::jobs();
+    let mut out = std::io::stdout().lock();
+    quts_bench::experiments::fig5_trace::run(scale, jobs, &mut out).expect("write to stdout");
 }

@@ -1,68 +1,9 @@
-//! Figure 6 — profit percentage of the four scheduling algorithms under
-//! step and linear Quality Contracts.
-//!
-//! Setup: `qosmax, qodmax ~ U[$10, $50]` (so `QOSmax% = QODmax% = 0.5`),
-//! `rtmax ~ U[50, 100] ms`, `uumax = 1`. The paper's reading: QUTS earns
-//! the highest total, close to maximal on both dimensions — taking the
-//! "best" dimension of each baseline (QoS from QH, QoD from UH); QH is
-//! low on QoD, UH low on QoS, FIFO worst overall with the worst QoS.
-
-use quts_bench::{harness, paper_trace, run_policy, Policy};
-use quts_metrics::{table::pct, TextTable};
-use quts_workload::{qcgen, QcPreset, QcShape};
+//! Thin command-line wrapper; the experiment itself lives in
+//! `quts_bench::experiments::fig6_step_linear`.
 
 fn main() {
-    let scale = harness::experiment_scale();
-    harness::banner(
-        "Figure 6: step vs linear QCs, profit percentage per policy",
-        scale,
-    );
-
-    let base = paper_trace(scale, 1);
-
-    for (shape, label) in [
-        (QcShape::Step, "(a) step QCs"),
-        (QcShape::Linear, "(b) linear QCs"),
-    ] {
-        println!("{label}");
-        let mut trace = base.clone();
-        qcgen::assign_qcs(&mut trace, QcPreset::Balanced, shape, 7);
-
-        let mut t = TextTable::new(["policy", "QoS%", "QoD%", "total%", "rt (ms)", "#uu"]);
-        let mut totals = Vec::new();
-        for policy in Policy::comparison_set() {
-            let r = run_policy(&trace, policy);
-            t.row([
-                r.scheduler.to_string(),
-                pct(r.qos_pct()),
-                pct(r.qod_pct()),
-                pct(r.total_pct()),
-                format!("{:.1}", r.avg_response_time_ms()),
-                format!("{:.3}", r.avg_staleness()),
-            ]);
-            totals.push((r.scheduler, r.total_pct(), r.qos_pct(), r.qod_pct()));
-        }
-        print!("{}", t.render());
-
-        let get = |n: &str| totals.iter().find(|x| x.0 == n).unwrap();
-        let quts = get("QUTS");
-        println!();
-        println!(
-            "shape check: QUTS within 1pp of the best policy on total profit: {}",
-            totals.iter().all(|x| quts.1 >= x.1 - 0.01)
-        );
-        println!(
-            "shape check: FIFO and UH are the bottom two on total profit: {}",
-            get("FIFO").1 < quts.1 - 0.05
-                && get("FIFO").1 < get("QH").1 - 0.05
-                && get("UH").1 < quts.1 - 0.05
-        );
-        println!(
-            "shape check: the fixed-priority extremes each sacrifice a dimension: \
-             UH QoS {} vs QH QoS {}; QH #uu > UH #uu = 0",
-            pct(get("UH").2),
-            pct(get("QH").2)
-        );
-        println!();
-    }
+    let scale = quts_bench::harness::experiment_scale();
+    let jobs = quts_bench::jobs();
+    let mut out = std::io::stdout().lock();
+    quts_bench::experiments::fig6_step_linear::run(scale, jobs, &mut out).expect("write to stdout");
 }

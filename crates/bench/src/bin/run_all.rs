@@ -1,45 +1,175 @@
-//! Runs every experiment binary in sequence — the one-shot reproduction
-//! of the paper's whole evaluation section. Each experiment is also
-//! available as its own binary; this wrapper simply invokes them in
-//! paper order with a shared scale.
+//! Runs every experiment in-process, in paper order — the one-shot
+//! reproduction of the paper's whole evaluation section — and writes the
+//! perf trajectory to `BENCH_quts.json`.
+//!
+//! Each experiment fans its independent simulations across `QUTS_JOBS`
+//! worker threads (default: all cores); output is byte-identical to a
+//! sequential run because grids return results in input order. The perf
+//! file records, per experiment, the wall time and simulation throughput
+//! of the timed pass, plus a silent sequential (one-worker) baseline pass
+//! when more than one job was used.
 
-use std::process::Command;
+use quts_bench::experiments::{self, ExperimentFn};
+use quts_bench::perf::{self, per_sec, ExperimentPerf};
+use std::time::{Duration, Instant};
 
 fn main() {
     let scale = quts_bench::harness::experiment_scale();
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
+    let jobs = quts_bench::jobs();
 
-    let experiments = [
-        "table3_workload",
-        "fig5_trace",
-        "fig1_tradeoff",
-        "fig6_step_linear",
-        "fig7_fig8_spectrum",
-        "fig9_adaptability",
-        "fig10_sensitivity",
-        "ablations",
-    ];
-
+    let mut perfs: Vec<ExperimentPerf> = Vec::new();
     let mut failed = Vec::new();
-    for name in experiments {
+    perf::drain(); // discard records from before the timed suite
+
+    for (name, exp) in experiments::ALL {
         println!("################################################################");
-        let status = Command::new(dir.join(name))
-            .arg("--scale")
-            .arg(scale.to_string())
-            .status();
-        match status {
-            Ok(s) if s.success() => {}
-            other => {
-                eprintln!("experiment {name} failed: {other:?}");
+        let started = Instant::now();
+        let outcome = run_caught(exp, scale, jobs, false);
+        let wall = started.elapsed();
+        let sims = perf::drain();
+        match outcome {
+            Ok(()) => perfs.push(ExperimentPerf::new(name, wall, &sims)),
+            Err(msg) => {
+                eprintln!("experiment {name} failed: {msg}");
                 failed.push(name);
             }
         }
         println!();
     }
+
+    // Sequential baseline: a silent one-worker pass so the perf file
+    // always records both numbers. When the timed pass already ran with
+    // one job it *is* the baseline.
+    let baseline: Vec<(&str, Duration)> = if jobs > 1 {
+        experiments::ALL
+            .iter()
+            .filter(|(name, _)| !failed.contains(name))
+            .map(|&(name, exp)| {
+                let started = Instant::now();
+                let outcome = run_caught(exp, scale, 1, true);
+                perf::drain();
+                if let Err(msg) = outcome {
+                    eprintln!("baseline pass of {name} failed: {msg}");
+                }
+                (name, started.elapsed())
+            })
+            .collect()
+    } else {
+        perfs.iter().map(|p| (p.name, p.wall)).collect()
+    };
+
+    let json = render_json(scale, jobs, &perfs, &baseline);
+    let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
+        Err(e) => {
+            eprintln!("could not write {path}: {e}");
+            failed.push("BENCH_quts.json");
+        }
+    }
+
     if !failed.is_empty() {
         eprintln!("failed experiments: {failed:?}");
         std::process::exit(1);
     }
     println!("all experiments completed");
+}
+
+/// Runs one experiment, catching panics so a bad experiment cannot take
+/// the rest of the suite down (the old subprocess isolation, in-process).
+fn run_caught(exp: ExperimentFn, scale: u32, jobs: usize, silent: bool) -> Result<(), String> {
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if silent {
+            exp(scale, jobs, &mut std::io::sink())
+        } else {
+            exp(scale, jobs, &mut std::io::stdout().lock())
+        }
+    }));
+    match run {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(e)) => Err(format!("io error: {e}")),
+        Err(panic) => Err(panic
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "panic".into())),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1000.0
+}
+
+/// Hand-rolled JSON (the workspace vendors no serializer by design).
+fn render_json(
+    scale: u32,
+    jobs: usize,
+    perfs: &[ExperimentPerf],
+    baseline: &[(&str, Duration)],
+) -> String {
+    let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
+    let total_events: u64 = perfs.iter().map(|p| p.events).sum();
+    let total_dispatches: u64 = perfs.iter().map(|p| p.dispatches).sum();
+    let total_sims: usize = perfs.iter().map(|p| p.sims).sum();
+    let baseline_wall: Duration = baseline.iter().map(|&(_, w)| w).sum();
+    let baseline_of = |name: &str| baseline.iter().find(|&&(n, _)| n == name).map(|&(_, w)| w);
+
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"bench\": \"quts_run_all\",\n");
+    s.push_str(&format!("  \"scale\": {scale},\n"));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"total_wall_ms\": {:.3},\n", ms(total_wall)));
+    s.push_str(&format!("  \"total_sims\": {total_sims},\n"));
+    s.push_str(&format!("  \"total_events\": {total_events},\n"));
+    s.push_str(&format!(
+        "  \"total_events_per_sec\": {:.1},\n",
+        per_sec(total_events, total_wall)
+    ));
+    s.push_str(&format!(
+        "  \"total_dispatches_per_sec\": {:.1},\n",
+        per_sec(total_dispatches, total_wall)
+    ));
+    s.push_str("  \"sequential_baseline\": {\n");
+    s.push_str("    \"jobs\": 1,\n");
+    s.push_str(&format!(
+        "    \"total_wall_ms\": {:.3},\n",
+        ms(baseline_wall)
+    ));
+    let speedup = if total_wall.as_secs_f64() > 0.0 {
+        baseline_wall.as_secs_f64() / total_wall.as_secs_f64()
+    } else {
+        1.0
+    };
+    s.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"experiments\": [\n");
+    for (i, p) in perfs.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", p.name));
+        s.push_str(&format!("      \"wall_ms\": {:.3},\n", ms(p.wall)));
+        s.push_str(&format!("      \"sims\": {},\n", p.sims));
+        s.push_str(&format!("      \"events\": {},\n", p.events));
+        s.push_str(&format!(
+            "      \"events_per_sec\": {:.1},\n",
+            p.events_per_sec()
+        ));
+        s.push_str(&format!(
+            "      \"dispatches_per_sec\": {:.1},\n",
+            p.dispatches_per_sec()
+        ));
+        s.push_str(&format!("      \"sim_wall_ms\": {:.3},\n", ms(p.sim_wall)));
+        s.push_str(&format!(
+            "      \"baseline_wall_ms\": {:.3}\n",
+            ms(baseline_of(p.name).unwrap_or(p.wall))
+        ));
+        s.push_str(if i + 1 == perfs.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
 }

@@ -1,87 +1,9 @@
-//! Table 3 — workload information and system parameters.
-//!
-//! ```text
-//! query execution time  5~9 ms      # queries  82129
-//! update execution time 1~5 ms      # updates  496892
-//! default atom time     10 ms       # stocks   4608
-//! default adaptation    1000 ms
-//! ```
-
-use quts_bench::harness;
-use quts_metrics::TextTable;
-use quts_sched::QutsConfig;
-use quts_workload::{StockWorkloadConfig, TraceStats};
+//! Thin command-line wrapper; the experiment itself lives in
+//! `quts_bench::experiments::table3_workload`.
 
 fn main() {
-    let scale = harness::experiment_scale();
-    harness::banner("Table 3: workload information and system parameters", scale);
-
-    let cfg = StockWorkloadConfig::default().scaled(scale);
-    let trace = cfg.generate();
-    let stats = TraceStats::compute(&trace);
-    let quts = QutsConfig::default();
-
-    let paper_q = 82_129 / scale as usize;
-    let paper_u = 496_892 / scale as usize;
-
-    let mut t = TextTable::new(["parameter", "measured", "paper (scaled)"]);
-    t.row([
-        "query execution time".into(),
-        format!(
-            "{:.1} ~ {:.1} ms",
-            stats.query_cost_ms.0, stats.query_cost_ms.1
-        ),
-        "5 ~ 9 ms".to_string(),
-    ]);
-    t.row([
-        "update execution time".into(),
-        format!(
-            "{:.1} ~ {:.1} ms",
-            stats.update_cost_ms.0, stats.update_cost_ms.1
-        ),
-        "1 ~ 5 ms".to_string(),
-    ]);
-    t.row([
-        "# queries".into(),
-        stats.num_queries.to_string(),
-        paper_q.to_string(),
-    ]);
-    t.row([
-        "# updates".into(),
-        stats.num_updates.to_string(),
-        paper_u.to_string(),
-    ]);
-    t.row([
-        "# stocks".into(),
-        stats.num_stocks.to_string(),
-        "4608".to_string(),
-    ]);
-    t.row([
-        "trace length".into(),
-        format!("{:.0} s", stats.horizon_s),
-        format!("{:.0} s", 1800.0 / scale as f64),
-    ]);
-    t.row([
-        "default atom time (tau)".into(),
-        format!("{:.0} ms", quts.tau.as_ms_f64()),
-        "10 ms".to_string(),
-    ]);
-    t.row([
-        "default adaptation period (omega)".into(),
-        format!("{:.0} ms", quts.omega.as_ms_f64()),
-        "1000 ms".to_string(),
-    ]);
-    t.row([
-        "offered CPU load".into(),
-        format!("{:.2}", stats.offered_load),
-        "~1.15 (derived)".to_string(),
-    ]);
-    print!("{}", t.render());
-
-    println!();
-    println!(
-        "mean rates: {:.1} queries/s, {:.1} updates/s (paper: ~45.6, ~276.1)",
-        stats.mean_query_rate(),
-        stats.mean_update_rate()
-    );
+    let scale = quts_bench::harness::experiment_scale();
+    let jobs = quts_bench::jobs();
+    let mut out = std::io::stdout().lock();
+    quts_bench::experiments::table3_workload::run(scale, jobs, &mut out).expect("write to stdout");
 }

@@ -1,0 +1,37 @@
+//! The paper's experiments as library functions.
+//!
+//! Each experiment takes the trace `scale`, a parallel `jobs` count for
+//! its independent simulation grid, and the sink it renders into. The
+//! thin binaries under `src/bin/` wire these to the command line;
+//! `run_all` runs the whole suite in-process, timing each entry for the
+//! `BENCH_quts.json` perf trajectory.
+//!
+//! Parallelism never changes output: grids run through
+//! [`crate::parallel::run_many`], which returns results in input order,
+//! and all rendering happens afterwards on the calling thread.
+
+pub mod ablations;
+pub mod fig10_sensitivity;
+pub mod fig1_tradeoff;
+pub mod fig5_trace;
+pub mod fig6_step_linear;
+pub mod fig7_fig8_spectrum;
+pub mod fig9_adaptability;
+pub mod table3_workload;
+
+use std::io::{self, Write};
+
+/// The uniform experiment entry point: `(scale, jobs, sink)`.
+pub type ExperimentFn = fn(u32, usize, &mut dyn Write) -> io::Result<()>;
+
+/// Every experiment `run_all` executes, in paper order.
+pub const ALL: [(&str, ExperimentFn); 8] = [
+    ("table3_workload", table3_workload::run),
+    ("fig5_trace", fig5_trace::run),
+    ("fig1_tradeoff", fig1_tradeoff::run),
+    ("fig6_step_linear", fig6_step_linear::run),
+    ("fig7_fig8_spectrum", fig7_fig8_spectrum::run),
+    ("fig9_adaptability", fig9_adaptability::run),
+    ("fig10_sensitivity", fig10_sensitivity::run),
+    ("ablations", ablations::run),
+];

@@ -70,15 +70,26 @@ pub fn run_policy(trace: &Trace, policy: Policy) -> RunReport {
 
 /// Runs `trace` under `policy` with explicit simulator settings
 /// (`num_stocks` is filled in from the trace).
+///
+/// Every run is timed and recorded in the [`crate::perf`] registry, which
+/// `run_all` aggregates into `BENCH_quts.json`.
 pub fn run_policy_with(trace: &Trace, policy: Policy, mut sim: SimConfig) -> RunReport {
     sim.num_stocks = trace.num_stocks;
-    Simulator::new(
+    let events = (trace.queries.len() + trace.updates.len()) as u64;
+    let started = std::time::Instant::now();
+    let report = Simulator::new(
         sim,
         trace.queries.clone(),
         trace.updates.clone(),
         policy.build(),
     )
-    .run()
+    .run();
+    crate::perf::record(crate::perf::SimRun {
+        wall: started.elapsed(),
+        events,
+        dispatches: report.dispatches,
+    });
+    report
 }
 
 /// The trace scale experiments run at: `--scale N` on the command line or
@@ -101,13 +112,30 @@ pub fn experiment_scale() -> u32 {
 
 /// Standard experiment banner: what is being reproduced and at what scale.
 pub fn banner(experiment: &str, scale: u32) {
-    println!("== {experiment} ==");
+    let mut out = std::io::stdout();
+    banner_to(&mut out, experiment, scale).expect("write banner to stdout");
+}
+
+/// [`banner`] into an arbitrary sink (experiments write to a caller-chosen
+/// `Write` so `run_all` can run them in-process).
+pub fn banner_to(
+    out: &mut dyn std::io::Write,
+    experiment: &str,
+    scale: u32,
+) -> std::io::Result<()> {
+    writeln!(out, "== {experiment} ==")?;
     if scale == 1 {
-        println!("workload: full paper scale (30 min, 82,129 queries, 496,892 updates)");
+        writeln!(
+            out,
+            "workload: full paper scale (30 min, 82,129 queries, 496,892 updates)"
+        )?;
     } else {
-        println!("workload: paper trace scaled down by {scale}x (rates preserved)");
+        writeln!(
+            out,
+            "workload: paper trace scaled down by {scale}x (rates preserved)"
+        )?;
     }
-    println!();
+    writeln!(out)
 }
 
 #[cfg(test)]

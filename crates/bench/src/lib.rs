@@ -7,6 +7,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod experiments;
 pub mod harness;
+pub mod parallel;
+pub mod perf;
 
 pub use harness::{paper_trace, run_policy, run_policy_with, Policy};
+pub use parallel::{jobs, run_many};

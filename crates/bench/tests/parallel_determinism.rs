@@ -1,0 +1,64 @@
+//! Determinism guarantees the harness trades on: a simulation is a pure
+//! function of (trace, policy), and the parallel job pool returns exactly
+//! what a sequential run would — byte for byte.
+
+use quts_bench::{experiments, paper_trace, run_policy, Policy};
+use quts_sim::RunReport;
+
+/// A comparison digest over every aggregate the experiments print.
+fn digest(r: &RunReport) -> String {
+    format!(
+        "dispatches={} qos={:.12} qod={:.12} total={:.12} rt={:.9} uu={:.9} cpu={:.9} rho={:?}",
+        r.dispatches,
+        r.qos_pct(),
+        r.qod_pct(),
+        r.total_pct(),
+        r.avg_response_time_ms(),
+        r.avg_staleness(),
+        r.cpu_utilisation(),
+        r.rho_history,
+    )
+}
+
+#[test]
+fn same_seed_runs_are_identical() {
+    let trace_a = paper_trace(600, 7);
+    let trace_b = paper_trace(600, 7);
+    for policy in Policy::comparison_set() {
+        let a = run_policy(&trace_a, policy);
+        let b = run_policy(&trace_b, policy);
+        assert_eq!(digest(&a), digest(&b), "{policy:?} diverged across runs");
+    }
+}
+
+#[test]
+fn parallel_spectrum_output_matches_sequential() {
+    // A scaled-down Figures 7-8 grid: 36 simulations, the largest fan-out
+    // in the suite. The parallel pass must produce byte-identical output.
+    let scale = 600;
+    let mut sequential = Vec::new();
+    experiments::fig7_fig8_spectrum::run(scale, 1, &mut sequential).expect("sequential run");
+    let mut parallel = Vec::new();
+    experiments::fig7_fig8_spectrum::run(scale, 4, &mut parallel).expect("parallel run");
+    assert!(!sequential.is_empty());
+    assert_eq!(
+        String::from_utf8_lossy(&sequential),
+        String::from_utf8_lossy(&parallel),
+        "jobs=4 output differs from jobs=1"
+    );
+}
+
+#[test]
+fn parallel_ablation_grid_matches_sequential() {
+    // The most heterogeneous experiment: seven differently-shaped grids.
+    let scale = 900;
+    let mut sequential = Vec::new();
+    experiments::ablations::run(scale, 1, &mut sequential).expect("sequential run");
+    let mut parallel = Vec::new();
+    experiments::ablations::run(scale, 3, &mut parallel).expect("parallel run");
+    assert_eq!(
+        String::from_utf8_lossy(&sequential),
+        String::from_utf8_lossy(&parallel),
+        "jobs=3 output differs from jobs=1"
+    );
+}

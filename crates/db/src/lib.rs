@@ -32,7 +32,7 @@ pub mod staleness;
 pub mod store;
 
 pub use lock::{Acquisition, LockMode, LockTable, TxnToken};
-pub use ops::{QueryOp, QueryResult, Trade};
+pub use ops::{AccessedItems, QueryOp, QueryResult, Trade};
 pub use record::StockRecord;
 pub use register::UpdateRegister;
 pub use staleness::StalenessTracker;

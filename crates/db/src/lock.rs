@@ -11,14 +11,37 @@
 //! modes needed are shared reads (queries) and exclusive writes (updates).
 //! Lock points follow strict 2PL: a transaction acquires all locks when it
 //! starts executing and releases them at commit or restart.
+//!
+//! Both sides of the table are dense `Vec`s rather than hash maps:
+//! `StockId`s are dense `0..num_stocks` indices and `TxnToken`s derive
+//! from dense trace sequence numbers, so hashing buys nothing and costs
+//! a SipHash round per probe on the simulator's hottest path. The table
+//! grows on demand to the largest item index / token slot seen; callers
+//! must therefore keep tokens dense (the table is O(max token), not
+//! O(live transactions)).
 
 use crate::store::StockId;
-use std::collections::HashMap;
 
 /// Opaque transaction token; the caller guarantees uniqueness among live
 /// transactions.
+///
+/// Tokens index a dense slot table: bit 63 distinguishes two id spaces
+/// (the simulator uses it to separate updates from queries) and the low
+/// bits must stay dense, since the lock table allocates one slot per
+/// distinct token value ever seen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnToken(pub u64);
+
+const HIGH_BIT: u64 = 1 << 63;
+
+impl TxnToken {
+    /// Dense slot for this token: the two id spaces (bit 63 clear / set)
+    /// interleave as even / odd slots.
+    #[inline]
+    fn slot(self) -> usize {
+        (((self.0 & !HIGH_BIT) << 1) | (self.0 >> 63)) as usize
+    }
+}
 
 /// Requested lock mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +76,24 @@ struct ItemLocks {
     writer: Option<(TxnToken, f64)>,
 }
 
+impl ItemLocks {
+    #[inline]
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+}
+
 /// The lock table: per-item reader/writer sets plus a per-transaction
 /// index for O(locks-held) release.
+///
+/// Item and transaction tables are dense `Vec`s indexed by
+/// `StockId::index()` and token slot; freed per-slot `Vec`s keep their
+/// capacity, so steady-state operation performs no allocation.
 #[derive(Debug, Default, Clone)]
 pub struct LockTable {
-    items: HashMap<StockId, ItemLocks>,
-    held: HashMap<TxnToken, Vec<StockId>>,
+    items: Vec<ItemLocks>,
+    held: Vec<Vec<StockId>>,
+    locked: usize,
     restarts: u64,
 }
 
@@ -66,6 +101,23 @@ impl LockTable {
     /// An empty lock table.
     pub fn new() -> Self {
         LockTable::default()
+    }
+
+    #[inline]
+    fn ensure_item(&mut self, item: StockId) {
+        let idx = item.index();
+        if idx >= self.items.len() {
+            self.items.resize_with(idx + 1, ItemLocks::default);
+        }
+    }
+
+    #[inline]
+    fn ensure_slot(&mut self, txn: TxnToken) -> usize {
+        let slot = txn.slot();
+        if slot >= self.held.len() {
+            self.held.resize_with(slot + 1, Vec::new);
+        }
+        slot
     }
 
     /// Attempts to acquire `item` in `mode` for `txn` at `priority`,
@@ -81,7 +133,8 @@ impl LockTable {
         item: StockId,
         mode: LockMode,
     ) -> Acquisition {
-        let entry = self.items.entry(item).or_default();
+        self.ensure_item(item);
+        let entry = &self.items[item.index()];
 
         // Idempotent re-acquisition.
         match mode {
@@ -105,71 +158,98 @@ impl LockTable {
             }
         }
 
-        // Collect conflicting holders.
-        let mut conflicts: Vec<(TxnToken, f64)> = Vec::new();
-        if let Some(w) = entry.writer {
-            conflicts.push(w);
-        }
-        if mode == LockMode::Write {
-            conflicts.extend(entry.readers.iter().copied());
-        }
-
-        // A holder at or above our priority blocks us.
-        if let Some(&(holder, _)) = conflicts
-            .iter()
-            .filter(|&&(_, p)| p >= priority)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        // A holder at or above our priority blocks us; ties among equal
+        // priorities report the later-scanned holder (writer first, then
+        // readers in grant order), matching the historical behaviour.
+        let mut blocker: Option<(TxnToken, f64)> = None;
+        let mut any_conflict = false;
         {
+            let mut consider = |t: TxnToken, p: f64| {
+                any_conflict = true;
+                if p >= priority && blocker.is_none_or(|(_, bp)| p >= bp) {
+                    blocker = Some((t, p));
+                }
+            };
+            if let Some((t, p)) = entry.writer {
+                consider(t, p);
+            }
+            if mode == LockMode::Write {
+                for &(t, p) in &entry.readers {
+                    consider(t, p);
+                }
+            }
+        }
+        if let Some((holder, _)) = blocker {
             return Acquisition::Blocked { holder };
         }
 
         // All conflicting holders are strictly lower priority: evict them.
-        let victims: Vec<TxnToken> = conflicts.iter().map(|&(t, _)| t).collect();
+        let victims: Vec<TxnToken> = if any_conflict {
+            let mut v = Vec::new();
+            if let Some((t, _)) = entry.writer {
+                v.push(t);
+            }
+            if mode == LockMode::Write {
+                v.extend(entry.readers.iter().map(|&(t, _)| t));
+            }
+            v
+        } else {
+            Vec::new()
+        };
         for &victim in &victims {
             self.release_all(victim);
             self.restarts += 1;
         }
 
-        let entry = self.items.entry(item).or_default();
+        let entry = &mut self.items[item.index()];
+        if entry.is_free() {
+            self.locked += 1;
+        }
         match mode {
             LockMode::Read => entry.readers.push((txn, priority)),
             LockMode::Write => entry.writer = Some((txn, priority)),
         }
-        self.held.entry(txn).or_default().push(item);
+        let slot = self.ensure_slot(txn);
+        self.held[slot].push(item);
         Acquisition::Granted { restarted: victims }
     }
 
     /// Releases every lock held by `txn` (commit, restart, or abort).
     pub fn release_all(&mut self, txn: TxnToken) {
-        let Some(items) = self.held.remove(&txn) else {
+        let slot = txn.slot();
+        if slot >= self.held.len() || self.held[slot].is_empty() {
             return;
-        };
-        for item in items {
-            if let Some(entry) = self.items.get_mut(&item) {
-                entry.readers.retain(|&(t, _)| t != txn);
-                if entry.writer.map(|(t, _)| t) == Some(txn) {
-                    entry.writer = None;
-                }
-                if entry.readers.is_empty() && entry.writer.is_none() {
-                    self.items.remove(&item);
-                }
+        }
+        // Detach the per-txn list so we can walk it while mutating the
+        // item table, then hand its capacity back to the slot.
+        let mut held = std::mem::take(&mut self.held[slot]);
+        for &item in &held {
+            let entry = &mut self.items[item.index()];
+            entry.readers.retain(|&(t, _)| t != txn);
+            if entry.writer.map(|(t, _)| t) == Some(txn) {
+                entry.writer = None;
+            }
+            if entry.is_free() {
+                self.locked -= 1;
             }
         }
+        held.clear();
+        self.held[slot] = held;
     }
 
     /// Items currently locked by `txn`.
     pub fn locks_of(&self, txn: TxnToken) -> &[StockId] {
-        self.held.get(&txn).map(Vec::as_slice).unwrap_or(&[])
+        self.held.get(txn.slot()).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Whether `txn` holds any lock.
     pub fn holds_any(&self, txn: TxnToken) -> bool {
-        self.held.get(&txn).is_some_and(|v| !v.is_empty())
+        !self.locks_of(txn).is_empty()
     }
 
     /// Number of items with at least one lock.
     pub fn locked_items(&self) -> usize {
-        self.items.len()
+        self.locked
     }
 
     /// Total 2PL-HP evictions performed so far.
@@ -301,6 +381,37 @@ mod tests {
             Acquisition::Blocked { holder: T2 }
         );
     }
+
+    #[test]
+    fn both_token_spaces_coexist() {
+        // Bit 63 selects the update id space; slots must not collide with
+        // the query space at the same low bits.
+        let q = TxnToken(7);
+        let u = TxnToken(HIGH_BIT | 7);
+        let mut lt = LockTable::new();
+        assert!(granted(lt.acquire(q, 1.0, ITEM, LockMode::Read)).is_empty());
+        assert!(granted(lt.acquire(u, 1.0, OTHER, LockMode::Write)).is_empty());
+        assert_eq!(lt.locks_of(q), &[ITEM]);
+        assert_eq!(lt.locks_of(u), &[OTHER]);
+        lt.release_all(q);
+        assert!(lt.holds_any(u));
+        assert!(!lt.holds_any(q));
+    }
+
+    #[test]
+    fn locked_items_tracks_transitions() {
+        let mut lt = LockTable::new();
+        lt.acquire(T1, 1.0, ITEM, LockMode::Read);
+        lt.acquire(T2, 2.0, ITEM, LockMode::Read);
+        lt.acquire(T3, 3.0, OTHER, LockMode::Write);
+        assert_eq!(lt.locked_items(), 2);
+        lt.release_all(T1);
+        assert_eq!(lt.locked_items(), 2); // T2 still reads ITEM
+        lt.release_all(T2);
+        assert_eq!(lt.locked_items(), 1);
+        lt.release_all(T3);
+        assert_eq!(lt.locked_items(), 0);
+    }
 }
 
 #[cfg(test)]
@@ -339,10 +450,18 @@ mod proptests {
                     }
                     let _ = lt.acquire(txn, prio, item, mode);
                 }
-                // Invariant: every lock in `held` exists in `items`.
+                // Invariant: every lock in `held` exists in `items`, and
+                // the live-item counter matches a full recount.
+                let mut live = 0usize;
+                for entry in &lt.items {
+                    if !entry.is_free() {
+                        live += 1;
+                    }
+                }
+                prop_assert_eq!(live, lt.locked_items());
                 for t in [0u64, 1, 2, 3, 4, 5].map(TxnToken) {
                     for &it in lt.locks_of(t) {
-                        let entry = lt.items.get(&it).expect("held lock missing from item map");
+                        let entry = lt.items.get(it.index()).expect("held lock missing from item table");
                         let as_reader = entry.readers.iter().any(|&(x, _)| x == t);
                         let as_writer = entry.writer.map(|(x, _)| x) == Some(t);
                         prop_assert!(as_reader || as_writer);

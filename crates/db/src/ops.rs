@@ -60,14 +60,76 @@ pub enum QueryResult {
     Value(f64),
 }
 
+/// The item set a query reads, produced without heap allocation in the
+/// common cases.
+///
+/// Single-item queries and small portfolios live inline; `Compare`
+/// borrows the operator's own stock list. Only a portfolio larger than
+/// the inline capacity falls back to a `Vec`. Dereferences to
+/// `[StockId]`, so call sites treat it as a slice.
+#[derive(Debug, Clone)]
+pub enum AccessedItems<'a> {
+    /// Up to [`AccessedItems::INLINE`] items stored inline.
+    Inline {
+        /// Inline storage; only `..len` is meaningful.
+        buf: [StockId; AccessedItems::INLINE],
+        /// Number of valid items in `buf`.
+        len: usize,
+    },
+    /// Items borrowed straight from the operator.
+    Borrowed(&'a [StockId]),
+    /// Overflow fallback for oversized portfolios.
+    Spilled(Vec<StockId>),
+}
+
+impl AccessedItems<'_> {
+    /// Inline capacity: covers every trace-generated portfolio size.
+    pub const INLINE: usize = 16;
+
+    /// The items as a slice.
+    pub fn as_slice(&self) -> &[StockId] {
+        match self {
+            AccessedItems::Inline { buf, len } => &buf[..*len],
+            AccessedItems::Borrowed(items) => items,
+            AccessedItems::Spilled(items) => items,
+        }
+    }
+}
+
+impl std::ops::Deref for AccessedItems<'_> {
+    type Target = [StockId];
+
+    fn deref(&self) -> &[StockId] {
+        self.as_slice()
+    }
+}
+
 impl QueryOp {
     /// The set of items this query reads — exactly the items it must
-    /// read-lock under 2PL.
-    pub fn accessed_items(&self) -> Vec<StockId> {
+    /// read-lock under 2PL. Allocation-free except for portfolios wider
+    /// than [`AccessedItems::INLINE`] positions.
+    pub fn accessed_items(&self) -> AccessedItems<'_> {
         match self {
-            QueryOp::Lookup(s) | QueryOp::MovingAverage { stock: s, .. } => vec![*s],
-            QueryOp::Compare(stocks) => stocks.clone(),
-            QueryOp::Portfolio(positions) => positions.iter().map(|&(s, _)| s).collect(),
+            QueryOp::Lookup(s) | QueryOp::MovingAverage { stock: s, .. } => {
+                let mut buf = [StockId(0); AccessedItems::INLINE];
+                buf[0] = *s;
+                AccessedItems::Inline { buf, len: 1 }
+            }
+            QueryOp::Compare(stocks) => AccessedItems::Borrowed(stocks),
+            QueryOp::Portfolio(positions) => {
+                if positions.len() <= AccessedItems::INLINE {
+                    let mut buf = [StockId(0); AccessedItems::INLINE];
+                    for (slot, &(s, _)) in buf.iter_mut().zip(positions) {
+                        *slot = s;
+                    }
+                    AccessedItems::Inline {
+                        buf,
+                        len: positions.len(),
+                    }
+                } else {
+                    AccessedItems::Spilled(positions.iter().map(|&(s, _)| s).collect())
+                }
+            }
         }
     }
 
@@ -124,7 +186,7 @@ mod tests {
     fn lookup() {
         let (st, a, _, _) = store3();
         assert_eq!(QueryOp::Lookup(a).execute(&st), QueryResult::Price(10.0));
-        assert_eq!(QueryOp::Lookup(a).accessed_items(), vec![a]);
+        assert_eq!(&*QueryOp::Lookup(a).accessed_items(), &[a]);
     }
 
     #[test]
@@ -155,7 +217,7 @@ mod tests {
                 spread: 20.0
             }
         );
-        assert_eq!(q.accessed_items(), vec![a, b, c]);
+        assert_eq!(&*q.accessed_items(), &[a, b, c]);
     }
 
     #[test]
@@ -163,6 +225,23 @@ mod tests {
         let (st, a, b, _) = store3();
         let q = QueryOp::Portfolio(vec![(a, 2.0), (b, 0.5)]);
         assert_eq!(q.execute(&st), QueryResult::Value(30.0));
+        assert!(matches!(
+            q.accessed_items(),
+            AccessedItems::Inline { len: 2, .. }
+        ));
+        assert_eq!(&*q.accessed_items(), &[a, b]);
+    }
+
+    #[test]
+    fn oversized_portfolio_spills() {
+        let positions: Vec<(StockId, f64)> = (0..AccessedItems::INLINE as u32 + 3)
+            .map(|i| (StockId(i), 1.0))
+            .collect();
+        let q = QueryOp::Portfolio(positions.clone());
+        let items = q.accessed_items();
+        assert!(matches!(items, AccessedItems::Spilled(_)));
+        let expect: Vec<StockId> = positions.iter().map(|&(s, _)| s).collect();
+        assert_eq!(&*items, expect.as_slice());
     }
 
     #[test]

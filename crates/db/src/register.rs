@@ -10,9 +10,12 @@
 //! (arrived but unapplied) update; registering a newer update returns the
 //! invalidated one so the caller can drop it from the queue without
 //! violating consistency.
+//!
+//! `StockId`s are dense `0..num_stocks` indices, so the "hash-based
+//! access" of the paper degenerates to a direct `Vec` index here — one
+//! slot per item, grown on demand, no hashing on the update-arrival path.
 
 use crate::store::StockId;
-use std::collections::HashMap;
 
 /// Opaque update identifier assigned by the caller (the simulator uses
 /// its arrival sequence number).
@@ -21,7 +24,8 @@ pub type UpdateId = u64;
 /// Tracks, per data item, the one pending update worth applying.
 #[derive(Debug, Clone, Default)]
 pub struct UpdateRegister {
-    pending: HashMap<StockId, UpdateId>,
+    pending: Vec<Option<UpdateId>>,
+    live: usize,
     invalidated: u64,
 }
 
@@ -35,9 +39,14 @@ impl UpdateRegister {
     /// pending on the same item it is returned — the caller must drop it
     /// (its work is subsumed by the new value).
     pub fn register(&mut self, item: StockId, update: UpdateId) -> Option<UpdateId> {
-        let old = self.pending.insert(item, update);
-        if old.is_some() {
-            self.invalidated += 1;
+        let idx = item.index();
+        if idx >= self.pending.len() {
+            self.pending.resize(idx + 1, None);
+        }
+        let old = self.pending[idx].replace(update);
+        match old {
+            Some(_) => self.invalidated += 1,
+            None => self.live += 1,
         }
         old
     }
@@ -48,9 +57,10 @@ impl UpdateRegister {
     /// Returns `true` when the slot was cleared, `false` when a newer
     /// update had already replaced it.
     pub fn complete(&mut self, item: StockId, update: UpdateId) -> bool {
-        match self.pending.get(&item) {
-            Some(&current) if current == update => {
-                self.pending.remove(&item);
+        match self.pending.get_mut(item.index()) {
+            Some(slot) if *slot == Some(update) => {
+                *slot = None;
+                self.live -= 1;
                 true
             }
             _ => false,
@@ -59,12 +69,12 @@ impl UpdateRegister {
 
     /// The currently pending update on `item`, if any.
     pub fn pending(&self, item: StockId) -> Option<UpdateId> {
-        self.pending.get(&item).copied()
+        self.pending.get(item.index()).copied().flatten()
     }
 
     /// Number of items with a pending update.
     pub fn pending_items(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Total updates invalidated (dropped unapplied) so far — the work the
@@ -123,6 +133,19 @@ mod tests {
     fn complete_on_empty_is_noop() {
         let mut r = UpdateRegister::new();
         assert!(!r.complete(S, 5));
+        assert_eq!(r.pending_items(), 0);
+    }
+
+    #[test]
+    fn pending_items_round_trips() {
+        let mut r = UpdateRegister::new();
+        r.register(StockId(0), 1);
+        r.register(StockId(3), 2);
+        r.register(StockId(3), 3);
+        assert_eq!(r.pending_items(), 2);
+        assert!(r.complete(StockId(0), 1));
+        assert!(r.complete(StockId(3), 3));
+        assert_eq!(r.pending_items(), 0);
     }
 }
 

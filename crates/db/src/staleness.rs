@@ -69,7 +69,17 @@ impl StalenessTracker {
 
     /// Per-item `#uu` over a query's accessed item set, in item order.
     pub fn unapplied_over(&self, items: &[StockId]) -> Vec<f64> {
-        items.iter().map(|&s| self.unapplied(s) as f64).collect()
+        let mut out = Vec::new();
+        self.unapplied_over_into(items, &mut out);
+        out
+    }
+
+    /// Like [`unapplied_over`](Self::unapplied_over), but fills a
+    /// caller-owned scratch buffer (cleared first) so hot paths can reuse
+    /// one allocation across queries.
+    pub fn unapplied_over_into(&self, items: &[StockId], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(items.iter().map(|&s| self.unapplied(s) as f64));
     }
 
     /// Total `#uu` across all items (queue-pressure diagnostic).
@@ -126,6 +136,17 @@ mod tests {
         t.on_arrival(StockId(2), 1);
         t.on_arrival(StockId(2), 2);
         assert_eq!(t.unapplied_over(&[A, StockId(2)]), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn unapplied_over_into_reuses_buffer() {
+        let mut t = StalenessTracker::new(3);
+        t.on_arrival(B, 5);
+        let mut buf = vec![9.0; 8]; // stale contents must be cleared
+        t.unapplied_over_into(&[A, B], &mut buf);
+        assert_eq!(buf, vec![0.0, 1.0]);
+        t.unapplied_over_into(&[B], &mut buf);
+        assert_eq!(buf, vec![1.0]);
     }
 }
 

@@ -8,10 +8,11 @@ use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvErr
 use parking_lot::Mutex;
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
 use quts_qc::QualityContract;
-use quts_sched::RhoController;
+use quts_sched::{QueryOrder, QueryQueue, RhoController};
+use quts_sim::{QueryId, QueryInfo, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::AtomicU8;
 use std::sync::Arc;
@@ -266,32 +267,6 @@ struct PendingQuery {
     qc: QualityContract,
     submitted: Instant,
     reply: Sender<Result<QueryReply, QueryError>>,
-    vrd: f64,
-    seq: u64,
-}
-
-struct QueryEntry {
-    vrd: f64,
-    seq: u64,
-}
-
-impl PartialEq for QueryEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == std::cmp::Ordering::Equal
-    }
-}
-impl Eq for QueryEntry {}
-impl Ord for QueryEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.vrd
-            .total_cmp(&other.vrd)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl PartialOrd for QueryEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
 }
 
 pub(crate) struct Runtime<'a> {
@@ -302,9 +277,12 @@ pub(crate) struct Runtime<'a> {
     stats: Arc<Mutex<LiveStats>>,
     faults: Arc<FaultState>,
 
-    // Query queue: VRD heap over pending queries.
-    query_heap: BinaryHeap<QueryEntry>,
-    queries: HashMap<u64, PendingQuery>,
+    // Query queue: the shared VRD priority queue from `quts-sched`.
+    // Query ids are the low 32 bits of the admission sequence — safe
+    // because only `max_pending_queries` (≪ 2^32) are ever pending at
+    // once, and the memo is evicted via `finish` on every terminal path.
+    query_queue: QueryQueue,
+    queries: HashMap<u32, PendingQuery>,
     next_seq: u64,
 
     // Update queue: FIFO with register-table invalidation.
@@ -345,7 +323,7 @@ impl<'a> Runtime<'a> {
             rx,
             stats,
             faults,
-            query_heap: BinaryHeap::new(),
+            query_queue: QueryQueue::new(QueryOrder::Vrd),
             queries: HashMap::new(),
             next_seq: 0,
             update_queue: VecDeque::new(),
@@ -424,17 +402,31 @@ impl<'a> Runtime<'a> {
                     let mut s = self.stats.lock();
                     s.aggregates.submit(&qc);
                 }
-                let vrd = qc.vrd_priority();
-                self.query_heap.push(QueryEntry { vrd, seq });
-                self.queries.insert(
+                let arrival =
+                    SimTime::ZERO + SimDuration::from_ms_f64(self.elapsed_us() as f64 / 1000.0);
+                let info = QueryInfo {
+                    arrival,
                     seq,
+                    cost: self
+                        .config
+                        .synthetic_query_cost
+                        .map(|d| SimDuration::from_ms_f64(d.as_secs_f64() * 1000.0))
+                        .unwrap_or(SimDuration::ZERO),
+                    qosmax: qc.qosmax(),
+                    qodmax: qc.qodmax(),
+                    rtmax_ms: qc.rtmax_ms(),
+                    vrd: qc.vrd_priority(),
+                    expiry: arrival + SimDuration::from_ms_f64(qc.default_lifetime_ms()),
+                };
+                let id = QueryId(seq as u32);
+                self.query_queue.admit(id, &info);
+                self.queries.insert(
+                    id.0,
                     PendingQuery {
                         op,
                         qc,
                         submitted,
                         reply,
-                        vrd,
-                        seq,
                     },
                 );
             }
@@ -494,7 +486,7 @@ impl<'a> Runtime<'a> {
     /// Runs one transaction per the QUTS rules; returns false when both
     /// queues are empty.
     fn execute_one(&mut self) -> bool {
-        let queries_pending = !self.query_heap.is_empty();
+        let queries_pending = !self.query_queue.is_empty();
         let updates_pending = !self.update_queue.is_empty();
         if !queries_pending && !updates_pending {
             return false;
@@ -557,15 +549,16 @@ impl<'a> Runtime<'a> {
         // no longer earn anything, so abort it unexecuted (zero profit,
         // no service time spent) and move on to one that can still pay.
         let q = loop {
-            let Some(entry) = self.query_heap.pop() else {
+            let Some(id) = self.query_queue.pop() else {
                 return;
             };
-            let q = self
-                .queries
-                .remove(&entry.seq)
-                .expect("heap entry without pending query");
-            debug_assert_eq!(q.vrd, entry.vrd);
-            debug_assert_eq!(q.seq, entry.seq);
+            // The live engine never requeues, so the priority memo is
+            // dead the moment a query is popped: evict it here, on every
+            // path, or the memo map grows for the process lifetime.
+            self.query_queue.finish(id);
+            let Some(q) = self.queries.remove(&id.0) else {
+                continue; // stale entry (already resolved elsewhere)
+            };
             let age_ms = q.submitted.elapsed().as_secs_f64() * 1000.0;
             if age_ms >= q.qc.default_lifetime_ms() {
                 self.stats.lock().shed_expired += 1;

@@ -115,6 +115,13 @@ impl Scheduler for DualQueue {
         self.updates.drop_update(id);
     }
 
+    fn finish(&mut self, txn: TxnRef) {
+        match txn {
+            TxnRef::Query(q) => self.queries.finish(q),
+            TxnRef::Update(u) => self.updates.finish(u),
+        }
+    }
+
     fn pop_next(&mut self, _now: SimTime) -> Option<TxnRef> {
         self.pop_class(self.high)
             .or_else(|| self.pop_class(self.high.other()))

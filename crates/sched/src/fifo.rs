@@ -70,6 +70,14 @@ impl Scheduler for GlobalFifo {
         }
     }
 
+    fn finish(&mut self, txn: TxnRef) {
+        let key = match txn {
+            TxnRef::Query(q) => Key::Query(q.0),
+            TxnRef::Update(u) => Key::Update(u.0),
+        };
+        self.seqs.remove(&key);
+    }
+
     fn pop_next(&mut self, _now: SimTime) -> Option<TxnRef> {
         while let Some(Reverse((_, key))) = self.heap.pop() {
             if let Key::Update(u) = key {

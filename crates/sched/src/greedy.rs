@@ -131,6 +131,17 @@ impl Scheduler for GlobalGreedy {
         self.update_order.drop_update(id);
     }
 
+    fn finish(&mut self, txn: TxnRef) {
+        match txn {
+            // Any dead heap duplicates left behind die at pop (missing
+            // memo reads as a skip).
+            TxnRef::Query(q) => {
+                self.queries.remove(&q);
+            }
+            TxnRef::Update(u) => self.update_order.finish(u),
+        }
+    }
+
     fn pop_next(&mut self, _now: SimTime) -> Option<TxnRef> {
         while let Some(entry) = self.heap.pop() {
             match entry.txn {

@@ -34,6 +34,6 @@ pub mod rho;
 pub use dual::DualQueue;
 pub use fifo::GlobalFifo;
 pub use greedy::GlobalGreedy;
-pub use policy::{QueryOrder, QueryQueue, UpdateQueue};
+pub use policy::{QueryKey, QueryOrder, QueryQueue, UpdateQueue};
 pub use quts::{Quts, QutsConfig};
 pub use rho::{modeled_profit, optimal_rho, RhoController};

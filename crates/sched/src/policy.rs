@@ -9,7 +9,7 @@
 
 use quts_sim::{QueryId, QueryInfo, UpdateId, UpdateInfo};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Priority rule for the query queue. All rules earn a higher priority
 /// for "more profit sooner".
@@ -27,22 +27,52 @@ pub enum QueryOrder {
     ProfitDensity,
 }
 
+/// A query priority key; larger keys run first.
+///
+/// Real-valued policies (VRD, profit density) compare as `f64`s;
+/// time-based policies (FIFO, EDF) compare on exact integer sequence
+/// numbers / microseconds. Keeping the integers out of `f64` matters on
+/// long-running live engines: past 2^53 events a cast loses low bits and
+/// FIFO order silently degrades to "roughly FIFO".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryKey {
+    /// A real-valued priority; larger is better.
+    Real(f64),
+    /// An integer instant (sequence number or deadline in µs); *smaller*
+    /// is better — earliest first.
+    Earliest(u64),
+}
+
+impl QueryKey {
+    /// Total order with "runs first" = `Ordering::Greater`. Variants never
+    /// mix within one queue (a queue has one [`QueryOrder`]); across
+    /// variants, `Real` arbitrarily sorts above `Earliest`.
+    pub fn priority_cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (QueryKey::Real(a), QueryKey::Real(b)) => a.total_cmp(b),
+            (QueryKey::Earliest(a), QueryKey::Earliest(b)) => b.cmp(a),
+            (QueryKey::Real(_), QueryKey::Earliest(_)) => Ordering::Greater,
+            (QueryKey::Earliest(_), QueryKey::Real(_)) => Ordering::Less,
+        }
+    }
+}
+
 impl QueryOrder {
-    /// The priority key for a query; larger keys run first.
-    pub fn key(self, info: &QueryInfo) -> f64 {
+    /// The priority key for a query.
+    pub fn key(self, info: &QueryInfo) -> QueryKey {
         match self {
-            QueryOrder::Vrd => info.vrd,
-            QueryOrder::Fifo => -(info.seq as f64),
+            QueryOrder::Vrd => QueryKey::Real(info.vrd),
+            QueryOrder::Fifo => QueryKey::Earliest(info.seq),
             QueryOrder::Edf => {
                 let rtmax_us = info.rtmax_ms.map(|ms| (ms * 1000.0) as u64).unwrap_or(
                     info.expiry
                         .as_micros()
                         .saturating_sub(info.arrival.as_micros()),
                 );
-                -((info.arrival.as_micros() + rtmax_us) as f64)
+                QueryKey::Earliest(info.arrival.as_micros() + rtmax_us)
             }
             QueryOrder::ProfitDensity => {
-                (info.qosmax + info.qodmax) / info.cost.as_ms_f64().max(1e-9)
+                QueryKey::Real((info.qosmax + info.qodmax) / info.cost.as_ms_f64().max(1e-9))
             }
         }
     }
@@ -60,7 +90,7 @@ impl QueryOrder {
 
 #[derive(Debug, Clone, Copy)]
 struct QEntry {
-    key: f64,
+    key: QueryKey,
     seq: u64,
     id: QueryId,
 }
@@ -73,9 +103,9 @@ impl PartialEq for QEntry {
 impl Eq for QEntry {}
 impl Ord for QEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap: larger key first; ties broken by earlier arrival.
+        // Max-heap: higher priority first; ties broken by earlier arrival.
         self.key
-            .total_cmp(&other.key)
+            .priority_cmp(&other.key)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -91,7 +121,8 @@ pub struct QueryQueue {
     order: QueryOrder,
     heap: BinaryHeap<QEntry>,
     // Key/seq memo so a paused query can be re-inserted without its info.
-    memo: HashMap<QueryId, (f64, u64)>,
+    // Evicted by `finish` once the query reaches a terminal state.
+    memo: HashMap<QueryId, (QueryKey, u64)>,
 }
 
 impl QueryQueue {
@@ -125,7 +156,7 @@ impl QueryQueue {
     /// re-computation.
     ///
     /// # Panics
-    /// Panics if the query was never admitted.
+    /// Panics if the query was never admitted (or already finished).
     pub fn requeue(&mut self, id: QueryId) {
         let &(key, seq) = self
             .memo
@@ -139,6 +170,14 @@ impl QueryQueue {
         self.heap.pop().map(|e| e.id)
     }
 
+    /// Evicts the priority memo of a query that reached a terminal state
+    /// (committed or expired). Without this a long-running live engine
+    /// retains one memo entry per query forever. Must only be called for
+    /// queries no longer in the queue (popped, or never re-queued).
+    pub fn finish(&mut self, id: QueryId) {
+        self.memo.remove(&id);
+    }
+
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -148,14 +187,37 @@ impl QueryQueue {
     pub fn len(&self) -> usize {
         self.heap.len()
     }
+
+    /// Number of retained priority memos (diagnostic; bounded by live
+    /// queries when `finish` is called correctly).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
 }
 
-/// A FIFO queue of updates with O(1) lazy removal of invalidated entries.
+/// Slot value marking an invalidated (dropped) queue entry.
+const SLOT_FREE: u32 = u32::MAX;
+
+/// A FIFO queue of updates with O(1) admit/pop and O(1) lazy removal of
+/// invalidated entries.
+///
+/// The queue proper is a `VecDeque` of `(seq, slot)` pairs kept sorted by
+/// arrival sequence; `slots[slot]` holds the live update id occupying
+/// that position, or [`SLOT_FREE`] once the update was invalidated. A
+/// replacement update admitted with the invalidated update's sequence
+/// number re-occupies its slot — that is how `InheritPosition` re-entry
+/// stays O(1). Popping skips free slots lazily; no heap, no per-pop
+/// hashing.
 #[derive(Debug, Default)]
 pub struct UpdateQueue {
-    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
-    dropped: HashSet<UpdateId>,
-    memo: HashMap<UpdateId, u64>,
+    deque: VecDeque<(u64, u32)>,
+    slots: Vec<u32>,
+    free: Vec<u32>,
+    // id → (seq, slot): survives popping so a paused update can be
+    // re-queued; evicted by `finish`/`drop_update`.
+    meta: HashMap<UpdateId, (u64, u32)>,
+    // Invalidated seq → its still-queued slot, for position inheritance.
+    dropped_seqs: HashMap<u64, u32>,
     live: usize,
 }
 
@@ -165,46 +227,110 @@ impl UpdateQueue {
         UpdateQueue::default()
     }
 
-    /// Admits a newly arrived update (FIFO position by arrival order).
+    fn alloc_slot(&mut self, id: UpdateId) -> u32 {
+        debug_assert_ne!(id.0, SLOT_FREE, "update id collides with the free marker");
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = id.0;
+                slot
+            }
+            None => {
+                self.slots.push(id.0);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    fn insert_sorted(&mut self, seq: u64, slot: u32) {
+        match self.deque.back() {
+            Some(&(back_seq, _)) if seq < back_seq => {
+                // Out-of-order admit (an inherited position whose original
+                // entry was already skipped): restore sortedness. Cold
+                // path — the simulator's fresh sequence numbers are
+                // monotone and inheritance reuses in-place.
+                let pos = self.deque.partition_point(|&(s, _)| s <= seq);
+                self.deque.insert(pos, (seq, slot));
+            }
+            _ => self.deque.push_back((seq, slot)),
+        }
+    }
+
+    /// Admits a newly arrived update (FIFO position by arrival order). An
+    /// update admitted with the sequence number of a just-invalidated one
+    /// inherits its queue position.
     pub fn admit(&mut self, id: UpdateId, info: &UpdateInfo) {
-        self.memo.insert(id, info.seq);
-        self.heap.push(std::cmp::Reverse((info.seq, id.0)));
+        if let Some(slot) = self.dropped_seqs.remove(&info.seq) {
+            // Position inheritance: fill the invalidated entry's hole.
+            self.slots[slot as usize] = id.0;
+            self.meta.insert(id, (info.seq, slot));
+            self.live += 1;
+            return;
+        }
+        let slot = self.alloc_slot(id);
+        self.meta.insert(id, (info.seq, slot));
         self.live += 1;
+        self.insert_sorted(info.seq, slot);
     }
 
     /// Re-inserts a paused (previously popped) update at its original
     /// FIFO position.
     ///
     /// # Panics
-    /// Panics if the update was never admitted.
+    /// Panics if the update was never admitted (or already finished).
     pub fn requeue(&mut self, id: UpdateId) {
-        let &seq = self
-            .memo
+        let &(seq, _) = self
+            .meta
             .get(&id)
             .expect("requeued update was never admitted");
-        self.heap.push(std::cmp::Reverse((seq, id.0)));
+        let slot = self.alloc_slot(id);
+        self.meta.insert(id, (seq, slot));
         self.live += 1;
+        // Under the single-CPU model the paused update was the oldest
+        // live entry, so this is a front insertion; `insert_sorted`
+        // handles the general case identically.
+        let pos = self.deque.partition_point(|&(s, _)| s < seq);
+        self.deque.insert(pos, (seq, slot));
     }
 
     /// Marks a *queued* update invalidated; it will be skipped when its
-    /// heap entry is reached. Idempotent.
+    /// queue position is reached (or re-occupied by a replacement).
+    /// Idempotent; also evicts the update's re-queue memo.
     pub fn drop_update(&mut self, id: UpdateId) {
-        if self.memo.remove(&id).is_some() && self.dropped.insert(id) {
-            self.live = self.live.saturating_sub(1);
+        let Some((seq, slot)) = self.meta.remove(&id) else {
+            return;
+        };
+        if self.slots.get(slot as usize) == Some(&id.0) {
+            self.slots[slot as usize] = SLOT_FREE;
+            self.dropped_seqs.insert(seq, slot);
+            self.live -= 1;
         }
     }
 
     /// Removes and returns the oldest live update.
     pub fn pop(&mut self) -> Option<UpdateId> {
-        while let Some(std::cmp::Reverse((_, raw))) = self.heap.pop() {
-            let id = UpdateId(raw);
-            if self.dropped.remove(&id) {
+        while let Some((seq, slot)) = self.deque.pop_front() {
+            let raw = self.slots[slot as usize];
+            self.slots[slot as usize] = SLOT_FREE;
+            self.free.push(slot);
+            if raw == SLOT_FREE {
+                // Invalidated entry whose position was never inherited:
+                // forget the inheritance hint.
+                if self.dropped_seqs.get(&seq) == Some(&slot) {
+                    self.dropped_seqs.remove(&seq);
+                }
                 continue;
             }
             self.live -= 1;
-            return Some(id);
+            return Some(UpdateId(raw));
         }
         None
+    }
+
+    /// Evicts the re-queue memo of an update that reached a terminal
+    /// state (applied or aborted). Must only be called for updates no
+    /// longer in the queue (popped, or never re-queued).
+    pub fn finish(&mut self, id: UpdateId) {
+        self.meta.remove(&id);
     }
 
     /// Whether no live updates are queued.
@@ -215,6 +341,12 @@ impl UpdateQueue {
     /// Number of live updates queued.
     pub fn len(&self) -> usize {
         self.live
+    }
+
+    /// Number of retained re-queue memos (diagnostic; bounded by live
+    /// updates when `finish`/`drop_update` are called correctly).
+    pub fn memo_len(&self) -> usize {
+        self.meta.len()
     }
 }
 
@@ -277,6 +409,19 @@ mod tests {
     }
 
     #[test]
+    fn fifo_key_is_exact_past_f64_precision() {
+        // Consecutive sequence numbers beyond 2^53 collapse to the same
+        // f64; the integer key must still order them strictly.
+        let mut q = QueryQueue::new(QueryOrder::Fifo);
+        let base = (1u64 << 53) + 4;
+        assert_eq!(base as f64, (base + 1) as f64, "test premise");
+        q.admit(QueryId(1), &qinfo(base + 1, 1.0, 1.0, 100.0));
+        q.admit(QueryId(0), &qinfo(base, 1.0, 1.0, 100.0));
+        assert_eq!(q.pop(), Some(QueryId(0)));
+        assert_eq!(q.pop(), Some(QueryId(1)));
+    }
+
+    #[test]
     fn edf_prefers_earliest_deadline() {
         let mut q = QueryQueue::new(QueryOrder::Edf);
         q.admit(QueryId(0), &qinfo(0, 1.0, 1.0, 500.0)); // deadline 500
@@ -319,6 +464,29 @@ mod tests {
     fn requeue_unknown_query_panics() {
         let mut q = QueryQueue::new(QueryOrder::Vrd);
         q.requeue(QueryId(3));
+    }
+
+    #[test]
+    fn finish_evicts_query_memo() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        for i in 0..10u32 {
+            q.admit(QueryId(i), &qinfo(i as u64, 10.0, 10.0, 100.0));
+        }
+        assert_eq!(q.memo_len(), 10);
+        while let Some(id) = q.pop() {
+            q.finish(id);
+        }
+        assert_eq!(q.memo_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never admitted")]
+    fn requeue_after_finish_panics() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        q.admit(QueryId(0), &qinfo(0, 10.0, 10.0, 100.0));
+        let id = q.pop().unwrap();
+        q.finish(id);
+        q.requeue(id);
     }
 
     #[test]
@@ -366,6 +534,65 @@ mod tests {
         u.requeue(first);
         assert_eq!(u.pop(), Some(UpdateId(0)));
         assert_eq!(u.pop(), Some(UpdateId(1)));
+    }
+
+    #[test]
+    fn replacement_inherits_dropped_position() {
+        // The InheritPosition re-entry policy: the engine drops the
+        // invalidated update and admits the replacement under the *same*
+        // sequence number; it must pop in the old update's position.
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 1));
+        u.admit(UpdateId(2), &uinfo(2, 2));
+        u.drop_update(UpdateId(1));
+        u.admit(UpdateId(3), &uinfo(1, 1)); // replacement, inherited seq 1
+        assert_eq!(u.pop(), Some(UpdateId(0)));
+        assert_eq!(u.pop(), Some(UpdateId(3)));
+        assert_eq!(u.pop(), Some(UpdateId(2)));
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn inherited_admit_after_position_was_skipped() {
+        // If the invalidated entry's position already drained past, a
+        // late inherited admit still lands in sequence order.
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 1));
+        u.admit(UpdateId(2), &uinfo(2, 2));
+        u.drop_update(UpdateId(0));
+        assert_eq!(u.pop(), Some(UpdateId(1))); // skips seq 0's hole
+        u.admit(UpdateId(3), &uinfo(0, 0)); // inherited seq 0, hole gone
+        assert_eq!(u.pop(), Some(UpdateId(3)));
+        assert_eq!(u.pop(), Some(UpdateId(2)));
+    }
+
+    #[test]
+    fn finish_evicts_update_memo() {
+        let mut u = UpdateQueue::new();
+        u.admit(UpdateId(0), &uinfo(0, 0));
+        u.admit(UpdateId(1), &uinfo(1, 1));
+        u.drop_update(UpdateId(0));
+        let id = u.pop().unwrap();
+        u.finish(id);
+        assert_eq!(u.memo_len(), 0);
+        assert_eq!(u.pop(), None);
+    }
+
+    #[test]
+    fn drop_then_pop_leaves_no_state() {
+        let mut u = UpdateQueue::new();
+        for i in 0..8u32 {
+            u.admit(UpdateId(i), &uinfo(i as u64, i));
+        }
+        for i in 0..8u32 {
+            u.drop_update(UpdateId(i));
+        }
+        assert!(u.is_empty());
+        assert_eq!(u.pop(), None);
+        assert_eq!(u.memo_len(), 0);
+        assert_eq!(u.dropped_seqs.len(), 0, "inheritance hints must drain");
     }
 }
 
@@ -434,6 +661,66 @@ mod proptests {
                 count += 1;
             }
             prop_assert_eq!(count, 50 - drops.len());
+        }
+
+        /// Drop/inherit/pop interleavings preserve sequence order among
+        /// live updates, and finishing everything drains all memos.
+        #[test]
+        fn update_queue_inheritance_order(
+            ops in proptest::collection::vec((0u8..4, 0u32..24), 1..200)
+        ) {
+            let mut u = UpdateQueue::new();
+            let mut next_seq = 0u64;
+            let mut next_id = 0u32;
+            let mut queued: Vec<(u64, u32)> = Vec::new(); // (seq, id), sorted by seq
+            for (op, pick) in ops {
+                match op {
+                    0 => {
+                        // Fresh admit.
+                        let (seq, id) = (next_seq, next_id);
+                        next_seq += 1;
+                        next_id += 1;
+                        u.admit(UpdateId(id), &uinfo(seq, 0));
+                        queued.push((seq, id));
+                        queued.sort_unstable();
+                    }
+                    1 => {
+                        // Invalidate a random queued update and admit a
+                        // replacement that inherits its position.
+                        if queued.is_empty() { continue; }
+                        let idx = pick as usize % queued.len();
+                        let (seq, old) = queued[idx];
+                        u.drop_update(UpdateId(old));
+                        let id = next_id;
+                        next_id += 1;
+                        u.admit(UpdateId(id), &uinfo(seq, 0));
+                        queued[idx] = (seq, id);
+                    }
+                    2 => {
+                        // Invalidate without replacement.
+                        if queued.is_empty() { continue; }
+                        let idx = pick as usize % queued.len();
+                        let (_, old) = queued.remove(idx);
+                        u.drop_update(UpdateId(old));
+                    }
+                    _ => {
+                        // Pop: must be the minimum live seq.
+                        let popped = u.pop();
+                        if queued.is_empty() {
+                            prop_assert_eq!(popped, None);
+                        } else {
+                            let (_, id) = queued.remove(0);
+                            prop_assert_eq!(popped, Some(UpdateId(id)));
+                            u.finish(UpdateId(id));
+                        }
+                    }
+                }
+                prop_assert_eq!(u.len(), queued.len());
+            }
+            while let Some(id) = u.pop() {
+                u.finish(id);
+            }
+            prop_assert_eq!(u.memo_len(), 0);
         }
     }
 }

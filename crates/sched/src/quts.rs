@@ -249,6 +249,13 @@ impl Scheduler for Quts {
         self.updates.drop_update(id);
     }
 
+    fn finish(&mut self, txn: TxnRef) {
+        match txn {
+            TxnRef::Query(q) => self.queries.finish(q),
+            TxnRef::Update(u) => self.updates.finish(u),
+        }
+    }
+
     fn pop_next(&mut self, now: SimTime) -> Option<TxnRef> {
         self.refresh(now);
         // "A state change may happen every τ time, or if the picked queue

@@ -26,7 +26,7 @@ use crate::scheduler::{Class, QueryInfo, Scheduler, TxnRef, UpdateInfo};
 use crate::time::{SimDuration, SimTime};
 use crate::txn::{QueryId, QuerySpec, QueryState, TxnStatus, UpdateId, UpdateSpec, UpdateState};
 use quts_db::{
-    Acquisition, LockMode, LockTable, StalenessTracker, Store, TxnToken, UpdateRegister,
+    Acquisition, LockMode, LockTable, StalenessTracker, StockId, Store, TxnToken, UpdateRegister,
 };
 use quts_metrics::{LogHistogram, OnlineStats, ProfitSeries};
 use quts_qc::{QcAggregates, StalenessAggregation};
@@ -178,6 +178,10 @@ pub struct Simulator<S: Scheduler> {
     /// Freshest *arrived* price per stock (the master copy), for the
     /// value-distance staleness metric.
     master_price: Vec<f64>,
+    /// Reusable item buffer for lock acquisition (dispatch hot path).
+    scratch_items: Vec<StockId>,
+    /// Reusable per-item staleness buffer (commit hot path).
+    scratch_staleness: Vec<f64>,
 
     // Measurement.
     aggregates: QcAggregates,
@@ -239,7 +243,7 @@ impl<S: Scheduler> Simulator<S> {
             );
         }
         for q in &queries {
-            for s in q.op.accessed_items() {
+            for &s in q.op.accessed_items().iter() {
                 assert!(
                     s.index() < config.num_stocks as usize,
                     "query references stock {s} outside the store"
@@ -296,6 +300,8 @@ impl<S: Scheduler> Simulator<S> {
             arrival_seq: 0,
             update_seqs,
             master_price,
+            scratch_items: Vec::new(),
+            scratch_staleness: Vec::new(),
             aggregates: QcAggregates::new(),
             profit: ProfitSeries::new(profit_bin),
             response_time_ms: OnlineStats::new(),
@@ -404,6 +410,7 @@ impl<S: Scheduler> Simulator<S> {
             updates_invalidated: self.register.invalidated_count(),
             query_restarts: self.query_restarts,
             update_restarts: self.update_restarts,
+            dispatches: self.dispatch_seq,
             cpu_busy: self.cpu_busy_query + self.cpu_busy_update,
             cpu_busy_query: self.cpu_busy_query,
             cpu_busy_update: self.cpu_busy_update,
@@ -494,6 +501,9 @@ impl<S: Scheduler> Simulator<S> {
                 other => unreachable!("pending update in state {other:?}"),
             }
             self.update_states[old.index()].status = TxnStatus::Invalidated;
+            // Evict the invalidated update's scheduler memo; `drop_update`
+            // only detaches the queue entry.
+            self.scheduler.finish(TxnRef::Update(old));
         }
 
         // Under InheritPosition the register-table entry keeps its queue
@@ -557,18 +567,28 @@ impl<S: Scheduler> Simulator<S> {
             let _ = spec.op.execute(&self.store);
         }
         let items = spec.op.accessed_items();
-        let per_item: Vec<f64> = match self.config.staleness_metric {
-            StalenessMetric::UnappliedUpdates => self.tracker.unapplied_over(&items),
-            StalenessMetric::TimeDifferentialMs => items
-                .iter()
-                .map(|&s| self.tracker.time_differential(s, now.as_micros()) as f64 / 1000.0)
-                .collect(),
-            StalenessMetric::ValueDistance => items
-                .iter()
-                .map(|&s| (self.master_price[s.index()] - self.store.record(s).price()).abs())
-                .collect(),
+        match self.config.staleness_metric {
+            StalenessMetric::UnappliedUpdates => self
+                .tracker
+                .unapplied_over_into(&items, &mut self.scratch_staleness),
+            StalenessMetric::TimeDifferentialMs => {
+                self.scratch_staleness.clear();
+                self.scratch_staleness.extend(
+                    items.iter().map(|&s| {
+                        self.tracker.time_differential(s, now.as_micros()) as f64 / 1000.0
+                    }),
+                );
+            }
+            StalenessMetric::ValueDistance => {
+                self.scratch_staleness.clear();
+                self.scratch_staleness.extend(
+                    items.iter().map(|&s| {
+                        (self.master_price[s.index()] - self.store.record(s).price()).abs()
+                    }),
+                );
+            }
         };
-        let staleness = self.config.staleness_agg.aggregate(&per_item);
+        let staleness = self.config.staleness_agg.aggregate(&self.scratch_staleness);
         let rt_ms = (now - spec.arrival).as_ms_f64();
 
         let late = rt_ms >= spec.qc.default_lifetime_ms();
@@ -601,6 +621,7 @@ impl<S: Scheduler> Simulator<S> {
                 finished_at: now,
             });
         }
+        self.scheduler.finish(TxnRef::Query(id));
     }
 
     fn apply_update(&mut self, id: UpdateId) {
@@ -618,6 +639,7 @@ impl<S: Scheduler> Simulator<S> {
         state.holds_locks = false;
         state.status = TxnStatus::Committed;
         self.updates_applied += 1;
+        self.scheduler.finish(TxnRef::Update(id));
     }
 
     /// Runs the scheduling decision loop until the CPU has a stable
@@ -667,7 +689,7 @@ impl<S: Scheduler> Simulator<S> {
     /// update) and the caller should pop again.
     fn try_start(&mut self, txn: TxnRef) -> bool {
         let now = self.clock;
-        let (remaining, items, mode) = match txn {
+        let (remaining, mode) = match txn {
             TxnRef::Query(q) => {
                 let state = &self.query_states[q.index()];
                 debug_assert!(
@@ -696,19 +718,17 @@ impl<S: Scheduler> Simulator<S> {
                             finished_at: now,
                         });
                     }
+                    self.scheduler.finish(txn);
                     return false;
                 }
-                (
-                    state.remaining,
-                    self.queries[q.index()].op.accessed_items(),
-                    LockMode::Read,
-                )
+                (state.remaining, LockMode::Read)
             }
             TxnRef::Update(u) => {
                 let state = &self.update_states[u.index()];
                 if state.status == TxnStatus::Invalidated {
                     // Lazy tombstone from a scheduler that could not remove
                     // the entry eagerly.
+                    self.scheduler.finish(txn);
                     return false;
                 }
                 debug_assert!(
@@ -716,13 +736,21 @@ impl<S: Scheduler> Simulator<S> {
                     "popped update in state {:?}",
                     state.status
                 );
-                (
-                    state.remaining,
-                    vec![self.updates[u.index()].trade.stock],
-                    LockMode::Write,
-                )
+                (state.remaining, LockMode::Write)
             }
         };
+
+        // The accessed set goes through the reusable scratch buffer: the
+        // lock loop needs `&mut self` for restart handling, which rules
+        // out holding a borrow of the spec's item slice across it.
+        let mut items = std::mem::take(&mut self.scratch_items);
+        items.clear();
+        match txn {
+            TxnRef::Query(q) => {
+                items.extend_from_slice(&self.queries[q.index()].op.accessed_items());
+            }
+            TxnRef::Update(u) => items.push(self.updates[u.index()].trade.stock),
+        }
 
         // 2PL-HP acquisition: the dispatched transaction is by definition
         // the system's current pick, so it carries the highest priority
@@ -742,6 +770,7 @@ impl<S: Scheduler> Simulator<S> {
                 }
             }
         }
+        self.scratch_items = items;
 
         match txn {
             TxnRef::Query(q) => {

@@ -55,6 +55,8 @@ pub struct RunReport {
     pub query_restarts: u64,
     /// 2PL-HP restarts suffered by updates.
     pub update_restarts: u64,
+    /// CPU dispatches performed (work throughput proxy for benchmarks).
+    pub dispatches: u64,
     /// Total CPU time consumed.
     pub cpu_busy: SimDuration,
     /// CPU time consumed by queries (including work lost to restarts).
@@ -143,6 +145,7 @@ mod tests {
             updates_invalidated: 0,
             query_restarts: 0,
             update_restarts: 0,
+            dispatches: 0,
             cpu_busy: SimDuration::ZERO,
             cpu_busy_query: SimDuration::ZERO,
             cpu_busy_update: SimDuration::ZERO,

@@ -110,6 +110,15 @@ pub trait Scheduler {
     /// the same item and must leave the queue.
     fn drop_update(&mut self, id: UpdateId);
 
+    /// A transaction reached a terminal state — committed, applied,
+    /// expired or aborted — and will never be re-queued. Policies that
+    /// memoise per-transaction state (priority keys, FIFO positions)
+    /// evict it here; otherwise a long-running engine leaks one entry
+    /// per transaction forever. Default: no-op.
+    fn finish(&mut self, txn: TxnRef) {
+        let _ = txn;
+    }
+
     /// Removes and returns the transaction the CPU should run next, or
     /// `None` when both queues are empty.
     fn pop_next(&mut self, now: SimTime) -> Option<TxnRef>;
@@ -157,6 +166,9 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn drop_update(&mut self, id: UpdateId) {
         (**self).drop_update(id)
+    }
+    fn finish(&mut self, txn: TxnRef) {
+        (**self).finish(txn)
     }
     fn pop_next(&mut self, now: SimTime) -> Option<TxnRef> {
         (**self).pop_next(now)

@@ -42,7 +42,7 @@ impl TraceStats {
             q_series.record_event(q.arrival.as_micros());
             let ms = q.cost.as_ms_f64();
             q_cost = (q_cost.0.min(ms), q_cost.1.max(ms));
-            for s in q.op.accessed_items() {
+            for &s in q.op.accessed_items().iter() {
                 per_stock[s.index()].0 += 1;
             }
         }

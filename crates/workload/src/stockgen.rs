@@ -375,7 +375,7 @@ impl StockWorkloadConfig {
 /// The set of stocks a query accesses, deduplicated (test helper and
 /// analysis utility).
 pub fn accessed_stocks(op: &QueryOp) -> Vec<StockId> {
-    let mut items = op.accessed_items();
+    let mut items = op.accessed_items().to_vec();
     items.sort_unstable();
     items.dedup();
     items
@@ -429,7 +429,7 @@ mod tests {
     fn stocks_are_in_range() {
         let t = small().generate();
         for q in &t.queries {
-            for s in q.op.accessed_items() {
+            for &s in q.op.accessed_items().iter() {
                 assert!(s.index() < 64);
             }
         }
@@ -501,7 +501,7 @@ mod tests {
         .generate();
         let mut counts = vec![0u32; 64];
         for q in &t.queries {
-            for s in q.op.accessed_items() {
+            for &s in q.op.accessed_items().iter() {
                 counts[s.index()] += 1;
             }
         }
