@@ -37,6 +37,7 @@ fn bench_cycle<S: Scheduler, F: Fn() -> S>(c: &mut Criterion, name: &str, make: 
     c.bench_function(&format!("scheduler/{name}/admit_pop_cycle"), |b| {
         let mut s = make();
         let mut seq = 0u64;
+        let mut sink = Vec::new();
         b.iter(|| {
             seq += 2;
             let now = SimTime::from_ms(seq);
@@ -49,6 +50,10 @@ fn bench_cycle<S: Scheduler, F: Fn() -> S>(c: &mut Criterion, name: &str, make: 
                     s.finish(txn);
                 }
             }
+            // The engine drains buffered decisions once per cycle; a
+            // no-op for schedulers with tracing off.
+            s.drain_decisions(&mut sink);
+            black_box(&mut sink).clear();
         })
     });
 }
@@ -57,7 +62,13 @@ fn bench_all(c: &mut Criterion) {
     bench_cycle(c, "fifo", GlobalFifo::new);
     bench_cycle(c, "uh", DualQueue::uh);
     bench_cycle(c, "qh", DualQueue::qh);
+    // Decision tracing defaults to off; this is the guarded fast path.
     bench_cycle(c, "quts", Quts::with_defaults);
+    bench_cycle(c, "quts_traced", || {
+        let mut s = Quts::with_defaults();
+        s.set_decision_trace(true);
+        s
+    });
 }
 
 fn bench_quts_refresh(c: &mut Criterion) {

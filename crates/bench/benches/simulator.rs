@@ -6,7 +6,8 @@
 //! milliseconds, so a full-scale figure costs on the order of a second.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use quts_bench::{paper_trace, run_policy, Policy};
+use quts_bench::{paper_trace, run_policy, run_policy_with, Policy};
+use quts_sim::{SimConfig, TraceConfig};
 use quts_workload::{qcgen, QcPreset, QcShape};
 use std::hint::black_box;
 
@@ -26,6 +27,26 @@ fn bench_policies(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_policy(black_box(&trace), policy)))
+        });
+    }
+    // The same run with lifecycle spans and the full decision ring on —
+    // the observability overhead ceiling (the default is off).
+    for (name, cfg) in [
+        ("quts-trace-spans", TraceConfig::spans()),
+        ("quts-trace-full", TraceConfig::full()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let sim = SimConfig {
+                    trace: cfg,
+                    ..SimConfig::default()
+                };
+                black_box(run_policy_with(
+                    black_box(&trace),
+                    Policy::quts_default(),
+                    sim,
+                ))
+            })
         });
     }
     g.finish();

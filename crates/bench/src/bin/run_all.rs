@@ -11,11 +11,28 @@
 
 use quts_bench::experiments::{self, ExperimentFn};
 use quts_bench::perf::{self, per_sec, ExperimentPerf};
+use quts_bench::{paper_trace, run_policy_with, tracectx, Policy};
+use quts_sim::{SimConfig, TraceConfig};
 use std::time::{Duration, Instant};
 
 fn main() {
     let scale = quts_bench::harness::experiment_scale();
-    let jobs = quts_bench::jobs();
+    let args: Vec<String> = std::env::args().collect();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--trace-dir")
+        .and_then(|i| args.get(i + 1).cloned());
+    // Tracing numbers files in execution order, so it forces the
+    // deterministic sequential path.
+    let jobs = if trace_dir.is_some() {
+        1
+    } else {
+        quts_bench::jobs()
+    };
+    if let Some(dir) = &trace_dir {
+        tracectx::enable(dir.into());
+        println!("decision traces -> {dir} (jobs forced to 1)");
+    }
 
     let mut perfs: Vec<ExperimentPerf> = Vec::new();
     let mut failed = Vec::new();
@@ -23,6 +40,7 @@ fn main() {
 
     for (name, exp) in experiments::ALL {
         println!("################################################################");
+        tracectx::set_experiment(name);
         let started = Instant::now();
         let outcome = run_caught(exp, scale, jobs, false);
         let wall = started.elapsed();
@@ -36,6 +54,10 @@ fn main() {
         }
         println!();
     }
+
+    // The overhead probe and (when parallel) baseline pass run untraced.
+    tracectx::disable();
+    let overhead = measure_trace_overhead(scale);
 
     // Sequential baseline: a silent one-worker pass so the perf file
     // always records both numbers. When the timed pass already ran with
@@ -58,7 +80,7 @@ fn main() {
         perfs.iter().map(|p| (p.name, p.wall)).collect()
     };
 
-    let json = render_json(scale, jobs, &perfs, &baseline);
+    let json = render_json(scale, jobs, &perfs, &baseline, &overhead);
     let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
@@ -100,12 +122,51 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1000.0
 }
 
+/// One QUTS simulation timed with tracing off and again at `Full` — the
+/// regression guard for the instrumented fast path (the off branch must
+/// stay within a couple of percent of the untraced PR 2 numbers).
+struct TraceOverhead {
+    events: u64,
+    off: Duration,
+    full: Duration,
+}
+
+impl TraceOverhead {
+    fn full_overhead_pct(&self) -> f64 {
+        if self.off.as_secs_f64() > 0.0 {
+            (self.full.as_secs_f64() / self.off.as_secs_f64() - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+fn measure_trace_overhead(scale: u32) -> TraceOverhead {
+    let trace = paper_trace(scale, 1);
+    let events = (trace.queries.len() + trace.updates.len()) as u64;
+    // Warm-up run so allocator and cache state match between the passes.
+    let _ = run_policy_with(&trace, Policy::quts_default(), SimConfig::default());
+    let started = Instant::now();
+    let _ = run_policy_with(&trace, Policy::quts_default(), SimConfig::default());
+    let off = started.elapsed();
+    let full_cfg = SimConfig {
+        trace: TraceConfig::full(),
+        ..SimConfig::default()
+    };
+    let started = Instant::now();
+    let _ = run_policy_with(&trace, Policy::quts_default(), full_cfg);
+    let full = started.elapsed();
+    perf::drain(); // the probe is not part of the experiment trajectory
+    TraceOverhead { events, off, full }
+}
+
 /// Hand-rolled JSON (the workspace vendors no serializer by design).
 fn render_json(
     scale: u32,
     jobs: usize,
     perfs: &[ExperimentPerf],
     baseline: &[(&str, Duration)],
+    overhead: &TraceOverhead,
 ) -> String {
     let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
     let total_events: u64 = perfs.iter().map(|p| p.events).sum();
@@ -142,6 +203,21 @@ fn render_json(
         1.0
     };
     s.push_str(&format!("    \"speedup\": {speedup:.3}\n"));
+    s.push_str("  },\n");
+    s.push_str("  \"trace_overhead\": {\n");
+    s.push_str(&format!("    \"sim_events\": {},\n", overhead.events));
+    s.push_str(&format!(
+        "    \"quts_trace_off_ms\": {:.3},\n",
+        ms(overhead.off)
+    ));
+    s.push_str(&format!(
+        "    \"quts_trace_full_ms\": {:.3},\n",
+        ms(overhead.full)
+    ));
+    s.push_str(&format!(
+        "    \"full_overhead_pct\": {:.2}\n",
+        overhead.full_overhead_pct()
+    ));
     s.push_str("  },\n");
     s.push_str("  \"experiments\": [\n");
     for (i, p) in perfs.iter().enumerate() {

@@ -5,12 +5,17 @@
 //! trace_tools generate --scale 30 --seed 7 --preset balanced --out trace.csv
 //! trace_tools info --in trace.csv
 //! trace_tools run --in trace.csv --policy quts
+//! trace_tools export --in trace.csv --policy quts --out decisions.jsonl
 //! ```
+//!
+//! `export` replays the workload with decision tracing at `Full` and
+//! writes the scheduler's decision log as JSON Lines (one event per
+//! line, stable key order — two same-seed exports are byte-identical).
 
 use quts_bench::Policy;
 use quts_metrics::TextTable;
 use quts_sched::QutsConfig;
-use quts_sim::{SimConfig, Simulator};
+use quts_sim::{SimConfig, Simulator, TraceConfig};
 use quts_workload::{qcgen, QcPreset, QcShape, StockWorkloadConfig, Trace, TraceStats};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -94,6 +99,28 @@ fn main() {
             .run();
             println!("{}", report.summary());
         }
+        "export" => {
+            let trace = load(&flag("--in").unwrap_or_else(|| usage()));
+            let policy = parse_policy(&flag("--policy").unwrap_or_else(|| "quts".into()));
+            let sim = SimConfig {
+                trace: TraceConfig::full(),
+                ..SimConfig::with_stocks(trace.num_stocks)
+            };
+            let report = Simulator::new(sim, trace.queries, trace.updates, policy.build()).run();
+            let jsonl = report.trace_jsonl().expect("tracing was enabled");
+            let records = jsonl.lines().count();
+            match flag("--out") {
+                Some(out) => {
+                    std::fs::write(&out, &jsonl)
+                        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+                    eprintln!(
+                        "wrote {records} decision records to {out} ({} dropped by the ring)",
+                        report.trace_dropped
+                    );
+                }
+                None => print!("{jsonl}"),
+            }
+        }
         _ => usage(),
     }
 }
@@ -157,7 +184,8 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  trace_tools generate [--scale N] [--seed S] [--preset balanced|phases|spectrum-K] \
          [--shape step|linear] [--out FILE]\n  trace_tools info --in FILE\n  trace_tools run --in FILE \
-         [--policy fifo|uh|qh|quts|greedy-RATE]"
+         [--policy fifo|uh|qh|quts|greedy-RATE]\n  trace_tools export --in FILE \
+         [--policy fifo|uh|qh|quts|greedy-RATE] [--out FILE]"
     );
     exit(2);
 }

@@ -75,6 +75,7 @@ pub fn run_policy(trace: &Trace, policy: Policy) -> RunReport {
 /// `run_all` aggregates into `BENCH_quts.json`.
 pub fn run_policy_with(trace: &Trace, policy: Policy, mut sim: SimConfig) -> RunReport {
     sim.num_stocks = trace.num_stocks;
+    let tracing = crate::tracectx::apply(&mut sim);
     let events = (trace.queries.len() + trace.updates.len()) as u64;
     let started = std::time::Instant::now();
     let report = Simulator::new(
@@ -89,6 +90,9 @@ pub fn run_policy_with(trace: &Trace, policy: Policy, mut sim: SimConfig) -> Run
         events,
         dispatches: report.dispatches,
     });
+    if tracing {
+        crate::tracectx::write(&report);
+    }
     report
 }
 

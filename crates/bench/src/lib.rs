@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod harness;
 pub mod parallel;
 pub mod perf;
+pub mod tracectx;
 
 pub use harness::{paper_trace, run_policy, run_policy_with, Policy};
 pub use parallel::{jobs, run_many};

@@ -1,0 +1,80 @@
+//! Observability must be a pure read-out: the decision trace is a
+//! deterministic function of (trace, policy), and recording it must not
+//! perturb the simulation it records.
+
+use quts_bench::{paper_trace, run_policy, run_policy_with, Policy};
+use quts_sim::{RunReport, SimConfig, TraceConfig};
+
+fn traced(scale: u32, seed: u64, policy: Policy) -> RunReport {
+    let trace = paper_trace(scale, seed);
+    let sim = SimConfig {
+        trace: TraceConfig::full(),
+        ..SimConfig::default()
+    };
+    run_policy_with(&trace, policy, sim)
+}
+
+/// The aggregates every experiment table is built from.
+fn result_digest(r: &RunReport) -> String {
+    format!(
+        "committed={} expired={} dispatches={} applied={} invalidated={} \
+         qos={:.12} qod={:.12} total={:.12} rt={:.9} end={} rho={:?}",
+        r.committed,
+        r.expired,
+        r.dispatches,
+        r.updates_applied,
+        r.updates_invalidated,
+        r.qos_pct(),
+        r.qod_pct(),
+        r.total_pct(),
+        r.avg_response_time_ms(),
+        r.end_time,
+        r.rho_history,
+    )
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    for policy in [Policy::Fifo, Policy::quts_default()] {
+        let a = traced(600, 7, policy);
+        let b = traced(600, 7, policy);
+        let ja = a.trace_jsonl().expect("trace enabled");
+        let jb = b.trace_jsonl().expect("trace enabled");
+        assert!(!ja.is_empty(), "{policy:?} produced an empty trace");
+        assert_eq!(ja, jb, "{policy:?} trace diverged across same-seed runs");
+        assert_eq!(a.trace_dropped, b.trace_dropped);
+    }
+}
+
+#[test]
+fn tracing_does_not_change_results() {
+    // The acceptance bar for the instrumentation: a fully-traced run and
+    // an untraced run of the same workload produce the same tables.
+    let trace = paper_trace(600, 7);
+    for policy in Policy::comparison_set() {
+        let off = run_policy(&trace, policy);
+        let full = traced(600, 7, policy);
+        assert_eq!(
+            result_digest(&off),
+            result_digest(&full),
+            "{policy:?} results changed when tracing was enabled"
+        );
+        assert_eq!(off.summary(), full.summary());
+        assert!(off.trace.is_none());
+        assert!(full.trace.is_some());
+    }
+}
+
+#[test]
+fn span_level_populates_histograms_without_a_ring() {
+    let trace = paper_trace(600, 7);
+    let sim = SimConfig {
+        trace: TraceConfig::spans(),
+        ..SimConfig::default()
+    };
+    let r = run_policy_with(&trace, Policy::quts_default(), sim);
+    let spans = r.spans.as_ref().expect("spans recorded");
+    assert_eq!(spans.committed, r.committed);
+    assert!(spans.queue_wait_us.count() > 0);
+    assert!(r.trace.is_none(), "Spans level must not allocate a ring");
+}

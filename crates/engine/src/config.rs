@@ -1,6 +1,7 @@
 //! Engine configuration.
 
 use crate::fault::FaultPlan;
+use quts_metrics::TraceConfig;
 use quts_qc::StalenessAggregation;
 use std::time::Duration;
 
@@ -55,6 +56,13 @@ pub struct EngineConfig {
     /// Injected faults for chaos tests; the default plan injects
     /// nothing.
     pub fault: FaultPlan,
+
+    /// Observability level: `Off` (default) records nothing, `Spans`
+    /// feeds the lifecycle histograms in [`LiveStats`](crate::LiveStats),
+    /// `Full` additionally keeps per-decision events in a bounded ring
+    /// readable through
+    /// [`EngineHandle::trace_snapshot`](crate::EngineHandle::trace_snapshot).
+    pub trace: TraceConfig,
 }
 
 impl Default for EngineConfig {
@@ -75,6 +83,7 @@ impl Default for EngineConfig {
             max_restarts: 4,
             restart_backoff: Duration::from_millis(10),
             fault: FaultPlan::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -145,6 +154,12 @@ impl EngineConfig {
         self.fault = fault;
         self
     }
+
+    /// Builder: sets the observability level.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +172,15 @@ mod tests {
         assert_eq!(c.tau, Duration::from_millis(10));
         assert_eq!(c.omega, Duration::from_millis(1000));
         assert!(c.synthetic_query_cost.is_none());
+    }
+
+    #[test]
+    fn tracing_defaults_off_and_is_a_builder_knob() {
+        use quts_metrics::TraceLevel;
+        let c = EngineConfig::default();
+        assert_eq!(c.trace.level, TraceLevel::Off);
+        let c = c.with_trace(TraceConfig::full());
+        assert_eq!(c.trace.level, TraceLevel::Full);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod supervisor;
 
 pub use config::EngineConfig;
 pub use fault::{FaultPlan, UpdateBurst};
+pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
 pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
-pub use stats::LiveStats;
+pub use stats::{LiveStats, RHO_HISTORY_CAP};
 pub use supervisor::EngineState;

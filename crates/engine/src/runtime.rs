@@ -7,6 +7,7 @@ use crate::supervisor::{self, EngineState, STATE_RUNNING};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
+use quts_metrics::{TraceClass, TraceEvent, TraceRecord, TraceRing};
 use quts_qc::QualityContract;
 use quts_sched::{QueryOrder, QueryQueue, RhoController};
 use quts_sim::{QueryId, QueryInfo, SimDuration, SimTime};
@@ -145,6 +146,7 @@ pub struct EngineHandle {
     tx: Sender<Msg>,
     stats: Arc<Mutex<LiveStats>>,
     state: Arc<AtomicU8>,
+    ring: Option<Arc<Mutex<TraceRing>>>,
 }
 
 impl Engine {
@@ -157,16 +159,37 @@ impl Engine {
         }));
         let state = Arc::new(AtomicU8::new(STATE_RUNNING));
         let faults = Arc::new(FaultState::default());
+        // The decision ring is shared so clients can snapshot it while
+        // the scheduler runs; it survives panic restarts like the stats.
+        let ring = config
+            .trace
+            .level
+            .events()
+            .then(|| Arc::new(Mutex::new(TraceRing::new(config.trace.ring_capacity))));
         let shared_stats = Arc::clone(&stats);
         let shared_state = Arc::clone(&state);
+        let shared_ring = ring.clone();
         let thread = std::thread::Builder::new()
             .name("quts-engine".into())
             .spawn(move || {
-                supervisor::supervise(store, config, rx, shared_stats, shared_state, faults)
+                supervisor::supervise(
+                    store,
+                    config,
+                    rx,
+                    shared_stats,
+                    shared_state,
+                    faults,
+                    shared_ring,
+                )
             })
             .expect("spawn engine thread");
         Engine {
-            handle: EngineHandle { tx, stats, state },
+            handle: EngineHandle {
+                tx,
+                stats,
+                state,
+                ring,
+            },
             thread,
         }
     }
@@ -256,6 +279,20 @@ impl EngineHandle {
         self.stats.lock().clone()
     }
 
+    /// Snapshot of the decision-trace ring, oldest first, or `None`
+    /// unless the engine was started with trace level `Full`.
+    pub fn trace_snapshot(&self) -> Option<Vec<TraceRecord>> {
+        self.ring
+            .as_ref()
+            .map(|r| r.lock().iter_ordered().copied().collect())
+    }
+
+    /// Decisions lost to ring overwrites (`Some(0)` until the ring
+    /// wraps; `None` when tracing is below `Full`).
+    pub fn trace_dropped(&self) -> Option<u64> {
+        self.ring.as_ref().map(|r| r.lock().dropped())
+    }
+
     /// Current lifecycle state.
     pub fn state(&self) -> EngineState {
         supervisor::load_state(&self.state)
@@ -301,6 +338,11 @@ pub(crate) struct Runtime<'a> {
     acc_qos: f64,
     acc_qod: f64,
     epoch: Instant,
+
+    /// Decision ring, shared with client handles; `None` below `Full`.
+    ring: Option<Arc<Mutex<TraceRing>>>,
+    /// Whether lifecycle spans feed `LiveStats::spans` (level ≥ `Spans`).
+    spans_on: bool,
 }
 
 impl<'a> Runtime<'a> {
@@ -311,11 +353,13 @@ impl<'a> Runtime<'a> {
         rx: Receiver<Msg>,
         stats: Arc<Mutex<LiveStats>>,
         faults: Arc<FaultState>,
+        ring: Option<Arc<Mutex<TraceRing>>>,
     ) -> Runtime<'a> {
         let now = Instant::now();
         let rho = RhoController::new(config.alpha, config.initial_rho);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let state_is_query = rng.random::<f64>() < rho.rho();
+        let spans_on = config.trace.level.spans();
         Runtime {
             store,
             tracker,
@@ -323,6 +367,8 @@ impl<'a> Runtime<'a> {
             rx,
             stats,
             faults,
+            ring,
+            spans_on,
             query_queue: QueryQueue::new(QueryOrder::Vrd),
             queries: HashMap::new(),
             next_seq: 0,
@@ -401,6 +447,9 @@ impl<'a> Runtime<'a> {
                 {
                     let mut s = self.stats.lock();
                     s.aggregates.submit(&qc);
+                    // +1: the query joins `self.queries` just below.
+                    s.pending_queries = self.queries.len() as u64 + 1;
+                    s.pending_updates = self.register.len() as u64;
                 }
                 let arrival =
                     SimTime::ZERO + SimDuration::from_ms_f64(self.elapsed_us() as f64 / 1000.0);
@@ -438,17 +487,20 @@ impl<'a> Runtime<'a> {
                 // Register-table semantics: the pending entry keeps its
                 // queue position, only its payload/identifier is swapped.
                 if let Some(entry) = self.register.get_mut(&trade.stock) {
+                    let old_id = entry.0;
                     entry.1 = trade;
                     self.stats.lock().updates_invalidated += 1;
+                    self.trace_event(TraceEvent::UpdateInvalidate { id: old_id });
                 } else {
                     if self.update_queue.len() >= self.config.max_pending_updates {
                         // High-water mark: drop the head. Its payload is
                         // the oldest in the queue (least valuable to
                         // apply), and the tracker keeps its item
                         // correctly accounted stale.
-                        if let Some((victim, _)) = self.update_queue.pop_front() {
+                        if let Some((victim, victim_id)) = self.update_queue.pop_front() {
                             self.register.remove(&victim);
                             self.stats.lock().updates_dropped_overload += 1;
+                            self.trace_event(TraceEvent::UpdateDrop { id: victim_id });
                         }
                     }
                     let id = self.next_update_id;
@@ -465,21 +517,65 @@ impl<'a> Runtime<'a> {
         self.epoch.elapsed().as_micros() as u64
     }
 
+    /// Microseconds from the engine epoch to `at` (zero if `at` predates
+    /// it, as a query submitted before a panic restart can).
+    fn us_since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_micros() as u64
+    }
+
+    /// Records one decision event when the ring is live (level `Full`).
+    fn trace_event(&self, event: TraceEvent) {
+        if let Some(ring) = &self.ring {
+            ring.lock().push(self.elapsed_us(), event);
+        }
+    }
+
+    fn trace_atom(&self) {
+        if self.ring.is_some() {
+            self.trace_event(TraceEvent::AtomStart {
+                class: if self.state_is_query {
+                    TraceClass::Query
+                } else {
+                    TraceClass::Update
+                },
+                rho: self.rho.rho(),
+                queries_queued: self.queries.len() as u64,
+                updates_queued: self.register.len() as u64,
+            });
+        }
+    }
+
+    /// Refreshes the queue-depth gauges on an already-held stats lock.
+    fn set_depth_gauges(&self, s: &mut LiveStats) {
+        s.pending_queries = self.queries.len() as u64;
+        s.pending_updates = self.register.len() as u64;
+    }
+
     /// Processes ρ adaptations and atom boundaries up to `now`.
     fn refresh(&mut self, now: Instant) {
         while self.next_adapt <= now {
+            let old_rho = self.rho.rho();
+            let (qos_max, qod_max) = (self.acc_qos, self.acc_qod);
             let rho = self.rho.adapt(self.acc_qos, self.acc_qod);
             self.acc_qos = 0.0;
             self.acc_qod = 0.0;
             self.next_adapt += self.config.omega;
+            self.trace_event(TraceEvent::Adapt {
+                old_rho,
+                new_rho: rho,
+                qos_max,
+                qod_max,
+            });
             let mut s = self.stats.lock();
             s.rho = rho;
             s.adaptations += 1;
-            s.rho_history.push(rho);
+            s.push_rho(rho);
+            self.set_depth_gauges(&mut s);
         }
         while self.state_until <= now {
             self.state_is_query = self.rng.random::<f64>() < self.rho.rho();
             self.state_until += self.config.tau;
+            self.trace_atom();
         }
     }
 
@@ -500,6 +596,7 @@ impl<'a> Runtime<'a> {
         if favoured_empty {
             self.state_is_query = self.rng.random::<f64>() < self.rho.rho();
             self.state_until = Instant::now() + self.config.tau;
+            self.trace_atom();
         }
         // Fault hooks fire per real transaction.
         let txn = self.faults.next_txn();
@@ -548,7 +645,7 @@ impl<'a> Runtime<'a> {
         // Profit-aware shedding: a query past its contract lifetime can
         // no longer earn anything, so abort it unexecuted (zero profit,
         // no service time spent) and move on to one that can still pay.
-        let q = loop {
+        let (id, q) = loop {
             let Some(id) = self.query_queue.pop() else {
                 return;
             };
@@ -561,13 +658,29 @@ impl<'a> Runtime<'a> {
             };
             let age_ms = q.submitted.elapsed().as_secs_f64() * 1000.0;
             if age_ms >= q.qc.default_lifetime_ms() {
-                self.stats.lock().shed_expired += 1;
+                {
+                    let mut s = self.stats.lock();
+                    s.shed_expired += 1;
+                    if self.spans_on {
+                        s.spans.record_expiry(false);
+                    }
+                    self.set_depth_gauges(&mut s);
+                }
+                self.trace_event(TraceEvent::Expire {
+                    id: u64::from(id.0),
+                    dispatched: false,
+                });
                 let _ = q.reply.send(Err(QueryError::Expired));
                 continue;
             }
-            break q;
+            break (id, q);
         };
 
+        let dispatched_us = self.elapsed_us();
+        self.trace_event(TraceEvent::Dispatch {
+            class: TraceClass::Query,
+            id: u64::from(id.0),
+        });
         if let Some(cost) = self.config.synthetic_query_cost {
             spin_for(cost);
         }
@@ -583,7 +696,21 @@ impl<'a> Runtime<'a> {
             s.aggregates.gain(qos, qod);
             s.response_time_ms.push(rt_ms);
             s.staleness.push(staleness);
+            if self.spans_on {
+                s.spans.record_commit(
+                    self.us_since_epoch(q.submitted),
+                    dispatched_us,
+                    self.elapsed_us(),
+                    staleness.round() as u64,
+                );
+            }
+            self.set_depth_gauges(&mut s);
         }
+        self.trace_event(TraceEvent::Commit {
+            id: u64::from(id.0),
+            response_us: (rt_ms * 1000.0).round() as u64,
+            staleness: staleness.round() as u64,
+        });
         if self.faults.should_drop_reply(&self.config.fault) {
             // Injected fault: vanish the reply. The client's ticket sees
             // the channel disconnect, never a hang.
@@ -603,16 +730,32 @@ impl<'a> Runtime<'a> {
             // A queue entry is live while its item is still registered;
             // the payload may be newer than when the entry was enqueued
             // (register-table swap keeps the queue position).
-            let Some(&(_live_id, trade)) = self.register.get(&stock) else {
+            let Some(&(live_id, trade)) = self.register.get(&stock) else {
                 continue;
             };
+            self.trace_event(TraceEvent::Dispatch {
+                class: TraceClass::Update,
+                id: live_id,
+            });
             if let Some(cost) = self.config.synthetic_update_cost {
                 spin_for(cost);
             }
             self.store.apply_update(&trade);
+            let delay_us = self.tracker.time_differential(stock, self.elapsed_us());
             self.tracker.on_apply(stock);
             self.register.remove(&stock);
-            self.stats.lock().updates_applied += 1;
+            {
+                let mut s = self.stats.lock();
+                s.updates_applied += 1;
+                if self.spans_on {
+                    s.spans.record_update_apply(delay_us);
+                }
+                self.set_depth_gauges(&mut s);
+            }
+            self.trace_event(TraceEvent::UpdateApply {
+                id: live_id,
+                delay_us,
+            });
             return;
         }
     }
@@ -819,6 +962,129 @@ mod tests {
             handle.submit_update(trade(ids[0], 1.0)).err(),
             Some(SubmitError::EngineDown)
         );
+    }
+
+    #[test]
+    fn trace_off_exposes_no_ring_and_empty_spans() {
+        let (engine, ids) = engine_with_stocks(2);
+        engine
+            .submit_query(
+                QueryOp::Lookup(ids[0]),
+                QualityContract::step(1.0, 1000.0, 1.0, 1),
+            )
+            .unwrap()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        assert!(engine.handle().trace_snapshot().is_none());
+        assert!(engine.handle().trace_dropped().is_none());
+        let stats = engine.shutdown();
+        assert_eq!(stats.spans.committed, 0, "spans are gated off by default");
+    }
+
+    #[test]
+    fn spans_level_fills_lifecycle_histograms() {
+        use quts_metrics::TraceConfig;
+        let store = Store::with_synthetic_stocks(2);
+        let cfg = EngineConfig::default()
+            .with_seed(11)
+            .with_trace(TraceConfig::spans());
+        let engine = Engine::start(store, cfg);
+        for _ in 0..5 {
+            engine
+                .submit_query(
+                    QueryOp::Lookup(StockId(0)),
+                    QualityContract::step(5.0, 1000.0, 5.0, 1),
+                )
+                .unwrap()
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap();
+        }
+        engine.submit_update(trade(StockId(1), 9.0)).unwrap();
+        // Spans level keeps the decision ring off.
+        assert!(engine.handle().trace_snapshot().is_none());
+        let stats = engine.shutdown();
+        assert_eq!(stats.spans.committed, 5);
+        assert_eq!(stats.spans.response_us.count(), 5);
+        assert_eq!(stats.spans.queue_wait_us.count(), 5);
+        assert_eq!(stats.spans.update_delay_us.count(), 1);
+    }
+
+    #[test]
+    fn full_level_records_decision_events() {
+        use quts_metrics::{TraceConfig, TraceEvent};
+        let store = Store::with_synthetic_stocks(2);
+        let cfg = EngineConfig::default()
+            .with_seed(13)
+            .with_trace(TraceConfig::full());
+        let engine = Engine::start(store, cfg);
+        engine.submit_update(trade(StockId(0), 50.0)).unwrap();
+        engine
+            .submit_query(
+                QueryOp::Lookup(StockId(0)),
+                QualityContract::step(5.0, 1000.0, 5.0, 1),
+            )
+            .unwrap()
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap();
+        // Shutdown drains the pending update; the ring outlives the
+        // engine through the handle.
+        let handle = engine.handle();
+        engine.shutdown();
+        let records = handle.trace_snapshot().expect("ring is live");
+        assert_eq!(handle.trace_dropped(), Some(0));
+        let mut commits = 0;
+        let mut applies = 0;
+        let mut dispatches = 0;
+        for r in &records {
+            match r.event {
+                TraceEvent::Commit { .. } => commits += 1,
+                TraceEvent::UpdateApply { .. } => applies += 1,
+                TraceEvent::Dispatch { .. } => dispatches += 1,
+                _ => {}
+            }
+        }
+        assert_eq!(commits, 1);
+        assert_eq!(applies, 1);
+        assert_eq!(dispatches, 2, "one query + one update dispatch");
+        // Sequence numbers are monotone in ring order.
+        for w in records.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn rho_history_stays_bounded_live() {
+        let store = Store::with_synthetic_stocks(1);
+        // ω = 1 ms: hundreds of adaptations within the sleep below.
+        let cfg = EngineConfig::default()
+            .with_seed(5)
+            .with_omega(Duration::from_millis(1));
+        let engine = Engine::start(store, cfg);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = engine.stats();
+            if s.adaptations > crate::stats::RHO_HISTORY_CAP as u64 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "adaptations too slow: {}",
+                s.adaptations
+            );
+            // Keep the scheduler busy so refresh() keeps running.
+            let _ = engine.submit_query(
+                QueryOp::Lookup(StockId(0)),
+                QualityContract::step(1.0, 1000.0, 1.0, 1),
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = engine.shutdown();
+        assert!(stats.rho_history.len() <= crate::stats::RHO_HISTORY_CAP);
+        assert_eq!(
+            stats.rho_history_truncated,
+            stats.adaptations - stats.rho_history.len() as u64
+        );
+        assert!(stats.rho_history_truncated > 0);
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! Live engine statistics, shared between the scheduler thread and
 //! clients.
 
-use quts_metrics::OnlineStats;
+use quts_metrics::{LifecycleSpans, OnlineStats};
 use quts_qc::QcAggregates;
+
+/// How many trailing ρ values [`LiveStats::rho_history`] retains. Older
+/// entries are discarded (counted in
+/// [`LiveStats::rho_history_truncated`]) so a long-lived engine holds a
+/// bounded snapshot instead of one f64 per adaptation period forever.
+pub const RHO_HISTORY_CAP: usize = 256;
 
 /// A snapshot of the engine's accounting, readable at any time through
 /// [`EngineHandle::stats`](crate::EngineHandle::stats).
@@ -22,8 +28,26 @@ pub struct LiveStats {
     pub rho: f64,
     /// Adaptation periods completed.
     pub adaptations: u64,
-    /// ρ after each adaptation period, in order (Figure 9d live).
+    /// ρ after each adaptation period, oldest first — the last
+    /// [`RHO_HISTORY_CAP`] values only (Figure 9d live).
     pub rho_history: Vec<f64>,
+    /// ρ values discarded from the front of [`rho_history`]
+    /// (`adaptations - rho_history.len()`, kept explicit for clients).
+    ///
+    /// [`rho_history`]: LiveStats::rho_history
+    pub rho_history_truncated: u64,
+
+    // --- Queue-depth gauges (refreshed on the scheduler's stat paths) ---
+    /// Queries admitted but not yet executed or shed.
+    pub pending_queries: u64,
+    /// Distinct pending updates (register-table entries).
+    pub pending_updates: u64,
+
+    /// Lifecycle-span histograms (queue wait, service, response,
+    /// staleness, update delay) plus the shed breakdown. Populated only
+    /// when [`EngineConfig::trace`](crate::EngineConfig) is at level
+    /// `Spans` or `Full`; empty otherwise.
+    pub spans: LifecycleSpans,
 
     // --- Overload & robustness counters ---
     /// Submissions refused because the admission queue was full.
@@ -42,6 +66,26 @@ impl LiveStats {
     pub fn total_pct(&self) -> f64 {
         self.aggregates.total_pct()
     }
+
+    /// Appends one adaptation's ρ, discarding the oldest entry once the
+    /// history holds [`RHO_HISTORY_CAP`] values.
+    pub fn push_rho(&mut self, rho: f64) {
+        if self.rho_history.len() >= RHO_HISTORY_CAP {
+            self.rho_history.remove(0);
+            self.rho_history_truncated += 1;
+        }
+        self.rho_history.push(rho);
+    }
+
+    /// Why work was lost, by cause — the shed breakdown exposed over
+    /// `METRICS`.
+    pub fn shed_breakdown(&self) -> [(&'static str, u64); 3] {
+        [
+            ("queue_full", self.queue_full_rejections),
+            ("lifetime_expired", self.shed_expired),
+            ("update_overload", self.updates_dropped_overload),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -58,5 +102,36 @@ mod tests {
         assert_eq!(s.shed_expired, 0);
         assert_eq!(s.updates_dropped_overload, 0);
         assert_eq!(s.engine_restarts, 0);
+        assert_eq!(s.pending_queries, 0);
+        assert_eq!(s.pending_updates, 0);
+        assert_eq!(s.rho_history_truncated, 0);
+        assert_eq!(s.spans.committed, 0);
+    }
+
+    #[test]
+    fn rho_history_is_capped_with_truncation_count() {
+        let mut s = LiveStats::default();
+        for i in 0..(RHO_HISTORY_CAP + 10) {
+            s.push_rho(i as f64);
+        }
+        assert_eq!(s.rho_history.len(), RHO_HISTORY_CAP);
+        assert_eq!(s.rho_history_truncated, 10);
+        // The window keeps the most recent values, oldest first.
+        assert_eq!(s.rho_history[0], 10.0);
+        assert_eq!(*s.rho_history.last().unwrap(), (RHO_HISTORY_CAP + 9) as f64);
+    }
+
+    #[test]
+    fn shed_breakdown_mirrors_counters() {
+        let s = LiveStats {
+            queue_full_rejections: 3,
+            shed_expired: 2,
+            updates_dropped_overload: 1,
+            ..LiveStats::default()
+        };
+        let b = s.shed_breakdown();
+        assert_eq!(b[0], ("queue_full", 3));
+        assert_eq!(b[1], ("lifetime_expired", 2));
+        assert_eq!(b[2], ("update_overload", 1));
     }
 }

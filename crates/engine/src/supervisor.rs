@@ -23,6 +23,7 @@ use crate::stats::LiveStats;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use quts_db::{StalenessTracker, Store};
+use quts_metrics::TraceRing;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
@@ -67,6 +68,7 @@ pub(crate) fn supervise(
     stats: Arc<Mutex<LiveStats>>,
     state: Arc<AtomicU8>,
     faults: Arc<FaultState>,
+    ring: Option<Arc<Mutex<TraceRing>>>,
 ) {
     let mut tracker = StalenessTracker::new(store.len());
     let mut restarts = 0u32;
@@ -79,6 +81,7 @@ pub(crate) fn supervise(
                 rx.clone(),
                 Arc::clone(&stats),
                 Arc::clone(&faults),
+                ring.clone(),
             )
             .run()
         }));

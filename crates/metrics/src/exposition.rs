@@ -1,0 +1,192 @@
+//! Prometheus-style text exposition of counters, gauges and histograms.
+//!
+//! A tiny encoder for the plain-text metrics format scrapers expect:
+//! `# HELP` / `# TYPE` headers, `name{label="value"} 1.5` samples,
+//! cumulative `_bucket{le="..."}` series for histograms, and a final
+//! `# EOF` terminator (from the OpenMetrics dialect) that doubles as
+//! the end-of-response marker over the line protocol.
+//!
+//! Histogram buckets come straight from a [`LogHistogram`] via
+//! [`LogHistogram::count_le`]: cumulative counts at caller-chosen
+//! upper bounds, exact total under `+Inf`.
+
+use crate::LogHistogram;
+use std::fmt::Write as _;
+
+/// Default µs bucket bounds for latency histograms: 100 µs … 100 s in
+/// decades, a sensible scrape resolution for web-database latencies.
+pub const LATENCY_BOUNDS_US: &[u64] = &[
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+];
+
+/// Default bounds for small-count distributions (e.g. unapplied
+/// updates at answer time).
+pub const COUNT_BOUNDS: &[u64] = &[0, 1, 2, 5, 10, 50, 100, 1_000];
+
+/// Incremental builder for one exposition document.
+///
+/// ```
+/// use quts_metrics::exposition::Exposition;
+/// let mut exp = Exposition::new();
+/// exp.counter("quts_committed_total", "Committed queries", 42);
+/// exp.gauge("quts_rho", "Current query-class bias", 0.75);
+/// let text = exp.finish();
+/// assert!(text.ends_with("# EOF\n"));
+/// ```
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// An empty document.
+    pub fn new() -> Self {
+        Exposition { out: String::new() }
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// A monotonic counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// A point-in-time gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// One gauge family with a single label dimension, e.g. queue
+    /// depths per class.
+    pub fn labeled_gauges(&mut self, name: &str, help: &str, label: &str, series: &[(&str, f64)]) {
+        self.header(name, help, "gauge");
+        for (value_label, value) in series {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{value_label}\"}} {value}");
+        }
+    }
+
+    /// A cumulative histogram read out of a [`LogHistogram`] at the
+    /// given upper bounds (plus the implicit `+Inf`), with `_sum` and
+    /// `_count` samples.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &LogHistogram, bounds: &[u64]) {
+        self.header(name, help, "histogram");
+        for &le in bounds {
+            let c = hist.count_le(le);
+            let _ = writeln!(self.out, "{name}_bucket{{le=\"{le}\"}} {c}");
+        }
+        let total = hist.count();
+        let _ = writeln!(self.out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(self.out, "{name}_sum {}", hist.sum());
+        let _ = writeln!(self.out, "{name}_count {total}");
+    }
+
+    /// Terminates the document with `# EOF` and returns the text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every non-comment line must look like `name{labels}? value`.
+    fn assert_parses(text: &str) {
+        let mut saw_eof = false;
+        for line in text.lines() {
+            if line == "# EOF" {
+                saw_eof = true;
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line has a value");
+            assert!(!name.is_empty(), "empty metric name in: {line}");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value {value:?} in: {line}"
+            );
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name {bare:?}"
+            );
+        }
+        assert!(saw_eof, "document must end with # EOF");
+    }
+
+    #[test]
+    fn counters_and_gauges_render() {
+        let mut exp = Exposition::new();
+        exp.counter("quts_committed_total", "Committed queries", 3);
+        exp.gauge("quts_rho", "Bias", 0.625);
+        exp.labeled_gauges(
+            "quts_queue_depth",
+            "Pending transactions",
+            "class",
+            &[("query", 2.0), ("update", 5.0)],
+        );
+        let text = exp.finish();
+        assert!(text.contains("# TYPE quts_committed_total counter\n"));
+        assert!(text.contains("quts_committed_total 3\n"));
+        assert!(text.contains("quts_rho 0.625\n"));
+        assert!(text.contains("quts_queue_depth{class=\"query\"} 2\n"));
+        assert_parses(&text);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let mut h = LogHistogram::new();
+        for v in [50u64, 500, 5_000, 5_000_000] {
+            h.record(v);
+        }
+        let mut exp = Exposition::new();
+        exp.histogram("quts_rt_us", "Response time", &h, LATENCY_BOUNDS_US);
+        let text = exp.finish();
+        assert_parses(&text);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("quts_rt_us_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), LATENCY_BOUNDS_US.len() + 1);
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "buckets must be cumulative: {counts:?}");
+        }
+        assert_eq!(*counts.last().unwrap(), 4);
+        assert!(text.contains(&format!(
+            "quts_rt_us_sum {}\n",
+            50 + 500 + 5_000 + 5_000_000
+        )));
+        assert!(text.contains("quts_rt_us_count 4\n"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeroes() {
+        let h = LogHistogram::new();
+        let mut exp = Exposition::new();
+        exp.histogram("quts_rt_us", "Response time", &h, &[1_000]);
+        let text = exp.finish();
+        assert!(text.contains("quts_rt_us_bucket{le=\"1000\"} 0\n"));
+        assert!(text.contains("quts_rt_us_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("quts_rt_us_sum 0\n"));
+        assert_parses(&text);
+    }
+}

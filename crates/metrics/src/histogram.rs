@@ -152,6 +152,21 @@ impl LogHistogram {
         self.quantile(0.5)
     }
 
+    /// Exact sum of the recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Approximate number of samples ≤ `value`: the cumulative count
+    /// through the bucket containing `value`. Monotone in `value` and
+    /// equal to [`count`](Self::count) once `value ≥ max`; samples
+    /// sharing the bucket but exceeding `value` are over-counted by at
+    /// most one bucket width (~1/grid relative error).
+    pub fn count_le(&self, value: u64) -> u64 {
+        let b = self.bucket_of(value);
+        self.counts[..=b].iter().sum()
+    }
+
     /// Merges another histogram with the same grid.
     ///
     /// # Panics
@@ -252,6 +267,87 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn grid_must_be_power_of_two() {
         let _ = LogHistogram::with_grid(10);
+    }
+
+    #[test]
+    fn zero_samples_has_no_quantiles_and_zero_cumulative() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(u64::MAX), 0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let mut h = LogHistogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(12_345), "q={q}");
+        }
+        assert_eq!(h.min(), h.max());
+        assert_eq!(h.sum(), 12_345);
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(u64::MAX), 1);
+    }
+
+    #[test]
+    fn values_below_first_bucket_boundary_are_exact() {
+        // Values below `grid` land in width-1 buckets: quantiles and
+        // cumulative counts are exact there.
+        let mut h = LogHistogram::with_grid(16);
+        for v in [0u64, 1, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(3));
+        assert_eq!(h.count_le(0), 1);
+        assert_eq!(h.count_le(1), 2);
+        assert_eq!(h.count_le(2), 3);
+        assert_eq!(h.count_le(3), 4);
+        assert_eq!(h.count_le(15), 4);
+    }
+
+    #[test]
+    fn p0_p50_p100_exactness_bounds() {
+        let mut h = LogHistogram::new();
+        let values: Vec<u64> = (1..=101u64).map(|v| v * 97).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        // p0 is exact: the min's bucket lower bound clamps up to min.
+        assert_eq!(h.quantile(0.0), Some(*values.first().unwrap()));
+        // p50 and p100 return the containing bucket's lower bound:
+        // within one sub-bucket (1/grid ≈ 6%) below the exact value,
+        // never above it.
+        for (q, exact) in [
+            (0.5, values[values.len() / 2]),
+            (1.0, *values.last().unwrap()),
+        ] {
+            let approx = h.quantile(q).unwrap();
+            assert!(approx <= exact, "q={q}");
+            assert!(
+                approx as f64 >= exact as f64 * (1.0 - 1.0 / 16.0) - 1.0,
+                "q={q}: approx={approx} exact={exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn count_le_is_monotone_and_reaches_total() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 70, 900, 40_000, 2_000_000] {
+            h.record(v);
+        }
+        let probes = [0u64, 3, 69, 70, 1_000, 50_000, 3_000_000, u64::MAX];
+        let counts: Vec<u64> = probes.iter().map(|&p| h.count_le(p)).collect();
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*counts.last().unwrap(), h.count());
     }
 }
 

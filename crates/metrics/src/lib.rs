@@ -8,19 +8,32 @@
 //! * [`timeseries`] — fixed-width time bins with moving-window smoothing
 //!   (the 5-second filter of the paper's Figure 9),
 //! * [`profit`] — gained-vs-maximum profit tracked over time bins,
-//! * [`table`] — plain-text table rendering for experiment output.
+//! * [`table`] — plain-text table rendering for experiment output,
+//! * [`trace`] — typed scheduler-decision events in a fixed ring with
+//!   JSONL export,
+//! * [`span`] — query-lifecycle spans (queue-wait / service /
+//!   staleness) over histograms,
+//! * [`exposition`] — Prometheus-style text exposition encoding.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exposition;
 pub mod histogram;
 pub mod profit;
+pub mod span;
 pub mod table;
 pub mod timeseries;
+pub mod trace;
 pub mod welford;
 
+pub use exposition::Exposition;
 pub use histogram::LogHistogram;
 pub use profit::ProfitSeries;
+pub use span::LifecycleSpans;
 pub use table::TextTable;
 pub use timeseries::BinnedSeries;
+pub use trace::{
+    SchedDecision, TraceClass, TraceConfig, TraceEvent, TraceLevel, TraceRecord, TraceRing,
+};
 pub use welford::OnlineStats;

@@ -1,0 +1,156 @@
+//! Query-lifecycle spans: submitted → first dispatch → commit/expire.
+//!
+//! A span decomposes a query's life into the pieces a scheduler can
+//! actually influence — how long it queued before first touching the
+//! CPU, how long it held the CPU (including restart waste), and how
+//! stale its answer was — and feeds each piece into a
+//! [`LogHistogram`]. Updates get the analogous arrival-to-apply delay.
+//! Both the simulator and the live engine populate the same struct, so
+//! one exposition encoder serves both.
+
+use crate::LogHistogram;
+
+/// Lifecycle-span histograms plus shed breakdown for one engine run.
+#[derive(Debug, Clone)]
+pub struct LifecycleSpans {
+    /// Arrival → first dispatch, µs (queries that ran at least once).
+    pub queue_wait_us: LogHistogram,
+    /// First dispatch → commit, µs (committed queries).
+    pub service_us: LogHistogram,
+    /// Arrival → commit, µs (committed queries).
+    pub response_us: LogHistogram,
+    /// Staleness at answer, in the engine's staleness metric.
+    pub staleness: LogHistogram,
+    /// Update arrival → apply, µs (applied updates).
+    pub update_delay_us: LogHistogram,
+    /// Queries that committed.
+    pub committed: u64,
+    /// Queries shed before ever being dispatched.
+    pub expired_before_dispatch: u64,
+    /// Queries that ran at least once but expired before committing.
+    pub expired_after_dispatch: u64,
+}
+
+impl Default for LifecycleSpans {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LifecycleSpans {
+    /// Empty spans.
+    pub fn new() -> Self {
+        LifecycleSpans {
+            queue_wait_us: LogHistogram::new(),
+            service_us: LogHistogram::new(),
+            response_us: LogHistogram::new(),
+            staleness: LogHistogram::new(),
+            update_delay_us: LogHistogram::new(),
+            committed: 0,
+            expired_before_dispatch: 0,
+            expired_after_dispatch: 0,
+        }
+    }
+
+    /// Records a committed query given its three absolute timestamps
+    /// (host-clock µs) and the staleness of its answer.
+    pub fn record_commit(
+        &mut self,
+        arrival_us: u64,
+        first_dispatch_us: u64,
+        commit_us: u64,
+        staleness: u64,
+    ) {
+        self.committed += 1;
+        self.queue_wait_us
+            .record(first_dispatch_us.saturating_sub(arrival_us));
+        self.service_us
+            .record(commit_us.saturating_sub(first_dispatch_us));
+        self.response_us
+            .record(commit_us.saturating_sub(arrival_us));
+        self.staleness.record(staleness);
+    }
+
+    /// Records a shed query; `dispatched` tells whether it ever ran.
+    pub fn record_expiry(&mut self, dispatched: bool) {
+        if dispatched {
+            self.expired_after_dispatch += 1;
+        } else {
+            self.expired_before_dispatch += 1;
+        }
+    }
+
+    /// Records an applied update's arrival-to-apply delay.
+    pub fn record_update_apply(&mut self, delay_us: u64) {
+        self.update_delay_us.record(delay_us);
+    }
+
+    /// Total shed queries (before + after dispatch).
+    pub fn expired(&self) -> u64 {
+        self.expired_before_dispatch + self.expired_after_dispatch
+    }
+
+    /// Merges another run's spans into this one.
+    pub fn merge(&mut self, other: &LifecycleSpans) {
+        self.queue_wait_us.merge(&other.queue_wait_us);
+        self.service_us.merge(&other.service_us);
+        self.response_us.merge(&other.response_us);
+        self.staleness.merge(&other.staleness);
+        self.update_delay_us.merge(&other.update_delay_us);
+        self.committed += other.committed;
+        self.expired_before_dispatch += other.expired_before_dispatch;
+        self.expired_after_dispatch += other.expired_after_dispatch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commit_decomposes_into_wait_service_response() {
+        let mut s = LifecycleSpans::new();
+        s.record_commit(1_000, 4_000, 9_000, 2);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.queue_wait_us.max(), Some(3_000));
+        assert_eq!(s.service_us.max(), Some(5_000));
+        assert_eq!(s.response_us.max(), Some(8_000));
+        assert_eq!(s.staleness.max(), Some(2));
+    }
+
+    #[test]
+    fn out_of_order_stamps_saturate_to_zero() {
+        let mut s = LifecycleSpans::new();
+        s.record_commit(5_000, 4_000, 3_000, 0);
+        assert_eq!(s.queue_wait_us.max(), Some(0));
+        assert_eq!(s.response_us.max(), Some(0));
+    }
+
+    #[test]
+    fn expiry_breakdown() {
+        let mut s = LifecycleSpans::new();
+        s.record_expiry(false);
+        s.record_expiry(false);
+        s.record_expiry(true);
+        assert_eq!(s.expired_before_dispatch, 2);
+        assert_eq!(s.expired_after_dispatch, 1);
+        assert_eq!(s.expired(), 3);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = LifecycleSpans::new();
+        a.record_commit(0, 10, 20, 1);
+        a.record_expiry(false);
+        let mut b = LifecycleSpans::new();
+        b.record_commit(0, 30, 60, 3);
+        b.record_update_apply(500);
+        b.record_expiry(true);
+        a.merge(&b);
+        assert_eq!(a.committed, 2);
+        assert_eq!(a.expired(), 2);
+        assert_eq!(a.response_us.count(), 2);
+        assert_eq!(a.update_delay_us.count(), 1);
+        assert_eq!(a.response_us.max(), Some(60));
+    }
+}

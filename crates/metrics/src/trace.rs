@@ -1,0 +1,535 @@
+//! Scheduler-decision tracing: typed events in a fixed-capacity ring.
+//!
+//! QUTS is a *decision process* — a ρ-biased coin flip every atom time,
+//! an adaptation step every period, shedding under overload — and the
+//! aggregate tables cannot answer "why did this query miss its
+//! contract?". [`TraceRing`] records the individual decisions as typed
+//! [`TraceEvent`]s with a monotonic sequence number and the engine's
+//! clock (virtual µs in the simulator, wall µs in the live engine).
+//!
+//! The ring is fixed-capacity and allocation-free after construction:
+//! when full it overwrites the oldest record and counts the loss in
+//! [`TraceRing::dropped`], so a hot engine can leave tracing on without
+//! growing memory. Records export to JSON Lines with a stable key
+//! order, which makes same-seed simulator traces byte-identical.
+
+use std::fmt::Write as _;
+
+/// How much the host engine records.
+///
+/// The level is a runtime knob, not a compile-time feature: the
+/// disabled path is one branch on this enum per decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum TraceLevel {
+    /// Record nothing (the default; the fast path).
+    #[default]
+    Off,
+    /// Record query-lifecycle spans into histograms, but no event ring.
+    Spans,
+    /// Spans plus every scheduler decision in the event ring.
+    Full,
+}
+
+impl TraceLevel {
+    /// Whether lifecycle spans are recorded at this level.
+    pub fn spans(self) -> bool {
+        self >= TraceLevel::Spans
+    }
+
+    /// Whether individual decision events are recorded at this level.
+    pub fn events(self) -> bool {
+        self >= TraceLevel::Full
+    }
+}
+
+/// Runtime tracing configuration shared by the simulator and the live
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// What to record.
+    pub level: TraceLevel,
+    /// Capacity of the event ring (records), used when `level` is
+    /// [`TraceLevel::Full`].
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            level: TraceLevel::Off,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled (the default).
+    pub fn off() -> Self {
+        TraceConfig::default()
+    }
+
+    /// Lifecycle spans only.
+    pub fn spans() -> Self {
+        TraceConfig {
+            level: TraceLevel::Spans,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Spans plus the full decision ring.
+    pub fn full() -> Self {
+        TraceConfig {
+            level: TraceLevel::Full,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// Same level with a different ring capacity.
+    pub fn with_ring_capacity(mut self, records: usize) -> Self {
+        self.ring_capacity = records;
+        self
+    }
+}
+
+/// Transaction class as seen by the tracer (mirror of the scheduler's
+/// class enum, kept here so `quts-metrics` stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClass {
+    /// A read-only user query.
+    Query,
+    /// A blind write from the update stream.
+    Update,
+}
+
+impl TraceClass {
+    /// Stable lowercase name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceClass::Query => "query",
+            TraceClass::Update => "update",
+        }
+    }
+}
+
+/// One scheduler decision.
+///
+/// Numeric fields use the engine's native units: times in µs of the
+/// host clock, staleness in the simulator's configured metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An atom slice began: the ρ-biased coin picked `class`.
+    AtomStart {
+        /// Class favoured for this atom.
+        class: TraceClass,
+        /// Bias ρ in effect for the draw.
+        rho: f64,
+        /// Queries queued at the draw.
+        queries_queued: u64,
+        /// Updates queued at the draw.
+        updates_queued: u64,
+    },
+    /// An adaptation period ended and ρ was re-optimised.
+    Adapt {
+        /// ρ before the step.
+        old_rho: f64,
+        /// ρ after smoothing.
+        new_rho: f64,
+        /// Summed QOSmax submitted over the period.
+        qos_max: f64,
+        /// Summed QODmax submitted over the period.
+        qod_max: f64,
+    },
+    /// A transaction was handed the CPU.
+    Dispatch {
+        /// Class of the dispatched transaction.
+        class: TraceClass,
+        /// Host-assigned transaction id.
+        id: u64,
+    },
+    /// A query committed and answered.
+    Commit {
+        /// Query id.
+        id: u64,
+        /// Submitted-to-answer latency in µs.
+        response_us: u64,
+        /// Unapplied updates (or configured staleness metric) at answer.
+        staleness: u64,
+    },
+    /// A query expired (lifetime exceeded) and was shed.
+    Expire {
+        /// Query id.
+        id: u64,
+        /// Whether it had already been dispatched at least once.
+        dispatched: bool,
+    },
+    /// An update was applied to the store.
+    UpdateApply {
+        /// Update id.
+        id: u64,
+        /// Arrival-to-apply delay in µs.
+        delay_us: u64,
+    },
+    /// A queued update was invalidated by a newer one on the same item.
+    UpdateInvalidate {
+        /// Id of the *invalidated* (older) update.
+        id: u64,
+    },
+    /// An update was dropped by overload shedding.
+    UpdateDrop {
+        /// Update id.
+        id: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase event name used in the JSONL export.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::AtomStart { .. } => "atom_start",
+            TraceEvent::Adapt { .. } => "adapt",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::Expire { .. } => "expire",
+            TraceEvent::UpdateApply { .. } => "update_apply",
+            TraceEvent::UpdateInvalidate { .. } => "update_invalidate",
+            TraceEvent::UpdateDrop { .. } => "update_drop",
+        }
+    }
+}
+
+/// A decision event captured by a scheduler before the host engine
+/// stamps it into the ring (the scheduler knows *when* it decided, the
+/// engine owns the sequence numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedDecision {
+    /// Decision time in host-clock µs.
+    pub at_us: u64,
+    /// The decision.
+    pub event: TraceEvent,
+}
+
+/// One stamped record in the ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Monotonic sequence number (never reused, survives overwrites).
+    pub seq: u64,
+    /// Host-clock µs.
+    pub at_us: u64,
+    /// The decision.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Appends this record as one JSON object (no trailing newline) with
+    /// a stable key order: `seq`, `at_us`, `event`, then event fields.
+    ///
+    /// Floats use Rust's shortest-roundtrip `Display`, so equal inputs
+    /// always serialise to equal bytes.
+    pub fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"at_us\":{},\"event\":\"{}\"",
+            self.seq,
+            self.at_us,
+            self.event.kind()
+        );
+        match self.event {
+            TraceEvent::AtomStart {
+                class,
+                rho,
+                queries_queued,
+                updates_queued,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"class\":\"{}\",\"rho\":{},\"queries\":{},\"updates\":{}",
+                    class.as_str(),
+                    rho,
+                    queries_queued,
+                    updates_queued
+                );
+            }
+            TraceEvent::Adapt {
+                old_rho,
+                new_rho,
+                qos_max,
+                qod_max,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"old_rho\":{old_rho},\"new_rho\":{new_rho},\"qos_max\":{qos_max},\"qod_max\":{qod_max}"
+                );
+            }
+            TraceEvent::Dispatch { class, id } => {
+                let _ = write!(out, ",\"class\":\"{}\",\"id\":{}", class.as_str(), id);
+            }
+            TraceEvent::Commit {
+                id,
+                response_us,
+                staleness,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"id\":{id},\"response_us\":{response_us},\"staleness\":{staleness}"
+                );
+            }
+            TraceEvent::Expire { id, dispatched } => {
+                let _ = write!(out, ",\"id\":{id},\"dispatched\":{dispatched}");
+            }
+            TraceEvent::UpdateApply { id, delay_us } => {
+                let _ = write!(out, ",\"id\":{id},\"delay_us\":{delay_us}");
+            }
+            TraceEvent::UpdateInvalidate { id } | TraceEvent::UpdateDrop { id } => {
+                let _ = write!(out, ",\"id\":{id}");
+            }
+        }
+        out.push('}');
+    }
+}
+
+/// Fixed-capacity event ring: O(1) push, overwrite-oldest on overflow.
+///
+/// ```
+/// use quts_metrics::trace::{TraceEvent, TraceRing};
+/// let mut ring = TraceRing::new(2);
+/// for id in 0..3 {
+///     ring.push(id * 10, TraceEvent::UpdateDrop { id });
+/// }
+/// assert_eq!(ring.dropped(), 1); // oldest record overwritten
+/// let seqs: Vec<u64> = ring.iter_ordered().map(|r| r.seq).collect();
+/// assert_eq!(seqs, [1, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Stamps and stores an event; overwrites the oldest when full.
+    pub fn push(&mut self, at_us: u64, event: TraceEvent) {
+        let rec = TraceRecord {
+            seq: self.seq,
+            at_us,
+            event,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Stamps and stores a batch of scheduler decisions.
+    pub fn extend_decisions(&mut self, decisions: &[SchedDecision]) {
+        for d in decisions {
+            self.push(d.at_us, d.event);
+        }
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no record was ever pushed (or capacity is zero).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever pushed (held + dropped).
+    pub fn total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Records lost to overwrites since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates records oldest-first.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Drains the ring into an ordered `Vec`, leaving it empty but
+    /// keeping the sequence counter (and `dropped`) running.
+    pub fn drain_ordered(&mut self) -> Vec<TraceRecord> {
+        let out: Vec<TraceRecord> = self.iter_ordered().copied().collect();
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+
+    /// Serialises the held records oldest-first as JSON Lines.
+    pub fn to_jsonl(&self) -> String {
+        records_to_jsonl(self.iter_ordered())
+    }
+}
+
+/// Serialises records as JSON Lines (one object per line, trailing
+/// newline after every line).
+pub fn records_to_jsonl<'a, I>(records: I) -> String
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    let mut out = String::new();
+    for rec in records {
+        rec.write_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(!TraceLevel::Off.spans());
+        assert!(!TraceLevel::Off.events());
+        assert!(TraceLevel::Spans.spans());
+        assert!(!TraceLevel::Spans.events());
+        assert!(TraceLevel::Full.spans());
+        assert!(TraceLevel::Full.events());
+        assert_eq!(TraceConfig::default().level, TraceLevel::Off);
+    }
+
+    #[test]
+    fn ring_fills_then_overwrites_oldest() {
+        let mut ring = TraceRing::new(3);
+        for id in 0..5u64 {
+            ring.push(id, TraceEvent::UpdateDrop { id });
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u64> = ring.iter_ordered().map(|r| r.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        let ats: Vec<u64> = ring.iter_ordered().map(|r| r.at_us).collect();
+        assert_eq!(ats, [2, 3, 4]);
+    }
+
+    #[test]
+    fn drain_keeps_sequence_running() {
+        let mut ring = TraceRing::new(2);
+        ring.push(0, TraceEvent::UpdateDrop { id: 0 });
+        let first = ring.drain_ordered();
+        assert_eq!(first.len(), 1);
+        assert!(ring.is_empty());
+        ring.push(1, TraceEvent::UpdateDrop { id: 1 });
+        assert_eq!(ring.iter_ordered().next().unwrap().seq, 1);
+    }
+
+    #[test]
+    fn jsonl_is_stable_and_line_per_record() {
+        let mut ring = TraceRing::new(8);
+        ring.push(
+            10,
+            TraceEvent::AtomStart {
+                class: TraceClass::Query,
+                rho: 0.75,
+                queries_queued: 3,
+                updates_queued: 1,
+            },
+        );
+        ring.push(
+            20,
+            TraceEvent::Adapt {
+                old_rho: 0.75,
+                new_rho: 0.5,
+                qos_max: 10.0,
+                qod_max: 10.0,
+            },
+        );
+        ring.push(
+            30,
+            TraceEvent::Commit {
+                id: 7,
+                response_us: 1234,
+                staleness: 2,
+            },
+        );
+        let jsonl = ring.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"at_us\":10,\"event\":\"atom_start\",\"class\":\"query\",\"rho\":0.75,\"queries\":3,\"updates\":1}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"at_us\":20,\"event\":\"adapt\",\"old_rho\":0.75,\"new_rho\":0.5,\"qos_max\":10,\"qod_max\":10}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"seq\":2,\"at_us\":30,\"event\":\"commit\",\"id\":7,\"response_us\":1234,\"staleness\":2}"
+        );
+        // Serialising twice gives identical bytes.
+        assert_eq!(jsonl, ring.to_jsonl());
+    }
+
+    #[test]
+    fn every_event_kind_serialises() {
+        let events = [
+            TraceEvent::AtomStart {
+                class: TraceClass::Update,
+                rho: 0.1,
+                queries_queued: 0,
+                updates_queued: 0,
+            },
+            TraceEvent::Adapt {
+                old_rho: 0.2,
+                new_rho: 0.3,
+                qos_max: 1.0,
+                qod_max: 2.0,
+            },
+            TraceEvent::Dispatch {
+                class: TraceClass::Update,
+                id: 1,
+            },
+            TraceEvent::Commit {
+                id: 2,
+                response_us: 3,
+                staleness: 4,
+            },
+            TraceEvent::Expire {
+                id: 5,
+                dispatched: true,
+            },
+            TraceEvent::UpdateApply { id: 6, delay_us: 7 },
+            TraceEvent::UpdateInvalidate { id: 8 },
+            TraceEvent::UpdateDrop { id: 9 },
+        ];
+        let mut ring = TraceRing::new(events.len());
+        for (i, e) in events.iter().enumerate() {
+            ring.push(i as u64, *e);
+        }
+        for (rec, line) in ring.iter_ordered().zip(ring.to_jsonl().lines()) {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert!(line.contains(&format!("\"event\":\"{}\"", rec.event.kind())));
+        }
+    }
+}

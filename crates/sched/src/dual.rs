@@ -143,6 +143,10 @@ impl Scheduler for DualQueue {
     fn has_pending(&self) -> bool {
         !self.queries.is_empty() || !self.updates.is_empty()
     }
+
+    fn queue_depths(&self) -> (usize, usize) {
+        (self.queries.len(), self.updates.len())
+    }
 }
 
 #[cfg(test)]

@@ -111,6 +111,21 @@ impl Scheduler for GlobalFifo {
     fn has_pending(&self) -> bool {
         self.live > 0
     }
+
+    /// O(queue) walk over the heap — metrics-path only, never on the
+    /// dispatch path.
+    fn queue_depths(&self) -> (usize, usize) {
+        let mut queries = 0;
+        let mut updates = 0;
+        for Reverse((_, key)) in &self.heap {
+            match key {
+                Key::Query(_) => queries += 1,
+                Key::Update(u) if !self.dropped.contains(&UpdateId(*u)) => updates += 1,
+                Key::Update(_) => {}
+            }
+        }
+        (queries, updates)
+    }
 }
 
 #[cfg(test)]

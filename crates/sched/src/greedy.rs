@@ -194,6 +194,10 @@ impl Scheduler for GlobalGreedy {
     fn has_pending(&self) -> bool {
         self.live_queries > 0 || !self.update_order.is_empty()
     }
+
+    fn queue_depths(&self) -> (usize, usize) {
+        (self.live_queries, self.update_order.len())
+    }
 }
 
 #[cfg(test)]

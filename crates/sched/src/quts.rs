@@ -18,7 +18,8 @@
 use crate::policy::{QueryOrder, QueryQueue, UpdateQueue};
 use crate::rho::RhoController;
 use quts_sim::{
-    Class, QueryId, QueryInfo, Scheduler, SimDuration, SimTime, TxnRef, UpdateId, UpdateInfo,
+    Class, QueryId, QueryInfo, SchedDecision, Scheduler, SimDuration, SimTime, TraceClass,
+    TraceEvent, TxnRef, UpdateId, UpdateInfo,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -143,6 +144,10 @@ pub struct Quts {
     acc_qod: f64,
     /// `(boundary, ρ)` per adaptation period — Figure 9d.
     history: Vec<(SimTime, f64)>,
+    /// Buffer atom draws and adaptation steps as [`SchedDecision`]s for
+    /// the host engine to drain. Off (and free) by default.
+    trace_decisions: bool,
+    decisions: Vec<SchedDecision>,
 }
 
 impl Quts {
@@ -175,6 +180,8 @@ impl Quts {
             acc_qos: 0.0,
             acc_qod: 0.0,
             history: Vec::new(),
+            trace_decisions: false,
+            decisions: Vec::new(),
         }
     }
 
@@ -201,14 +208,44 @@ impl Quts {
         }
     }
 
+    /// Records an atom-slice start while decision tracing is on.
+    fn trace_atom(&mut self, at: SimTime) {
+        if self.trace_decisions {
+            self.decisions.push(SchedDecision {
+                at_us: at.as_micros(),
+                event: TraceEvent::AtomStart {
+                    class: match self.state {
+                        Class::Query => TraceClass::Query,
+                        Class::Update => TraceClass::Update,
+                    },
+                    rho: self.controller.rho(),
+                    queries_queued: self.queries.len() as u64,
+                    updates_queued: self.updates.len() as u64,
+                },
+            });
+        }
+    }
+
     /// Processes every adaptation and atom boundary up to `now`.
     fn refresh(&mut self, now: SimTime) {
         while self.next_adapt <= now {
+            let old_rho = self.controller.rho();
             let rho = if self.adaptive {
                 self.controller.adapt(self.acc_qos, self.acc_qod)
             } else {
-                self.controller.rho()
+                old_rho
             };
+            if self.trace_decisions {
+                self.decisions.push(SchedDecision {
+                    at_us: self.next_adapt.as_micros(),
+                    event: TraceEvent::Adapt {
+                        old_rho,
+                        new_rho: rho,
+                        qos_max: self.acc_qos,
+                        qod_max: self.acc_qod,
+                    },
+                });
+            }
             self.acc_qos = 0.0;
             self.acc_qod = 0.0;
             self.history.push((self.next_adapt, rho));
@@ -216,7 +253,9 @@ impl Quts {
         }
         while self.state_until <= now {
             self.state = self.draw_state();
+            let atom_start = self.state_until;
             self.state_until += self.tau;
+            self.trace_atom(atom_start);
         }
     }
 
@@ -264,6 +303,7 @@ impl Scheduler for Quts {
         if self.queue_empty(self.state) && !self.queue_empty(self.state.other()) {
             self.state = self.draw_state();
             self.state_until = now + self.tau;
+            self.trace_atom(now);
         }
         let class = if !self.queue_empty(self.state) {
             self.state
@@ -304,6 +344,21 @@ impl Scheduler for Quts {
 
     fn rho_history(&self) -> Option<&[(SimTime, f64)]> {
         Some(&self.history)
+    }
+
+    fn set_decision_trace(&mut self, enabled: bool) {
+        self.trace_decisions = enabled;
+        if !enabled {
+            self.decisions.clear();
+        }
+    }
+
+    fn drain_decisions(&mut self, sink: &mut Vec<SchedDecision>) {
+        sink.append(&mut self.decisions);
+    }
+
+    fn queue_depths(&self) -> (usize, usize) {
+        (self.queries.len(), self.updates.len())
     }
 }
 
@@ -472,5 +527,77 @@ mod tests {
     #[should_panic(expected = "atom time")]
     fn zero_tau_rejected() {
         let _ = Quts::new(QutsConfig::default().with_tau(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn decision_trace_records_atoms_and_adaptations() {
+        let mut s = jumping_quts();
+        s.set_decision_trace(true);
+        s.admit_query(QueryId(0), &qos_only(0), SimTime::from_ms(5));
+        // Cross one adaptation boundary and many atom boundaries.
+        s.on_timer(SimTime::from_ms(1005));
+        let mut sink = Vec::new();
+        s.drain_decisions(&mut sink);
+        let adapts: Vec<_> = sink
+            .iter()
+            .filter(|d| matches!(d.event, TraceEvent::Adapt { .. }))
+            .collect();
+        assert_eq!(adapts.len(), 1);
+        assert_eq!(adapts[0].at_us, 1_000_000);
+        match adapts[0].event {
+            TraceEvent::Adapt {
+                old_rho,
+                new_rho,
+                qos_max,
+                qod_max,
+            } => {
+                assert_eq!(old_rho, 0.75);
+                assert_eq!(new_rho, 1.0); // α = 1 jumps to the optimum
+                assert_eq!(qos_max, 50.0);
+                assert_eq!(qod_max, 0.0);
+            }
+            _ => unreachable!(),
+        }
+        let atoms = sink
+            .iter()
+            .filter(|d| matches!(d.event, TraceEvent::AtomStart { .. }))
+            .count();
+        assert_eq!(atoms, 100, "one draw per 10 ms atom over 1005 ms");
+        // Decisions are buffered in decision order; within one kind the
+        // timestamps are non-decreasing. (A single `refresh` jump that
+        // crosses both boundary kinds settles adaptations first, exactly
+        // as the un-traced scheduler does.)
+        let atom_times: Vec<u64> = sink
+            .iter()
+            .filter(|d| matches!(d.event, TraceEvent::AtomStart { .. }))
+            .map(|d| d.at_us)
+            .collect();
+        assert!(atom_times.windows(2).all(|w| w[0] <= w[1]));
+        let mut again = Vec::new();
+        s.drain_decisions(&mut again);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn decision_trace_off_buffers_nothing() {
+        let mut s = jumping_quts();
+        s.admit_query(QueryId(0), &qos_only(0), SimTime::from_ms(5));
+        s.on_timer(SimTime::from_ms(5005));
+        let mut sink = Vec::new();
+        s.drain_decisions(&mut sink);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn queue_depths_track_both_classes() {
+        let mut s = Quts::with_defaults();
+        assert_eq!(s.queue_depths(), (0, 0));
+        s.admit_query(QueryId(0), &qos_only(0), SimTime::ZERO);
+        s.admit_query(QueryId(1), &qos_only(1), SimTime::ZERO);
+        s.admit_update(UpdateId(0), &uinfo(0, 0), SimTime::ZERO);
+        assert_eq!(s.queue_depths(), (2, 1));
+        let _ = s.pop_next(SimTime::ZERO);
+        let (q, u) = s.queue_depths();
+        assert_eq!(q + u, 2);
     }
 }

@@ -3,12 +3,13 @@
 //! Grammar (whitespace-separated, case-insensitive verbs):
 //!
 //! ```text
-//! request   := get | avg | cmp | upd | stats | quit
+//! request   := get | avg | cmp | upd | stats | metrics | quit
 //! get       := "GET" symbol contract?
 //! avg       := "AVG" symbol window contract?
 //! cmp       := "CMP" symbol symbol+ contract?
 //! upd       := "UPD" symbol price volume
 //! stats     := "STATS"
+//! metrics   := "METRICS"
 //! quit      := "QUIT"
 //! contract  := qos? qod?             (absent sides are worth nothing)
 //! qos       := "QOS" max rtmax_ms
@@ -52,8 +53,10 @@ pub enum Request {
         /// Shares traded.
         volume: u64,
     },
-    /// Engine statistics snapshot.
+    /// Engine statistics snapshot (one-line, human-oriented).
     Stats,
+    /// Prometheus-style text exposition, terminated by `# EOF`.
+    Metrics,
     /// Close the connection.
     Quit,
 }
@@ -141,6 +144,13 @@ pub fn parse(line: &str) -> Result<Request, ParseError> {
                 Ok(Request::Stats)
             } else {
                 Err(err("STATS takes no arguments"))
+            }
+        }
+        "METRICS" => {
+            if rest.is_empty() {
+                Ok(Request::Metrics)
+            } else {
+                Err(err("METRICS takes no arguments"))
             }
         }
         "QUIT" => {
@@ -278,6 +288,8 @@ mod tests {
     #[test]
     fn control_verbs() {
         assert_eq!(parse("stats").unwrap(), Request::Stats);
+        assert_eq!(parse("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse("QUIT").unwrap(), Request::Quit);
     }
 
@@ -297,6 +309,7 @@ mod tests {
             "UPD IBM 1.0",
             "CMP IBM",
             "STATS NOW",
+            "METRICS NOW",
             "GET IBM PLEASE",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");
@@ -331,6 +344,31 @@ mod proptests {
         fn parse_never_panics(bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..200)) {
             let line = String::from_utf8_lossy(&bytes);
             let _ = parse(&line);
+        }
+
+        /// `METRICS` parses under any casing and surrounding whitespace,
+        /// and — like every other verb — rejects trailing tokens.
+        #[test]
+        fn metrics_verb_is_case_and_space_insensitive(
+            caps in 0u32..128,
+            pad_left in 0usize..4,
+            pad_right in 0usize..4,
+            trailing in proptest::collection::vec(0usize..26, 0..9),
+        ) {
+            let word: String = "metrics"
+                .chars()
+                .enumerate()
+                .map(|(i, c)| if caps & (1 << i) != 0 { c.to_ascii_uppercase() } else { c })
+                .collect();
+            let tail: String = trailing.iter().map(|&i| (b'A' + i as u8) as char).collect();
+            let mut line = format!("{}{}{}", " ".repeat(pad_left), word, " ".repeat(pad_right));
+            if tail.is_empty() {
+                prop_assert_eq!(parse(&line).unwrap(), Request::Metrics);
+            } else {
+                line.push(' ');
+                line.push_str(&tail);
+                prop_assert!(parse(&line).is_err());
+            }
         }
 
         /// Valid GET requests round-trip through render + parse.

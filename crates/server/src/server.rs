@@ -9,7 +9,10 @@
 
 use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
-use quts_engine::{Engine, EngineConfig, EngineHandle, LiveStats, QueryError, SubmitError};
+use quts_engine::{
+    Engine, EngineConfig, EngineHandle, LiveStats, QueryError, SubmitError, TraceConfig,
+};
+use quts_metrics::exposition::{Exposition, COUNT_BOUNDS, LATENCY_BOUNDS_US};
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -38,7 +41,9 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".parse().expect("static address"),
-            engine: EngineConfig::default(),
+            // Spans level feeds the `METRICS` histograms; its overhead is
+            // a handful of histogram increments per committed query.
+            engine: EngineConfig::default().with_trace(TraceConfig::spans()),
             query_timeout: Duration::from_secs(10),
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 1024,
@@ -267,8 +272,115 @@ fn handle(request: Request, shared: &Shared) -> String {
                 s.engine_restarts,
             )
         }
+        Request::Metrics => render_metrics(&shared.handle.stats()),
         Request::Quit => unreachable!("handled by the connection loop"),
     }
+}
+
+/// Renders the stats snapshot as Prometheus-style text exposition. The
+/// final `# EOF` line doubles as the end-of-response marker, since this
+/// is the protocol's only multi-line response.
+fn render_metrics(s: &LiveStats) -> String {
+    let mut exp = Exposition::new();
+    exp.counter(
+        "quts_queries_submitted_total",
+        "Queries admitted by the engine",
+        s.aggregates.submitted,
+    );
+    exp.counter(
+        "quts_queries_committed_total",
+        "Queries answered within their contract lifetime",
+        s.aggregates.committed,
+    );
+    exp.gauge(
+        "quts_profit_gained",
+        "Profit earned under Quality Contracts",
+        s.aggregates.q_gained(),
+    );
+    exp.gauge(
+        "quts_profit_offered",
+        "Maximum profit offered by submitted contracts",
+        s.aggregates.q_max(),
+    );
+    exp.gauge("quts_rho", "Current query-class bias (rho)", s.rho);
+    exp.counter(
+        "quts_adaptations_total",
+        "Completed rho adaptation periods",
+        s.adaptations,
+    );
+    exp.counter(
+        "quts_rho_history_truncated_total",
+        "Adaptation-period rho values discarded from the bounded history",
+        s.rho_history_truncated,
+    );
+    exp.labeled_gauges(
+        "quts_queue_depth",
+        "Admitted transactions not yet executed",
+        "class",
+        &[
+            ("query", s.pending_queries as f64),
+            ("update", s.pending_updates as f64),
+        ],
+    );
+    exp.counter(
+        "quts_updates_applied_total",
+        "Updates whose value reached the store",
+        s.updates_applied,
+    );
+    exp.counter(
+        "quts_updates_invalidated_total",
+        "Updates dropped unapplied by register-table invalidation",
+        s.updates_invalidated,
+    );
+    let shed: Vec<(&str, f64)> = s
+        .shed_breakdown()
+        .iter()
+        .map(|&(reason, n)| (reason, n as f64))
+        .collect();
+    exp.labeled_gauges(
+        "quts_shed",
+        "Work lost to overload, by cause",
+        "reason",
+        &shed,
+    );
+    exp.counter(
+        "quts_engine_restarts_total",
+        "Scheduler restarts after panics",
+        s.engine_restarts,
+    );
+    exp.histogram(
+        "quts_response_us",
+        "Submission-to-answer latency of committed queries",
+        &s.spans.response_us,
+        LATENCY_BOUNDS_US,
+    );
+    exp.histogram(
+        "quts_queue_wait_us",
+        "Submission-to-dispatch wait of committed queries",
+        &s.spans.queue_wait_us,
+        LATENCY_BOUNDS_US,
+    );
+    exp.histogram(
+        "quts_service_us",
+        "Dispatch-to-answer service time of committed queries",
+        &s.spans.service_us,
+        LATENCY_BOUNDS_US,
+    );
+    exp.histogram(
+        "quts_staleness",
+        "Unapplied updates observed at answer time",
+        &s.spans.staleness,
+        COUNT_BOUNDS,
+    );
+    exp.histogram(
+        "quts_update_delay_us",
+        "Arrival-to-apply delay of applied updates",
+        &s.spans.update_delay_us,
+        LATENCY_BOUNDS_US,
+    );
+    // `writeln!` in the connection loop supplies the final newline.
+    let text = exp.finish();
+    text.trim_end().to_string()
 }
 
 fn submit_error(e: SubmitError) -> String {
@@ -336,6 +448,21 @@ mod tests {
             self.reader.read_line(&mut response).expect("recv");
             response.trim_end().to_string()
         }
+
+        /// Sends a line and reads the multi-line response up to and
+        /// including the `# EOF` terminator.
+        fn send_multiline(&mut self, line: &str) -> Vec<String> {
+            writeln!(self.writer, "{line}").expect("send");
+            let mut lines = Vec::new();
+            loop {
+                let l = self.read();
+                let done = l == "# EOF";
+                lines.push(l);
+                if done {
+                    return lines;
+                }
+            }
+        }
     }
 
     fn test_server_with(config: ServerConfig) -> Server {
@@ -381,6 +508,81 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.aggregates.committed, 4);
         assert_eq!(stats.updates_applied, 1);
+    }
+
+    /// The metric names clients may depend on; renames are breaking.
+    const STABLE_METRICS: &[&str] = &[
+        "quts_queries_submitted_total",
+        "quts_queries_committed_total",
+        "quts_profit_gained",
+        "quts_profit_offered",
+        "quts_rho",
+        "quts_adaptations_total",
+        "quts_rho_history_truncated_total",
+        "quts_queue_depth",
+        "quts_updates_applied_total",
+        "quts_updates_invalidated_total",
+        "quts_shed",
+        "quts_engine_restarts_total",
+        "quts_response_us",
+        "quts_queue_wait_us",
+        "quts_service_us",
+        "quts_staleness",
+        "quts_update_delay_us",
+    ];
+
+    #[test]
+    fn metrics_exposition_over_the_wire() {
+        let server = test_server();
+        let mut c = Client::connect(server.addr());
+        assert!(c.send("GET IBM QOS 5 1000 QOD 2 1").starts_with("OK"));
+        assert_eq!(c.send("UPD IBM 121.5 300"), "OK");
+        std::thread::sleep(Duration::from_millis(50));
+
+        let lines = c.send_multiline("METRICS");
+        assert_eq!(lines.last().map(String::as_str), Some("# EOF"));
+        // Every line parses: a comment, or `name{labels}? value`.
+        for line in &lines {
+            if line == "# EOF" {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                assert!(
+                    rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                    "bad comment: {line}"
+                );
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "bad value in: {line}");
+            let bare = name.split('{').next().unwrap();
+            assert!(
+                bare.chars()
+                    .all(|ch| ch.is_ascii_alphanumeric() || ch == '_'),
+                "bad metric name in: {line}"
+            );
+        }
+        let text = lines.join("\n");
+        for name in STABLE_METRICS {
+            assert!(
+                text.contains(&format!("# TYPE {name} ")),
+                "missing metric {name}"
+            );
+        }
+        // The headline samples a scraper would alert on.
+        assert!(text.contains("quts_queries_committed_total 1"));
+        assert!(text.contains("quts_updates_applied_total 1"));
+        assert!(text.contains("quts_queue_depth{class=\"query\"}"));
+        assert!(text.contains("quts_queue_depth{class=\"update\"}"));
+        assert!(text.contains("quts_shed{reason=\"queue_full\"} 0"));
+        assert!(text.contains("quts_rho 0.75"));
+        // Spans are on by default, so the histograms carry the commit.
+        assert!(text.contains("quts_response_us_count 1"));
+        assert!(text.contains("quts_response_us_bucket{le=\"+Inf\"} 1"));
+
+        // The connection still serves single-line requests afterwards.
+        assert!(c.send("GET IBM").starts_with("OK"));
+        server.shutdown();
     }
 
     #[test]

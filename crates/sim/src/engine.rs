@@ -28,7 +28,10 @@ use crate::txn::{QueryId, QuerySpec, QueryState, TxnStatus, UpdateId, UpdateSpec
 use quts_db::{
     Acquisition, LockMode, LockTable, StalenessTracker, StockId, Store, TxnToken, UpdateRegister,
 };
-use quts_metrics::{LogHistogram, OnlineStats, ProfitSeries};
+use quts_metrics::{
+    LifecycleSpans, LogHistogram, OnlineStats, ProfitSeries, SchedDecision, TraceClass,
+    TraceConfig, TraceEvent, TraceRing,
+};
 use quts_qc::{QcAggregates, StalenessAggregation};
 
 /// Which of the paper's three staleness metrics (Section 2.1) feeds the
@@ -89,6 +92,9 @@ pub struct SimConfig {
     /// is preempted before the window ends. Default 50 µs — this is what
     /// makes very small atom times expensive (Figure 10b).
     pub switch_cost: SimDuration,
+    /// Observability level: off (default), lifecycle spans, or spans
+    /// plus the full decision ring. Event times use the virtual clock.
+    pub trace: TraceConfig,
 }
 
 impl Default for SimConfig {
@@ -102,6 +108,7 @@ impl Default for SimConfig {
             execute_ops: true,
             update_reentry: UpdateReentry::InheritPosition,
             switch_cost: SimDuration(50),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -198,6 +205,21 @@ pub struct Simulator<S: Scheduler> {
     cpu_busy_query: SimDuration,
     cpu_busy_update: SimDuration,
     outcomes: Option<Vec<QueryOutcome>>,
+
+    // Observability (all `None`/empty when the trace level is `Off`).
+    ring: Option<TraceRing>,
+    spans: Option<LifecycleSpans>,
+    /// First dispatch time per query; allocated only when spans are on.
+    first_dispatch: Vec<Option<SimTime>>,
+    /// Reusable buffer for draining scheduler decisions into the ring.
+    decision_buf: Vec<SchedDecision>,
+}
+
+fn trace_class(class: Class) -> TraceClass {
+    match class {
+        Class::Query => TraceClass::Query,
+        Class::Update => TraceClass::Update,
+    }
 }
 
 fn token_of(txn: TxnRef) -> TxnToken {
@@ -279,6 +301,19 @@ impl<S: Scheduler> Simulator<S> {
         let update_seqs = vec![0u64; updates.len()];
         // The synthetic store opens every stock at 100.0.
         let master_price = vec![100.0; num_stocks as usize];
+        let ring = config
+            .trace
+            .level
+            .events()
+            .then(|| TraceRing::new(config.trace.ring_capacity));
+        let spans = config.trace.level.spans().then(LifecycleSpans::new);
+        let first_dispatch = if spans.is_some() {
+            vec![None; queries.len()]
+        } else {
+            Vec::new()
+        };
+        let mut scheduler = scheduler;
+        scheduler.set_decision_trace(ring.is_some());
         Simulator {
             config,
             scheduler,
@@ -316,6 +351,10 @@ impl<S: Scheduler> Simulator<S> {
             cpu_busy_query: SimDuration::ZERO,
             cpu_busy_update: SimDuration::ZERO,
             outcomes,
+            ring,
+            spans,
+            first_dispatch,
+            decision_buf: Vec::new(),
         }
     }
 
@@ -390,11 +429,15 @@ impl<S: Scheduler> Simulator<S> {
 
             self.reschedule();
             self.maybe_schedule_timer();
+            self.drain_sched_decisions();
         }
 
         debug_assert!(self.running.is_none(), "run ended with a busy CPU");
         debug_assert!(!self.scheduler.has_pending(), "run ended with queued work");
         self.validate_store();
+        self.drain_sched_decisions();
+        let trace_dropped = self.ring.as_ref().map_or(0, TraceRing::dropped);
+        let trace = self.ring.take().map(|mut r| r.drain_ordered());
 
         RunReport {
             scheduler: self.scheduler.name(),
@@ -421,6 +464,19 @@ impl<S: Scheduler> Simulator<S> {
                 .map(<[_]>::to_vec)
                 .unwrap_or_default(),
             outcomes: self.outcomes,
+            spans: self.spans,
+            trace,
+            trace_dropped,
+        }
+    }
+
+    /// Moves decisions buffered inside the scheduler into the ring.
+    /// One branch when tracing is off.
+    fn drain_sched_decisions(&mut self) {
+        if let Some(ring) = &mut self.ring {
+            self.scheduler.drain_decisions(&mut self.decision_buf);
+            ring.extend_decisions(&self.decision_buf);
+            self.decision_buf.clear();
         }
     }
 
@@ -504,6 +560,12 @@ impl<S: Scheduler> Simulator<S> {
             // Evict the invalidated update's scheduler memo; `drop_update`
             // only detaches the queue entry.
             self.scheduler.finish(TxnRef::Update(old));
+            if let Some(ring) = &mut self.ring {
+                ring.push(
+                    now.as_micros(),
+                    TraceEvent::UpdateInvalidate { id: old.0 as u64 },
+                );
+            }
         }
 
         // Under InheritPosition the register-table entry keeps its queue
@@ -595,20 +657,54 @@ impl<S: Scheduler> Simulator<S> {
         let (qos, qod) = spec.qc.profit_split(rt_ms, staleness);
 
         self.locks.release_all(token_of(TxnRef::Query(id)));
+        let arrival = spec.arrival;
         let state = &mut self.query_states[id.index()];
         state.holds_locks = false;
         if late {
             state.status = TxnStatus::Expired;
             self.expired += 1;
+            if let Some(spans) = &mut self.spans {
+                spans.record_expiry(true);
+            }
+            if let Some(ring) = &mut self.ring {
+                ring.push(
+                    now.as_micros(),
+                    TraceEvent::Expire {
+                        id: id.0 as u64,
+                        dispatched: true,
+                    },
+                );
+            }
         } else {
             state.status = TxnStatus::Committed;
             self.committed += 1;
             self.aggregates.gain(qos, qod);
             self.profit.gain(now.as_micros(), qos, qod);
             self.response_time_ms.push(rt_ms);
-            self.rt_histogram_us
-                .record((now - spec.arrival).as_micros());
+            self.rt_histogram_us.record((now - arrival).as_micros());
             self.staleness.push(staleness);
+            // Spans round staleness to the nearest integer of whatever
+            // metric is configured (`#uu` is already integral).
+            let staleness_int = staleness.round() as u64;
+            if let Some(spans) = &mut self.spans {
+                let first = self.first_dispatch[id.index()].unwrap_or(arrival);
+                spans.record_commit(
+                    arrival.as_micros(),
+                    first.as_micros(),
+                    now.as_micros(),
+                    staleness_int,
+                );
+            }
+            if let Some(ring) = &mut self.ring {
+                ring.push(
+                    now.as_micros(),
+                    TraceEvent::Commit {
+                        id: id.0 as u64,
+                        response_us: (now - arrival).as_micros(),
+                        staleness: staleness_int,
+                    },
+                );
+            }
         }
         if let Some(outcomes) = &mut self.outcomes {
             outcomes.push(QueryOutcome {
@@ -640,6 +736,18 @@ impl<S: Scheduler> Simulator<S> {
         state.status = TxnStatus::Committed;
         self.updates_applied += 1;
         self.scheduler.finish(TxnRef::Update(id));
+        if let Some(spans) = &mut self.spans {
+            spans.record_update_apply(delay_us);
+        }
+        if let Some(ring) = &mut self.ring {
+            ring.push(
+                self.clock.as_micros(),
+                TraceEvent::UpdateApply {
+                    id: id.0 as u64,
+                    delay_us,
+                },
+            );
+        }
     }
 
     /// Runs the scheduling decision loop until the CPU has a stable
@@ -718,6 +826,22 @@ impl<S: Scheduler> Simulator<S> {
                             finished_at: now,
                         });
                     }
+                    let dispatched = self
+                        .first_dispatch
+                        .get(q.index())
+                        .is_some_and(Option::is_some);
+                    if let Some(spans) = &mut self.spans {
+                        spans.record_expiry(dispatched);
+                    }
+                    if let Some(ring) = &mut self.ring {
+                        ring.push(
+                            now.as_micros(),
+                            TraceEvent::Expire {
+                                id: q.0 as u64,
+                                dispatched,
+                            },
+                        );
+                    }
                     self.scheduler.finish(txn);
                     return false;
                 }
@@ -791,6 +915,27 @@ impl<S: Scheduler> Simulator<S> {
             remaining_at_start: remaining,
             overhead,
         });
+        if !self.first_dispatch.is_empty() {
+            if let TxnRef::Query(q) = txn {
+                let slot = &mut self.first_dispatch[q.index()];
+                if slot.is_none() {
+                    *slot = Some(now);
+                }
+            }
+        }
+        if let Some(ring) = &mut self.ring {
+            let id = match txn {
+                TxnRef::Query(q) => q.0 as u64,
+                TxnRef::Update(u) => u.0 as u64,
+            };
+            ring.push(
+                now.as_micros(),
+                TraceEvent::Dispatch {
+                    class: trace_class(txn.class()),
+                    id,
+                },
+            );
+        }
         let txn_event = match txn {
             TxnRef::Query(q) => TxnEvent::Query(q),
             TxnRef::Update(u) => TxnEvent::Update(u),

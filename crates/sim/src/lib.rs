@@ -34,3 +34,9 @@ pub use report::{QueryOutcome, RunReport};
 pub use scheduler::{Class, QueryInfo, Scheduler, TxnRef, UpdateInfo};
 pub use time::{SimDuration, SimTime};
 pub use txn::{QueryId, QuerySpec, UpdateId, UpdateSpec};
+
+// Observability types shared with the policies and the live engine, so
+// scheduler crates need no direct `quts-metrics` dependency.
+pub use quts_metrics::{
+    LifecycleSpans, SchedDecision, TraceClass, TraceConfig, TraceEvent, TraceLevel, TraceRecord,
+};

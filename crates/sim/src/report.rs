@@ -2,7 +2,8 @@
 
 use crate::time::{SimDuration, SimTime};
 use crate::txn::QueryId;
-use quts_metrics::{LogHistogram, OnlineStats, ProfitSeries};
+use quts_metrics::trace::records_to_jsonl;
+use quts_metrics::{LifecycleSpans, LogHistogram, OnlineStats, ProfitSeries, TraceRecord};
 use quts_qc::QcAggregates;
 
 /// Per-query detail, collected when
@@ -69,6 +70,12 @@ pub struct RunReport {
     pub rho_history: Vec<(SimTime, f64)>,
     /// Per-query outcomes if collection was enabled.
     pub outcomes: Option<Vec<QueryOutcome>>,
+    /// Lifecycle spans when the trace level was `Spans` or `Full`.
+    pub spans: Option<LifecycleSpans>,
+    /// Decision-trace records (oldest first) when the level was `Full`.
+    pub trace: Option<Vec<TraceRecord>>,
+    /// Decisions lost to ring overwrites (0 unless the ring filled up).
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -105,6 +112,12 @@ impl RunReport {
         } else {
             self.cpu_busy.as_micros() as f64 / self.end_time.as_micros() as f64
         }
+    }
+
+    /// The decision trace as JSON Lines (stable key order, so equal
+    /// runs serialise to equal bytes), or `None` when tracing was off.
+    pub fn trace_jsonl(&self) -> Option<String> {
+        self.trace.as_ref().map(|t| records_to_jsonl(t.iter()))
     }
 
     /// One-line summary for logs and quick comparisons.
@@ -152,6 +165,9 @@ mod tests {
             end_time: SimTime::ZERO,
             rho_history: Vec::new(),
             outcomes: None,
+            spans: None,
+            trace: None,
+            trace_dropped: 0,
         }
     }
 

@@ -18,6 +18,7 @@
 use crate::time::{SimDuration, SimTime};
 use crate::txn::{QueryId, UpdateId};
 use quts_db::StockId;
+use quts_metrics::SchedDecision;
 
 /// Transaction class: the two sides of the scheduling trade-off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,6 +153,30 @@ pub trait Scheduler {
     fn rho_history(&self) -> Option<&[(SimTime, f64)]> {
         None
     }
+
+    /// Enables or disables decision tracing. While enabled, the policy
+    /// buffers its internal decisions (atom draws, ρ adaptations) as
+    /// [`SchedDecision`]s for the engine to collect via
+    /// [`Scheduler::drain_decisions`]. Default: no-op — policies without
+    /// internal decision state have nothing to record, and the disabled
+    /// path stays free.
+    fn set_decision_trace(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Moves any buffered decisions into `sink` (in decision order).
+    /// Called by the engine after every scheduling round while tracing;
+    /// policies that never buffer leave `sink` untouched.
+    fn drain_decisions(&mut self, sink: &mut Vec<SchedDecision>) {
+        let _ = sink;
+    }
+
+    /// Current `(queries, updates)` queue depths, for trace events and
+    /// metrics gauges. Policies that cannot split by class may report
+    /// `(0, 0)` (the default).
+    fn queue_depths(&self) -> (usize, usize) {
+        (0, 0)
+    }
 }
 
 impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
@@ -190,6 +215,15 @@ impl<S: Scheduler + ?Sized> Scheduler for Box<S> {
     }
     fn rho_history(&self) -> Option<&[(SimTime, f64)]> {
         (**self).rho_history()
+    }
+    fn set_decision_trace(&mut self, enabled: bool) {
+        (**self).set_decision_trace(enabled)
+    }
+    fn drain_decisions(&mut self, sink: &mut Vec<SchedDecision>) {
+        (**self).drain_decisions(sink)
+    }
+    fn queue_depths(&self) -> (usize, usize) {
+        (**self).queue_depths()
     }
 }
 
