@@ -12,7 +12,10 @@
 use quts_bench::experiments::{self, ExperimentFn};
 use quts_bench::perf::{self, per_sec, ExperimentPerf};
 use quts_bench::{paper_trace, run_policy_with, tracectx, Policy};
+use quts_db::{Store, Trade};
+use quts_engine::{DurabilityConfig, Engine, EngineConfig, FsyncPolicy, SubmitError};
 use quts_sim::{SimConfig, TraceConfig};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -55,9 +58,10 @@ fn main() {
         println!();
     }
 
-    // The overhead probe and (when parallel) baseline pass run untraced.
+    // The overhead probes and (when parallel) baseline pass run untraced.
     tracectx::disable();
     let overhead = measure_trace_overhead(scale);
+    let wal = measure_wal_overhead();
 
     // Sequential baseline: a silent one-worker pass so the perf file
     // always records both numbers. When the timed pass already ran with
@@ -80,7 +84,7 @@ fn main() {
         perfs.iter().map(|p| (p.name, p.wall)).collect()
     };
 
-    let json = render_json(scale, jobs, &perfs, &baseline, &overhead);
+    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal);
     let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
@@ -160,6 +164,133 @@ fn measure_trace_overhead(scale: u32) -> TraceOverhead {
     TraceOverhead { events, off, full }
 }
 
+/// The durability cost probe: the same update stream pushed through a
+/// live engine with the WAL off and at each fsync policy. `fsync=Off`
+/// must stay within noise of the no-WAL engine; `Always` pays one
+/// `fsync` per update and is measured at a smaller count.
+struct WalMode {
+    mode: &'static str,
+    updates: u64,
+    wall: Duration,
+}
+
+impl WalMode {
+    fn per_update(&self) -> Duration {
+        if self.updates == 0 {
+            Duration::ZERO
+        } else {
+            self.wall / self.updates as u32
+        }
+    }
+}
+
+struct WalOverhead {
+    stocks: u32,
+    modes: Vec<WalMode>,
+}
+
+/// Pushes `n` round-robin trades through a fresh engine and times until
+/// every one is applied (shutdown drains the backlog).
+fn drive_updates(config: EngineConfig, stocks: u32, n: u64) -> Duration {
+    let config_had_wal = config.durability.is_some();
+    let engine = Engine::start(Store::with_synthetic_stocks(stocks), config);
+    let started = Instant::now();
+    for i in 0..n {
+        let trade = Trade {
+            stock: quts_db::StockId((i % stocks as u64) as u32),
+            price: 100.0 + (i % 97) as f64 * 0.25,
+            volume: 100 + i % 900,
+            trade_time_ms: i,
+        };
+        loop {
+            match engine.submit_update(trade) {
+                Ok(()) => break,
+                Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                Err(e) => panic!("wal probe submission failed: {e:?}"),
+            }
+        }
+    }
+    let stats = engine.shutdown();
+    let wall = started.elapsed();
+    // The register table collapses same-stock bursts, so fewer trades
+    // may *apply* than were submitted — but with a WAL every submission
+    // must have been logged before it was admitted.
+    assert!(stats.updates_applied > 0, "wal probe applied nothing");
+    if config_had_wal {
+        assert_eq!(stats.wal_appended, n, "every admitted update is logged");
+    }
+    wall
+}
+
+fn measure_wal_overhead() -> WalOverhead {
+    const STOCKS: u32 = 512;
+    const N: u64 = 20_000;
+    // One fsync per update is orders of magnitude slower; a smaller
+    // count keeps the probe honest without stalling the suite.
+    const N_ALWAYS: u64 = 500;
+
+    let durable = |mode: &str, fsync: FsyncPolicy| {
+        let dir =
+            std::env::temp_dir().join(format!("quts-wal-bench-{}-{mode}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A huge snapshot cadence isolates the per-append WAL tax; the
+        // final snapshot on shutdown is identical across modes.
+        let cfg = EngineConfig::default().with_durability(
+            DurabilityConfig::new(&dir)
+                .with_fsync(fsync)
+                .with_snapshot_every(u64::MAX),
+        );
+        (dir, cfg)
+    };
+
+    // Warm-up pass so allocator/page-cache state matches across modes;
+    // best-of-3 passes filter scheduler and frequency-scaling noise.
+    let _ = drive_updates(EngineConfig::default(), STOCKS, N / 4);
+    let best = |mk: &dyn Fn() -> (Option<PathBuf>, EngineConfig), n: u64| {
+        (0..3)
+            .map(|_| {
+                let (dir, cfg) = mk();
+                let wall = drive_updates(cfg, STOCKS, n);
+                if let Some(dir) = dir {
+                    let _ = std::fs::remove_dir_all(&dir);
+                }
+                wall
+            })
+            .min()
+            .expect("three passes ran")
+    };
+
+    let mut modes = Vec::new();
+    let wall = best(&|| (None, EngineConfig::default()), N);
+    modes.push(WalMode {
+        mode: "no_wal",
+        updates: N,
+        wall,
+    });
+    for (mode, fsync, n) in [
+        ("fsync_off", FsyncPolicy::Off, N),
+        ("fsync_every_64", FsyncPolicy::EveryN(64), N),
+        ("fsync_always", FsyncPolicy::Always, N_ALWAYS),
+    ] {
+        let wall = best(
+            &|| {
+                let (dir, cfg) = durable(mode, fsync);
+                (Some(dir), cfg)
+            },
+            n,
+        );
+        modes.push(WalMode {
+            mode,
+            updates: n,
+            wall,
+        });
+    }
+    WalOverhead {
+        stocks: STOCKS,
+        modes,
+    }
+}
+
 /// Hand-rolled JSON (the workspace vendors no serializer by design).
 fn render_json(
     scale: u32,
@@ -167,6 +298,7 @@ fn render_json(
     perfs: &[ExperimentPerf],
     baseline: &[(&str, Duration)],
     overhead: &TraceOverhead,
+    wal: &WalOverhead,
 ) -> String {
     let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
     let total_events: u64 = perfs.iter().map(|p| p.events).sum();
@@ -218,6 +350,40 @@ fn render_json(
         "    \"full_overhead_pct\": {:.2}\n",
         overhead.full_overhead_pct()
     ));
+    s.push_str("  },\n");
+    s.push_str("  \"wal_overhead\": {\n");
+    s.push_str(&format!("    \"stocks\": {},\n", wal.stocks));
+    s.push_str("    \"modes\": [\n");
+    let base_per_update = wal
+        .modes
+        .iter()
+        .find(|m| m.mode == "no_wal")
+        .map(|m| m.per_update().as_secs_f64())
+        .unwrap_or(0.0);
+    for (i, m) in wal.modes.iter().enumerate() {
+        let overhead_pct = if base_per_update > 0.0 {
+            (m.per_update().as_secs_f64() / base_per_update - 1.0) * 100.0
+        } else {
+            0.0
+        };
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"mode\": \"{}\",\n", m.mode));
+        s.push_str(&format!("        \"updates\": {},\n", m.updates));
+        s.push_str(&format!("        \"wall_ms\": {:.3},\n", ms(m.wall)));
+        s.push_str(&format!(
+            "        \"updates_per_sec\": {:.1},\n",
+            per_sec(m.updates, m.wall)
+        ));
+        s.push_str(&format!(
+            "        \"overhead_pct_vs_no_wal\": {overhead_pct:.2}\n"
+        ));
+        s.push_str(if i + 1 == wal.modes.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ]\n");
     s.push_str("  },\n");
     s.push_str("  \"experiments\": [\n");
     for (i, p) in perfs.iter().enumerate() {

@@ -16,7 +16,11 @@
 //! * [`lock`] — a 2PL-HP (two-phase locking, high priority) lock table:
 //!   read-write conflicts restart the lower-priority holder,
 //! * [`staleness`] — per-item unapplied-update counters (`#uu`) and time
-//!   differentials (`td`).
+//!   differentials (`td`),
+//! * [`wal`] — a checksummed append-only write-ahead log for the update
+//!   stream (segments, torn-tail truncation on replay),
+//! * [`snapshot`] — periodic full-store snapshots plus a manifest, and
+//!   the `snapshot + WAL tail` recovery protocol.
 //!
 //! CPU scheduling — who gets to run — is deliberately *not* here; that is
 //! the `quts-sched` crate. This crate is the machine being scheduled.
@@ -28,12 +32,16 @@ pub mod lock;
 pub mod ops;
 pub mod record;
 pub mod register;
+pub mod snapshot;
 pub mod staleness;
 pub mod store;
+pub mod wal;
 
 pub use lock::{Acquisition, LockMode, LockTable, TxnToken};
 pub use ops::{AccessedItems, QueryOp, QueryResult, Trade};
 pub use record::StockRecord;
 pub use register::UpdateRegister;
+pub use snapshot::Recovered;
 pub use staleness::StalenessTracker;
 pub use store::{StockId, Store};
+pub use wal::FsyncPolicy;

@@ -77,6 +77,39 @@ impl StockRecord {
     pub fn history_len(&self) -> usize {
         self.history.len()
     }
+
+    /// The retained price window, oldest first (for snapshot encoding).
+    pub fn history(&self) -> impl Iterator<Item = f64> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Rebuilds a record from snapshot fields. The history window is
+    /// clamped to [`HISTORY_CAPACITY`] (keeping the newest prices) and
+    /// seeded with the current price when empty, matching [`new`].
+    ///
+    /// [`new`]: StockRecord::new
+    pub fn from_parts(
+        symbol: impl Into<String>,
+        price: f64,
+        volume: u64,
+        last_trade_time_ms: u64,
+        history: impl IntoIterator<Item = f64>,
+    ) -> Self {
+        let mut history: VecDeque<f64> = history.into_iter().collect();
+        while history.len() > HISTORY_CAPACITY {
+            history.pop_front();
+        }
+        if history.is_empty() {
+            history.push_back(price);
+        }
+        StockRecord {
+            symbol: symbol.into(),
+            price,
+            volume,
+            last_trade_time_ms,
+            history,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,610 @@
+//! Periodic full-store snapshots and the `snapshot + WAL tail`
+//! recovery protocol.
+//!
+//! A snapshot file (`snap-<lsn016x>.db`) captures everything the engine
+//! needs to resume honest QoD accounting:
+//!
+//! * every stock record (symbol, price, volume, trade time, the
+//!   moving-average history window),
+//! * the per-item `#uu` counters of the [`StalenessTracker`] — without
+//!   them a recovered engine would report data as fresh that it knows
+//!   has pending updates,
+//! * the **pending update queue** (register-collapsed, arrival order) —
+//!   updates that were logged and counted stale but not yet applied,
+//! * the WAL LSN the snapshot covers (`last_lsn`), the replay floor.
+//!
+//! The whole file is covered by a trailing CRC-32; a snapshot that fails
+//! its checksum is ignored in favour of an older one. A one-line text
+//! `MANIFEST` (also checksummed, published by atomic rename) names the
+//! authoritative snapshot; if it is missing or corrupt, recovery falls
+//! back to scanning for the newest valid snapshot file.
+//!
+//! [`recover`] is the single entry point: decode the best snapshot, then
+//! [`wal::replay_dir`] the tail (`lsn > last_lsn`), folding tail records
+//! into the pending queue with register-table semantics (one pending
+//! update per item; a newer arrival replaces the payload in place) and
+//! bumping `#uu` per arrival — exactly what the live ingest path does.
+
+use crate::ops::Trade;
+use crate::record::StockRecord;
+use crate::staleness::StalenessTracker;
+use crate::store::Store;
+use crate::wal::{self, crc32};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"QUTSSNAP";
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The manifest file name inside a durability directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+fn snapshot_path(dir: &Path, lsn: u64) -> PathBuf {
+    dir.join(format!("snap-{lsn:016x}.db"))
+}
+
+// --- Encoding ---
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a snapshot body (store + `#uu` counters + pending queue +
+/// covered LSN) with the trailing CRC.
+pub fn encode_snapshot(store: &Store, missed: &[u64], pending: &[Trade], last_lsn: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + store.len() * 96 + pending.len() * 28);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_u32(&mut out, SNAPSHOT_VERSION);
+    put_u64(&mut out, last_lsn);
+    put_u32(&mut out, store.len() as u32);
+    for (_, record) in store.iter() {
+        let sym = record.symbol().as_bytes();
+        put_u16(&mut out, sym.len() as u16);
+        out.extend_from_slice(sym);
+        put_u64(&mut out, record.price().to_bits());
+        put_u64(&mut out, record.volume());
+        put_u64(&mut out, record.last_trade_time_ms());
+        put_u16(&mut out, record.history_len() as u16);
+        for price in record.history() {
+            put_u64(&mut out, price.to_bits());
+        }
+    }
+    // `#uu` counters, one per item (zero-filled if the caller's tracker
+    // is shorter than the store, which only happens in hand-built tests).
+    for i in 0..store.len() {
+        put_u64(&mut out, missed.get(i).copied().unwrap_or(0));
+    }
+    put_u32(&mut out, pending.len() as u32);
+    for trade in pending {
+        out.extend_from_slice(&wal::encode_trade(trade));
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+// --- Decoding ---
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+/// A decoded snapshot body.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The reconstructed store contents.
+    pub store: Store,
+    /// Per-item `#uu` counters at snapshot time.
+    pub missed: Vec<u64>,
+    /// The register-collapsed pending update queue, arrival order.
+    pub pending: Vec<Trade>,
+    /// Highest WAL LSN whose effects (applied or pending) this snapshot
+    /// captures; replay starts after it.
+    pub last_lsn: u64,
+}
+
+/// Decodes and checksum-verifies a snapshot. Any malformation — bad
+/// magic, wrong version, CRC mismatch, truncation — is an error, never
+/// a panic; the caller falls back to an older snapshot.
+pub fn decode_snapshot(buf: &[u8]) -> io::Result<Snapshot> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("snapshot: {what}"));
+    if buf.len() < SNAPSHOT_MAGIC.len() + 4 + 8 + 4 + 4 + 4 {
+        return Err(bad("too short"));
+    }
+    let (body, crc_bytes) = buf.split_at(buf.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != want {
+        return Err(bad("checksum mismatch"));
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    if r.take(8) != Some(SNAPSHOT_MAGIC.as_slice()) {
+        return Err(bad("bad magic"));
+    }
+    if r.u32() != Some(SNAPSHOT_VERSION) {
+        return Err(bad("unknown version"));
+    }
+    let last_lsn = r.u64().ok_or_else(|| bad("truncated header"))?;
+    let n = r.u32().ok_or_else(|| bad("truncated header"))? as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let sym_len = r.u16().ok_or_else(|| bad("truncated record"))? as usize;
+        let sym = r.take(sym_len).ok_or_else(|| bad("truncated symbol"))?;
+        let sym = std::str::from_utf8(sym).map_err(|_| bad("non-utf8 symbol"))?;
+        let price = f64::from_bits(r.u64().ok_or_else(|| bad("truncated record"))?);
+        let volume = r.u64().ok_or_else(|| bad("truncated record"))?;
+        let time = r.u64().ok_or_else(|| bad("truncated record"))?;
+        let hist_len = r.u16().ok_or_else(|| bad("truncated record"))? as usize;
+        let mut history = Vec::with_capacity(hist_len.min(4096));
+        for _ in 0..hist_len {
+            history.push(f64::from_bits(
+                r.u64().ok_or_else(|| bad("truncated history"))?,
+            ));
+        }
+        records.push(StockRecord::from_parts(sym, price, volume, time, history));
+    }
+    let mut missed = Vec::with_capacity(n);
+    for _ in 0..n {
+        missed.push(r.u64().ok_or_else(|| bad("truncated counters"))?);
+    }
+    let n_pending = r.u32().ok_or_else(|| bad("truncated pending"))? as usize;
+    let mut pending = Vec::with_capacity(n_pending.min(1 << 20));
+    for _ in 0..n_pending {
+        let bytes = r
+            .take(wal::TRADE_PAYLOAD)
+            .ok_or_else(|| bad("truncated pending trade"))?;
+        pending.push(wal::decode_trade(bytes).ok_or_else(|| bad("bad pending trade"))?);
+    }
+    if r.pos != body.len() {
+        return Err(bad("trailing garbage"));
+    }
+    Ok(Snapshot {
+        store: Store::from_records(records),
+        missed,
+        pending,
+        last_lsn,
+    })
+}
+
+// --- Manifest ---
+
+fn render_manifest(snapshot_file: &str, last_lsn: u64, segments: &[String]) -> String {
+    let mut text = String::new();
+    text.push_str("quts-manifest-v1\n");
+    text.push_str(&format!("snapshot {snapshot_file} {last_lsn}\n"));
+    for seg in segments {
+        text.push_str(&format!("segment {seg}\n"));
+    }
+    let crc = crc32(text.as_bytes());
+    text.push_str(&format!("crc {crc:08x}\n"));
+    text
+}
+
+/// Parses a manifest, returning `(snapshot_file, last_lsn)`; `None` on
+/// any corruption (recovery falls back to a directory scan).
+fn parse_manifest(text: &str) -> Option<(String, u64)> {
+    let body_end = text.rfind("crc ")?;
+    let (body, crc_line) = text.split_at(body_end);
+    let want = u32::from_str_radix(crc_line.trim().strip_prefix("crc ")?, 16).ok()?;
+    if crc32(body.as_bytes()) != want {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != "quts-manifest-v1" {
+        return None;
+    }
+    let snap_line = lines.next()?;
+    let mut parts = snap_line.split_whitespace();
+    if parts.next()? != "snapshot" {
+        return None;
+    }
+    let file = parts.next()?.to_string();
+    let lsn = parts.next()?.parse().ok()?;
+    Some((file, lsn))
+}
+
+/// Writes the manifest atomically (tmp + rename) and best-effort syncs
+/// the directory so the rename itself is durable.
+fn publish_manifest(dir: &Path, snapshot_file: &str, last_lsn: u64) -> io::Result<()> {
+    let segments: Vec<String> = wal::segment_files(dir)?
+        .into_iter()
+        .filter_map(|(_, p)| p.file_name().map(|n| n.to_string_lossy().into_owned()))
+        .collect();
+    let text = render_manifest(snapshot_file, last_lsn, &segments);
+    let tmp = dir.join("MANIFEST.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, dir.join(MANIFEST_NAME))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Snapshot files in `dir`, sorted newest (highest LSN) first.
+pub fn snapshot_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(hex) = name
+            .strip_prefix("snap-")
+            .and_then(|rest| rest.strip_suffix(".db"))
+        {
+            if let Ok(lsn) = u64::from_str_radix(hex, 16) {
+                out.push((lsn, entry.path()));
+            }
+        }
+    }
+    out.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+    Ok(out)
+}
+
+// --- Publishing ---
+
+/// Initialises a durability directory with a baseline snapshot of
+/// `store` at LSN 0. Fails with `AlreadyExists` if the directory already
+/// holds a manifest — recovering over live state must be explicit
+/// ([`recover`]), never an accidental overwrite.
+pub fn init_dir(dir: &Path, store: &Store) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    if dir.join(MANIFEST_NAME).exists() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!("durability dir {} is already initialised", dir.display()),
+        ));
+    }
+    let missed = vec![0u64; store.len()];
+    publish(dir, store, &missed, &[], 0)
+}
+
+/// Publishes a snapshot: write + fsync the snapshot file, atomically
+/// swing the manifest to it, then garbage-collect snapshots and WAL
+/// segments it supersedes (best-effort — a leftover file is harmless,
+/// a missing one is not).
+///
+/// A segment is deletable only when a *later* segment starts at or
+/// before `last_lsn + 1`, i.e. every record it holds is covered by the
+/// snapshot. The engine rotates to a fresh segment before publishing,
+/// so all prior segments become deletable.
+pub fn publish(
+    dir: &Path,
+    store: &Store,
+    missed: &[u64],
+    pending: &[Trade],
+    last_lsn: u64,
+) -> io::Result<()> {
+    let bytes = encode_snapshot(store, missed, pending, last_lsn);
+    let path = snapshot_path(dir, last_lsn);
+    let file_name = path.file_name().unwrap().to_string_lossy().into_owned();
+    {
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    publish_manifest(dir, &file_name, last_lsn)?;
+    for (lsn, old) in snapshot_files(dir)? {
+        if lsn < last_lsn {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+    let segments = wal::segment_files(dir)?;
+    for pair in segments.windows(2) {
+        let (_, ref path) = pair[0];
+        let (next_first, _) = pair[1];
+        if next_first <= last_lsn + 1 {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+    Ok(())
+}
+
+// --- Recovery ---
+
+/// Everything recovery reconstructs from `snapshot + WAL tail`.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The store, with snapshot state (tail updates stay *pending* — the
+    /// engine applies them through its normal scheduled path).
+    pub store: Store,
+    /// Staleness counters: snapshot `#uu` plus one arrival per replayed
+    /// tail record, so post-recovery `#uu` never under-reports.
+    pub tracker: StalenessTracker,
+    /// The pending update queue (register-collapsed, arrival order).
+    pub pending: Vec<Trade>,
+    /// The LSN the next WAL append should use.
+    pub next_lsn: u64,
+    /// Tail records replayed from the WAL (beyond the snapshot).
+    pub replayed: u64,
+    /// Torn/corrupt WAL bytes truncated during replay.
+    pub truncated_bytes: u64,
+    /// The LSN of the snapshot recovery started from.
+    pub snapshot_lsn: u64,
+}
+
+/// Recovers engine state from a durability directory: newest valid
+/// snapshot, then the WAL tail.
+///
+/// Degrades gracefully at every step — a corrupt manifest falls back to
+/// scanning, a corrupt snapshot falls back to the next older one, a torn
+/// WAL tail is truncated (bytes counted) — and only fails if *no* valid
+/// snapshot exists at all.
+pub fn recover(dir: &Path) -> io::Result<Recovered> {
+    // 1. Candidate snapshots: the manifest's pick first, then every
+    //    on-disk snapshot newest-first (dedup'd).
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
+        if let Some((file, _lsn)) = parse_manifest(&text) {
+            candidates.push(dir.join(file));
+        }
+    }
+    for (_, path) in snapshot_files(dir)? {
+        if !candidates.contains(&path) {
+            candidates.push(path);
+        }
+    }
+    let mut snap = None;
+    for path in &candidates {
+        if let Ok(bytes) = std::fs::read(path) {
+            if let Ok(s) = decode_snapshot(&bytes) {
+                snap = Some(s);
+                break;
+            }
+        }
+    }
+    let snap = snap.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("no valid snapshot in {}", dir.display()),
+        )
+    })?;
+
+    // 2. Replay the WAL tail and fold it into the pending queue with
+    //    register semantics, bumping `#uu` per arrival (mirroring the
+    //    live ingest path).
+    let replay = wal::replay_dir(dir, snap.last_lsn)?;
+    let mut missed = snap.missed.clone();
+    missed.resize(snap.store.len(), 0);
+    let mut pending = snap.pending.clone();
+    let mut last_lsn = snap.last_lsn;
+    let mut replayed = 0u64;
+    for frame in &replay.records {
+        last_lsn = frame.lsn;
+        let Some(trade) = wal::decode_trade(&frame.payload) else {
+            continue; // foreign record type; framing already validated
+        };
+        if trade.stock.index() >= snap.store.len() {
+            continue; // update for an item the snapshot never knew
+        }
+        missed[trade.stock.index()] += 1;
+        match pending.iter_mut().find(|p| p.stock == trade.stock) {
+            // Register-table semantics: the newer value replaces the
+            // pending payload but keeps its queue position.
+            Some(slot) => *slot = trade,
+            None => pending.push(trade),
+        }
+        replayed += 1;
+    }
+    Ok(Recovered {
+        store: snap.store,
+        tracker: StalenessTracker::from_missed(missed),
+        pending,
+        next_lsn: last_lsn + 1,
+        replayed,
+        truncated_bytes: replay.truncated_bytes,
+        snapshot_lsn: snap.last_lsn,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StockId;
+    use crate::wal::{FsyncPolicy, Wal};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("quts-snap-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn trade(stock: u32, price: f64) -> Trade {
+        Trade {
+            stock: StockId(stock),
+            price,
+            volume: 9,
+            trade_time_ms: 77,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let mut store = Store::with_synthetic_stocks(4);
+        store.apply_update(&trade(1, 55.5));
+        store.apply_update(&trade(1, 66.5));
+        let missed = vec![0, 0, 3, 1];
+        let pending = vec![trade(2, 10.0), trade(3, 11.0)];
+        let bytes = encode_snapshot(&store, &missed, &pending, 42);
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snap.last_lsn, 42);
+        assert_eq!(snap.store.len(), 4);
+        assert_eq!(snap.store.record(StockId(1)).price(), 66.5);
+        assert_eq!(snap.store.record(StockId(1)).history_len(), 3);
+        assert!(
+            (snap.store.record(StockId(1)).moving_average(3)
+                - store.record(StockId(1)).moving_average(3))
+            .abs()
+                < 1e-12
+        );
+        assert_eq!(snap.store.id_of("S0003"), Some(StockId(3)));
+        assert_eq!(snap.missed, missed);
+        assert_eq!(snap.pending.len(), 2);
+        assert_eq!(snap.pending[0].stock, StockId(2));
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_rejected_not_trusted() {
+        let store = Store::with_synthetic_stocks(2);
+        let mut bytes = encode_snapshot(&store, &[0, 0], &[], 1);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(decode_snapshot(&bytes).is_err());
+        assert!(decode_snapshot(&bytes[..bytes.len() - 3]).is_err());
+        assert!(decode_snapshot(b"QUTSSNAP").is_err());
+    }
+
+    #[test]
+    fn init_then_recover_is_identity() {
+        let dir = tmp_dir("identity");
+        let store = Store::with_synthetic_stocks(3);
+        init_dir(&dir, &store).unwrap();
+        // Double init must refuse: never clobber live durable state.
+        assert_eq!(
+            init_dir(&dir, &store).unwrap_err().kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.store.len(), 3);
+        assert_eq!(rec.pending.len(), 0);
+        assert_eq!(rec.replayed, 0);
+        assert_eq!(rec.next_lsn, 1);
+        assert_eq!(rec.tracker.total_unapplied(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_replay_collapses_into_pending_and_counts_uu() {
+        let dir = tmp_dir("tail");
+        let store = Store::with_synthetic_stocks(4);
+        init_dir(&dir, &store).unwrap();
+        let mut wal = Wal::create(&dir, FsyncPolicy::Always, 1 << 20, 1).unwrap();
+        // Three arrivals, two on the same stock: the register collapses
+        // them to one pending entry but `#uu` counts every arrival.
+        wal.append(&wal::encode_trade(&trade(1, 10.0))).unwrap();
+        wal.append(&wal::encode_trade(&trade(2, 20.0))).unwrap();
+        wal.append(&wal::encode_trade(&trade(1, 30.0))).unwrap();
+        drop(wal);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.replayed, 3);
+        assert_eq!(rec.pending.len(), 2);
+        assert_eq!(rec.pending[0].stock, StockId(1));
+        assert_eq!(rec.pending[0].price, 30.0, "freshest value wins");
+        assert_eq!(rec.pending[1].stock, StockId(2));
+        assert_eq!(rec.tracker.unapplied(StockId(1)), 2);
+        assert_eq!(rec.tracker.unapplied(StockId(2)), 1);
+        assert_eq!(rec.next_lsn, 4);
+        // The store itself is untouched: tail updates stay pending.
+        assert_eq!(rec.store.record(StockId(1)).price(), 100.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn publish_garbage_collects_and_newer_snapshot_wins() {
+        let dir = tmp_dir("gc");
+        let mut store = Store::with_synthetic_stocks(2);
+        init_dir(&dir, &store).unwrap();
+        let mut wal = Wal::create(&dir, FsyncPolicy::Off, 1 << 20, 1).unwrap();
+        for i in 0..5u32 {
+            wal.append(&wal::encode_trade(&trade(i % 2, f64::from(i))))
+                .unwrap();
+        }
+        // Apply everything, rotate (so old segments are snapshot-covered)
+        // and publish at LSN 5.
+        for i in 0..5u32 {
+            store.apply_update(&trade(i % 2, f64::from(i)));
+        }
+        wal.rotate().unwrap();
+        publish(&dir, &store, &[0, 0], &[], 5).unwrap();
+        drop(wal);
+        // Old snapshot (lsn 0) and the covered segment are gone.
+        let snaps = snapshot_files(&dir).unwrap();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, 5);
+        let segs = wal::segment_files(&dir).unwrap();
+        assert_eq!(segs.len(), 1, "covered segments collected: {segs:?}");
+        assert_eq!(segs[0].0, 6);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.snapshot_lsn, 5);
+        assert_eq!(rec.replayed, 0);
+        assert_eq!(rec.store.record(StockId(0)).price(), 4.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_scan() {
+        let dir = tmp_dir("badmanifest");
+        let store = Store::with_synthetic_stocks(2);
+        init_dir(&dir, &store).unwrap();
+        std::fs::write(dir.join(MANIFEST_NAME), b"quts-manifest-v1\ngarbage\n").unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.store.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_falls_back_to_older_one() {
+        let dir = tmp_dir("badsnap");
+        let mut store = Store::with_synthetic_stocks(2);
+        init_dir(&dir, &store).unwrap();
+        store.apply_update(&trade(0, 50.0));
+        publish(&dir, &store, &[0, 0], &[], 3).unwrap();
+        // `publish` collected the lsn-0 snapshot; re-create a baseline so
+        // there is an older snapshot to fall back to, then corrupt the
+        // newest one.
+        let baseline = Store::with_synthetic_stocks(2);
+        let bytes = encode_snapshot(&baseline, &[0, 0], &[], 0);
+        std::fs::write(snapshot_path(&dir, 0), bytes).unwrap();
+        let newest = snapshot_path(&dir, 3);
+        let mut snap_bytes = std::fs::read(&newest).unwrap();
+        let mid = snap_bytes.len() / 2;
+        snap_bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, snap_bytes).unwrap();
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.snapshot_lsn, 0, "fell back past the corrupt snapshot");
+        assert_eq!(rec.store.record(StockId(0)).price(), 100.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_empty_dir_is_a_clean_error() {
+        let dir = tmp_dir("empty");
+        let err = recover(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -86,6 +86,23 @@ impl StalenessTracker {
     pub fn total_unapplied(&self) -> u64 {
         self.missed.iter().sum()
     }
+
+    /// The raw per-item `#uu` counters (for snapshot encoding).
+    pub fn missed_counts(&self) -> &[u64] {
+        &self.missed
+    }
+
+    /// Rebuilds a tracker from snapshot `#uu` counters. The `td` clocks
+    /// restart at zero: wall-clock stale-since points don't survive a
+    /// crash, so recovered items report `#uu` exactly and `td` from the
+    /// moment of recovery (a documented under-estimate).
+    pub fn from_missed(missed: Vec<u64>) -> Self {
+        let stale_since = vec![0; missed.len()];
+        StalenessTracker {
+            missed,
+            stale_since,
+        }
+    }
 }
 
 #[cfg(test)]

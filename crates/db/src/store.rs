@@ -101,6 +101,22 @@ impl Store {
         );
     }
 
+    /// Rebuilds a store from decoded snapshot records, re-deriving the
+    /// symbol index. Ids keep their snapshot order (dense, by position).
+    ///
+    /// # Panics
+    /// Panics if two records share a ticker symbol — a snapshot written
+    /// by this crate can't contain one, so that is corruption the
+    /// caller's checksum should have caught.
+    pub fn from_records(records: Vec<StockRecord>) -> Self {
+        let mut by_symbol = HashMap::with_capacity(records.len());
+        for (i, r) in records.iter().enumerate() {
+            let prev = by_symbol.insert(r.symbol().to_string(), StockId(i as u32));
+            assert!(prev.is_none(), "duplicate ticker symbol {}", r.symbol());
+        }
+        Store { records, by_symbol }
+    }
+
     /// Iterates over all `(id, record)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (StockId, &StockRecord)> {
         self.records

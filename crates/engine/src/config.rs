@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::durability::DurabilityConfig;
 use crate::fault::FaultPlan;
 use quts_metrics::TraceConfig;
 use quts_qc::StalenessAggregation;
@@ -53,6 +54,15 @@ pub struct EngineConfig {
     /// at one second.
     pub restart_backoff: Duration,
 
+    // --- Durability ---
+    /// Write-ahead logging + snapshots. `None` (the default) runs the
+    /// engine purely in memory, as the paper does; `Some` appends every
+    /// accepted update to a WAL before enqueue and publishes periodic
+    /// snapshots, so [`Engine::recover`](crate::Engine::recover) and the
+    /// supervisor restart path can rebuild the store *and* the pending
+    /// update queue — post-crash `#uu` never under-reports.
+    pub durability: Option<DurabilityConfig>,
+
     /// Injected faults for chaos tests; the default plan injects
     /// nothing.
     pub fault: FaultPlan,
@@ -82,6 +92,7 @@ impl Default for EngineConfig {
             restart_on_panic: false,
             max_restarts: 4,
             restart_backoff: Duration::from_millis(10),
+            durability: None,
             fault: FaultPlan::default(),
             trace: TraceConfig::default(),
         }
@@ -149,6 +160,12 @@ impl EngineConfig {
         self
     }
 
+    /// Builder: enables durability (WAL + snapshots) over a directory.
+    pub fn with_durability(mut self, durability: DurabilityConfig) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
     /// Builder: installs a fault-injection plan.
     pub fn with_fault_plan(mut self, fault: FaultPlan) -> Self {
         self.fault = fault;
@@ -190,6 +207,20 @@ mod tests {
         assert!(c.max_pending_queries >= c.queue_capacity);
         assert!(!c.restart_on_panic, "restarts are opt-in");
         assert!(c.fault.is_noop(), "no faults unless asked");
+        assert!(c.durability.is_none(), "durability is opt-in");
+    }
+
+    #[test]
+    fn durability_builder_and_defaults() {
+        use quts_db::FsyncPolicy;
+        let d = DurabilityConfig::new("/tmp/quts-x");
+        assert_eq!(d.fsync, FsyncPolicy::EveryN(64));
+        assert_eq!(d.snapshot_every, 4096);
+        let c = EngineConfig::default()
+            .with_durability(d.with_fsync(FsyncPolicy::Always).with_snapshot_every(10));
+        let d = c.durability.expect("durability set");
+        assert_eq!(d.fsync, FsyncPolicy::Always);
+        assert_eq!(d.snapshot_every, 10);
     }
 
     #[test]

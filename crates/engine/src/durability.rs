@@ -1,0 +1,181 @@
+//! Durability wiring: the engine's WAL writer + snapshot cadence.
+//!
+//! [`DurabilityConfig`] is the user-facing knob set on
+//! [`EngineConfig`](crate::EngineConfig); [`Durable`] is the engine-side
+//! state machine the scheduler drives: every ingested update is appended
+//! to the WAL *before* it is enqueued (so an update the engine has
+//! accepted is an update recovery can reproduce), and every
+//! `snapshot_every` appends the scheduler publishes a fresh snapshot and
+//! rotates the log so covered segments can be collected.
+//!
+//! WAL IO failures are **fail-stop**: an append or fsync error means the
+//! durability promise can no longer be kept, so the scheduler panics and
+//! the supervisor rebuilds the whole state from `snapshot + WAL tail` —
+//! the same path a real crash takes (the PostgreSQL PANIC-on-fsync
+//! lesson: carrying on after a failed sync silently voids the
+//! guarantee).
+
+use crate::fault::{FaultPlan, FaultState, WalFault};
+use quts_db::snapshot::{self, Recovered};
+use quts_db::wal::{self, FsyncPolicy, Wal};
+use quts_db::{Store, Trade};
+use std::io;
+use std::path::PathBuf;
+
+/// Durability knobs for the live engine.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding WAL segments, snapshots and the manifest.
+    pub dir: PathBuf,
+    /// When appended updates are forced to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Publish a snapshot (and rotate the WAL) every this many appends.
+    pub snapshot_every: u64,
+    /// Rotate to a new WAL segment past this size.
+    pub segment_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Sensible defaults over `dir`: `fsync = EveryN(64)` (bounded-loss,
+    /// near-`Off` throughput), a snapshot every 4096 appends, 8 MiB
+    /// segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_every: 4096,
+            segment_bytes: 8 << 20,
+        }
+    }
+
+    /// Builder: sets the fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Builder: sets the snapshot cadence (in WAL appends).
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "snapshot cadence must be positive");
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Builder: sets the WAL segment rotation threshold.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "segment size must be positive");
+        self.segment_bytes = bytes;
+        self
+    }
+}
+
+/// The engine's durable state: the open WAL plus snapshot bookkeeping.
+#[derive(Debug)]
+pub(crate) struct Durable {
+    wal: Wal,
+    cfg: DurabilityConfig,
+    /// Appends since the last published snapshot; seeds the cadence
+    /// after recovery too (a long replay earns a prompt re-snapshot).
+    appends_since_snapshot: u64,
+}
+
+impl Durable {
+    /// Initialises a fresh durability directory (baseline snapshot of
+    /// `store` at LSN 0) and opens the first WAL segment. Refuses with
+    /// `AlreadyExists` if the directory is already initialised — use
+    /// [`Durable::recover`] for that.
+    pub(crate) fn create(cfg: DurabilityConfig, store: &Store) -> io::Result<Durable> {
+        snapshot::init_dir(&cfg.dir, store)?;
+        let wal = Wal::create(&cfg.dir, cfg.fsync, cfg.segment_bytes, 1)?;
+        Ok(Durable {
+            wal,
+            cfg,
+            appends_since_snapshot: 0,
+        })
+    }
+
+    /// Recovers state from the directory and reopens the WAL at the
+    /// post-replay LSN (fresh segment; any valid prior records were
+    /// already replayed, so truncate-create loses nothing).
+    pub(crate) fn recover(cfg: DurabilityConfig) -> io::Result<(Durable, Recovered)> {
+        let rec = snapshot::recover(&cfg.dir)?;
+        let wal = Wal::create(&cfg.dir, cfg.fsync, cfg.segment_bytes, rec.next_lsn)?;
+        let durable = Durable {
+            wal,
+            cfg,
+            appends_since_snapshot: rec.replayed,
+        };
+        Ok((durable, rec))
+    }
+
+    /// The configuration this durable state was opened with.
+    pub(crate) fn into_config(self) -> DurabilityConfig {
+        self.cfg
+    }
+
+    /// Appends one update to the WAL (before it may be enqueued),
+    /// applying the fsync policy and any injected IO faults. An `Err`
+    /// means the update is **not** durable — the caller must fail-stop.
+    pub(crate) fn append(
+        &mut self,
+        trade: &Trade,
+        plan: &FaultPlan,
+        faults: &FaultState,
+    ) -> io::Result<u64> {
+        let payload = wal::encode_trade(trade);
+        match faults.wal_fault(plan, faults.next_wal_append()) {
+            Some(WalFault::Fail) => {
+                return Err(io::Error::other("fault injection: WAL append failed"));
+            }
+            Some(WalFault::Torn) => {
+                // The frame header lands, the payload does not — the
+                // exact residue of a crash mid-write.
+                self.wal.append_torn(&payload, wal::FRAME_HEADER)?;
+                return Err(io::Error::other("fault injection: torn WAL append"));
+            }
+            Some(WalFault::Corrupt) => {
+                // Silent media corruption: the engine believes the
+                // append succeeded; only replay's CRC will know.
+                let lsn = self.wal.append_corrupted(&payload)?;
+                self.appends_since_snapshot += 1;
+                return Ok(lsn);
+            }
+            Some(WalFault::FsyncFail) => {
+                // The write may have landed but the sync did not: the
+                // record's durability is unknown, so fail-stop.
+                let _ = self.wal.append(&payload);
+                return Err(io::Error::other("fault injection: fsync failed"));
+            }
+            None => {}
+        }
+        let lsn = self.wal.append(&payload)?;
+        self.appends_since_snapshot += 1;
+        Ok(lsn)
+    }
+
+    /// Whether the snapshot cadence is due.
+    pub(crate) fn should_snapshot(&self) -> bool {
+        self.appends_since_snapshot >= self.cfg.snapshot_every
+    }
+
+    /// Publishes a snapshot covering everything appended so far and
+    /// rotates the WAL first, so every pre-rotation segment is covered
+    /// and collectable. Returns the snapshot's LSN.
+    pub(crate) fn publish_snapshot(
+        &mut self,
+        store: &Store,
+        missed: &[u64],
+        pending: &[Trade],
+    ) -> io::Result<u64> {
+        let last_lsn = self.wal.next_lsn() - 1;
+        self.wal.rotate()?;
+        snapshot::publish(&self.cfg.dir, store, missed, pending, last_lsn)?;
+        self.appends_since_snapshot = 0;
+        Ok(last_lsn)
+    }
+
+    /// Forces every appended record to stable storage (shutdown path).
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.wal.sync()
+    }
+}

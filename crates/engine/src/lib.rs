@@ -29,7 +29,13 @@
 //!   error, never a hang.
 //! - **Fault injection** — a [`FaultPlan`] on [`EngineConfig`] drives
 //!   chaos tests (injected panics, stalls, update bursts, dropped
-//!   replies).
+//!   replies, WAL IO faults).
+//! - **Durability** — an opt-in [`DurabilityConfig`] appends every
+//!   accepted update to a checksummed WAL *before* enqueue and publishes
+//!   periodic snapshots; [`Engine::recover`] and the supervisor restart
+//!   path rebuild the store, the staleness counters and the pending
+//!   update queue from `snapshot + WAL tail`, so a recovered engine
+//!   never reports data fresh that it knows is stale.
 //!
 //! ```
 //! use quts_engine::{Engine, EngineConfig};
@@ -56,13 +62,16 @@
 #![forbid(unsafe_code)]
 
 pub mod config;
+pub mod durability;
 pub mod fault;
 pub mod runtime;
 pub mod stats;
 pub mod supervisor;
 
 pub use config::EngineConfig;
+pub use durability::DurabilityConfig;
 pub use fault::{FaultPlan, UpdateBurst};
+pub use quts_db::FsyncPolicy;
 pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
 pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
 pub use stats::{LiveStats, RHO_HISTORY_CAP};

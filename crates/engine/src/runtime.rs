@@ -1,9 +1,10 @@
 //! The scheduler/executor thread and its client handle.
 
 use crate::config::EngineConfig;
+use crate::durability::{DurabilityConfig, Durable};
 use crate::fault::FaultState;
 use crate::stats::LiveStats;
-use crate::supervisor::{self, EngineState, STATE_RUNNING};
+use crate::supervisor::{self, EngineSeed, EngineState, STATE_RUNNING};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
@@ -151,12 +152,77 @@ pub struct EngineHandle {
 
 impl Engine {
     /// Starts the engine over the given store.
+    ///
+    /// # Panics
+    /// Panics if durability is configured and its directory cannot be
+    /// initialised; use [`Engine::try_start`] to handle that as an error.
     pub fn start(store: Store, config: EngineConfig) -> Engine {
-        let (tx, rx) = bounded(config.queue_capacity);
-        let stats = Arc::new(Mutex::new(LiveStats {
+        Engine::try_start(store, config).expect("initialise durability directory")
+    }
+
+    /// Starts the engine over the given store, surfacing durability
+    /// initialisation failures (unwritable directory, or one that is
+    /// already initialised — recover instead of clobbering it).
+    pub fn try_start(store: Store, config: EngineConfig) -> std::io::Result<Engine> {
+        let durable = match &config.durability {
+            Some(dcfg) => Some(Durable::create(dcfg.clone(), &store)?),
+            None => None,
+        };
+        let tracker = StalenessTracker::new(store.len());
+        let seed = EngineSeed {
+            store,
+            tracker,
+            pending: Vec::new(),
+            durable,
+        };
+        let init = LiveStats {
             rho: config.initial_rho,
             ..LiveStats::default()
-        }));
+        };
+        Ok(Engine::spawn(seed, config, init))
+    }
+
+    /// Recovers an engine from a durability directory: newest valid
+    /// snapshot + WAL tail rebuild the store, the staleness counters
+    /// *and* the pending update queue, so post-recovery `#uu` matches
+    /// what the crashed engine owed — never a false-fresh report.
+    ///
+    /// `config.durability`'s non-directory knobs (fsync policy, snapshot
+    /// cadence) are honoured if set; `dir` always wins for the location.
+    pub fn recover(
+        dir: impl Into<std::path::PathBuf>,
+        mut config: EngineConfig,
+    ) -> std::io::Result<Engine> {
+        let dir = dir.into();
+        let dcfg = match config.durability.take() {
+            Some(mut d) => {
+                d.dir = dir;
+                d
+            }
+            None => DurabilityConfig::new(dir),
+        };
+        let (durable, rec) = Durable::recover(dcfg.clone())?;
+        config.durability = Some(dcfg);
+        let init = LiveStats {
+            rho: config.initial_rho,
+            recovery_replayed_updates: rec.replayed,
+            wal_truncated_bytes: rec.truncated_bytes,
+            snapshot_last_lsn: rec.snapshot_lsn,
+            pending_updates: rec.pending.len() as u64,
+            ..LiveStats::default()
+        };
+        let seed = EngineSeed {
+            store: rec.store,
+            tracker: rec.tracker,
+            pending: rec.pending,
+            durable: Some(durable),
+        };
+        Ok(Engine::spawn(seed, config, init))
+    }
+
+    fn spawn(seed: EngineSeed, config: EngineConfig, init: LiveStats) -> Engine {
+        let (tx, rx) = bounded(config.queue_capacity);
+        let stats = Arc::new(Mutex::new(init));
         let state = Arc::new(AtomicU8::new(STATE_RUNNING));
         let faults = Arc::new(FaultState::default());
         // The decision ring is shared so clients can snapshot it while
@@ -173,7 +239,7 @@ impl Engine {
             .name("quts-engine".into())
             .spawn(move || {
                 supervisor::supervise(
-                    store,
+                    seed,
                     config,
                     rx,
                     shared_stats,
@@ -327,6 +393,10 @@ pub(crate) struct Runtime<'a> {
     register: HashMap<StockId, (u64, Trade)>,
     next_update_id: u64,
 
+    /// WAL + snapshot state, owned by the supervisor so it survives
+    /// panic restarts; `None` without durability.
+    durable: Option<&'a mut Durable>,
+
     rho: RhoController,
     rng: StdRng,
     /// Set once a shutdown is requested; fault-injected update bursts
@@ -346,6 +416,7 @@ pub(crate) struct Runtime<'a> {
 }
 
 impl<'a> Runtime<'a> {
+    #[allow(clippy::too_many_arguments)] // internal wiring, one call site
     pub(crate) fn new(
         store: &'a mut Store,
         tracker: &'a mut StalenessTracker,
@@ -354,12 +425,26 @@ impl<'a> Runtime<'a> {
         stats: Arc<Mutex<LiveStats>>,
         faults: Arc<FaultState>,
         ring: Option<Arc<Mutex<TraceRing>>>,
+        durable: Option<&'a mut Durable>,
+        seed_pending: Vec<Trade>,
     ) -> Runtime<'a> {
         let now = Instant::now();
         let rho = RhoController::new(config.alpha, config.initial_rho);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let state_is_query = rng.random::<f64>() < rho.rho();
         let spans_on = config.trace.level.spans();
+        // Re-enqueue recovered pending updates (already WAL-logged and
+        // counted in the tracker — they go straight to the register and
+        // queue, never back through ingest).
+        let mut update_queue = VecDeque::with_capacity(seed_pending.len());
+        let mut register = HashMap::with_capacity(seed_pending.len());
+        let mut next_update_id = 0u64;
+        for trade in seed_pending {
+            let id = next_update_id;
+            next_update_id += 1;
+            register.insert(trade.stock, (id, trade));
+            update_queue.push_back((trade.stock, id));
+        }
         Runtime {
             store,
             tracker,
@@ -372,9 +457,10 @@ impl<'a> Runtime<'a> {
             query_queue: QueryQueue::new(QueryOrder::Vrd),
             queries: HashMap::new(),
             next_seq: 0,
-            update_queue: VecDeque::new(),
-            register: HashMap::new(),
-            next_update_id: 0,
+            update_queue,
+            register,
+            next_update_id,
+            durable,
             rho,
             rng,
             draining: false,
@@ -405,6 +491,10 @@ impl<'a> Runtime<'a> {
                 }
             }
             self.refresh(Instant::now());
+            // Snapshot cadence is checked between transactions, after
+            // the ingest drain — every trade the snapshot's `last_lsn`
+            // covers is then either applied or in the pending queue.
+            self.maybe_snapshot();
 
             if self.execute_one() {
                 continue;
@@ -429,6 +519,63 @@ impl<'a> Runtime<'a> {
                     self.draining = true;
                 }
             }
+        }
+        self.finalize();
+    }
+
+    /// The distinct pending updates in arrival order, freshest payloads
+    /// (what a snapshot must preserve).
+    fn pending_in_order(&self) -> Vec<Trade> {
+        self.update_queue
+            .iter()
+            .filter_map(|&(stock, id)| match self.register.get(&stock) {
+                Some(&(live_id, trade)) if live_id == id => Some(trade),
+                _ => None, // tombstone: entry was invalidated or applied
+            })
+            .collect()
+    }
+
+    /// Publishes a snapshot when the cadence is due. Snapshot IO errors
+    /// are absorbed (counted), not fatal: the WAL still holds every
+    /// record, so recoverability is unharmed — only replay gets longer.
+    fn maybe_snapshot(&mut self) {
+        if !self.durable.as_ref().is_some_and(|d| d.should_snapshot()) {
+            return;
+        }
+        let pending = self.pending_in_order();
+        let durable = self.durable.as_mut().expect("checked above");
+        match durable.publish_snapshot(self.store, self.tracker.missed_counts(), &pending) {
+            Ok(lsn) => {
+                let mut s = self.stats.lock();
+                s.snapshots_written += 1;
+                s.snapshot_last_lsn = lsn;
+            }
+            Err(_) => {
+                self.stats.lock().wal_io_errors += 1;
+            }
+        }
+    }
+
+    /// Clean-shutdown durability: force the WAL to disk and publish a
+    /// final snapshot, so the next start recovers instantly with an
+    /// empty replay. Failures are counted, never panicked over — the
+    /// drain already ran, and the WAL (minus the failed sync window)
+    /// still recovers.
+    fn finalize(&mut self) {
+        let pending = self.pending_in_order();
+        let Some(durable) = self.durable.as_mut() else {
+            return;
+        };
+        let outcome = durable.sync().and_then(|()| {
+            durable.publish_snapshot(self.store, self.tracker.missed_counts(), &pending)
+        });
+        let mut s = self.stats.lock();
+        match outcome {
+            Ok(lsn) => {
+                s.snapshots_written += 1;
+                s.snapshot_last_lsn = lsn;
+            }
+            Err(_) => s.wal_io_errors += 1,
         }
     }
 
@@ -483,6 +630,21 @@ impl<'a> Runtime<'a> {
                 if trade.stock.index() >= self.store.len() {
                     return; // unknown item: drop (blind update to nowhere)
                 }
+                // WAL-before-enqueue: once the engine accepts an update
+                // it must be recoverable. An append failure is fail-stop
+                // — the panic unwinds to the supervisor, which rebuilds
+                // from snapshot + WAL tail rather than carrying on with
+                // a durability hole.
+                let mut logged = false;
+                if let Some(durable) = self.durable.as_mut() {
+                    match durable.append(&trade, &self.config.fault, &self.faults) {
+                        Ok(_lsn) => logged = true,
+                        Err(e) => {
+                            self.stats.lock().wal_io_errors += 1;
+                            panic!("wal append failed (fail-stop): {e}");
+                        }
+                    }
+                }
                 self.tracker.on_arrival(trade.stock, self.elapsed_us());
                 // Register-table semantics: the pending entry keeps its
                 // queue position, only its payload/identifier is swapped.
@@ -508,6 +670,15 @@ impl<'a> Runtime<'a> {
                     self.register.insert(trade.stock, (id, trade));
                     self.update_queue.push_back((trade.stock, id));
                 }
+                // Keep the update gauge live on the ingest path too —
+                // the restart shed accounting reads it. The WAL counter
+                // shares this lock acquisition: the append hot path
+                // shouldn't pay twice.
+                let mut s = self.stats.lock();
+                if logged {
+                    s.wal_appended += 1;
+                }
+                self.set_depth_gauges(&mut s);
             }
             Msg::Shutdown => {}
         }

@@ -59,6 +59,27 @@ pub struct LiveStats {
     pub updates_dropped_overload: u64,
     /// Scheduler restarts after panics.
     pub engine_restarts: u64,
+    /// Pending queries lost to a panic restart (their reply channels
+    /// disconnected in the unwind; clients see `EngineDown`).
+    pub shed_on_restart_queries: u64,
+    /// Pending updates lost to a panic restart. Stays zero with
+    /// durability enabled — recovery re-enqueues them from the WAL.
+    pub shed_on_restart_updates: u64,
+
+    // --- Durability & recovery ---
+    /// Updates appended to the WAL (before enqueue).
+    pub wal_appended: u64,
+    /// WAL/snapshot IO errors absorbed (fail-stop appends, failed
+    /// shutdown snapshots).
+    pub wal_io_errors: u64,
+    /// Snapshots published (periodic cadence + clean shutdown).
+    pub snapshots_written: u64,
+    /// LSN covered by the most recent snapshot.
+    pub snapshot_last_lsn: u64,
+    /// Updates replayed from the WAL tail across all recoveries.
+    pub recovery_replayed_updates: u64,
+    /// Torn/corrupt WAL bytes truncated during recoveries.
+    pub wal_truncated_bytes: u64,
 }
 
 impl LiveStats {
@@ -79,11 +100,13 @@ impl LiveStats {
 
     /// Why work was lost, by cause — the shed breakdown exposed over
     /// `METRICS`.
-    pub fn shed_breakdown(&self) -> [(&'static str, u64); 3] {
+    pub fn shed_breakdown(&self) -> [(&'static str, u64); 5] {
         [
             ("queue_full", self.queue_full_rejections),
             ("lifetime_expired", self.shed_expired),
             ("update_overload", self.updates_dropped_overload),
+            ("restart_lost_query", self.shed_on_restart_queries),
+            ("restart_lost_update", self.shed_on_restart_updates),
         ]
     }
 }
@@ -106,6 +129,14 @@ mod tests {
         assert_eq!(s.pending_updates, 0);
         assert_eq!(s.rho_history_truncated, 0);
         assert_eq!(s.spans.committed, 0);
+        assert_eq!(s.shed_on_restart_queries, 0);
+        assert_eq!(s.shed_on_restart_updates, 0);
+        assert_eq!(s.wal_appended, 0);
+        assert_eq!(s.wal_io_errors, 0);
+        assert_eq!(s.snapshots_written, 0);
+        assert_eq!(s.snapshot_last_lsn, 0);
+        assert_eq!(s.recovery_replayed_updates, 0);
+        assert_eq!(s.wal_truncated_bytes, 0);
     }
 
     #[test]
@@ -127,11 +158,15 @@ mod tests {
             queue_full_rejections: 3,
             shed_expired: 2,
             updates_dropped_overload: 1,
+            shed_on_restart_queries: 5,
+            shed_on_restart_updates: 4,
             ..LiveStats::default()
         };
         let b = s.shed_breakdown();
         assert_eq!(b[0], ("queue_full", 3));
         assert_eq!(b[1], ("lifetime_expired", 2));
         assert_eq!(b[2], ("update_overload", 1));
+        assert_eq!(b[3], ("restart_lost_query", 5));
+        assert_eq!(b[4], ("restart_lost_update", 4));
     }
 }

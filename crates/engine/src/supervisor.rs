@@ -11,18 +11,23 @@
 //! an answer or a clean error — never a hang.**
 //!
 //! What survives a restart: the store (all applied updates) and the
-//! staleness tracker. What dies with the crashed incarnation: pending
-//! queries (their clients see a disconnect) and pending updates (their
-//! items simply stay stale until the feed sends fresh trades — exactly
-//! what the tracker already reports).
+//! staleness tracker. Without durability, pending queries and pending
+//! updates die with the crashed incarnation — both are now *counted*
+//! (`shed_on_restart_*`), never silently vanished. With durability
+//! enabled, the restart path instead rebuilds store, tracker **and**
+//! the pending update queue from `snapshot + WAL tail`, so a restarted
+//! engine owes exactly the updates it owed before the panic. Pending
+//! queries are shed either way: their reply channels disconnected in
+//! the unwind, so re-executing them would answer nobody.
 
 use crate::config::EngineConfig;
+use crate::durability::Durable;
 use crate::fault::FaultState;
 use crate::runtime::{Msg, Runtime};
 use crate::stats::LiveStats;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
-use quts_db::{StalenessTracker, Store};
+use quts_db::{StalenessTracker, Store, Trade};
 use quts_metrics::TraceRing;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -60,9 +65,23 @@ pub(crate) fn backoff_delay(base: Duration, attempt: u32) -> Duration {
     base.saturating_mul(1u32 << (attempt - 1).min(16)).min(CAP)
 }
 
+/// Everything one scheduler incarnation starts from. The supervisor
+/// owns it across restarts; [`Engine::recover`](crate::Engine::recover)
+/// builds one from a durability directory.
+pub(crate) struct EngineSeed {
+    pub(crate) store: Store,
+    pub(crate) tracker: StalenessTracker,
+    /// Pending updates to re-enqueue (register-collapsed, arrival
+    /// order) — recovered from the WAL, not re-logged.
+    pub(crate) pending: Vec<Trade>,
+    /// WAL + snapshot state; kept outside the `catch_unwind` so it
+    /// survives incarnations.
+    pub(crate) durable: Option<Durable>,
+}
+
 /// Body of the engine thread: run the scheduler, absorb its panics.
 pub(crate) fn supervise(
-    mut store: Store,
+    seed: EngineSeed,
     config: EngineConfig,
     rx: Receiver<Msg>,
     stats: Arc<Mutex<LiveStats>>,
@@ -70,9 +89,15 @@ pub(crate) fn supervise(
     faults: Arc<FaultState>,
     ring: Option<Arc<Mutex<TraceRing>>>,
 ) {
-    let mut tracker = StalenessTracker::new(store.len());
+    let EngineSeed {
+        mut store,
+        mut tracker,
+        mut pending,
+        mut durable,
+    } = seed;
     let mut restarts = 0u32;
     loop {
+        let seed_pending = std::mem::take(&mut pending);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             Runtime::new(
                 &mut store,
@@ -82,6 +107,8 @@ pub(crate) fn supervise(
                 Arc::clone(&stats),
                 Arc::clone(&faults),
                 ring.clone(),
+                durable.as_mut(),
+                seed_pending,
             )
             .run()
         }));
@@ -92,20 +119,60 @@ pub(crate) fn supervise(
             }
             Err(_panic) => {
                 // The crashed incarnation's pending queries resolved
-                // their reply channels by dropping them in the unwind.
-                if config.restart_on_panic && restarts < config.max_restarts {
-                    restarts += 1;
-                    stats.lock().engine_restarts += 1;
-                    std::thread::sleep(backoff_delay(config.restart_backoff, restarts));
-                    continue;
+                // their reply channels by dropping them in the unwind —
+                // count them as shed, don't let them vanish silently.
+                // Pending updates are shed too unless durability can
+                // resurrect them below.
+                {
+                    let mut s = stats.lock();
+                    s.shed_on_restart_queries += s.pending_queries;
+                    s.pending_queries = 0;
+                    if durable.is_none() {
+                        s.shed_on_restart_updates += s.pending_updates;
+                        s.pending_updates = 0;
+                    }
                 }
-                // Out of budget: poison, then refuse everything queued.
-                // New submissions fail fast on the state flag; stragglers
-                // that raced past it are discarded when `rx` drops below,
-                // which disconnects their reply channels too.
-                state.store(STATE_POISONED, Ordering::Release);
-                while rx.try_recv().is_ok() {}
-                return;
+                if !(config.restart_on_panic && restarts < config.max_restarts) {
+                    // Out of budget: poison, then refuse everything
+                    // queued. New submissions fail fast on the state
+                    // flag; stragglers that raced past it are discarded
+                    // when `rx` drops below, which disconnects their
+                    // reply channels too.
+                    state.store(STATE_POISONED, Ordering::Release);
+                    while rx.try_recv().is_ok() {}
+                    return;
+                }
+                restarts += 1;
+                stats.lock().engine_restarts += 1;
+                // With durability, the restart is a real recovery: the
+                // crashed incarnation's in-memory queue is untrusted, so
+                // rebuild store + tracker + pending from snapshot + WAL
+                // tail (same-process page cache preserves even unsynced
+                // appends, so nothing logged is lost here).
+                if let Some(d) = durable.take() {
+                    match Durable::recover(d.into_config()) {
+                        Ok((d, rec)) => {
+                            store = rec.store;
+                            tracker = rec.tracker;
+                            pending = rec.pending;
+                            durable = Some(d);
+                            let mut s = stats.lock();
+                            s.recovery_replayed_updates += rec.replayed;
+                            s.wal_truncated_bytes += rec.truncated_bytes;
+                            s.snapshot_last_lsn = rec.snapshot_lsn;
+                            s.pending_updates = pending.len() as u64;
+                        }
+                        Err(_) => {
+                            // Recovery itself failed: running on without
+                            // durable state would lie about QoD. Poison.
+                            stats.lock().wal_io_errors += 1;
+                            state.store(STATE_POISONED, Ordering::Release);
+                            while rx.try_recv().is_ok() {}
+                            return;
+                        }
+                    }
+                }
+                std::thread::sleep(backoff_delay(config.restart_backoff, restarts));
             }
         }
     }

@@ -348,6 +348,39 @@ fn render_metrics(s: &LiveStats) -> String {
         "Scheduler restarts after panics",
         s.engine_restarts,
     );
+    // Durability & recovery: how much the WAL wrote, what recovery
+    // replayed, and what a torn tail cost — the counters that make
+    // post-crash QoD auditable.
+    exp.counter(
+        "quts_wal_appended_total",
+        "Updates appended to the write-ahead log before enqueue",
+        s.wal_appended,
+    );
+    exp.counter(
+        "quts_wal_io_errors_total",
+        "WAL and snapshot IO errors absorbed (fail-stop appends, failed shutdown snapshots)",
+        s.wal_io_errors,
+    );
+    exp.counter(
+        "quts_snapshots_written_total",
+        "Snapshots published (periodic cadence plus clean shutdown)",
+        s.snapshots_written,
+    );
+    exp.gauge(
+        "quts_snapshot_last_lsn",
+        "WAL LSN covered by the most recent snapshot",
+        s.snapshot_last_lsn as f64,
+    );
+    exp.counter(
+        "quts_recovery_replayed_updates",
+        "Updates replayed from the WAL tail across recoveries",
+        s.recovery_replayed_updates,
+    );
+    exp.counter(
+        "quts_wal_truncated_bytes",
+        "Torn or corrupt WAL bytes truncated during recoveries",
+        s.wal_truncated_bytes,
+    );
     exp.histogram(
         "quts_response_us",
         "Submission-to-answer latency of committed queries",
@@ -427,26 +460,46 @@ mod tests {
     }
 
     impl Client {
-        fn connect(addr: SocketAddr) -> Client {
-            let stream = TcpStream::connect(addr).expect("connect");
-            stream
-                .set_read_timeout(Some(Duration::from_secs(10)))
-                .unwrap();
-            Client {
-                reader: BufReader::new(stream.try_clone().unwrap()),
+        /// Fallible connect: wire errors come back as `io::Error`
+        /// instead of a panic, so callers can retry.
+        fn try_connect(addr: SocketAddr) -> io::Result<Client> {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            Ok(Client {
+                reader: BufReader::new(stream.try_clone()?),
                 writer: stream,
+            })
+        }
+
+        fn connect(addr: SocketAddr) -> Client {
+            Client::try_connect(addr).expect("connect")
+        }
+
+        /// Fallible request/response round trip.
+        fn try_send(&mut self, line: &str) -> io::Result<String> {
+            writeln!(self.writer, "{line}")?;
+            self.try_read()
+        }
+
+        /// Fallible single-line read. An EOF (server closed the
+        /// connection) is an `UnexpectedEof` error, not an empty string.
+        fn try_read(&mut self) -> io::Result<String> {
+            let mut response = String::new();
+            if self.reader.read_line(&mut response)? == 0 {
+                return Err(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
             }
+            Ok(response.trim_end().to_string())
         }
 
         fn send(&mut self, line: &str) -> String {
-            writeln!(self.writer, "{line}").expect("send");
-            self.read()
+            self.try_send(line).expect("request round trip")
         }
 
         fn read(&mut self) -> String {
-            let mut response = String::new();
-            self.reader.read_line(&mut response).expect("recv");
-            response.trim_end().to_string()
+            self.try_read().expect("read response line")
         }
 
         /// Sends a line and reads the multi-line response up to and
@@ -462,6 +515,38 @@ mod tests {
                     return lines;
                 }
             }
+        }
+    }
+
+    /// One request over a fresh connection, retrying `ERR busy` (and
+    /// accept races, which surface as IO errors) with jittered
+    /// exponential backoff — the polite client a capped server expects.
+    fn request_with_retry(addr: SocketAddr, request: &str) -> String {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let mut delay = Duration::from_millis(2);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match Client::try_connect(addr).and_then(|mut c| c.try_send(request)) {
+                // A capped server answers the first read `ERR busy`;
+                // anything else is the real response.
+                Ok(r) if r != "ERR busy" => return r,
+                Ok(_busy) => {}
+                // Reset/EOF while racing the acceptor: same as busy.
+                Err(_) => {}
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server stayed busy for 10s"
+            );
+            // Jitter from the clock's nanoseconds: enough to de-herd
+            // test threads without pulling in an RNG dependency.
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .expect("clock after epoch")
+                .subsec_nanos() as u64;
+            let jitter = Duration::from_micros(nanos % delay.as_micros().max(1) as u64);
+            std::thread::sleep(delay + jitter);
+            delay = (delay * 2).min(Duration::from_millis(50));
         }
     }
 
@@ -524,6 +609,12 @@ mod tests {
         "quts_updates_invalidated_total",
         "quts_shed",
         "quts_engine_restarts_total",
+        "quts_wal_appended_total",
+        "quts_wal_io_errors_total",
+        "quts_snapshots_written_total",
+        "quts_snapshot_last_lsn",
+        "quts_recovery_replayed_updates",
+        "quts_wal_truncated_bytes",
         "quts_response_us",
         "quts_queue_wait_us",
         "quts_service_us",
@@ -575,7 +666,13 @@ mod tests {
         assert!(text.contains("quts_queue_depth{class=\"query\"}"));
         assert!(text.contains("quts_queue_depth{class=\"update\"}"));
         assert!(text.contains("quts_shed{reason=\"queue_full\"} 0"));
+        assert!(text.contains("quts_shed{reason=\"restart_lost_update\"} 0"));
         assert!(text.contains("quts_rho 0.75"));
+        // Durability is off on the default server engine, so the
+        // recovery counters expose zeroes — present, not absent.
+        assert!(text.contains("quts_recovery_replayed_updates 0"));
+        assert!(text.contains("quts_wal_truncated_bytes 0"));
+        assert!(text.contains("quts_snapshot_last_lsn 0"));
         // Spans are on by default, so the histograms carry the commit.
         assert!(text.contains("quts_response_us_count 1"));
         assert!(text.contains("quts_response_us_bucket{le=\"+Inf\"} 1"));
@@ -635,21 +732,74 @@ mod tests {
         let mut second = Client::connect(server.addr());
         assert_eq!(second.read(), "ERR busy");
 
-        // Releasing the slot lets the next client in.
+        // Releasing the slot lets the next client in; the retry helper
+        // absorbs the window where the acceptor hasn't freed it yet.
         assert_eq!(first.send("QUIT"), "BYE");
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        loop {
-            let mut c = Client::connect(server.addr());
-            let r = c.send("GET IBM");
-            if r == "ERR busy" {
-                assert!(std::time::Instant::now() < deadline, "slot never freed");
-                std::thread::sleep(Duration::from_millis(10));
-                continue;
-            }
-            assert!(r.starts_with("OK"), "{r}");
-            break;
-        }
+        let r = request_with_retry(server.addr(), "GET IBM");
+        assert!(r.starts_with("OK"), "{r}");
         server.shutdown();
+    }
+
+    #[test]
+    fn graceful_shutdown_leaves_a_cleanly_recoverable_directory() {
+        use quts_engine::DurabilityConfig;
+        let dir = std::env::temp_dir().join(format!("quts-server-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = test_server_with(ServerConfig {
+            engine: EngineConfig::default().with_durability(DurabilityConfig::new(&dir)),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.send("UPD IBM 150.25 10"), "OK");
+        assert_eq!(c.send("UPD AOL 61.5 5"), "OK");
+        assert_eq!(c.send("QUIT"), "BYE");
+
+        // Graceful shutdown drains the backlog, flushes the WAL, and
+        // publishes a final snapshot.
+        let stats = server.shutdown();
+        assert_eq!(stats.wal_appended, 2);
+        assert!(stats.snapshots_written >= 1, "clean-shutdown snapshot");
+
+        // The directory recovers with an empty replay and the applied
+        // prices — nothing was owed at shutdown, nothing is owed now.
+        let rec = quts_db::snapshot::recover(&dir).expect("recoverable");
+        assert_eq!(rec.replayed, 0);
+        assert!(rec.pending.is_empty());
+        let ibm = rec.store.id_of("IBM").unwrap();
+        let aol = rec.store.id_of("AOL").unwrap();
+        assert_eq!(rec.store.record(ibm).price(), 150.25);
+        assert_eq!(rec.store.record(aol).price(), 61.5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn busy_clients_retry_until_admitted() {
+        // Six workers share two connection slots: every request must
+        // eventually land through backoff + retry, none may panic on
+        // the `ERR busy` turn-away.
+        let server = test_server_with(ServerConfig {
+            max_connections: 2,
+            ..ServerConfig::default()
+        });
+        let addr = server.addr();
+        let workers: Vec<_> = (0..6)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    for i in 0..3u32 {
+                        let r = request_with_retry(
+                            addr,
+                            &format!("GET IBM QOS 1 1000 QOD 1 {}", (w + i) % 5 + 1),
+                        );
+                        assert!(r.starts_with("OK"), "{r}");
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.aggregates.committed, 18, "all retried requests land");
     }
 
     #[test]

@@ -54,10 +54,10 @@ pub use quts_workload as workload;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
+    pub use quts_db::{FsyncPolicy, QueryOp, QueryResult, StockId, Store, Trade};
     pub use quts_engine::{
-        Engine, EngineConfig, EngineState, FaultPlan, LiveStats, QueryError, QueryTicket,
-        SubmitError,
+        DurabilityConfig, Engine, EngineConfig, EngineState, FaultPlan, LiveStats, QueryError,
+        QueryTicket, SubmitError,
     };
     pub use quts_qc::{
         Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates, QualityContract,
