@@ -1,0 +1,211 @@
+//! Seeded trace generation and counterexample shrinking.
+//!
+//! [`gen_trace`] draws a [`ConfTrace`] deterministically from a seed,
+//! reusing the workload crate's arrival sampler and contract presets so
+//! conformance traces look like (miniature) paper workloads: uniform
+//! arrivals across a horizon spanning several adaptation periods,
+//! balanced step contracts, and enough same-stock update pressure to
+//! exercise invalidation and non-zero `#uu`. [`arb_trace`] wraps it as
+//! a `proptest` strategy for property tests.
+//!
+//! [`shrink_divergent`] minimises a divergent trace by greedy delta
+//! debugging. The vendored `proptest` stand-in generates but does not
+//! shrink, and a trace shrinker wants domain knowledge anyway: events
+//! are removed in exponentially narrowing chunks (halves, quarters, …,
+//! single events) from both streams, keeping a candidate only while the
+//! oracle still reports a divergence, until a fixpoint. The result is
+//! the small counterexample that gets persisted under
+//! `regressions/` — minimal traces make the *cause* of a divergence
+//! readable (the mutation self-test shrinks thousands of events to a
+//! handful).
+
+use crate::trace::{ConfQuery, ConfTrace, ConfUpdate};
+use proptest::prelude::*;
+use quts_sim::SimTime;
+use quts_workload::arrivals::uniform_arrivals;
+use quts_workload::{QcPreset, QcShape};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape parameters of a generated trace.
+#[derive(Debug, Clone)]
+pub struct GenParams {
+    /// Number of stocks (small: contention is the interesting regime).
+    pub num_stocks: u32,
+    /// Query arrivals to draw.
+    pub queries: usize,
+    /// Update arrivals to draw.
+    pub updates: usize,
+    /// Arrival horizon in seconds; with the envelope's ω = 100 ms the
+    /// default horizon crosses several adaptation boundaries.
+    pub horizon_s: f64,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            num_stocks: 4,
+            queries: 40,
+            updates: 60,
+            horizon_s: 0.6,
+        }
+    }
+}
+
+/// Draws a trace deterministically from `seed`.
+pub fn gen_trace(seed: u64, params: &GenParams) -> ConfTrace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let horizon = SimTime::from_ms((params.horizon_s * 1000.0) as u64);
+    let queries = uniform_arrivals(&mut rng, params.queries, params.horizon_s)
+        .into_iter()
+        .map(|arrival| {
+            let qc = QcPreset::Balanced.draw(&mut rng, QcShape::Step, arrival, horizon);
+            ConfQuery {
+                at_us: arrival.as_micros(),
+                stock: rng.random_range(0..params.num_stocks),
+                qos_max: qc.qosmax(),
+                qod_max: qc.qodmax(),
+                rt_max_ms: qc.rtmax_ms().expect("step contracts have a cutoff"),
+                uu_max: 1,
+                // Short enough that overloaded stretches really expire
+                // queries (the oracle must agree on shed decisions too).
+                lifetime_ms: rng.random_range(60.0..250.0),
+            }
+        })
+        .collect();
+    let updates = uniform_arrivals(&mut rng, params.updates, params.horizon_s)
+        .into_iter()
+        .map(|arrival| ConfUpdate {
+            at_us: arrival.as_micros(),
+            stock: rng.random_range(0..params.num_stocks),
+            price: rng.random_range(10.0..500.0),
+        })
+        .collect();
+    ConfTrace {
+        seed,
+        num_stocks: params.num_stocks,
+        queries,
+        updates,
+    }
+}
+
+/// A `proptest` strategy over generated traces (varying seed and size).
+pub fn arb_trace() -> impl Strategy<Value = ConfTrace> {
+    (0u64..1 << 32, 1usize..60, 0usize..80).prop_map(|(seed, queries, updates)| {
+        gen_trace(
+            seed,
+            &GenParams {
+                queries,
+                updates,
+                ..GenParams::default()
+            },
+        )
+    })
+}
+
+/// Greedily minimises `trace` while `diverges` keeps failing.
+///
+/// Delta debugging over both event streams: try dropping chunks of
+/// size `len/2`, then `len/4`, …, then single events, from the query
+/// and update lists; accept any removal that preserves the divergence;
+/// repeat until a full pass removes nothing. `diverges` is re-run on
+/// every candidate, so the predicate must be deterministic (the
+/// differential oracle is).
+pub fn shrink_divergent<F>(trace: &ConfTrace, mut diverges: F) -> ConfTrace
+where
+    F: FnMut(&ConfTrace) -> bool,
+{
+    assert!(diverges(trace), "shrink_divergent needs a failing trace");
+    let mut best = trace.clone();
+    loop {
+        let before = best.events();
+        shrink_stream(&mut best, true, &mut diverges);
+        shrink_stream(&mut best, false, &mut diverges);
+        if best.events() == before {
+            return best;
+        }
+    }
+}
+
+/// One shrinking pass over the query (`stream_is_queries`) or update
+/// stream of `best`.
+fn shrink_stream<F>(best: &mut ConfTrace, stream_is_queries: bool, diverges: &mut F)
+where
+    F: FnMut(&ConfTrace) -> bool,
+{
+    let mut chunk = len_of(best, stream_is_queries).div_ceil(2).max(1);
+    loop {
+        let mut start = 0;
+        while start < len_of(best, stream_is_queries) {
+            let mut candidate = best.clone();
+            let end = (start + chunk).min(len_of(best, stream_is_queries));
+            if stream_is_queries {
+                candidate.queries.drain(start..end);
+            } else {
+                candidate.updates.drain(start..end);
+            }
+            if diverges(&candidate) {
+                *best = candidate; // keep the removal; retry the same start
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 {
+            return;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+}
+
+fn len_of(t: &ConfTrace, queries: bool) -> usize {
+    if queries {
+        t.queries.len()
+    } else {
+        t.updates.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gen_trace_is_deterministic_and_sorted() {
+        let p = GenParams::default();
+        let a = gen_trace(9, &p);
+        let b = gen_trace(9, &p);
+        assert_eq!(a, b);
+        assert_ne!(a, gen_trace(10, &p));
+        assert!(a.queries.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert!(a.updates.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(a.events(), p.queries + p.updates);
+        assert!(a.queries.iter().all(|q| q.stock < p.num_stocks));
+        assert!(a.updates.iter().all(|u| u.stock < p.num_stocks));
+    }
+
+    #[test]
+    fn shrinker_minimises_a_synthetic_predicate() {
+        // "Diverges" iff the trace still contains a query on stock 2
+        // and an update on stock 1 — the minimum is exactly 2 events.
+        let trace = gen_trace(3, &GenParams::default());
+        assert!(trace.queries.iter().any(|q| q.stock == 2));
+        assert!(trace.updates.iter().any(|u| u.stock == 1));
+        let predicate = |t: &ConfTrace| {
+            t.queries.iter().any(|q| q.stock == 2) && t.updates.iter().any(|u| u.stock == 1)
+        };
+        let shrunk = shrink_divergent(&trace, predicate);
+        assert_eq!(shrunk.events(), 2, "minimal witness is one of each");
+        assert!(predicate(&shrunk));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn arb_trace_generates_valid_traces(t in arb_trace()) {
+            prop_assert!(t.queries.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+            prop_assert!(t.updates.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+            prop_assert!(!t.queries.is_empty());
+        }
+    }
+}

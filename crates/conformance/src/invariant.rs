@@ -1,0 +1,399 @@
+//! Engine-independent invariants.
+//!
+//! The differential oracle only says the two engines *agree*; the
+//! invariants say they agree on something *sane*. Each invariant checks
+//! an [`Observation`] — a normalised view of one run that both engines
+//! (and the chaos tests' mid-crash stats) can produce — so the same
+//! suite runs against the simulator, the virtual-time driver, and a
+//! real engine that just survived a fault plan.
+//!
+//! The suite:
+//!
+//! - **ρ band** — every observed ρ lies in the feasible `[0.5, 1]` band
+//!   of Eq. 4 (the mutation self-test escapes it within two
+//!   adaptations).
+//! - **Conservation (queries)** — admitted = committed + expired +
+//!   shed-on-restart + still-pending. Nothing vanishes, not even across
+//!   a panic.
+//! - **Conservation (updates)** — arrived = applied + invalidated +
+//!   overload-dropped + shed-on-restart + still-pending queue entries.
+//! - **Staleness accounting** — `Σ#uu` is zero iff no update is
+//!   pending, and at least the number of stocks with one.
+//! - **Profit monotonicity** ([`profit_monotone`]) — a contract's QoS
+//!   is non-increasing in response time, QoD non-increasing in `#uu`,
+//!   both within `[0, max]`, and zero profit past the lifetime.
+//! - **WAL contiguity** ([`wal_contiguous`]) — after any crash or
+//!   recovery the surviving log replays as one gap-free LSN sequence.
+
+use quts_engine::{LiveStats, VirtualRunReport};
+use quts_qc::QualityContract;
+use quts_sim::RunReport;
+use std::path::Path;
+
+/// A normalised view of one run, checkable by every [`Invariant`].
+#[derive(Debug, Clone, Default)]
+pub struct Observation {
+    /// Short provenance label used in failure messages.
+    pub source: &'static str,
+    /// Every ρ value observed (history plus final).
+    pub rho_values: Vec<f64>,
+    /// Queries admitted.
+    pub submitted: u64,
+    /// Queries committed.
+    pub committed: u64,
+    /// Queries expired/shed with zero profit.
+    pub expired: u64,
+    /// Queries shed because a crashed incarnation dropped them.
+    pub shed_on_restart: u64,
+    /// Queries admitted but not yet resolved.
+    pub pending_queries: u64,
+    /// Updates that arrived (`None` when the source cannot know).
+    pub updates_arrived: Option<u64>,
+    /// Updates applied to the store.
+    pub updates_applied: u64,
+    /// Updates invalidated by a newer same-item arrival.
+    pub updates_invalidated: u64,
+    /// Updates dropped by overload shedding.
+    pub updates_dropped: u64,
+    /// Updates shed across a non-durable restart.
+    pub updates_shed_on_restart: u64,
+    /// Distinct pending updates at observation time.
+    pub pending_updates: u64,
+    /// `Σ#uu` at observation time (`None` when the source cannot know).
+    pub total_unapplied: Option<u64>,
+}
+
+impl Observation {
+    /// From the live engine's statistics (works mid-run and
+    /// post-shutdown, with or without faults).
+    pub fn from_live_stats(stats: &LiveStats, updates_arrived: Option<u64>) -> Self {
+        let mut rho_values = stats.rho_history.clone();
+        rho_values.push(stats.rho);
+        Observation {
+            source: "live",
+            rho_values,
+            submitted: stats.aggregates.submitted,
+            committed: stats.aggregates.committed,
+            expired: stats.shed_expired,
+            shed_on_restart: stats.shed_on_restart_queries,
+            pending_queries: stats.pending_queries,
+            updates_arrived,
+            updates_applied: stats.updates_applied,
+            updates_invalidated: stats.updates_invalidated,
+            updates_dropped: stats.updates_dropped_overload,
+            updates_shed_on_restart: stats.shed_on_restart_updates,
+            pending_updates: stats.pending_updates,
+            total_unapplied: None,
+        }
+    }
+
+    /// From a virtual-time run of the live engine (a drained run, so
+    /// the tracker totals are known too).
+    pub fn from_virtual(report: &VirtualRunReport, updates_arrived: u64) -> Self {
+        let mut o = Self::from_live_stats(&report.stats, Some(updates_arrived));
+        o.source = "virtual";
+        o.total_unapplied = Some(report.total_unapplied);
+        o.pending_updates = report.pending_updates;
+        o
+    }
+
+    /// From a simulator run report.
+    pub fn from_sim(report: &RunReport, updates_arrived: u64) -> Self {
+        // Fixed-priority policies never adapt; an empty history is fine.
+        let rho_values: Vec<f64> = report.rho_history.iter().map(|&(_, r)| r).collect();
+        Observation {
+            source: "sim",
+            rho_values,
+            submitted: report.aggregates.submitted,
+            committed: report.committed,
+            expired: report.expired,
+            shed_on_restart: 0,
+            pending_queries: report
+                .aggregates
+                .submitted
+                .saturating_sub(report.committed + report.expired),
+            updates_arrived: Some(updates_arrived),
+            updates_applied: report.updates_applied,
+            updates_invalidated: report.updates_invalidated,
+            updates_dropped: 0,
+            updates_shed_on_restart: 0,
+            pending_updates: updates_arrived
+                .saturating_sub(report.updates_applied + report.updates_invalidated),
+            total_unapplied: None,
+        }
+    }
+}
+
+/// One checkable property of a run.
+pub trait Invariant {
+    /// Stable name used in failure messages and timing reports.
+    fn name(&self) -> &'static str;
+    /// `Err(description)` when the observation violates the property.
+    fn check(&self, obs: &Observation) -> Result<(), String>;
+}
+
+/// Every ρ ever observed lies in the feasible band `[0.5, 1]` (Eq. 4).
+pub struct RhoBand;
+
+impl Invariant for RhoBand {
+    fn name(&self) -> &'static str {
+        "rho-band"
+    }
+
+    fn check(&self, obs: &Observation) -> Result<(), String> {
+        for (i, &rho) in obs.rho_values.iter().enumerate() {
+            if !(0.5..=1.0).contains(&rho) {
+                return Err(format!("{}: rho[{i}] = {rho} outside [0.5, 1]", obs.source));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Admitted queries = committed + expired + shed-on-restart + pending.
+pub struct QueryConservation;
+
+impl Invariant for QueryConservation {
+    fn name(&self) -> &'static str {
+        "query-conservation"
+    }
+
+    fn check(&self, obs: &Observation) -> Result<(), String> {
+        let accounted = obs.committed + obs.expired + obs.shed_on_restart + obs.pending_queries;
+        if obs.submitted != accounted {
+            return Err(format!(
+                "{}: {} submitted but {} accounted ({} committed + {} expired + {} restart-shed + {} pending)",
+                obs.source,
+                obs.submitted,
+                accounted,
+                obs.committed,
+                obs.expired,
+                obs.shed_on_restart,
+                obs.pending_queries
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Arrived updates = applied + invalidated + dropped + shed + pending.
+pub struct UpdateConservation;
+
+impl Invariant for UpdateConservation {
+    fn name(&self) -> &'static str {
+        "update-conservation"
+    }
+
+    fn check(&self, obs: &Observation) -> Result<(), String> {
+        let Some(arrived) = obs.updates_arrived else {
+            return Ok(()); // source can't know; nothing to check
+        };
+        let accounted = obs.updates_applied
+            + obs.updates_invalidated
+            + obs.updates_dropped
+            + obs.updates_shed_on_restart
+            + obs.pending_updates;
+        if arrived != accounted {
+            return Err(format!(
+                "{}: {} arrived but {} accounted ({} applied + {} invalidated + {} dropped + {} restart-shed + {} pending)",
+                obs.source,
+                arrived,
+                accounted,
+                obs.updates_applied,
+                obs.updates_invalidated,
+                obs.updates_dropped,
+                obs.updates_shed_on_restart,
+                obs.pending_updates
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// `Σ#uu` agrees with the pending-update queue: zero iff nothing
+/// pending, and never below the number of stocks owing an update.
+pub struct StalenessAccounting;
+
+impl Invariant for StalenessAccounting {
+    fn name(&self) -> &'static str {
+        "staleness-accounting"
+    }
+
+    fn check(&self, obs: &Observation) -> Result<(), String> {
+        let Some(total) = obs.total_unapplied else {
+            return Ok(());
+        };
+        if obs.pending_updates == 0 && total != 0 {
+            return Err(format!(
+                "{}: nothing pending but Σ#uu = {total}",
+                obs.source
+            ));
+        }
+        if total < obs.pending_updates {
+            return Err(format!(
+                "{}: Σ#uu = {total} below the {} stocks owing an update",
+                obs.source, obs.pending_updates
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The full suite, in reporting order.
+pub fn all_invariants() -> Vec<Box<dyn Invariant>> {
+    vec![
+        Box::new(RhoBand),
+        Box::new(QueryConservation),
+        Box::new(UpdateConservation),
+        Box::new(StalenessAccounting),
+    ]
+}
+
+/// Runs the whole suite against one observation; returns every
+/// violation.
+pub fn check_run(obs: &Observation) -> Vec<String> {
+    all_invariants()
+        .iter()
+        .filter_map(|inv| {
+            inv.check(obs)
+                .err()
+                .map(|msg| format!("{}: {}", inv.name(), msg))
+        })
+        .collect()
+}
+
+/// Checks a Quality Contract's profit shape on a sampling grid:
+/// QoS non-increasing in response time, QoD non-increasing in `#uu`,
+/// both within `[0, max]`, and total profit zero past the lifetime.
+pub fn profit_monotone(qc: &QualityContract) -> Result<(), String> {
+    let lifetime = qc.default_lifetime_ms();
+    let rt_grid: Vec<f64> = (0..=60).map(|i| lifetime * 1.5 * i as f64 / 60.0).collect();
+    let uu_grid: Vec<f64> = (0..=20).map(|i| i as f64).collect();
+    let mut prev_qos = f64::INFINITY;
+    for &rt in &rt_grid {
+        let qos = qc.qos_profit(rt);
+        if !(0.0..=qc.qosmax()).contains(&qos) {
+            return Err(format!("qos({rt}) = {qos} outside [0, {}]", qc.qosmax()));
+        }
+        if qos > prev_qos + 1e-12 {
+            return Err(format!(
+                "qos increases at rt = {rt} ms ({prev_qos} -> {qos})"
+            ));
+        }
+        prev_qos = qos;
+    }
+    let mut prev_qod = f64::INFINITY;
+    for &uu in &uu_grid {
+        let qod = qc.qod_profit(uu);
+        if !(0.0..=qc.qodmax()).contains(&qod) {
+            return Err(format!("qod({uu}) = {qod} outside [0, {}]", qc.qodmax()));
+        }
+        if qod > prev_qod + 1e-12 {
+            return Err(format!("qod increases at #uu = {uu} ({prev_qod} -> {qod})"));
+        }
+        prev_qod = qod;
+    }
+    // Composition respects the lifetime: at or past it the contract
+    // pays zero total profit regardless of what the raw curves say.
+    for &rt in &[lifetime, lifetime * 1.25, lifetime * 4.0] {
+        let (qos, qod) = qc.profit_split(rt, 0.0);
+        if qos != 0.0 || qod != 0.0 {
+            return Err(format!(
+                "profit ({qos}, {qod}) at rt = {rt} ms, past lifetime {lifetime} ms"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replays the WAL under `dir` and checks LSN contiguity: records
+/// strictly after `after_lsn` must form the gap-free sequence
+/// `after_lsn + 1, after_lsn + 2, …`.
+pub fn wal_contiguous(dir: &Path, after_lsn: u64) -> Result<(), String> {
+    let replay =
+        quts_db::wal::replay_dir(dir, after_lsn).map_err(|e| format!("wal replay failed: {e}"))?;
+    for (i, frame) in replay.records.iter().enumerate() {
+        let expect = after_lsn + 1 + i as u64;
+        if frame.lsn != expect {
+            return Err(format!(
+                "LSN gap at record {i}: got {} expected {expect}",
+                frame.lsn
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean() -> Observation {
+        Observation {
+            source: "test",
+            rho_values: vec![0.75, 0.8, 1.0, 0.5],
+            submitted: 10,
+            committed: 7,
+            expired: 2,
+            shed_on_restart: 0,
+            pending_queries: 1,
+            updates_arrived: Some(20),
+            updates_applied: 15,
+            updates_invalidated: 3,
+            updates_dropped: 0,
+            updates_shed_on_restart: 0,
+            pending_updates: 2,
+            total_unapplied: Some(4),
+        }
+    }
+
+    #[test]
+    fn clean_observation_passes() {
+        assert!(check_run(&clean()).is_empty());
+    }
+
+    #[test]
+    fn each_invariant_catches_its_violation() {
+        let mut o = clean();
+        o.rho_values.push(1.02);
+        assert!(check_run(&o).iter().any(|m| m.contains("rho-band")));
+
+        let mut o = clean();
+        o.committed -= 1;
+        assert!(check_run(&o)
+            .iter()
+            .any(|m| m.contains("query-conservation")));
+
+        let mut o = clean();
+        o.updates_applied += 2;
+        assert!(check_run(&o)
+            .iter()
+            .any(|m| m.contains("update-conservation")));
+
+        let mut o = clean();
+        o.pending_updates = 0;
+        o.updates_applied += 2; // keep update conservation satisfied
+        assert!(check_run(&o)
+            .iter()
+            .any(|m| m.contains("staleness-accounting")));
+    }
+
+    #[test]
+    fn profit_monotone_accepts_paper_contracts() {
+        profit_monotone(&QualityContract::step(10.0, 100.0, 20.0, 2)).expect("step ok");
+        profit_monotone(&QualityContract::linear(30.0, 80.0, 5.0, 3)).expect("linear ok");
+    }
+
+    #[test]
+    fn profit_monotone_rejects_an_increasing_curve() {
+        // A pathological contract whose QoS grows with response time.
+        use quts_qc::ProfitFn;
+        let qc = QualityContract::from_fns(
+            ProfitFn::Piecewise {
+                points: vec![(0.0, 0.0), (50_000.0, 50.0)],
+            },
+            ProfitFn::Zero,
+        );
+        assert!(profit_monotone(&qc).is_err());
+    }
+}

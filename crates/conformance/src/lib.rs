@@ -1,0 +1,48 @@
+//! # Conformance tooling: is the live engine the system the paper says?
+//!
+//! The repo has two implementations of QUTS: the discrete-event
+//! simulator (`quts-sim`, used for the paper's figures) and the live
+//! engine (`quts-engine`, a real scheduler thread over wall-clock
+//! time). Both claim to implement the same scheduling semantics. This
+//! crate makes that claim testable:
+//!
+//! - [`trace`] — a self-contained, JSONL-serialisable workload trace
+//!   ([`ConfTrace`]) both engines can replay.
+//! - [`envelope`] — the *equivalence envelope*: the configuration
+//!   corner (zero switch cost, synthetic service times, unapplied-update
+//!   staleness, non-preemptive scheduling) in which the two engines are
+//!   expected to make **bit-identical decisions**, plus constructors
+//!   that pin every knob on both sides.
+//! - [`oracle`] — the differential oracle: replay one trace through
+//!   both engines (the live one under the virtual-time driver,
+//!   [`quts_engine::run_virtual`]) and diff dispatch order, per-query
+//!   outcome/commit-time/profit accounting, the ρ-adaptation series,
+//!   the atom-draw series, update application, and final store state.
+//! - [`invariant`] — engine-independent invariants (ρ band, profit
+//!   monotonicity, conservation of admitted work, staleness
+//!   accounting, WAL LSN contiguity) checkable against either engine's
+//!   run report, including mid-chaos-test.
+//! - [`generate`] — a seeded trace generator (and a `proptest`
+//!   [`Strategy`](proptest::strategy::Strategy) wrapper) plus a greedy
+//!   delta-debugging shrinker that minimises any divergent trace to a
+//!   small counterexample worth committing as a regression.
+//!
+//! The crate's own acceptance test is adversarial: seeding the engine
+//! with a deliberately broken ρ clamp
+//! ([`EngineConfig::with_mutated_rho_clamp`](quts_engine::EngineConfig))
+//! must produce a divergence that shrinks to a ≤ 50-event trace.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod envelope;
+pub mod generate;
+pub mod invariant;
+pub mod oracle;
+pub mod trace;
+
+pub use envelope::{Envelope, Policy};
+pub use generate::{gen_trace, shrink_divergent, GenParams};
+pub use invariant::{check_run, profit_monotone, wal_contiguous, Invariant, Observation};
+pub use oracle::{run_differential, DiffReport, Divergence, DivergenceKind};
+pub use trace::{ConfQuery, ConfTrace, ConfUpdate};

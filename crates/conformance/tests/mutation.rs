@@ -1,0 +1,143 @@
+//! Oracle self-test: a deliberately broken scheduler must be caught.
+//!
+//! The live engine exposes a test-only mutation that flips Eq. 4's
+//! `min(·, 1)` clamp to `max(·, 1)` inside the ρ controller
+//! (`EngineConfig::with_mutated_rho_clamp`). The simulator stays
+//! healthy, so the first adaptation boundary whose optimum exceeds 1
+//! produces a different smoothed ρ on the live side — the differential
+//! oracle must flag the adaptation series, the shrinker must reduce the
+//! witness to a handful of events, and the invariant suite must see ρ
+//! leave the feasible band.
+
+mod support;
+
+use quts_conformance::{
+    check_run, gen_trace, run_differential, shrink_divergent, ConfTrace, DivergenceKind, Envelope,
+    GenParams, Observation, Policy,
+};
+use std::time::Instant;
+use support::{artifact_dir, record_timing};
+
+const SEED: u64 = 9;
+
+fn mutated_env() -> Envelope {
+    Envelope::new(SEED).with_mutated_rho_clamp()
+}
+
+fn diverges(env: &Envelope, t: &ConfTrace) -> bool {
+    !run_differential(env, Policy::Quts, t).is_clean()
+}
+
+#[test]
+fn flipped_rho_clamp_is_caught_and_shrinks_small() {
+    let start = Instant::now();
+    let healthy = Envelope::new(SEED);
+    let mutated = mutated_env();
+    let trace = gen_trace(SEED, &GenParams::default());
+
+    // The trace itself is conformant — only the mutation diverges.
+    let clean = run_differential(&healthy, Policy::Quts, &trace);
+    assert!(
+        clean.is_clean(),
+        "healthy baseline diverged:\n{}",
+        clean.render()
+    );
+
+    let report = run_differential(&mutated, Policy::Quts, &trace);
+    assert!(!report.is_clean(), "mutated clamp went undetected");
+    assert!(
+        report
+            .divergences
+            .iter()
+            .any(|d| d.kind == DivergenceKind::AdaptSeries),
+        "expected an adaptation-series divergence, got:\n{}",
+        report.render()
+    );
+
+    // Shrinking keeps the divergence while discarding almost all of the
+    // trace: the witness needs only enough load to cross one adaptation
+    // boundary with QOSmax > QODmax.
+    let shrunk = shrink_divergent(&trace, |t| diverges(&mutated, t));
+    assert!(
+        shrunk.events() <= 50,
+        "shrunk witness still has {} events",
+        shrunk.events()
+    );
+    assert!(
+        diverges(&mutated, &shrunk),
+        "shrunk witness lost the divergence"
+    );
+
+    // The witness must be clean under the healthy envelope for every
+    // policy — that is what qualifies it to live in `regressions/`.
+    for policy in Policy::ALL {
+        let r = run_differential(&Envelope::new(shrunk.seed), policy, &shrunk);
+        assert!(
+            r.is_clean(),
+            "shrunk witness dirty under healthy {}:\n{}",
+            policy.label(),
+            r.render()
+        );
+    }
+
+    let path = artifact_dir().join("mutation-rho-clamp.jsonl");
+    std::fs::write(&path, shrunk.to_jsonl()).expect("write witness");
+    record_timing(
+        "flipped_rho_clamp_is_caught_and_shrinks_small",
+        start.elapsed(),
+    );
+}
+
+#[test]
+fn committed_witness_matches_the_generator() {
+    // The file under `regressions/` is the shrunk witness above,
+    // committed. Re-derive it and require byte equality, so the
+    // committed artifact can never drift from what the shrinker
+    // produces today.
+    let start = Instant::now();
+    let mutated = mutated_env();
+    let trace = gen_trace(SEED, &GenParams::default());
+    let shrunk = shrink_divergent(&trace, |t| diverges(&mutated, t));
+    let committed = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("regressions")
+        .join("mutation-rho-clamp.jsonl");
+    let text = std::fs::read_to_string(&committed)
+        .unwrap_or_else(|e| panic!("{}: {e}", committed.display()));
+    assert_eq!(
+        text,
+        shrunk.to_jsonl(),
+        "committed witness drifted from the shrinker's output"
+    );
+    record_timing("committed_witness_matches_the_generator", start.elapsed());
+}
+
+#[test]
+fn mutated_run_breaks_the_rho_band_invariant() {
+    let start = Instant::now();
+    // A longer horizon gives the mutated controller enough adaptation
+    // periods for the smoothed ρ to actually leave [0.5, 1].
+    let params = GenParams {
+        queries: 60,
+        updates: 60,
+        horizon_s: 1.5,
+        ..GenParams::default()
+    };
+    let trace = gen_trace(SEED, &params);
+    let mutated = mutated_env();
+
+    let live = mutated.run_live(Policy::Quts, &trace);
+    let obs = Observation::from_virtual(&live, trace.updates.len() as u64);
+    let violations = check_run(&obs);
+    assert!(
+        violations.iter().any(|v| v.starts_with("rho-band")),
+        "mutated ρ stayed inside the band: {violations:?} (history {:?})",
+        obs.rho_values
+    );
+
+    // The same trace under the healthy envelope passes every invariant.
+    let healthy = Envelope::new(SEED);
+    let live = healthy.run_live(Policy::Quts, &trace);
+    let obs = Observation::from_virtual(&live, trace.updates.len() as u64);
+    assert_eq!(check_run(&obs), Vec::<String>::new());
+    record_timing("mutated_run_breaks_the_rho_band_invariant", start.elapsed());
+}

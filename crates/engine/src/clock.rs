@@ -1,0 +1,109 @@
+//! Real or virtual time source for the engine runtime.
+//!
+//! The scheduler thread never reads `Instant::now()` directly; every
+//! timestamp and every synthetic service-cost burn goes through an
+//! [`EngineClock`]. In production the clock is backed by a wall-clock
+//! epoch and burning CPU means busy-spinning (sleeping would free the
+//! CPU and break the single-server model). Under the conformance
+//! harness's virtual driver the clock is a plain counter that burning
+//! advances instantly — which makes a live-engine run deterministic and
+//! exactly comparable against the discrete-event simulator.
+
+use std::time::{Duration, Instant};
+
+/// Microsecond time source; see the module docs.
+#[derive(Debug, Clone)]
+pub(crate) enum EngineClock {
+    /// Wall-clock time relative to an epoch captured at construction.
+    Real { epoch: Instant },
+    /// Manually advanced virtual time, starting at zero.
+    Virtual { now_us: u64 },
+}
+
+impl EngineClock {
+    /// A wall-clock source with the epoch at "now".
+    pub(crate) fn real() -> EngineClock {
+        EngineClock::Real {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A virtual source at time zero.
+    pub(crate) fn virtual_at_zero() -> EngineClock {
+        EngineClock::Virtual { now_us: 0 }
+    }
+
+    /// Microseconds since the epoch.
+    pub(crate) fn now_us(&self) -> u64 {
+        match self {
+            EngineClock::Real { epoch } => epoch.elapsed().as_micros() as u64,
+            EngineClock::Virtual { now_us } => *now_us,
+        }
+    }
+
+    /// Microseconds from the epoch to `at` (zero if `at` predates it, as
+    /// a query submitted before a panic restart can). Only meaningful on
+    /// a real clock; virtual callers stamp microseconds directly.
+    pub(crate) fn us_since_epoch(&self, at: Instant) -> u64 {
+        match self {
+            EngineClock::Real { epoch } => at.saturating_duration_since(*epoch).as_micros() as u64,
+            EngineClock::Virtual { now_us } => *now_us,
+        }
+    }
+
+    /// Jumps a virtual clock forward to `at_us`; no-op on a real clock
+    /// (wall time advances itself) and never moves backwards.
+    pub(crate) fn advance_to(&mut self, at_us: u64) {
+        if let EngineClock::Virtual { now_us } = self {
+            *now_us = (*now_us).max(at_us);
+        }
+    }
+
+    /// Consumes `d` of CPU service time: busy-spins on a real clock,
+    /// advances a virtual one.
+    pub(crate) fn burn(&mut self, d: Duration) {
+        match self {
+            EngineClock::Real { .. } => spin_for(d),
+            EngineClock::Virtual { now_us } => *now_us += d.as_micros() as u64,
+        }
+    }
+}
+
+/// Busy-spin for a duration (emulates CPU service demand; sleeping would
+/// free the CPU and break the single-server model).
+fn spin_for(d: Duration) {
+    let end = Instant::now() + d;
+    while Instant::now() < end {
+        std::hint::spin_loop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_is_deterministic() {
+        let mut c = EngineClock::virtual_at_zero();
+        assert_eq!(c.now_us(), 0);
+        c.burn(Duration::from_millis(7));
+        assert_eq!(c.now_us(), 7_000);
+        c.advance_to(20_000);
+        assert_eq!(c.now_us(), 20_000);
+        // Never backwards.
+        c.advance_to(5_000);
+        assert_eq!(c.now_us(), 20_000);
+    }
+
+    #[test]
+    fn real_clock_tracks_wall_time() {
+        let c = EngineClock::real();
+        let a = c.now_us();
+        let mut c2 = c.clone();
+        c2.burn(Duration::from_micros(500));
+        assert!(c2.now_us() >= a + 500);
+        // A stamp taken before the epoch saturates to zero.
+        let old = Instant::now() - Duration::from_secs(10);
+        assert_eq!(EngineClock::real().us_since_epoch(old), 0);
+    }
+}

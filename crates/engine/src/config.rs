@@ -6,6 +6,41 @@ use quts_metrics::TraceConfig;
 use quts_qc::StalenessAggregation;
 use std::time::Duration;
 
+/// Which scheduling policy the live engine's single worker runs.
+///
+/// QUTS (the default) is the paper's contribution; the fixed-priority
+/// baselines exist so the conformance oracle can differentially check
+/// the live engine against the simulator's implementation of the same
+/// policy. All of them are non-preemptive in the live engine: a
+/// dispatched transaction always finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LivePolicy {
+    /// One global arrival order across both classes (updates win ties).
+    Fifo,
+    /// Updates strictly first; queries (VRD order) only when no update
+    /// is pending.
+    UpdateHigh,
+    /// Queries (VRD order) strictly first; updates only when no query
+    /// is pending.
+    QueryHigh,
+    /// The paper's two-level scheduler: ρ-biased atom draws with
+    /// per-period ρ adaptation.
+    #[default]
+    Quts,
+}
+
+impl LivePolicy {
+    /// Stable lower-case label (used in reports and trace file names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            LivePolicy::Fifo => "fifo",
+            LivePolicy::UpdateHigh => "uh",
+            LivePolicy::QueryHigh => "qh",
+            LivePolicy::Quts => "quts",
+        }
+    }
+}
+
 /// Tuning of the live engine; defaults mirror the paper's system
 /// parameters (τ = 10 ms, ω = 1000 ms).
 #[derive(Debug, Clone)]
@@ -20,6 +55,15 @@ pub struct EngineConfig {
     pub initial_rho: f64,
     /// Seed for the atom coin flips.
     pub seed: u64,
+    /// Scheduling policy of the single worker; [`LivePolicy::Quts`] by
+    /// default. The fixed-priority baselines disable the atom machinery.
+    pub policy: LivePolicy,
+    /// Conformance-harness knob: poisons the ρ controller with a flipped
+    /// Eq. 4 clamp (see `RhoController::seed_flipped_clamp_mutation`).
+    /// Exists so the differential oracle can prove it catches a broken
+    /// scheduler; never set this outside that test.
+    #[doc(hidden)]
+    pub mutate_rho_clamp: bool,
     /// How multi-item query staleness aggregates.
     pub staleness_agg: StalenessAggregation,
     /// Artificial per-transaction CPU cost added on top of the real
@@ -83,6 +127,8 @@ impl Default for EngineConfig {
             alpha: 0.2,
             initial_rho: 0.75,
             seed: 0x5157_5453,
+            policy: LivePolicy::default(),
+            mutate_rho_clamp: false,
             staleness_agg: StalenessAggregation::Max,
             synthetic_query_cost: None,
             synthetic_update_cost: None,
@@ -111,6 +157,20 @@ impl EngineConfig {
     /// Builder: sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder: sets the scheduling policy.
+    pub fn with_policy(mut self, policy: LivePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder: seeds the flipped-clamp ρ mutation (conformance
+    /// self-test only; see [`EngineConfig::mutate_rho_clamp`]).
+    #[doc(hidden)]
+    pub fn with_mutated_rho_clamp(mut self) -> Self {
+        self.mutate_rho_clamp = true;
         self
     }
 
@@ -198,6 +258,24 @@ mod tests {
         assert_eq!(c.trace.level, TraceLevel::Off);
         let c = c.with_trace(TraceConfig::full());
         assert_eq!(c.trace.level, TraceLevel::Full);
+    }
+
+    #[test]
+    fn policy_knob_defaults_to_quts() {
+        let c = EngineConfig::default();
+        assert_eq!(c.policy, LivePolicy::Quts);
+        assert!(!c.mutate_rho_clamp);
+        assert_eq!(c.policy.label(), "quts");
+        let c = c.with_policy(LivePolicy::UpdateHigh);
+        assert_eq!(c.policy, LivePolicy::UpdateHigh);
+        assert_eq!(
+            [
+                LivePolicy::Fifo.label(),
+                LivePolicy::UpdateHigh.label(),
+                LivePolicy::QueryHigh.label(),
+            ],
+            ["fifo", "uh", "qh"]
+        );
     }
 
     #[test]

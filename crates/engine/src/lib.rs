@@ -61,14 +61,16 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod clock;
 pub mod config;
 pub mod durability;
 pub mod fault;
 pub mod runtime;
 pub mod stats;
 pub mod supervisor;
+pub mod virt;
 
-pub use config::EngineConfig;
+pub use config::{EngineConfig, LivePolicy};
 pub use durability::DurabilityConfig;
 pub use fault::{FaultPlan, UpdateBurst};
 pub use quts_db::FsyncPolicy;
@@ -76,3 +78,4 @@ pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
 pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
 pub use stats::{LiveStats, RHO_HISTORY_CAP};
 pub use supervisor::EngineState;
+pub use virt::{run_virtual, VirtualOutcome, VirtualRunReport};

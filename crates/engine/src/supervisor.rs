@@ -109,6 +109,7 @@ pub(crate) fn supervise(
                 ring.clone(),
                 durable.as_mut(),
                 seed_pending,
+                crate::clock::EngineClock::real(),
             )
             .run()
         }));

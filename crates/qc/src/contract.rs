@@ -348,5 +348,56 @@ mod proptests {
             let dep = qc.with_composition(Composition::QoSDependent);
             prop_assert!(dep.total_profit(rt, uu) <= indep.total_profit(rt, uu) + 1e-9);
         }
+
+        #[test]
+        fn split_components_are_non_increasing(
+            qc in arbitrary_qc(),
+            rt in 0.0..1e4f64,
+            dt in 0.0..1e4f64,
+            uu in 0.0..100.0f64,
+            du in 0.0..100.0f64,
+        ) {
+            // Each side of the split, not just the sum, must never
+            // reward slower or staler service.
+            let (qos_a, qod_a) = qc.profit_split(rt, uu);
+            let (qos_b, _) = qc.profit_split(rt + dt, uu);
+            prop_assert!(qos_b <= qos_a + 1e-9, "QoS grew with response time");
+            let (_, qod_c) = qc.profit_split(rt, uu + du);
+            prop_assert!(qod_c <= qod_a + 1e-9, "QoD grew with staleness");
+        }
+
+        #[test]
+        fn no_qos_profit_at_or_past_rtmax(qc in arbitrary_qc(), slack in 0.0..1e4f64) {
+            // Both generated shapes have a cutoff; at and beyond it the
+            // QoS side is worth exactly nothing.
+            let rtmax = qc.rtmax_ms().expect("generated contracts have a cutoff");
+            prop_assert_eq!(qc.qos_profit(rtmax + slack), 0.0);
+        }
+
+        #[test]
+        fn composition_respects_the_lifetime(
+            qc in arbitrary_qc(),
+            lifetime in 1.0..1e5f64,
+            slack in 0.0..1e4f64,
+            uu in 0.0..100.0f64,
+        ) {
+            // Past the maximum query lifetime the whole contract is
+            // void — no composition rule may resurrect QoD profit for
+            // an answer that arrived after the query expired.
+            for comp in [Composition::QoSIndependent, Composition::QoSDependent] {
+                let qc = qc.clone().with_lifetime_ms(lifetime).with_composition(comp);
+                prop_assert_eq!(qc.profit_split(lifetime + slack, uu), (0.0, 0.0));
+                prop_assert_eq!(qc.total_profit(lifetime + slack, uu), 0.0);
+            }
+        }
+
+        #[test]
+        fn default_lifetime_caps_every_composition(qc in arbitrary_qc(), uu in 0.0..100.0f64) {
+            // Same property through the derived deadline: at the
+            // default lifetime the contract earns zero even though the
+            // cutoff alone may still be satisfied.
+            let deadline = qc.default_lifetime_ms();
+            prop_assert_eq!(qc.profit_split(deadline, uu), (0.0, 0.0));
+        }
     }
 }

@@ -27,6 +27,7 @@
 pub mod dual;
 pub mod fifo;
 pub mod greedy;
+pub mod nonpreemptive;
 pub mod policy;
 pub mod quts;
 pub mod rho;
@@ -34,6 +35,7 @@ pub mod rho;
 pub use dual::DualQueue;
 pub use fifo::GlobalFifo;
 pub use greedy::GlobalGreedy;
+pub use nonpreemptive::NonPreemptive;
 pub use policy::{QueryKey, QueryOrder, QueryQueue, UpdateQueue};
 pub use quts::{Quts, QutsConfig};
 pub use rho::{modeled_profit, optimal_rho, RhoController};

@@ -170,6 +170,18 @@ impl QueryQueue {
         self.heap.pop().map(|e| e.id)
     }
 
+    /// The highest-priority query without removing it.
+    pub fn peek(&self) -> Option<QueryId> {
+        self.heap.peek().map(|e| e.id)
+    }
+
+    /// Arrival sequence number of the highest-priority query. Lets a
+    /// global-FIFO front end compare the query head against the update
+    /// head without popping either.
+    pub fn peek_seq(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.seq)
+    }
+
     /// Evicts the priority memo of a query that reached a terminal state
     /// (committed or expired). Without this a long-running live engine
     /// retains one memo entry per query forever. Must only be called for
@@ -406,6 +418,21 @@ mod tests {
         q.admit(QueryId(6), &qinfo(6, 1.0, 1.0, 999.0));
         assert_eq!(q.pop(), Some(QueryId(5)));
         assert_eq!(q.pop(), Some(QueryId(6)));
+    }
+
+    #[test]
+    fn peek_matches_pop_without_consuming() {
+        let mut q = QueryQueue::new(QueryOrder::Vrd);
+        assert_eq!(q.peek(), None);
+        assert_eq!(q.peek_seq(), None);
+        q.admit(QueryId(0), &qinfo(3, 10.0, 10.0, 100.0));
+        q.admit(QueryId(1), &qinfo(4, 40.0, 40.0, 100.0));
+        assert_eq!(q.peek(), Some(QueryId(1)));
+        assert_eq!(q.peek_seq(), Some(4));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(QueryId(1)));
+        assert_eq!(q.peek(), Some(QueryId(0)));
+        assert_eq!(q.peek_seq(), Some(3));
     }
 
     #[test]

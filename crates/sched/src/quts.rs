@@ -227,35 +227,48 @@ impl Quts {
     }
 
     /// Processes every adaptation and atom boundary up to `now`.
+    ///
+    /// Boundaries settle in chronological order, an adaptation winning an
+    /// exact tie with an atom boundary so the atom's coin draw sees the
+    /// freshly adapted ρ. Chronological settling makes `refresh` call-
+    /// pattern invariant: one lazy catch-up jump performs exactly the
+    /// draws an eager boundary-by-boundary caller would, so the live
+    /// engine (which refreshes at decision points) and the simulator
+    /// (which refreshes at admissions and timers) stay bit-identical.
     fn refresh(&mut self, now: SimTime) {
-        while self.next_adapt <= now {
-            let old_rho = self.controller.rho();
-            let rho = if self.adaptive {
-                self.controller.adapt(self.acc_qos, self.acc_qod)
+        loop {
+            let adapt_due = self.next_adapt <= now;
+            let atom_due = self.state_until <= now;
+            if adapt_due && self.next_adapt <= self.state_until {
+                let old_rho = self.controller.rho();
+                let rho = if self.adaptive {
+                    self.controller.adapt(self.acc_qos, self.acc_qod)
+                } else {
+                    old_rho
+                };
+                if self.trace_decisions {
+                    self.decisions.push(SchedDecision {
+                        at_us: self.next_adapt.as_micros(),
+                        event: TraceEvent::Adapt {
+                            old_rho,
+                            new_rho: rho,
+                            qos_max: self.acc_qos,
+                            qod_max: self.acc_qod,
+                        },
+                    });
+                }
+                self.acc_qos = 0.0;
+                self.acc_qod = 0.0;
+                self.history.push((self.next_adapt, rho));
+                self.next_adapt += self.omega;
+            } else if atom_due {
+                self.state = self.draw_state();
+                let atom_start = self.state_until;
+                self.state_until += self.tau;
+                self.trace_atom(atom_start);
             } else {
-                old_rho
-            };
-            if self.trace_decisions {
-                self.decisions.push(SchedDecision {
-                    at_us: self.next_adapt.as_micros(),
-                    event: TraceEvent::Adapt {
-                        old_rho,
-                        new_rho: rho,
-                        qos_max: self.acc_qos,
-                        qod_max: self.acc_qod,
-                    },
-                });
+                break;
             }
-            self.acc_qos = 0.0;
-            self.acc_qod = 0.0;
-            self.history.push((self.next_adapt, rho));
-            self.next_adapt += self.omega;
-        }
-        while self.state_until <= now {
-            self.state = self.draw_state();
-            let atom_start = self.state_until;
-            self.state_until += self.tau;
-            self.trace_atom(atom_start);
         }
     }
 
@@ -530,6 +543,35 @@ mod tests {
     }
 
     #[test]
+    fn lazy_refresh_matches_eager_refresh() {
+        // The refresh-ordering lemma behind the conformance oracle: one
+        // big catch-up jump must produce exactly the decision stream,
+        // smoothed ρ, and current atom state of a caller that steps every
+        // millisecond. Mixed contracts make ρ actually move, and 5005 ms
+        // crosses five adaptation boundaries plus hundreds of atoms.
+        let run = |eager: bool| {
+            let mut s = Quts::new(QutsConfig::default().with_alpha(0.5).with_seed(9));
+            s.set_decision_trace(true);
+            s.admit_query(QueryId(0), &qinfo(0, 30.0, 60.0, 100.0), SimTime::ZERO);
+            if eager {
+                for ms in 1..=5005 {
+                    s.on_timer(SimTime::from_ms(ms));
+                }
+            } else {
+                s.on_timer(SimTime::from_ms(5005));
+            }
+            let mut sink = Vec::new();
+            s.drain_decisions(&mut sink);
+            let stream: Vec<(u64, &'static str, String)> = sink
+                .iter()
+                .map(|d| (d.at_us, d.event.kind(), format!("{:?}", d.event)))
+                .collect();
+            (stream, s.rho(), s.current_state())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
     fn decision_trace_records_atoms_and_adaptations() {
         let mut s = jumping_quts();
         s.set_decision_trace(true);
@@ -565,8 +607,9 @@ mod tests {
         assert_eq!(atoms, 100, "one draw per 10 ms atom over 1005 ms");
         // Decisions are buffered in decision order; within one kind the
         // timestamps are non-decreasing. (A single `refresh` jump that
-        // crosses both boundary kinds settles adaptations first, exactly
-        // as the un-traced scheduler does.)
+        // crosses both boundary kinds settles them chronologically,
+        // adaptation first on an exact tie, exactly as an eager caller
+        // stepping boundary by boundary would.)
         let atom_times: Vec<u64> = sink
             .iter()
             .filter(|d| matches!(d.event, TraceEvent::AtomStart { .. }))

@@ -43,11 +43,24 @@ pub fn optimal_rho(qos_max: f64, qod_max: f64) -> f64 {
     (qos_max / (2.0 * qod_max) + 0.5).min(1.0)
 }
 
+/// Eq. 4 with the clamp flipped from `min` to `max` — the deliberately
+/// wrong variant behind [`RhoController::seed_flipped_clamp_mutation`].
+fn mutated_optimal_rho(qos_max: f64, qod_max: f64) -> f64 {
+    if qod_max <= 0.0 {
+        if qos_max <= 0.0 {
+            return 0.75;
+        }
+        return 1.0;
+    }
+    (qos_max / (2.0 * qod_max) + 0.5).max(1.0)
+}
+
 /// Smoothed, periodically re-optimised ρ (Eq. 5–6).
 #[derive(Debug, Clone)]
 pub struct RhoController {
     alpha: f64,
     rho: f64,
+    flip_clamp: bool,
 }
 
 impl RhoController {
@@ -61,7 +74,17 @@ impl RhoController {
         RhoController {
             alpha,
             rho: initial_rho,
+            flip_clamp: false,
         }
+    }
+
+    /// Conformance-harness mutation hook: replaces Eq. 4's `min(·, 1)`
+    /// clamp with `max(·, 1)`, letting ρ escape the feasible band. The
+    /// differential oracle must detect a controller poisoned this way;
+    /// it has no legitimate production use.
+    #[doc(hidden)]
+    pub fn seed_flipped_clamp_mutation(&mut self) {
+        self.flip_clamp = true;
     }
 
     /// The current smoothed ρ.
@@ -81,7 +104,11 @@ impl RhoController {
     /// leaves ρ unchanged (rather than dragging it toward a default).
     pub fn adapt(&mut self, qos_max: f64, qod_max: f64) -> f64 {
         if qos_max > 0.0 || qod_max > 0.0 {
-            let target = optimal_rho(qos_max, qod_max);
+            let target = if self.flip_clamp {
+                mutated_optimal_rho(qos_max, qod_max)
+            } else {
+                optimal_rho(qos_max, qod_max)
+            };
             self.rho = (1.0 - self.alpha) * self.rho + self.alpha * target;
         }
         self.rho
@@ -149,6 +176,86 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn zero_alpha_rejected() {
         let _ = RhoController::new(0.0, 0.5);
+    }
+
+    #[test]
+    fn formula_clamps_to_upper_band_edge() {
+        // Whenever QOSmax >= QODmax the raw formula reaches >= 1 and the
+        // min-clamp must hold it at exactly 1.
+        for (qos, qod) in [(1.0, 1.0), (5.0, 5.0), (9.0, 3.0), (100.0, 1.0)] {
+            assert_eq!(optimal_rho(qos, qod), 1.0, "({qos}, {qod})");
+        }
+        // And the open-form region below the clamp is exact.
+        assert!((optimal_rho(1.0, 4.0) - 0.625).abs() < 1e-15);
+        assert!((optimal_rho(2.0, 8.0) - 0.625).abs() < 1e-15);
+    }
+
+    #[test]
+    fn formula_never_leaves_band_over_grid() {
+        // Dense sweep of the whole non-degenerate input plane: ρ* stays
+        // clamped to [0.5, 1] regardless of how lopsided the maxima are.
+        for i in 0..=200 {
+            for j in 1..=200 {
+                let qos = i as f64 * 0.5;
+                let qod = j as f64 * 0.5;
+                let r = optimal_rho(qos, qod);
+                assert!((0.5..=1.0).contains(&r), "rho {r} for ({qos}, {qod})");
+            }
+        }
+    }
+
+    #[test]
+    fn qod_zero_gives_all_cpu_to_queries() {
+        // QODmax = 0 is the paper's degenerate "nobody cares about
+        // freshness" case: every positive QOSmax pins ρ* at 1.
+        for qos in [1e-9, 0.5, 1.0, 42.0, 1e9] {
+            assert_eq!(optimal_rho(qos, 0.0), 1.0, "qos {qos}");
+        }
+        assert_eq!(optimal_rho(0.0, 0.0), 0.75);
+    }
+
+    #[test]
+    fn empty_periods_never_move_rho_through_a_sequence() {
+        // Interleave informative and empty periods: the empty ones are
+        // exact no-ops, so the trajectory equals the one with the empty
+        // periods deleted.
+        let mut with_gaps = RhoController::new(0.4, 0.75);
+        let mut without = RhoController::new(0.4, 0.75);
+        for (qos, qod) in [(3.0, 1.0), (0.0, 0.0), (1.0, 4.0), (0.0, 0.0), (5.0, 5.0)] {
+            with_gaps.adapt(qos, qod);
+            if qos > 0.0 || qod > 0.0 {
+                without.adapt(qos, qod);
+            }
+        }
+        assert_eq!(with_gaps.rho(), without.rho());
+    }
+
+    #[test]
+    fn aging_smoothing_pinned_trajectory() {
+        // Eq. 5–6 with alpha = 0.25 starting at 0.75 against a constant
+        // target of 0.5 (QoD-only periods): rho_k = 0.5 + 0.25 * 0.75^k.
+        let mut c = RhoController::new(0.25, 0.75);
+        let mut expect = 0.75;
+        for _ in 0..8 {
+            let got = c.adapt(0.0, 1.0);
+            expect = 0.75 * expect + 0.25 * 0.5;
+            assert!((got - expect).abs() < 1e-12, "got {got}, expect {expect}");
+        }
+        // After eight periods the distance to target has decayed by 0.75^8.
+        assert!((c.rho() - (0.5 + 0.25 * 0.75f64.powi(8))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flipped_clamp_mutation_escapes_the_band() {
+        let mut c = RhoController::new(1.0, 0.75);
+        c.seed_flipped_clamp_mutation();
+        // QOSmax > QODmax drives the raw formula above 1; the flipped
+        // clamp then takes the max, leaving the feasible band.
+        let r = c.adapt(9.0, 3.0);
+        assert!(r > 1.0, "mutated controller should leave [0.5, 1], got {r}");
+        // The healthy controller clamps the same inputs to exactly 1.
+        let mut h = RhoController::new(1.0, 0.75);
+        assert_eq!(h.adapt(9.0, 3.0), 1.0);
     }
 }
 

@@ -317,9 +317,21 @@ fn restart_without_durability_counts_shed_work_honestly() {
     let engine = Engine::start(Store::with_synthetic_stocks(8), cfg);
 
     // Transaction 1: one update, applied (slowly — the stall holds the
-    // scheduler while we pile up doomed work behind it).
+    // scheduler while we pile up doomed work behind it). Wait until the
+    // scheduler has *ingested* the update (the depth gauge is refreshed
+    // on the ingest path) — it is then alone in transaction 1, sitting
+    // in the 150 ms stall, and everything submitted below lands behind
+    // it, doomed to transaction 2's injected panic.
     engine.submit_update(trade(0, 600.0)).unwrap();
-    std::thread::sleep(Duration::from_millis(50));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = engine.stats();
+        if s.pending_updates >= 1 || s.updates_applied >= 1 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "update never ingested");
+        std::thread::yield_now();
+    }
     let mut tickets = Vec::new();
     for i in 0..2u32 {
         tickets.push(
