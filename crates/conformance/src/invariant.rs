@@ -24,8 +24,14 @@
 //!   both within `[0, max]`, and zero profit past the lifetime.
 //! - **WAL contiguity** ([`wal_contiguous`]) — after any crash or
 //!   recovery the surviving log replays as one gap-free LSN sequence.
+//! - **Replica accounting** ([`replica_consistent`]) — a replica's
+//!   watermarks are ordered (`durable ≤ applied`) and, because it
+//!   applies synchronously, it never owes staleness (`Σ#uu = 0`).
+//! - **Routing QoD** ([`router_respects_qod`]) — the read router never
+//!   dispatched a replica read whose staleness bound broke the
+//!   contract's `qodmax` (the audit counter stays zero).
 
-use quts_engine::{LiveStats, VirtualRunReport};
+use quts_engine::{LiveStats, ReplicaStats, RouterStats, VirtualRunReport};
 use quts_qc::QualityContract;
 use quts_sim::RunReport;
 use std::path::Path;
@@ -324,6 +330,65 @@ pub fn wal_contiguous(dir: &Path, after_lsn: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// Replica-side accounting: `durable_lsn` never runs ahead of
+/// `applied_lsn` (the sync-before-ack contract), frame counters cover
+/// the applied watermark when the replica bootstrapped from the LSN-0
+/// baseline, and — because arrival and apply happen under one lock —
+/// the staleness tracker owes nothing whenever it is observed.
+pub fn replica_consistent(stats: &ReplicaStats) -> Result<(), String> {
+    if stats.durable_lsn > stats.applied_lsn {
+        return Err(format!(
+            "replica {}: durable_lsn {} ahead of applied_lsn {}",
+            stats.name, stats.durable_lsn, stats.applied_lsn
+        ));
+    }
+    if stats.uu_total != 0 {
+        return Err(format!(
+            "replica {}: synchronous apply but Σ#uu = {}",
+            stats.name, stats.uu_total
+        ));
+    }
+    if stats.ready && stats.applied_lsn > 0 && stats.frames_applied == 0 && stats.bootstraps == 0 {
+        return Err(format!(
+            "replica {}: applied_lsn {} with no frames applied and no bootstrap",
+            stats.name, stats.applied_lsn
+        ));
+    }
+    Ok(())
+}
+
+/// The router's dispatch-time QoD audit: a replica read is only sent
+/// when its staleness bound earns full QoD profit, so the violation
+/// counter must be zero after any run.
+pub fn router_respects_qod(stats: &RouterStats) -> Result<(), String> {
+    if stats.qod_violations != 0 {
+        return Err(format!(
+            "router dispatched {} replica reads past their qodmax",
+            stats.qod_violations
+        ));
+    }
+    Ok(())
+}
+
+/// [`wal_contiguous`] anchored at the newest decodable snapshot under
+/// `dir` (LSN 0 when none decodes): the shape a replica or recovered
+/// primary directory must have after snapshot GC pruned covered
+/// segments.
+pub fn wal_contiguous_after_snapshot(dir: &Path) -> Result<(), String> {
+    let files = quts_db::snapshot::snapshot_files(dir)
+        .map_err(|e| format!("listing snapshots failed: {e}"))?;
+    let mut base = 0;
+    for (_, path) in files {
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(snap) = quts_db::snapshot::decode_snapshot(&bytes) {
+                base = snap.last_lsn;
+                break;
+            }
+        }
+    }
+    wal_contiguous(dir, base)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +441,63 @@ mod tests {
         assert!(check_run(&o)
             .iter()
             .any(|m| m.contains("staleness-accounting")));
+    }
+
+    fn replica_stats() -> ReplicaStats {
+        ReplicaStats {
+            name: "r1".into(),
+            ready: true,
+            connected: true,
+            applied_lsn: 40,
+            durable_lsn: 40,
+            primary_lsn: 42,
+            frames_applied: 40,
+            frames_duplicate: 2,
+            gaps: 1,
+            connections: 2,
+            bootstraps: 1,
+            snapshots_written: 1,
+            reads_served: 7,
+            uu_total: 0,
+        }
+    }
+
+    #[test]
+    fn replica_consistent_accepts_a_healthy_replica() {
+        replica_consistent(&replica_stats()).expect("healthy");
+    }
+
+    #[test]
+    fn replica_consistent_catches_each_violation() {
+        let mut s = replica_stats();
+        s.durable_lsn = s.applied_lsn + 1;
+        assert!(replica_consistent(&s).unwrap_err().contains("durable_lsn"));
+
+        let mut s = replica_stats();
+        s.uu_total = 3;
+        assert!(replica_consistent(&s).unwrap_err().contains("Σ#uu"));
+
+        let mut s = replica_stats();
+        s.frames_applied = 0;
+        s.bootstraps = 0;
+        assert!(replica_consistent(&s)
+            .unwrap_err()
+            .contains("no frames applied"));
+    }
+
+    #[test]
+    fn router_qod_audit_must_be_zero() {
+        let mut s = RouterStats {
+            routed_replica: 9,
+            routed_primary: 3,
+            shed_busy: 1,
+            demotions: 1,
+            rejoins: 1,
+            qod_violations: 0,
+        };
+        router_respects_qod(&s).expect("clean audit");
+        s.qod_violations = 1;
+        assert!(router_respects_qod(&s).is_err());
     }
 
     #[test]

@@ -20,8 +20,9 @@
 //!   the atom-draw series, update application, and final store state.
 //! - [`invariant`] — engine-independent invariants (ρ band, profit
 //!   monotonicity, conservation of admitted work, staleness
-//!   accounting, WAL LSN contiguity) checkable against either engine's
-//!   run report, including mid-chaos-test.
+//!   accounting, WAL LSN contiguity, replica watermark/staleness
+//!   accounting, the router's dispatch-time QoD audit) checkable
+//!   against either engine's run report, including mid-chaos-test.
 //! - [`generate`] — a seeded trace generator (and a `proptest`
 //!   [`Strategy`](proptest::strategy::Strategy) wrapper) plus a greedy
 //!   delta-debugging shrinker that minimises any divergent trace to a
@@ -43,6 +44,9 @@ pub mod trace;
 
 pub use envelope::{Envelope, Policy};
 pub use generate::{gen_trace, shrink_divergent, GenParams};
-pub use invariant::{check_run, profit_monotone, wal_contiguous, Invariant, Observation};
+pub use invariant::{
+    check_run, profit_monotone, replica_consistent, router_respects_qod, wal_contiguous,
+    wal_contiguous_after_snapshot, Invariant, Observation,
+};
 pub use oracle::{run_differential, DiffReport, Divergence, DivergenceKind};
 pub use trace::{ConfQuery, ConfTrace, ConfUpdate};

@@ -20,7 +20,9 @@
 //! * [`wal`] — a checksummed append-only write-ahead log for the update
 //!   stream (segments, torn-tail truncation on replay),
 //! * [`snapshot`] — periodic full-store snapshots plus a manifest, and
-//!   the `snapshot + WAL tail` recovery protocol.
+//!   the `snapshot + WAL tail` recovery protocol,
+//! * [`tail`] — a read-only, resumable tailer over a live WAL directory,
+//!   the primary-side primitive of log-shipping replication.
 //!
 //! CPU scheduling — who gets to run — is deliberately *not* here; that is
 //! the `quts-sched` crate. This crate is the machine being scheduled.
@@ -35,6 +37,7 @@ pub mod register;
 pub mod snapshot;
 pub mod staleness;
 pub mod store;
+pub mod tail;
 pub mod wal;
 
 pub use lock::{Acquisition, LockMode, LockTable, TxnToken};
@@ -44,4 +47,5 @@ pub use register::UpdateRegister;
 pub use snapshot::Recovered;
 pub use staleness::StalenessTracker;
 pub use store::{StockId, Store};
+pub use tail::{TailPoll, WalTailer};
 pub use wal::FsyncPolicy;

@@ -127,6 +127,14 @@ impl Durable {
             Some(WalFault::Fail) => {
                 return Err(io::Error::other("fault injection: WAL append failed"));
             }
+            Some(WalFault::Enospc) => {
+                // Disk full before a byte lands: the update cannot be
+                // made durable, so it must never be acked. Fail-stop.
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "fault injection: disk full (ENOSPC)",
+                ));
+            }
             Some(WalFault::Torn) => {
                 // The frame header lands, the payload does not — the
                 // exact residue of a crash mid-write.

@@ -23,6 +23,56 @@ pub struct UpdateBurst {
     pub size: u32,
 }
 
+/// Replication-link fault injection, applied by the primary's WAL
+/// shipper to each outbound frame. Unlike the one-shot WAL faults these
+/// are *periodic* — a flaky link stays flaky — and the counters are
+/// per-connection (kept by the shipper), so every reconnect faces the
+/// same link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkFaultPlan {
+    /// Silently drop every `k`-th shipped frame. The receiver sees an
+    /// LSN gap and must reconnect with resume-from-LSN.
+    pub drop_frame_every: Option<u64>,
+    /// Ship every `k`-th frame twice. The receiver must deduplicate by
+    /// LSN, never double-apply.
+    pub duplicate_frame_every: Option<u64>,
+    /// Sleep this long before every shipped frame (link latency; drives
+    /// replica lag and demotion).
+    pub delay_per_frame: Option<Duration>,
+    /// On every `k`-th frame, write only half the frame and drop the
+    /// connection — a mid-frame disconnect the receiver must survive.
+    pub disconnect_mid_frame_every: Option<u64>,
+}
+
+impl LinkFaultPlan {
+    /// Builder: drop every `k`-th shipped frame.
+    pub fn drop_frame_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "drop_frame_every(0) is meaningless");
+        self.drop_frame_every = Some(k);
+        self
+    }
+
+    /// Builder: duplicate every `k`-th shipped frame.
+    pub fn duplicate_frame_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "duplicate_frame_every(0) is meaningless");
+        self.duplicate_frame_every = Some(k);
+        self
+    }
+
+    /// Builder: delay every shipped frame.
+    pub fn delay_per_frame(mut self, delay: Duration) -> Self {
+        self.delay_per_frame = Some(delay);
+        self
+    }
+
+    /// Builder: disconnect mid-frame on every `k`-th frame.
+    pub fn disconnect_mid_frame_every(mut self, k: u64) -> Self {
+        assert!(k > 0, "disconnect_mid_frame_every(0) is meaningless");
+        self.disconnect_mid_frame_every = Some(k);
+        self
+    }
+}
+
 /// What to break, and when. The default plan breaks nothing.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
@@ -51,6 +101,14 @@ pub struct FaultPlan {
     /// Fail the fsync of the N-th WAL append. Durability of the record
     /// is unknown, so the engine fail-stops (PANIC-on-fsync).
     pub wal_fsync_fail: Option<u64>,
+    /// Report the disk full (ENOSPC) on the N-th WAL append: nothing is
+    /// written, the error is permanent-looking, and the engine must
+    /// fail-stop rather than ack an update it cannot make durable.
+    pub wal_enospc: Option<u64>,
+
+    // --- Replication-link faults (meaningful only with a shipper) ---
+    /// Faults the primary's WAL shipper injects into every replica link.
+    pub link: Option<LinkFaultPlan>,
 }
 
 /// Which injected WAL fault fires on an append (one-shot each).
@@ -64,6 +122,8 @@ pub(crate) enum WalFault {
     Corrupt,
     /// Append lands but its fsync fails.
     FsyncFail,
+    /// The disk is full: nothing written, nothing durable.
+    Enospc,
 }
 
 impl FaultPlan {
@@ -122,6 +182,19 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: report ENOSPC (disk full) on the `n`-th WAL append.
+    pub fn wal_enospc(mut self, n: u64) -> Self {
+        assert!(n > 0, "WAL appends are 1-based");
+        self.wal_enospc = Some(n);
+        self
+    }
+
+    /// Builder: inject replication-link faults into the WAL shipper.
+    pub fn link(mut self, link: LinkFaultPlan) -> Self {
+        self.link = Some(link);
+        self
+    }
+
     /// Whether the plan injects anything at all.
     pub fn is_noop(&self) -> bool {
         *self == FaultPlan::default()
@@ -144,6 +217,7 @@ pub(crate) struct FaultState {
     wal_torn_fired: AtomicBool,
     wal_corrupt_fired: AtomicBool,
     wal_fsync_fired: AtomicBool,
+    wal_enospc_fired: AtomicBool,
 }
 
 impl FaultState {
@@ -178,13 +252,15 @@ impl FaultState {
 
     /// The injected WAL fault for append number `n`, if any fires now.
     /// Each fault kind is one-shot; on a tie the most destructive wins
-    /// (fail > torn > fsync > corrupt).
+    /// (enospc > fail > torn > fsync > corrupt).
     pub(crate) fn wal_fault(&self, plan: &FaultPlan, n: u64) -> Option<WalFault> {
         let fire = |at: Option<u64>, flag: &AtomicBool| match at {
             Some(at) if n >= at => !flag.swap(true, Ordering::Relaxed),
             _ => false,
         };
-        if fire(plan.wal_fail_append, &self.wal_fail_fired) {
+        if fire(plan.wal_enospc, &self.wal_enospc_fired) {
+            Some(WalFault::Enospc)
+        } else if fire(plan.wal_fail_append, &self.wal_fail_fired) {
             Some(WalFault::Fail)
         } else if fire(plan.wal_torn_append, &self.wal_torn_fired) {
             Some(WalFault::Torn)
@@ -256,5 +332,31 @@ mod tests {
         let state = FaultState::default();
         assert_eq!(state.wal_fault(&plan, 1), Some(WalFault::Torn));
         assert_eq!(state.wal_fault(&plan, 7), Some(WalFault::FsyncFail));
+    }
+
+    #[test]
+    fn enospc_fires_once_and_outranks_other_faults() {
+        let plan = FaultPlan::default().wal_enospc(2).wal_fail_append(2);
+        let state = FaultState::default();
+        assert_eq!(state.wal_fault(&plan, 1), None);
+        assert_eq!(state.wal_fault(&plan, 2), Some(WalFault::Enospc));
+        // The suppressed Fail fires on the next append (both were armed).
+        assert_eq!(state.wal_fault(&plan, 3), Some(WalFault::Fail));
+        assert_eq!(state.wal_fault(&plan, 4), None, "both one-shot");
+        assert!(!plan.is_noop());
+    }
+
+    #[test]
+    fn link_fault_builders() {
+        let link = LinkFaultPlan::default()
+            .drop_frame_every(5)
+            .duplicate_frame_every(3)
+            .delay_per_frame(Duration::from_millis(1))
+            .disconnect_mid_frame_every(11);
+        assert_eq!(link.drop_frame_every, Some(5));
+        assert_eq!(link.duplicate_frame_every, Some(3));
+        assert_eq!(link.delay_per_frame, Some(Duration::from_millis(1)));
+        assert_eq!(link.disconnect_mid_frame_every, Some(11));
+        assert!(!FaultPlan::default().link(link).is_noop());
     }
 }

@@ -65,6 +65,8 @@ mod clock;
 pub mod config;
 pub mod durability;
 pub mod fault;
+pub mod repl;
+pub mod retry;
 pub mod runtime;
 pub mod stats;
 pub mod supervisor;
@@ -72,9 +74,15 @@ pub mod virt;
 
 pub use config::{EngineConfig, LivePolicy};
 pub use durability::DurabilityConfig;
-pub use fault::{FaultPlan, UpdateBurst};
+pub use fault::{FaultPlan, LinkFaultPlan, UpdateBurst};
 pub use quts_db::FsyncPolicy;
 pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
+pub use repl::{
+    promote, promote_highest, Replica, ReplicaConfig, ReplicaHandle, ReplicaPeerStats,
+    ReplicaStats, RoutedReadError, Router, RouterConfig, RouterStats, ShipConfig, ShipListener,
+    ShipRegistry,
+};
+pub use retry::Backoff;
 pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
 pub use stats::{LiveStats, RHO_HISTORY_CAP};
 pub use supervisor::EngineState;

@@ -1,0 +1,56 @@
+//! Failover: promoting a replica to primary.
+//!
+//! Promotion is deliberately boring — that is the point. A replica's
+//! directory is kept in the exact `snapshot + WAL` layout the engine's
+//! own recovery consumes, so promoting one is: seal it (graceful
+//! shutdown fsyncs the WAL tail and publishes a covering snapshot —
+//! nothing the replica ever acked can be lost past this line), then run
+//! [`Engine::recover`] over its directory. The promoted engine answers
+//! no client until that recovery completes, which is the "refuse to ack
+//! until the WAL tail is durable" rule in mechanism form.
+
+use crate::config::EngineConfig;
+use crate::repl::replica::Replica;
+use crate::runtime::Engine;
+use std::io;
+
+/// Promotes one replica: seals its state (graceful shutdown) and
+/// recovers a primary engine from its directory. The returned engine
+/// continues the LSN sequence the replica applied.
+pub fn promote(replica: Replica, config: EngineConfig) -> io::Result<Engine> {
+    let dir = replica.dir();
+    let stats = replica.shutdown();
+    if !stats.ready {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "replica was never bootstrapped; nothing to promote",
+        ));
+    }
+    Engine::recover(dir, config)
+}
+
+/// Promotes the replica with the highest `applied_lsn` — the standard
+/// "most caught-up survivor wins" election — and returns the new
+/// primary plus the replicas that were passed over (still running,
+/// ready to re-point at the new primary's shipper).
+pub fn promote_highest(
+    replicas: Vec<Replica>,
+    config: EngineConfig,
+) -> io::Result<(Engine, Vec<Replica>)> {
+    let winner = replicas
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.stats().ready)
+        .max_by_key(|(_, r)| r.stats().applied_lsn)
+        .map(|(i, _)| i)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                "no bootstrapped replica to promote",
+            )
+        })?;
+    let mut rest = replicas;
+    let chosen = rest.remove(winner);
+    let engine = promote(chosen, config)?;
+    Ok((engine, rest))
+}

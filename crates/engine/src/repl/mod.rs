@@ -1,0 +1,34 @@
+//! Staleness-aware WAL replication.
+//!
+//! This module turns the single-node engine into a replicated read
+//! farm without weakening any promise the WAL already makes:
+//!
+//! - **[`ShipListener`]** (primary side) streams the durability
+//!   directory's WAL over TCP — the exact CRC'd frames on disk — with
+//!   resume-from-any-LSN, snapshot bootstrap for newcomers, and
+//!   injectable link faults ([`LinkFaultPlan`]) for chaos tests.
+//! - **[`Replica`]** applies the stream in strict LSN order through
+//!   register-table semantics, maintains its own durable WAL +
+//!   snapshots (byte-identical prefix of the primary's log), and
+//!   reports `applied_lsn` / `durable_lsn` / `#uu` upstream. Acks are
+//!   sync-first: an acked LSN survives a replica crash.
+//! - **[`Router`]** sends each read to the cheapest node whose
+//!   staleness bound still earns the query's full QoD profit, with
+//!   lag-hysteresis health demotion and the bounded degradation ladder
+//!   *replica → primary → `ERR busy`*.
+//! - **[`promote`] / [`promote_highest`]** implement failover: seal the
+//!   most caught-up replica and recover a primary engine from its
+//!   directory.
+//!
+//! [`LinkFaultPlan`]: crate::fault::LinkFaultPlan
+
+mod failover;
+mod replica;
+mod router;
+mod ship;
+mod wire;
+
+pub use failover::{promote, promote_highest};
+pub use replica::{Replica, ReplicaConfig, ReplicaHandle, ReplicaStats};
+pub use router::{RoutedReadError, Router, RouterConfig, RouterStats};
+pub use ship::{ReplicaPeerStats, ShipConfig, ShipListener, ShipRegistry};

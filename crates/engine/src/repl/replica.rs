@@ -1,0 +1,704 @@
+//! The replica process: applies the shipped WAL stream to a local
+//! store through register-table semantics, keeps its **own** durable
+//! WAL + snapshots (so a promoted replica recovers like a primary), and
+//! reports `applied_lsn` / `durable_lsn` / `#uu` back to the shipper.
+//!
+//! The apply loop is strict about ordering: a frame at or below
+//! `applied_lsn` is a duplicate (link retransmission) and is skipped; a
+//! frame more than one ahead is a gap and forces a reconnect that
+//! resumes from `applied_lsn` — so the replica WAL is always a
+//! byte-identical prefix of the primary's (same LSNs, same payloads,
+//! same CRCs).
+//!
+//! Reconnection uses the shared [`Backoff`] helper: capped exponential
+//! delay with jitter, reset after any successful session.
+
+use crate::repl::wire::{self, Ack};
+use crate::retry::Backoff;
+use quts_db::snapshot::{self, MANIFEST_NAME};
+use quts_db::wal::{self, Frame, Wal};
+use quts_db::{FsyncPolicy, QueryOp, QueryResult, StalenessTracker, Store};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Knobs for a [`Replica`].
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Name reported in the handshake (registry key on the primary).
+    pub name: String,
+    /// Directory for the replica's own WAL + snapshots.
+    pub dir: PathBuf,
+    /// Fsync policy for the replica WAL. Acks always sync first, so
+    /// this only bounds loss between acks.
+    pub fsync: FsyncPolicy,
+    /// Replica WAL segment rotation threshold.
+    pub segment_bytes: u64,
+    /// Publish a local snapshot every this many applied frames.
+    pub snapshot_every: u64,
+    /// Sync + ack every this many applied frames.
+    pub ack_every: u64,
+    /// Reconnect backoff floor.
+    pub backoff_base: Duration,
+    /// Reconnect backoff cap.
+    pub backoff_cap: Duration,
+}
+
+impl ReplicaConfig {
+    /// Defaults for `name` over `dir`: sync-on-ack every 32 frames,
+    /// snapshot every 4096, 8 MiB segments, 2 ms → 200 ms backoff.
+    pub fn new(name: impl Into<String>, dir: impl Into<PathBuf>) -> Self {
+        ReplicaConfig {
+            name: name.into(),
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryN(64),
+            segment_bytes: 8 << 20,
+            snapshot_every: 4096,
+            ack_every: 32,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(200),
+        }
+    }
+
+    /// Builder: sets the replica WAL fsync policy.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Builder: sets the local snapshot cadence (applied frames).
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "snapshot cadence must be positive");
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Builder: sets the sync + ack cadence (applied frames).
+    pub fn with_ack_every(mut self, every: u64) -> Self {
+        assert!(every > 0, "ack cadence must be positive");
+        self.ack_every = every;
+        self
+    }
+
+    /// Builder: sets the reconnect backoff floor and cap.
+    pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+}
+
+/// A point-in-time snapshot of a replica's progress.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Replica name.
+    pub name: String,
+    /// Whether a store has been installed (bootstrap or local recovery)
+    /// — reads are only servable once this is true.
+    pub ready: bool,
+    /// Whether the shipping connection is currently up.
+    pub connected: bool,
+    /// Highest LSN applied to the store.
+    pub applied_lsn: u64,
+    /// Highest LSN fsync'd to the replica's own WAL.
+    pub durable_lsn: u64,
+    /// The primary's last advertised LSN (frames + heartbeats).
+    pub primary_lsn: u64,
+    /// Frames applied (duplicates excluded).
+    pub frames_applied: u64,
+    /// Duplicate frames skipped (link retransmission / overlap).
+    pub frames_duplicate: u64,
+    /// Out-of-order gaps that forced a reconnect.
+    pub gaps: u64,
+    /// Shipping sessions established.
+    pub connections: u64,
+    /// Snapshot bootstraps received from the primary.
+    pub bootstraps: u64,
+    /// Local snapshots published.
+    pub snapshots_written: u64,
+    /// Reads served from this replica's store.
+    pub reads_served: u64,
+    /// Total `#uu` of the local staleness tracker (arrivals not yet
+    /// applied; ~0 because the replica applies synchronously).
+    pub uu_total: u64,
+}
+
+impl ReplicaStats {
+    /// Replication lag against a primary watermark (its `wal_last_lsn`).
+    pub fn lag_behind(&self, primary_last_lsn: u64) -> u64 {
+        primary_last_lsn.saturating_sub(self.applied_lsn)
+    }
+
+    /// Sessions beyond the first — how many times the link was re-made.
+    pub fn reconnects(&self) -> u64 {
+        self.connections.saturating_sub(1)
+    }
+}
+
+/// Store + staleness tracker behind one lock: reads and applies both
+/// take it, so a read never observes a half-applied record.
+#[derive(Debug)]
+struct ReplicaData {
+    store: Option<Store>,
+    tracker: StalenessTracker,
+}
+
+#[derive(Debug)]
+struct SharedState {
+    name: String,
+    dir: PathBuf,
+    data: Mutex<ReplicaData>,
+    ready: AtomicBool,
+    connected: AtomicBool,
+    applied: AtomicU64,
+    durable: AtomicU64,
+    primary: AtomicU64,
+    frames_applied: AtomicU64,
+    duplicates: AtomicU64,
+    gaps: AtomicU64,
+    connections: AtomicU64,
+    bootstraps: AtomicU64,
+    snapshots: AtomicU64,
+    reads: AtomicU64,
+    shutdown: AtomicBool,
+    graceful: AtomicBool,
+}
+
+impl SharedState {
+    fn stats(&self) -> ReplicaStats {
+        let uu_total = {
+            let data = self.data.lock().expect("replica data lock");
+            data.tracker.total_unapplied()
+        };
+        ReplicaStats {
+            name: self.name.clone(),
+            ready: self.ready.load(Ordering::Acquire),
+            connected: self.connected.load(Ordering::Acquire),
+            applied_lsn: self.applied.load(Ordering::Acquire),
+            durable_lsn: self.durable.load(Ordering::Acquire),
+            primary_lsn: self.primary.load(Ordering::Acquire),
+            frames_applied: self.frames_applied.load(Ordering::Acquire),
+            frames_duplicate: self.duplicates.load(Ordering::Acquire),
+            gaps: self.gaps.load(Ordering::Acquire),
+            connections: self.connections.load(Ordering::Acquire),
+            bootstraps: self.bootstraps.load(Ordering::Acquire),
+            snapshots_written: self.snapshots.load(Ordering::Acquire),
+            reads_served: self.reads.load(Ordering::Acquire),
+            uu_total,
+        }
+    }
+}
+
+/// A cloneable read/stats handle to a running (or stopped) replica.
+#[derive(Debug, Clone)]
+pub struct ReplicaHandle {
+    shared: Arc<SharedState>,
+}
+
+impl ReplicaHandle {
+    /// The replica's name.
+    pub fn name(&self) -> &str {
+        &self.shared.name
+    }
+
+    /// Snapshots the replica's progress counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.shared.stats()
+    }
+
+    /// Serves a read from the replica store. `None` until the replica
+    /// has a store (bootstrap or local recovery).
+    pub fn execute(&self, op: &QueryOp) -> Option<QueryResult> {
+        let data = self.shared.data.lock().expect("replica data lock");
+        let store = data.store.as_ref()?;
+        let result = op.execute(store);
+        self.shared.reads.fetch_add(1, Ordering::AcqRel);
+        Some(result)
+    }
+}
+
+/// A replica process: one thread that bootstraps, tails the primary's
+/// WAL stream, and maintains its own durable copy.
+#[derive(Debug)]
+pub struct Replica {
+    shared: Arc<SharedState>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Starts a replica of the primary shipping at `primary`. If `dir`
+    /// holds state from a previous run, the replica recovers from it
+    /// first and resumes the stream from its recovered `applied_lsn`.
+    pub fn start(primary: SocketAddr, config: ReplicaConfig) -> io::Result<Replica> {
+        std::fs::create_dir_all(&config.dir)?;
+        let shared = Arc::new(SharedState {
+            name: config.name.clone(),
+            dir: config.dir.clone(),
+            data: Mutex::new(ReplicaData {
+                store: None,
+                tracker: StalenessTracker::new(0),
+            }),
+            ready: AtomicBool::new(false),
+            connected: AtomicBool::new(false),
+            applied: AtomicU64::new(0),
+            durable: AtomicU64::new(0),
+            primary: AtomicU64::new(0),
+            frames_applied: AtomicU64::new(0),
+            duplicates: AtomicU64::new(0),
+            gaps: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            bootstraps: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            graceful: AtomicBool::new(false),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("quts-replica-{}", config.name))
+                .spawn(move || replica_main(primary, config, shared))
+                .expect("spawn replica")
+        };
+        Ok(Replica {
+            shared,
+            thread: Some(thread),
+        })
+    }
+
+    /// A cloneable read/stats handle.
+    pub fn handle(&self) -> ReplicaHandle {
+        ReplicaHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The replica's durability directory.
+    pub fn dir(&self) -> PathBuf {
+        self.shared.dir.clone()
+    }
+
+    /// Snapshots the replica's progress counters.
+    pub fn stats(&self) -> ReplicaStats {
+        self.shared.stats()
+    }
+
+    /// Graceful stop: the apply loop exits, the WAL tail is fsync'd and
+    /// a final snapshot is published — the durable seal promotion
+    /// requires. Returns the final stats.
+    pub fn shutdown(mut self) -> ReplicaStats {
+        self.shared.graceful.store(true, Ordering::Release);
+        self.stop();
+        self.shared.stats()
+    }
+
+    /// Crash stop: the apply loop exits without the final sync or
+    /// snapshot, modelling a process kill (writes already handed to the
+    /// OS survive; everything else is for recovery to sort out).
+    pub fn kill(mut self) -> ReplicaStats {
+        self.stop();
+        self.shared.stats()
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Wipes replication artefacts from the replica dir (before installing
+/// a bootstrap snapshot that supersedes whatever was there).
+fn wipe_dir(dir: &Path) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with("wal-") || name.starts_with("snap-") || name == MANIFEST_NAME {
+            std::fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Recovers replica state from its own dir: newest decodable snapshot,
+/// pending applied in order, then the WAL tail replayed **per record**
+/// (not register-collapsed — the store must land exactly where
+/// sequential application of the primary's prefix lands it).
+fn recover_local(dir: &Path) -> io::Result<Option<(Store, u64)>> {
+    if !dir.join(MANIFEST_NAME).exists() {
+        return Ok(None);
+    }
+    let mut snap = None;
+    for (_, path) in snapshot::snapshot_files(dir)? {
+        let bytes = std::fs::read(&path)?;
+        if let Ok(s) = snapshot::decode_snapshot(&bytes) {
+            snap = Some(s);
+            break;
+        }
+    }
+    let Some(snap) = snap else { return Ok(None) };
+    let mut store = snap.store;
+    for trade in &snap.pending {
+        store.apply_update(trade);
+    }
+    let mut applied = snap.last_lsn;
+    let replay = wal::replay_dir(dir, snap.last_lsn)?;
+    for frame in &replay.records {
+        if let Some(trade) = wal::decode_trade(&frame.payload) {
+            store.apply_update(&trade);
+        }
+        applied = frame.lsn;
+    }
+    Ok(Some((store, applied)))
+}
+
+fn replica_main(primary: SocketAddr, config: ReplicaConfig, shared: Arc<SharedState>) {
+    let epoch = Instant::now();
+    let mut wal: Option<Wal> = None;
+
+    // Local recovery: a restarted replica resumes from its own state
+    // instead of re-bootstrapping.
+    match recover_local(&shared.dir) {
+        Ok(Some((store, applied))) => {
+            let n = store.len();
+            {
+                let mut data = shared.data.lock().expect("replica data lock");
+                data.store = Some(store);
+                data.tracker = StalenessTracker::new(n);
+            }
+            shared.applied.store(applied, Ordering::Release);
+            shared.durable.store(applied, Ordering::Release);
+            shared.ready.store(true, Ordering::Release);
+            match Wal::create(&shared.dir, config.fsync, config.segment_bytes, applied + 1) {
+                Ok(w) => wal = Some(w),
+                Err(_) => return,
+            }
+        }
+        Ok(None) => {}
+        Err(_) => {}
+    }
+
+    let mut backoff = Backoff::new(config.backoff_base, config.backoff_cap);
+    while !shared.shutdown.load(Ordering::Acquire) {
+        let stream = match TcpStream::connect_timeout(&primary, Duration::from_millis(250)) {
+            Ok(s) => s,
+            Err(_) => {
+                thread::sleep(backoff.next_sleep());
+                continue;
+            }
+        };
+        shared.connections.fetch_add(1, Ordering::AcqRel);
+        shared.connected.store(true, Ordering::Release);
+        let before = shared.applied.load(Ordering::Acquire);
+        let outcome = replica_session(stream, &config, &shared, &mut wal, epoch);
+        shared.connected.store(false, Ordering::Release);
+        // A session that advanced the log was healthy, whatever ended
+        // it: restart the backoff streak. Fruitless sessions escalate
+        // it, so a dead primary isn't hammered.
+        if shared.applied.load(Ordering::Acquire) > before {
+            backoff.reset();
+        }
+        if outcome.is_err() {
+            thread::sleep(backoff.next_sleep());
+        }
+    }
+
+    if shared.graceful.load(Ordering::Acquire) {
+        // Durable seal: fsync the tail and publish a covering snapshot,
+        // so promotion recovers the full applied prefix with no replay
+        // ambiguity.
+        if let Some(w) = wal.as_mut() {
+            if w.sync().is_ok() {
+                shared
+                    .durable
+                    .store(shared.applied.load(Ordering::Acquire), Ordering::Release);
+            }
+            let data = shared.data.lock().expect("replica data lock");
+            if let Some(store) = data.store.as_ref() {
+                let applied = shared.applied.load(Ordering::Acquire);
+                if w.rotate().is_ok()
+                    && snapshot::publish(
+                        &shared.dir,
+                        store,
+                        data.tracker.missed_counts(),
+                        &[],
+                        applied,
+                    )
+                    .is_ok()
+                {
+                    shared.snapshots.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+}
+
+/// One shipping session: handshake, optional bootstrap, apply loop.
+/// `Ok(())` is a clean exit (shutdown); `Err` means reconnect.
+fn replica_session(
+    mut stream: TcpStream,
+    config: &ReplicaConfig,
+    shared: &SharedState,
+    wal: &mut Option<Wal>,
+    epoch: Instant,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let resume = shared.applied.load(Ordering::Acquire);
+    wire::send_hello(&mut stream, &config.name, resume)?;
+
+    match wire::read_u8(&mut stream)? {
+        wire::TAG_SNAP => {
+            let len = wire::read_u64(&mut stream)?;
+            if len > wire::MAX_SNAPSHOT {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "bootstrap snapshot implausibly large",
+                ));
+            }
+            let mut bytes = vec![0u8; len as usize];
+            stream.read_exact(&mut bytes)?;
+            let snap = snapshot::decode_snapshot(&bytes)?;
+            install_snapshot(config, shared, wal, snap)?;
+        }
+        wire::TAG_RESUME => {
+            if wal.is_none() {
+                // The primary agreed to resume but we have no baseline
+                // store — protocol violation, don't guess.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "resume offered to a replica with no local state",
+                ));
+            }
+        }
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "unexpected preamble tag from primary",
+            ));
+        }
+    }
+
+    // Apply loop. Reads are timeout-bounded so shutdown stays prompt.
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let mut since_ack = 0u64;
+    let mut since_snapshot = 0u64;
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            ack_now(&mut stream, shared, wal).ok();
+            return Ok(());
+        }
+        match wire::read_u8(&mut stream) {
+            Ok(wire::TAG_FRAME) => {
+                let frame = read_frame(&mut stream)?;
+                shared.primary.fetch_max(frame.lsn, Ordering::AcqRel);
+                let applied = shared.applied.load(Ordering::Acquire);
+                if frame.lsn <= applied {
+                    shared.duplicates.fetch_add(1, Ordering::AcqRel);
+                    continue;
+                }
+                if frame.lsn > applied + 1 {
+                    // A hole (dropped frame / missed history): resuming
+                    // from `applied` is the only safe continuation.
+                    shared.gaps.fetch_add(1, Ordering::AcqRel);
+                    ack_now(&mut stream, shared, wal).ok();
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "LSN gap in shipped stream",
+                    ));
+                }
+                apply_frame(shared, wal, &frame, epoch)?;
+                since_ack += 1;
+                since_snapshot += 1;
+                if since_ack >= config.ack_every {
+                    ack_now(&mut stream, shared, wal)?;
+                    since_ack = 0;
+                }
+                if since_snapshot >= config.snapshot_every {
+                    publish_local_snapshot(shared, wal)?;
+                    since_snapshot = 0;
+                }
+            }
+            Ok(wire::TAG_HEARTBEAT) => {
+                let watermark = wire::read_u64(&mut stream)?;
+                shared.primary.fetch_max(watermark, Ordering::AcqRel);
+                ack_now(&mut stream, shared, wal)?;
+                since_ack = 0;
+            }
+            Ok(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "unexpected stream tag from primary",
+                ));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Idle: make buffered progress durable and report it.
+                if since_ack > 0 {
+                    ack_now(&mut stream, shared, wal)?;
+                    since_ack = 0;
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Installs a bootstrap snapshot: the snapshot's store with its pending
+/// tail applied in order *is* the sequential state at `last_lsn`. The
+/// local dir is re-seeded so recovery and promotion see a normal
+/// `snapshot + WAL` layout.
+fn install_snapshot(
+    config: &ReplicaConfig,
+    shared: &SharedState,
+    wal: &mut Option<Wal>,
+    snap: snapshot::Snapshot,
+) -> io::Result<()> {
+    // Close any open WAL before deleting its files out from under it.
+    *wal = None;
+    wipe_dir(&shared.dir)?;
+    let mut store = snap.store;
+    for trade in &snap.pending {
+        store.apply_update(trade);
+    }
+    let n = store.len();
+    snapshot::publish(&shared.dir, &store, &vec![0; n], &[], snap.last_lsn)?;
+    *wal = Some(Wal::create(
+        &shared.dir,
+        config.fsync,
+        config.segment_bytes,
+        snap.last_lsn + 1,
+    )?);
+    {
+        let mut data = shared.data.lock().expect("replica data lock");
+        data.store = Some(store);
+        data.tracker = StalenessTracker::new(n);
+    }
+    shared.applied.store(snap.last_lsn, Ordering::Release);
+    shared.durable.store(snap.last_lsn, Ordering::Release);
+    shared.primary.fetch_max(snap.last_lsn, Ordering::AcqRel);
+    shared.bootstraps.fetch_add(1, Ordering::AcqRel);
+    shared.ready.store(true, Ordering::Release);
+    Ok(())
+}
+
+/// Reads one shipped WAL frame off the stream and CRC-checks it with
+/// the same decoder replay uses. The header read tolerates the stream's
+/// short timeout; once a header is in hand the payload gets a generous
+/// one (a stalled half-frame is a link failure, handled by reconnect).
+fn read_frame(stream: &mut TcpStream) -> io::Result<Frame> {
+    let mut header = [0u8; wal::FRAME_HEADER];
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let result = (|| {
+        stream.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        if len > wal::MAX_PAYLOAD {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shipped frame payload implausibly large",
+            ));
+        }
+        let mut buf = Vec::with_capacity(wal::FRAME_HEADER + len);
+        buf.extend_from_slice(&header);
+        buf.resize(wal::FRAME_HEADER + len, 0);
+        stream.read_exact(&mut buf[wal::FRAME_HEADER..])?;
+        match wal::decode_frame(&buf, 0) {
+            Ok(Some((frame, _))) => Ok(frame),
+            Ok(None) | Err(_) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "shipped frame failed CRC/length validation",
+            )),
+        }
+    })();
+    stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+    result
+}
+
+/// Applies one in-order frame: append to the local WAL (byte-identical,
+/// same LSN), then run it through the store + staleness tracker.
+fn apply_frame(
+    shared: &SharedState,
+    wal: &mut Option<Wal>,
+    frame: &Frame,
+    epoch: Instant,
+) -> io::Result<()> {
+    let w = wal
+        .as_mut()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame before any baseline"))?;
+    let lsn = w.append(&frame.payload)?;
+    debug_assert_eq!(lsn, frame.lsn, "replica WAL diverged from stream LSNs");
+    {
+        let mut data = shared.data.lock().expect("replica data lock");
+        if let Some(trade) = wal::decode_trade(&frame.payload) {
+            let now_us = epoch.elapsed().as_micros() as u64;
+            data.tracker.on_arrival(trade.stock, now_us);
+            if let Some(store) = data.store.as_mut() {
+                store.apply_update(&trade);
+            }
+            data.tracker.on_apply(trade.stock);
+        }
+    }
+    shared.applied.store(frame.lsn, Ordering::Release);
+    shared.frames_applied.fetch_add(1, Ordering::AcqRel);
+    Ok(())
+}
+
+/// Syncs the local WAL, then acks. The sync-before-ack order is the
+/// durability contract: an acked LSN is never lost to a replica crash.
+fn ack_now(stream: &mut TcpStream, shared: &SharedState, wal: &mut Option<Wal>) -> io::Result<()> {
+    let applied = shared.applied.load(Ordering::Acquire);
+    if let Some(w) = wal.as_mut() {
+        if applied > shared.durable.load(Ordering::Acquire) {
+            w.sync()?;
+            shared.durable.store(applied, Ordering::Release);
+        }
+    }
+    let uu = {
+        let data = shared.data.lock().expect("replica data lock");
+        data.tracker.total_unapplied()
+    };
+    wire::send_ack(
+        stream,
+        Ack {
+            applied_lsn: applied,
+            durable_lsn: shared.durable.load(Ordering::Acquire),
+            uu,
+        },
+    )
+}
+
+/// Rotates the local WAL and publishes a covering snapshot, mirroring
+/// the primary's cadence so old replica segments stay collectable.
+fn publish_local_snapshot(shared: &SharedState, wal: &mut Option<Wal>) -> io::Result<()> {
+    let Some(w) = wal.as_mut() else { return Ok(()) };
+    let applied = shared.applied.load(Ordering::Acquire);
+    w.rotate()?;
+    shared.durable.store(applied, Ordering::Release);
+    let data = shared.data.lock().expect("replica data lock");
+    let Some(store) = data.store.as_ref() else {
+        return Ok(());
+    };
+    snapshot::publish(
+        &shared.dir,
+        store,
+        data.tracker.missed_counts(),
+        &[],
+        applied,
+    )?;
+    drop(data);
+    shared.snapshots.fetch_add(1, Ordering::AcqRel);
+    Ok(())
+}

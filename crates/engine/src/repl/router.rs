@@ -1,0 +1,272 @@
+//! QC-aware read routing over a primary and its replicas.
+//!
+//! The router implements the **degradation ladder** the paper's quality
+//! contracts make possible: each read goes to the *cheapest* node whose
+//! staleness bound still earns the query's full QoD profit — a healthy
+//! replica when the contract tolerates its lag, the primary when no
+//! replica qualifies, and a bounded [`RoutedReadError::Busy`] shed when
+//! the primary's admission queue is full. The qodmax check happens **at
+//! dispatch**: a routed read never knowingly violates its contract's
+//! freshness demand.
+//!
+//! Replica health is lag-based with hysteresis: a replica whose lag
+//! exceeds `demotion_lag` is demoted out of the rotation and only
+//! rejoins once it has caught back up under `rejoin_lag`, so a flapping
+//! link doesn't thrash routing decisions.
+
+use crate::repl::replica::ReplicaHandle;
+use crate::runtime::{EngineHandle, QueryError, QueryReply, SubmitError};
+use quts_db::QueryOp;
+use quts_qc::QualityContract;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::RwLock;
+use std::time::{Duration, Instant};
+
+/// Knobs for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Slack when comparing a replica's achievable QoD profit to the
+    /// contract's maximum (float-compare guard, not a policy knob).
+    pub qod_eps: f64,
+    /// Lag (in LSNs) past which a replica is demoted from routing.
+    pub demotion_lag: u64,
+    /// Lag a demoted replica must get back under to rejoin.
+    pub rejoin_lag: u64,
+    /// How long a primary-fallback read may wait for its reply.
+    pub query_timeout: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            qod_eps: 1e-9,
+            demotion_lag: 1024,
+            rejoin_lag: 64,
+            query_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Builder: sets the demotion/rejoin lag thresholds (hysteresis —
+    /// `rejoin` must not exceed `demotion`).
+    pub fn with_health_lags(mut self, demotion: u64, rejoin: u64) -> Self {
+        assert!(rejoin <= demotion, "rejoin threshold above demotion");
+        self.demotion_lag = demotion;
+        self.rejoin_lag = rejoin;
+        self
+    }
+
+    /// Builder: sets the primary-fallback reply timeout.
+    pub fn with_query_timeout(mut self, timeout: Duration) -> Self {
+        self.query_timeout = timeout;
+        self
+    }
+}
+
+/// Why a routed read failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutedReadError {
+    /// No replica qualified and the primary's admission queue was full:
+    /// the read was shed. Bounded, deliberate degradation — not a hang.
+    Busy,
+    /// The query's contract lifetime ran out before it executed.
+    Expired,
+    /// The primary accepted the query but no reply arrived in time.
+    Timeout,
+    /// The primary engine is down (poisoned or shut down).
+    EngineDown,
+}
+
+impl fmt::Display for RoutedReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutedReadError::Busy => write!(f, "busy"),
+            RoutedReadError::Expired => write!(f, "expired"),
+            RoutedReadError::Timeout => write!(f, "timeout"),
+            RoutedReadError::EngineDown => write!(f, "engine down"),
+        }
+    }
+}
+
+/// Routing counters, readable at any time via [`Router::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Reads served by a replica.
+    pub routed_replica: u64,
+    /// Reads that fell back to the primary.
+    pub routed_primary: u64,
+    /// Reads shed with [`RoutedReadError::Busy`].
+    pub shed_busy: u64,
+    /// Replica demotions (lag exceeded the threshold).
+    pub demotions: u64,
+    /// Replica rejoins (lag recovered under the threshold).
+    pub rejoins: u64,
+    /// Replica-served reads whose dispatch-time staleness bound would
+    /// NOT have earned full QoD profit. Audited after the qualification
+    /// check — this stays zero by construction, and the conformance
+    /// oracle asserts it.
+    pub qod_violations: u64,
+}
+
+struct ReplicaSlot {
+    handle: ReplicaHandle,
+    demoted: AtomicBool,
+}
+
+/// A QC-aware read router over one primary and any number of replicas.
+///
+/// Replicas can be attached while the router is live (behind an `Arc`,
+/// e.g. from a server admin path): the pool is read-locked per route
+/// and write-locked only by [`Router::add_replica`].
+pub struct Router {
+    primary: EngineHandle,
+    slots: RwLock<Vec<ReplicaSlot>>,
+    cfg: RouterConfig,
+    routed_replica: AtomicU64,
+    routed_primary: AtomicU64,
+    shed_busy: AtomicU64,
+    demotions: AtomicU64,
+    rejoins: AtomicU64,
+    qod_violations: AtomicU64,
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Router")
+            .field("replicas", &self.replica_count())
+            .field("cfg", &self.cfg)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// A router over `primary` with no replicas yet.
+    pub fn new(primary: EngineHandle, cfg: RouterConfig) -> Router {
+        Router {
+            primary,
+            slots: RwLock::new(Vec::new()),
+            cfg,
+            routed_replica: AtomicU64::new(0),
+            routed_primary: AtomicU64::new(0),
+            shed_busy: AtomicU64::new(0),
+            demotions: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            qod_violations: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds a replica to the routing pool (usable on a shared router).
+    pub fn add_replica(&self, handle: ReplicaHandle) {
+        self.slots
+            .write()
+            .expect("router slots lock")
+            .push(ReplicaSlot {
+                handle,
+                demoted: AtomicBool::new(false),
+            });
+    }
+
+    /// How many replicas are in the pool (demoted ones included).
+    pub fn replica_count(&self) -> usize {
+        self.slots.read().expect("router slots lock").len()
+    }
+
+    /// Stats for every replica in the pool, in attachment order.
+    pub fn replica_stats(&self) -> Vec<crate::repl::replica::ReplicaStats> {
+        let slots = self.slots.read().expect("router slots lock");
+        slots.iter().map(|s| s.handle.stats()).collect()
+    }
+
+    /// Snapshots the routing counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            routed_replica: self.routed_replica.load(Ordering::Acquire),
+            routed_primary: self.routed_primary.load(Ordering::Acquire),
+            shed_busy: self.shed_busy.load(Ordering::Acquire),
+            demotions: self.demotions.load(Ordering::Acquire),
+            rejoins: self.rejoins.load(Ordering::Acquire),
+            qod_violations: self.qod_violations.load(Ordering::Acquire),
+        }
+    }
+
+    /// Picks the qualifying replica with the smallest staleness bound.
+    /// Returns its handle and the bound used to qualify it.
+    fn pick_replica(&self, qc: &QualityContract) -> Option<(ReplicaHandle, u64)> {
+        let primary_lsn = self.primary.stats().wal_last_lsn;
+        let slots = self.slots.read().expect("router slots lock");
+        let mut best: Option<(usize, u64)> = None;
+        for (i, slot) in slots.iter().enumerate() {
+            let s = slot.handle.stats();
+            if !s.ready {
+                continue;
+            }
+            let lag = s.lag_behind(primary_lsn);
+            // Lag-based health with hysteresis.
+            if slot.demoted.load(Ordering::Acquire) {
+                if lag <= self.cfg.rejoin_lag {
+                    slot.demoted.store(false, Ordering::Release);
+                    self.rejoins.fetch_add(1, Ordering::AcqRel);
+                } else {
+                    continue;
+                }
+            } else if lag > self.cfg.demotion_lag {
+                slot.demoted.store(true, Ordering::Release);
+                self.demotions.fetch_add(1, Ordering::AcqRel);
+                continue;
+            }
+            // The dispatch-time staleness bound: replication lag plus
+            // whatever the replica itself has not applied yet.
+            let bound = lag + s.uu_total;
+            if qc.qod_profit(bound as f64) + self.cfg.qod_eps >= qc.qodmax()
+                && best.is_none_or(|(_, b)| bound < b)
+            {
+                best = Some((i, bound));
+            }
+        }
+        best.map(|(i, bound)| (slots[i].handle.clone(), bound))
+    }
+
+    /// Routes one read: cheapest qualifying replica, else the primary,
+    /// else a bounded shed.
+    pub fn route(&self, op: QueryOp, qc: QualityContract) -> Result<QueryReply, RoutedReadError> {
+        if let Some((replica, bound)) = self.pick_replica(&qc) {
+            let started = Instant::now();
+            if let Some(result) = replica.execute(&op) {
+                let rt_ms = started.elapsed().as_secs_f64() * 1e3;
+                let staleness = bound as f64;
+                let (qos, qod) = qc.profit_split(rt_ms, staleness);
+                if qc.qod_profit(staleness) + self.cfg.qod_eps < qc.qodmax() {
+                    self.qod_violations.fetch_add(1, Ordering::AcqRel);
+                }
+                self.routed_replica.fetch_add(1, Ordering::AcqRel);
+                return Ok(QueryReply {
+                    result,
+                    rt_ms,
+                    staleness,
+                    qos,
+                    qod,
+                });
+            }
+            // The replica lost its store between pick and execute
+            // (re-bootstrap in flight): fall through to the primary.
+        }
+        match self.primary.submit_query(op, qc) {
+            Ok(ticket) => match ticket.recv_timeout(self.cfg.query_timeout) {
+                Ok(reply) => {
+                    self.routed_primary.fetch_add(1, Ordering::AcqRel);
+                    Ok(reply)
+                }
+                Err(QueryError::Expired) => Err(RoutedReadError::Expired),
+                Err(QueryError::Timeout) => Err(RoutedReadError::Timeout),
+                Err(QueryError::EngineDown) => Err(RoutedReadError::EngineDown),
+            },
+            Err(SubmitError::QueueFull) => {
+                self.shed_busy.fetch_add(1, Ordering::AcqRel);
+                Err(RoutedReadError::Busy)
+            }
+            Err(SubmitError::EngineDown) => Err(RoutedReadError::EngineDown),
+        }
+    }
+}

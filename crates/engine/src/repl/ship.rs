@@ -1,0 +1,438 @@
+//! Primary-side WAL shipping.
+//!
+//! [`ShipListener`] serves the engine's durability directory over TCP:
+//! each connected replica gets its own shipping thread that follows the
+//! log with a read-only [`WalTailer`] — never the mutating
+//! `replay_dir` — and streams frames in LSN order. A replica that asks
+//! to resume from LSN 0 (no local state) or from a point the primary
+//! has already garbage-collected is bootstrapped from the newest
+//! snapshot file first, then tailed from the snapshot's LSN.
+//!
+//! The shipper is also the chaos port: a [`LinkFaultPlan`] injects
+//! dropped frames, duplicated frames, per-frame delay and mid-frame
+//! disconnects into the outgoing stream, exercising exactly the resume
+//! and CRC paths a flaky network would.
+
+use crate::fault::LinkFaultPlan;
+use crate::repl::wire::{self, Ack};
+use quts_db::snapshot;
+use quts_db::tail::{TailPoll, WalTailer};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Knobs for a [`ShipListener`].
+#[derive(Debug, Clone)]
+pub struct ShipConfig {
+    /// Address to listen on (`127.0.0.1:0` picks a free port).
+    pub addr: SocketAddr,
+    /// Outgoing-link fault injection, applied per connection.
+    pub fault: Option<LinkFaultPlan>,
+    /// How often an idle stream sends its watermark heartbeat.
+    pub heartbeat: Duration,
+    /// How long to sleep when the tailer reports no new frames.
+    pub poll_interval: Duration,
+    /// Frames fetched per tailer poll (bounds per-iteration memory).
+    pub batch: usize,
+}
+
+impl Default for ShipConfig {
+    fn default() -> Self {
+        ShipConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            fault: None,
+            heartbeat: Duration::from_millis(25),
+            poll_interval: Duration::from_millis(2),
+            batch: 256,
+        }
+    }
+}
+
+impl ShipConfig {
+    /// Builder: sets the outgoing-link fault plan.
+    pub fn with_fault(mut self, fault: LinkFaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Builder: sets the heartbeat interval.
+    pub fn with_heartbeat(mut self, every: Duration) -> Self {
+        self.heartbeat = every;
+        self
+    }
+}
+
+/// The primary's view of one replica, aggregated from its acks. All
+/// counters survive reconnects (keyed by replica name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaPeerStats {
+    /// Replica name from its handshake.
+    pub name: String,
+    /// Highest LSN the replica reported applied.
+    pub applied_lsn: u64,
+    /// Highest LSN the replica reported durable in its own WAL.
+    pub durable_lsn: u64,
+    /// The replica's last reported total `#uu`.
+    pub uu: u64,
+    /// Whether a shipping connection is currently open.
+    pub connected: bool,
+    /// Frames written to this replica's link (dropped frames excluded).
+    pub frames_shipped: u64,
+    /// Snapshot bootstraps served.
+    pub bootstraps: u64,
+    /// Connections accepted for this name.
+    pub connections: u64,
+}
+
+#[derive(Debug, Default)]
+struct PeerEntry {
+    applied: AtomicU64,
+    durable: AtomicU64,
+    uu: AtomicU64,
+    connected: AtomicBool,
+    shipped: AtomicU64,
+    bootstraps: AtomicU64,
+    connections: AtomicU64,
+}
+
+/// Shared registry of per-replica shipping state — the source for the
+/// server's per-replica `METRICS` gauges.
+#[derive(Debug, Default)]
+pub struct ShipRegistry {
+    peers: Mutex<HashMap<String, Arc<PeerEntry>>>,
+}
+
+impl ShipRegistry {
+    fn entry(&self, name: &str) -> Arc<PeerEntry> {
+        let mut peers = self.peers.lock().expect("registry lock");
+        Arc::clone(peers.entry(name.to_string()).or_default())
+    }
+
+    /// Snapshots every known replica, sorted by name.
+    pub fn peers(&self) -> Vec<ReplicaPeerStats> {
+        let peers = self.peers.lock().expect("registry lock");
+        let mut out: Vec<ReplicaPeerStats> = peers
+            .iter()
+            .map(|(name, e)| ReplicaPeerStats {
+                name: name.clone(),
+                applied_lsn: e.applied.load(Ordering::Acquire),
+                durable_lsn: e.durable.load(Ordering::Acquire),
+                uu: e.uu.load(Ordering::Acquire),
+                connected: e.connected.load(Ordering::Acquire),
+                frames_shipped: e.shipped.load(Ordering::Acquire),
+                bootstraps: e.bootstraps.load(Ordering::Acquire),
+                connections: e.connections.load(Ordering::Acquire),
+            })
+            .collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+/// A WAL shipping service over a durability directory.
+///
+/// Dropping the listener (or calling [`ShipListener::shutdown`]) stops
+/// accepting and signals every shipping thread to exit.
+#[derive(Debug)]
+pub struct ShipListener {
+    addr: SocketAddr,
+    registry: Arc<ShipRegistry>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ShipListener {
+    /// Starts shipping `dir` (an engine durability directory) on
+    /// `config.addr`.
+    pub fn start(dir: impl Into<PathBuf>, config: ShipConfig) -> io::Result<ShipListener> {
+        let dir = dir.into();
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let registry = Arc::new(ShipRegistry::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("quts-ship-accept".into())
+                .spawn(move || accept_loop(listener, dir, config, registry, stop))
+                .expect("spawn acceptor")
+        };
+        Ok(ShipListener {
+            addr,
+            registry,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address replicas should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The per-replica stats registry.
+    pub fn registry(&self) -> Arc<ShipRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Stops accepting and signals shipping threads to exit.
+    pub fn shutdown(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ShipListener {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    dir: PathBuf,
+    config: ShipConfig,
+    registry: Arc<ShipRegistry>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let dir = dir.clone();
+                let config = config.clone();
+                let registry = Arc::clone(&registry);
+                let stop = Arc::clone(&stop);
+                let handle = thread::Builder::new()
+                    .name("quts-ship-conn".into())
+                    .spawn(move || {
+                        // Shipping errors close the connection; the
+                        // replica reconnects and resumes.
+                        let _ = ship_connection(stream, &dir, &config, &registry, &stop);
+                    })
+                    .expect("spawn shipper");
+                conns.push(handle);
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+/// Reads the newest decodable snapshot's raw file bytes (the replica
+/// re-checks the trailing CRC itself after transfer).
+fn newest_snapshot_bytes(dir: &Path) -> io::Result<(u64, Vec<u8>)> {
+    for (lsn, path) in snapshot::snapshot_files(dir)? {
+        let mut bytes = Vec::new();
+        if File::open(&path)
+            .and_then(|mut f| f.read_to_end(&mut bytes))
+            .is_err()
+        {
+            continue;
+        }
+        if snapshot::decode_snapshot(&bytes).is_ok() {
+            return Ok((lsn, bytes));
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        "no decodable snapshot to bootstrap from",
+    ))
+}
+
+/// Per-connection link-fault state: counters over the frame sequence
+/// this connection has attempted to ship.
+#[derive(Debug, Default)]
+struct LinkState {
+    seen: u64,
+}
+
+enum LinkAction {
+    Ship,
+    ShipTwice,
+    Drop,
+    DisconnectMidFrame,
+}
+
+impl LinkState {
+    fn next(&mut self, plan: Option<&LinkFaultPlan>) -> LinkAction {
+        self.seen += 1;
+        let Some(plan) = plan else {
+            return LinkAction::Ship;
+        };
+        if let Some(d) = plan.delay_per_frame {
+            thread::sleep(d);
+        }
+        let hits = |every: Option<u64>| every.is_some_and(|k| self.seen.is_multiple_of(k));
+        // Disconnect outranks the others: it ends the connection, so a
+        // same-index drop/duplicate would be moot anyway.
+        if hits(plan.disconnect_mid_frame_every) {
+            LinkAction::DisconnectMidFrame
+        } else if hits(plan.drop_frame_every) {
+            LinkAction::Drop
+        } else if hits(plan.duplicate_frame_every) {
+            LinkAction::ShipTwice
+        } else {
+            LinkAction::Ship
+        }
+    }
+}
+
+fn ship_connection(
+    mut stream: TcpStream,
+    dir: &Path,
+    config: &ShipConfig,
+    registry: &ShipRegistry,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // The handshake arrives promptly or the connection is abandoned.
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let hello = wire::read_hello(&mut stream)?;
+    let peer = registry.entry(&hello.name);
+    peer.connections.fetch_add(1, Ordering::AcqRel);
+    peer.connected.store(true, Ordering::Release);
+    let result = ship_stream(&mut stream, dir, config, &peer, hello.resume_lsn, stop);
+    peer.connected.store(false, Ordering::Release);
+    result
+}
+
+fn ship_stream(
+    stream: &mut TcpStream,
+    dir: &Path,
+    config: &ShipConfig,
+    peer: &PeerEntry,
+    resume_lsn: u64,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    // Bootstrap decision: a replica with no state (resume 0) always gets
+    // a snapshot (it needs a baseline store); a resuming replica gets
+    // one only if the segments covering its position were collected.
+    let needs_snapshot = resume_lsn == 0 || {
+        let mut probe = WalTailer::new(dir, resume_lsn);
+        matches!(probe.poll(1)?, TailPoll::Gap { .. })
+    };
+    let mut tailer = if needs_snapshot {
+        let (snap_lsn, bytes) = newest_snapshot_bytes(dir)?;
+        stream.write_all(&[wire::TAG_SNAP])?;
+        stream.write_all(&(bytes.len() as u64).to_le_bytes())?;
+        stream.write_all(&bytes)?;
+        peer.bootstraps.fetch_add(1, Ordering::AcqRel);
+        WalTailer::new(dir, snap_lsn)
+    } else {
+        stream.write_all(&[wire::TAG_RESUME])?;
+        WalTailer::new(dir, resume_lsn)
+    };
+
+    let mut link = LinkState::default();
+    let mut last_beat = Instant::now();
+    // Ack reads are opportunistic: a short timeout per loop iteration.
+    stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+
+    while !stop.load(Ordering::Acquire) {
+        let frames = match tailer.poll(config.batch)? {
+            TailPoll::Frames(frames) => frames,
+            TailPoll::Gap { .. } => {
+                // The log moved on under us (snapshot GC). Closing makes
+                // the replica reconnect, and the fresh handshake takes
+                // the bootstrap path.
+                return Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "shipped position was garbage-collected",
+                ));
+            }
+        };
+        let progressed = !frames.is_empty();
+        for frame in &frames {
+            let bytes = quts_db::wal::encode_frame(frame.lsn, &frame.payload);
+            match link.next(config.fault.as_ref()) {
+                LinkAction::Ship => {
+                    stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&bytes)?;
+                    peer.shipped.fetch_add(1, Ordering::AcqRel);
+                }
+                LinkAction::ShipTwice => {
+                    stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&bytes)?;
+                    stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&bytes)?;
+                    peer.shipped.fetch_add(2, Ordering::AcqRel);
+                }
+                LinkAction::Drop => {}
+                LinkAction::DisconnectMidFrame => {
+                    // Half a frame, then a hard close: the receiver sees
+                    // a short read and must resume from its last ack.
+                    let half = bytes.len() / 2;
+                    stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&bytes[..half])?;
+                    stream.flush()?;
+                    return Err(io::Error::other("fault injection: mid-frame disconnect"));
+                }
+            }
+        }
+
+        // Drain any progress reports the replica sent.
+        loop {
+            match wire::read_u8(stream) {
+                Ok(tag) if tag == wire::TAG_ACK => {
+                    // The tag arrived; give the 24-byte body a real
+                    // timeout so a packet boundary can't desync us.
+                    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+                    let ack: Ack = wire::read_ack_body(stream)?;
+                    stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+                    peer.applied.store(ack.applied_lsn, Ordering::Release);
+                    peer.durable.store(ack.durable_lsn, Ordering::Release);
+                    peer.uu.store(ack.uu, Ordering::Release);
+                }
+                Ok(_) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected tag from replica",
+                    ));
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        if last_beat.elapsed() >= config.heartbeat {
+            // The watermark is the last file-visible LSN at the tailer's
+            // position — what lag is measured against on the wire.
+            let mut beat = [0u8; 9];
+            beat[0] = wire::TAG_HEARTBEAT;
+            beat[1..9].copy_from_slice(&(tailer.next_lsn() - 1).to_le_bytes());
+            stream.write_all(&beat)?;
+            last_beat = Instant::now();
+        }
+
+        if !progressed {
+            thread::sleep(config.poll_interval);
+        }
+    }
+    Ok(())
+}

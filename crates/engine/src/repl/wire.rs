@@ -1,0 +1,172 @@
+//! The replication wire protocol: a thin binary layer over TCP.
+//!
+//! The stream payload *is* the WAL: shipped records travel as the exact
+//! `[len ‖ crc ‖ lsn ‖ payload]` frames [`quts_db::wal::encode_frame`]
+//! produces, so the receiver applies the same CRC check replay does and
+//! a corrupted link is detected the same way corrupted media is.
+//!
+//! ```text
+//! replica → primary   HELLO:      "QUTSREPL" ‖ name_len u16 ‖ name ‖ resume_lsn u64
+//! primary → replica   preamble:   TAG_SNAP ‖ len u64 ‖ snapshot bytes
+//!                              or TAG_RESUME               (stream continues at resume_lsn+1)
+//! primary → replica   stream:     TAG_FRAME ‖ wal frame    (repeated)
+//!                              or TAG_HEARTBEAT ‖ last_lsn u64
+//! replica → primary   ack:        TAG_ACK ‖ applied u64 ‖ durable u64 ‖ uu u64
+//! ```
+//!
+//! All integers little-endian, matching the WAL on disk.
+
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening every replication handshake.
+pub(crate) const HANDSHAKE_MAGIC: &[u8; 8] = b"QUTSREPL";
+
+/// One shipped WAL frame follows.
+pub(crate) const TAG_FRAME: u8 = 0;
+/// A snapshot bootstrap follows (length-prefixed snapshot file bytes).
+pub(crate) const TAG_SNAP: u8 = 1;
+/// A replica progress report follows (applied, durable, `#uu`).
+pub(crate) const TAG_ACK: u8 = 2;
+/// A primary liveness/watermark beacon follows (last file-visible LSN).
+pub(crate) const TAG_HEARTBEAT: u8 = 3;
+/// Preamble: no bootstrap needed, frames resume from the requested LSN.
+pub(crate) const TAG_RESUME: u8 = 4;
+
+/// Longest accepted replica name.
+pub(crate) const MAX_NAME: usize = 256;
+/// Largest accepted snapshot transfer (1 GiB sanity bound).
+pub(crate) const MAX_SNAPSHOT: u64 = 1 << 30;
+
+/// The replica's opening message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Hello {
+    /// Replica name (registry key; routing and metrics label).
+    pub name: String,
+    /// Highest LSN the replica has applied; the stream resumes after it.
+    pub resume_lsn: u64,
+}
+
+/// A replica progress report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Ack {
+    /// Highest LSN applied to the replica store.
+    pub applied_lsn: u64,
+    /// Highest LSN the replica has fsync'd to its own WAL.
+    pub durable_lsn: u64,
+    /// The replica's total `#uu` at ack time.
+    pub uu: u64,
+}
+
+pub(crate) fn read_u16(r: &mut impl Read) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+pub(crate) fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+pub(crate) fn read_u8(r: &mut impl Read) -> io::Result<u8> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+fn bad(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("repl wire: {what}"))
+}
+
+/// Writes the replica's handshake.
+pub(crate) fn send_hello(w: &mut impl Write, name: &str, resume_lsn: u64) -> io::Result<()> {
+    assert!(name.len() <= MAX_NAME, "replica name too long");
+    let mut buf = Vec::with_capacity(HANDSHAKE_MAGIC.len() + 2 + name.len() + 8);
+    buf.extend_from_slice(HANDSHAKE_MAGIC);
+    buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+    buf.extend_from_slice(name.as_bytes());
+    buf.extend_from_slice(&resume_lsn.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads and validates a handshake.
+pub(crate) fn read_hello(r: &mut impl Read) -> io::Result<Hello> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != HANDSHAKE_MAGIC {
+        return Err(bad("bad handshake magic"));
+    }
+    let name_len = read_u16(r)? as usize;
+    if name_len > MAX_NAME {
+        return Err(bad("replica name too long"));
+    }
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| bad("non-utf8 replica name"))?;
+    let resume_lsn = read_u64(r)?;
+    Ok(Hello { name, resume_lsn })
+}
+
+/// Writes one progress report (single write: arrives atomically in
+/// practice, so the shipper's timeout-bounded reads never desync).
+pub(crate) fn send_ack(w: &mut impl Write, ack: Ack) -> io::Result<()> {
+    let mut buf = [0u8; 25];
+    buf[0] = TAG_ACK;
+    buf[1..9].copy_from_slice(&ack.applied_lsn.to_le_bytes());
+    buf[9..17].copy_from_slice(&ack.durable_lsn.to_le_bytes());
+    buf[17..25].copy_from_slice(&ack.uu.to_le_bytes());
+    w.write_all(&buf)
+}
+
+/// Reads an ack body (the tag byte was already consumed).
+pub(crate) fn read_ack_body(r: &mut impl Read) -> io::Result<Ack> {
+    Ok(Ack {
+        applied_lsn: read_u64(r)?,
+        durable_lsn: read_u64(r)?,
+        uu: read_u64(r)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roundtrip() {
+        let mut buf = Vec::new();
+        send_hello(&mut buf, "replica-a", 42).unwrap();
+        let hello = read_hello(&mut buf.as_slice()).unwrap();
+        assert_eq!(
+            hello,
+            Hello {
+                name: "replica-a".into(),
+                resume_lsn: 42
+            }
+        );
+    }
+
+    #[test]
+    fn hello_rejects_garbage() {
+        assert!(read_hello(&mut &b"NOTMAGIC\x00\x00"[..]).is_err());
+        // Oversized name length is refused before allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(HANDSHAKE_MAGIC);
+        buf.extend_from_slice(&(MAX_NAME as u16 + 1).to_le_bytes());
+        assert!(read_hello(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let ack = Ack {
+            applied_lsn: 7,
+            durable_lsn: 5,
+            uu: 3,
+        };
+        let mut buf = Vec::new();
+        send_ack(&mut buf, ack).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), TAG_ACK);
+        assert_eq!(read_ack_body(&mut r).unwrap(), ack);
+    }
+}

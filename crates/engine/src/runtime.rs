@@ -216,6 +216,7 @@ impl Engine {
             recovery_replayed_updates: rec.replayed,
             wal_truncated_bytes: rec.truncated_bytes,
             snapshot_last_lsn: rec.snapshot_lsn,
+            wal_last_lsn: rec.next_lsn - 1,
             pending_updates: rec.pending.len() as u64,
             ..LiveStats::default()
         };
@@ -693,10 +694,10 @@ impl<'a> Runtime<'a> {
                 // — the panic unwinds to the supervisor, which rebuilds
                 // from snapshot + WAL tail rather than carrying on with
                 // a durability hole.
-                let mut logged = false;
+                let mut logged = None;
                 if let Some(durable) = self.durable.as_mut() {
                     match durable.append(&trade, &self.config.fault, &self.faults) {
-                        Ok(_lsn) => logged = true,
+                        Ok(lsn) => logged = Some(lsn),
                         Err(e) => {
                             self.stats.lock().wal_io_errors += 1;
                             panic!("wal append failed (fail-stop): {e}");
@@ -736,8 +737,9 @@ impl<'a> Runtime<'a> {
                 // shares this lock acquisition: the append hot path
                 // shouldn't pay twice.
                 let mut s = self.stats.lock();
-                if logged {
+                if let Some(lsn) = logged {
                     s.wal_appended += 1;
+                    s.wal_last_lsn = lsn;
                 }
                 self.set_depth_gauges(&mut s);
             }

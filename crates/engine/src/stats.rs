@@ -69,6 +69,9 @@ pub struct LiveStats {
     // --- Durability & recovery ---
     /// Updates appended to the WAL (before enqueue).
     pub wal_appended: u64,
+    /// LSN of the most recent WAL append (0: nothing appended yet).
+    /// Replication lag is measured against this watermark.
+    pub wal_last_lsn: u64,
     /// WAL/snapshot IO errors absorbed (fail-stop appends, failed
     /// shutdown snapshots).
     pub wal_io_errors: u64,
@@ -132,6 +135,7 @@ mod tests {
         assert_eq!(s.shed_on_restart_queries, 0);
         assert_eq!(s.shed_on_restart_updates, 0);
         assert_eq!(s.wal_appended, 0);
+        assert_eq!(s.wal_last_lsn, 0);
         assert_eq!(s.wal_io_errors, 0);
         assert_eq!(s.snapshots_written, 0);
         assert_eq!(s.snapshot_last_lsn, 0);

@@ -76,6 +76,21 @@ impl Exposition {
         }
     }
 
+    /// One counter family with a single label dimension, e.g. frames
+    /// shipped per replica.
+    pub fn labeled_counters(
+        &mut self,
+        name: &str,
+        help: &str,
+        label: &str,
+        series: &[(&str, u64)],
+    ) {
+        self.header(name, help, "counter");
+        for (value_label, value) in series {
+            let _ = writeln!(self.out, "{name}{{{label}=\"{value_label}\"}} {value}");
+        }
+    }
+
     /// A cumulative histogram read out of a [`LogHistogram`] at the
     /// given upper bounds (plus the implicit `+Inf`), with `_sum` and
     /// `_count` samples.
@@ -148,6 +163,22 @@ mod tests {
         assert!(text.contains("quts_committed_total 3\n"));
         assert!(text.contains("quts_rho 0.625\n"));
         assert!(text.contains("quts_queue_depth{class=\"query\"} 2\n"));
+        assert_parses(&text);
+    }
+
+    #[test]
+    fn labeled_counters_render_one_series_per_label() {
+        let mut exp = Exposition::new();
+        exp.labeled_counters(
+            "quts_repl_frames_shipped_total",
+            "Frames shipped per replica",
+            "replica",
+            &[("r1", 7), ("r2", 0)],
+        );
+        let text = exp.finish();
+        assert!(text.contains("# TYPE quts_repl_frames_shipped_total counter\n"));
+        assert!(text.contains("quts_repl_frames_shipped_total{replica=\"r1\"} 7\n"));
+        assert!(text.contains("quts_repl_frames_shipped_total{replica=\"r2\"} 0\n"));
         assert_parses(&text);
     }
 

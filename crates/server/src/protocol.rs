@@ -3,13 +3,14 @@
 //! Grammar (whitespace-separated, case-insensitive verbs):
 //!
 //! ```text
-//! request   := get | avg | cmp | upd | stats | metrics | quit
+//! request   := get | avg | cmp | upd | stats | metrics | repl | quit
 //! get       := "GET" symbol contract?
 //! avg       := "AVG" symbol window contract?
 //! cmp       := "CMP" symbol symbol+ contract?
 //! upd       := "UPD" symbol price volume
 //! stats     := "STATS"
 //! metrics   := "METRICS"
+//! repl      := "REPL"
 //! quit      := "QUIT"
 //! contract  := qos? qod?             (absent sides are worth nothing)
 //! qos       := "QOS" max rtmax_ms
@@ -57,6 +58,9 @@ pub enum Request {
     Stats,
     /// Prometheus-style text exposition, terminated by `# EOF`.
     Metrics,
+    /// Replication status: router counters plus one line per replica,
+    /// terminated by `# EOF`. Errors when replication is not enabled.
+    Repl,
     /// Close the connection.
     Quit,
 }
@@ -151,6 +155,13 @@ pub fn parse(line: &str) -> Result<Request, ParseError> {
                 Ok(Request::Metrics)
             } else {
                 Err(err("METRICS takes no arguments"))
+            }
+        }
+        "REPL" => {
+            if rest.is_empty() {
+                Ok(Request::Repl)
+            } else {
+                Err(err("REPL takes no arguments"))
             }
         }
         "QUIT" => {
@@ -290,6 +301,8 @@ mod tests {
         assert_eq!(parse("stats").unwrap(), Request::Stats);
         assert_eq!(parse("METRICS").unwrap(), Request::Metrics);
         assert_eq!(parse("metrics").unwrap(), Request::Metrics);
+        assert_eq!(parse("REPL").unwrap(), Request::Repl);
+        assert_eq!(parse("repl").unwrap(), Request::Repl);
         assert_eq!(parse("QUIT").unwrap(), Request::Quit);
     }
 
@@ -310,6 +323,7 @@ mod tests {
             "CMP IBM",
             "STATS NOW",
             "METRICS NOW",
+            "REPL STATUS",
             "GET IBM PLEASE",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");

@@ -6,11 +6,18 @@
 //! `ERR expired`, and a connection past the cap is told `ERR busy` and
 //! closed. Connections idle past `idle_timeout` are closed to reclaim
 //! their threads.
+//!
+//! With replication enabled ([`ServerConfig::repl_ship`] +
+//! [`ServerConfig::router`]) the server also serves its WAL to replicas
+//! and routes reads through the QC-aware degradation ladder: cheapest
+//! qualifying replica, then the primary, then a bounded `ERR busy`.
 
 use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
 use quts_engine::{
-    Engine, EngineConfig, EngineHandle, LiveStats, QueryError, SubmitError, TraceConfig,
+    Engine, EngineConfig, EngineHandle, LiveStats, QueryError, QueryReply, ReplicaHandle,
+    RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry, SubmitError,
+    TraceConfig,
 };
 use quts_metrics::exposition::{Exposition, COUNT_BOUNDS, LATENCY_BOUNDS_US};
 use std::collections::HashMap;
@@ -35,6 +42,15 @@ pub struct ServerConfig {
     /// Maximum simultaneous connections; excess clients get `ERR busy`
     /// and are disconnected.
     pub max_connections: usize,
+    /// Serve the engine's WAL to replicas on this listener. Requires
+    /// `engine.durability` (the shipped stream IS the durable WAL).
+    pub repl_ship: Option<ShipConfig>,
+    /// Route reads through the QC-aware degradation ladder. Replicas
+    /// join the pool via [`Server::attach_replica`]; until one does,
+    /// every read falls back to the primary. The router's reply budget
+    /// is overridden by `query_timeout` so `ERR timeout` means the same
+    /// thing on both paths.
+    pub router: Option<RouterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +63,8 @@ impl Default for ServerConfig {
             query_timeout: Duration::from_secs(10),
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 1024,
+            repl_ship: None,
+            router: None,
         }
     }
 }
@@ -57,6 +75,8 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
+    ship: Option<ShipListener>,
+    router: Option<Arc<Router>>,
 }
 
 struct Shared {
@@ -67,6 +87,8 @@ struct Shared {
     idle_timeout: Option<Duration>,
     max_connections: usize,
     active_connections: AtomicUsize,
+    router: Option<Arc<Router>>,
+    registry: Option<Arc<ShipRegistry>>,
 }
 
 /// Holds one slot in the connection cap; releases it on drop (however
@@ -90,18 +112,39 @@ impl Server {
     /// Starts an engine over `store` and serves it on `config.addr`.
     ///
     /// # Errors
-    /// Fails if the address cannot be bound.
+    /// Fails if an address cannot be bound, or if `repl_ship` is set
+    /// without `engine.durability` (there is no WAL to ship).
     pub fn start(store: Store, config: ServerConfig) -> io::Result<Server> {
         let symbols: HashMap<String, StockId> = store
             .iter()
             .map(|(id, rec)| (rec.symbol().to_ascii_uppercase(), id))
             .collect();
+        let wal_dir = config.engine.durability.as_ref().map(|d| d.dir.clone());
+        if config.repl_ship.is_some() && wal_dir.is_none() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "replication requires a durable engine (set engine.durability)",
+            ));
+        }
         let listener = TcpListener::bind(config.addr)?;
         // Nonblocking accept lets the acceptor observe the shutdown flag
         // without needing a wake-up connection.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let engine = Engine::start(store, config.engine);
+        let ship = match config.repl_ship {
+            Some(ship_config) => Some(ShipListener::start(
+                wal_dir.expect("checked above"),
+                ship_config,
+            )?),
+            None => None,
+        };
+        let router = config.router.map(|rc| {
+            Arc::new(Router::new(
+                engine.handle(),
+                rc.with_query_timeout(config.query_timeout),
+            ))
+        });
         let shared = Arc::new(Shared {
             handle: engine.handle(),
             symbols,
@@ -110,6 +153,8 @@ impl Server {
             idle_timeout: config.idle_timeout,
             max_connections: config.max_connections,
             active_connections: AtomicUsize::new(0),
+            router: router.clone(),
+            registry: ship.as_ref().map(ShipListener::registry),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -134,6 +179,8 @@ impl Server {
             addr,
             shutdown,
             acceptor: Some(acceptor),
+            ship,
+            router,
         })
     }
 
@@ -142,16 +189,37 @@ impl Server {
         self.addr
     }
 
+    /// The replication listener's address, when `repl_ship` is enabled —
+    /// this is where replicas connect.
+    pub fn repl_addr(&self) -> Option<SocketAddr> {
+        self.ship.as_ref().map(ShipListener::addr)
+    }
+
+    /// Adds a replica to the read-routing pool.
+    ///
+    /// # Panics
+    /// Panics if the server was started without a `router` config.
+    pub fn attach_replica(&self, handle: ReplicaHandle) {
+        self.router
+            .as_ref()
+            .expect("server started without a router")
+            .add_replica(handle);
+    }
+
     /// Engine statistics snapshot.
     pub fn stats(&self) -> LiveStats {
         self.engine.as_ref().expect("running").stats()
     }
 
-    /// Stops accepting, drains the engine, and returns final statistics.
+    /// Stops accepting, stops shipping, drains the engine, and returns
+    /// final statistics.
     pub fn shutdown(mut self) -> LiveStats {
         self.shutdown.store(true, Ordering::Release);
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
+        }
+        if let Some(ship) = self.ship.take() {
+            ship.shutdown();
         }
         self.engine.take().expect("running").shutdown()
     }
@@ -272,15 +340,61 @@ fn handle(request: Request, shared: &Shared) -> String {
                 s.engine_restarts,
             )
         }
-        Request::Metrics => render_metrics(&shared.handle.stats()),
+        Request::Metrics => render_metrics(shared),
+        Request::Repl => render_repl_status(shared),
         Request::Quit => unreachable!("handled by the connection loop"),
     }
 }
 
-/// Renders the stats snapshot as Prometheus-style text exposition. The
-/// final `# EOF` line doubles as the end-of-response marker, since this
-/// is the protocol's only multi-line response.
-fn render_metrics(s: &LiveStats) -> String {
+/// Renders the `REPL` response: router counters plus one line per
+/// replica the ship listener has ever seen, `# EOF`-terminated like
+/// `METRICS`.
+fn render_repl_status(shared: &Shared) -> String {
+    if shared.router.is_none() && shared.registry.is_none() {
+        return "ERR replication disabled".into();
+    }
+    let primary_lsn = shared.handle.stats().wal_last_lsn;
+    let mut out = format!("OK replication primary_lsn={primary_lsn}");
+    if let Some(router) = &shared.router {
+        let s = router.stats();
+        out.push_str(&format!(
+            "\nrouter replicas={} routed_replica={} routed_primary={} shed_busy={} \
+             demotions={} rejoins={} qod_violations={}",
+            router.replica_count(),
+            s.routed_replica,
+            s.routed_primary,
+            s.shed_busy,
+            s.demotions,
+            s.rejoins,
+            s.qod_violations,
+        ));
+    }
+    if let Some(registry) = &shared.registry {
+        for peer in registry.peers() {
+            out.push_str(&format!(
+                "\nreplica name={} connected={} applied={} durable={} lag={} uu={} \
+                 frames_shipped={} bootstraps={} connections={}",
+                peer.name,
+                peer.connected,
+                peer.applied_lsn,
+                peer.durable_lsn,
+                primary_lsn.saturating_sub(peer.applied_lsn),
+                peer.uu,
+                peer.frames_shipped,
+                peer.bootstraps,
+                peer.connections,
+            ));
+        }
+    }
+    out.push_str("\n# EOF");
+    out
+}
+
+/// Renders the stats snapshot as Prometheus-style text exposition
+/// (plus per-replica and routing series when replication is enabled).
+/// The final `# EOF` line doubles as the end-of-response marker.
+fn render_metrics(shared: &Shared) -> String {
+    let s = &shared.handle.stats();
     let mut exp = Exposition::new();
     exp.counter(
         "quts_queries_submitted_total",
@@ -411,6 +525,100 @@ fn render_metrics(s: &LiveStats) -> String {
         &s.spans.update_delay_us,
         LATENCY_BOUNDS_US,
     );
+    exp.gauge(
+        "quts_wal_last_lsn",
+        "Highest LSN appended to the primary WAL (replication watermark)",
+        s.wal_last_lsn as f64,
+    );
+    if let Some(registry) = &shared.registry {
+        let peers = registry.peers();
+        let names: Vec<&str> = peers.iter().map(|p| p.name.as_str()).collect();
+        let gauge_series =
+            |values: Vec<f64>| -> Vec<(&str, f64)> { names.iter().copied().zip(values).collect() };
+        let counter_series =
+            |values: Vec<u64>| -> Vec<(&str, u64)> { names.iter().copied().zip(values).collect() };
+        exp.labeled_gauges(
+            "quts_repl_connected",
+            "Whether the replica's shipping connection is up",
+            "replica",
+            &gauge_series(
+                peers
+                    .iter()
+                    .map(|p| f64::from(u8::from(p.connected)))
+                    .collect(),
+            ),
+        );
+        exp.labeled_gauges(
+            "quts_repl_applied_lsn",
+            "Highest LSN the replica acknowledged applying",
+            "replica",
+            &gauge_series(peers.iter().map(|p| p.applied_lsn as f64).collect()),
+        );
+        exp.labeled_gauges(
+            "quts_repl_durable_lsn",
+            "Highest LSN the replica acknowledged as fsync'd",
+            "replica",
+            &gauge_series(peers.iter().map(|p| p.durable_lsn as f64).collect()),
+        );
+        exp.labeled_gauges(
+            "quts_repl_lag",
+            "Primary WAL LSNs the replica has not yet applied",
+            "replica",
+            &gauge_series(
+                peers
+                    .iter()
+                    .map(|p| s.wal_last_lsn.saturating_sub(p.applied_lsn) as f64)
+                    .collect(),
+            ),
+        );
+        exp.labeled_counters(
+            "quts_repl_frames_shipped_total",
+            "WAL frames shipped to the replica (retransmissions included)",
+            "replica",
+            &counter_series(peers.iter().map(|p| p.frames_shipped).collect()),
+        );
+        exp.labeled_counters(
+            "quts_repl_bootstraps_total",
+            "Snapshot bootstraps sent to the replica",
+            "replica",
+            &counter_series(peers.iter().map(|p| p.bootstraps).collect()),
+        );
+        exp.labeled_counters(
+            "quts_repl_connections_total",
+            "Shipping sessions the replica has established",
+            "replica",
+            &counter_series(peers.iter().map(|p| p.connections).collect()),
+        );
+    }
+    if let Some(router) = &shared.router {
+        let r = router.stats();
+        exp.labeled_counters(
+            "quts_routed_reads_total",
+            "Reads answered, by the node class that served them",
+            "target",
+            &[("replica", r.routed_replica), ("primary", r.routed_primary)],
+        );
+        exp.counter(
+            "quts_reads_shed_busy_total",
+            "Reads shed with ERR busy (no replica qualified, primary full)",
+            r.shed_busy,
+        );
+        exp.counter(
+            "quts_router_demotions_total",
+            "Replica demotions for excessive lag",
+            r.demotions,
+        );
+        exp.counter(
+            "quts_router_rejoins_total",
+            "Demoted replicas readmitted after catching up",
+            r.rejoins,
+        );
+        exp.counter(
+            "quts_router_qod_violations_total",
+            "Replica reads whose dispatch bound broke the contract (must stay 0)",
+            r.qod_violations,
+        );
+    }
     // `writeln!` in the connection loop supplies the final newline.
     let text = exp.finish();
     text.trim_end().to_string()
@@ -423,26 +631,39 @@ fn submit_error(e: SubmitError) -> String {
     }
 }
 
+fn render_reply(reply: &QueryReply) -> String {
+    let payload = match &reply.result {
+        QueryResult::Price(p) => format!("price={p:.2}"),
+        QueryResult::Average(a) => format!("avg={a:.2}"),
+        QueryResult::Spread { min, max, spread } => {
+            format!("min={min:.2} max={max:.2} spread={spread:.2}")
+        }
+        QueryResult::Value(v) => format!("value={v:.2}"),
+    };
+    format!(
+        "OK {payload} rt={:.2}ms uu={} qos={:.2} qod={:.2}",
+        reply.rt_ms, reply.staleness, reply.qos, reply.qod
+    )
+}
+
 fn run_query(op: QueryOp, qc: quts_qc::QualityContract, shared: &Shared) -> String {
+    // With a router, reads ride the degradation ladder: cheapest
+    // qualifying replica → primary → bounded `ERR busy` shed.
+    if let Some(router) = &shared.router {
+        return match router.route(op, qc) {
+            Ok(reply) => render_reply(&reply),
+            Err(RoutedReadError::Busy) => "ERR busy".into(),
+            Err(RoutedReadError::Expired) => "ERR expired".into(),
+            Err(RoutedReadError::Timeout) => "ERR timeout".into(),
+            Err(RoutedReadError::EngineDown) => "ERR unavailable".into(),
+        };
+    }
     let ticket = match shared.handle.submit_query(op, qc) {
         Ok(ticket) => ticket,
         Err(e) => return submit_error(e),
     };
     match ticket.recv_timeout(shared.query_timeout) {
-        Ok(reply) => {
-            let payload = match reply.result {
-                QueryResult::Price(p) => format!("price={p:.2}"),
-                QueryResult::Average(a) => format!("avg={a:.2}"),
-                QueryResult::Spread { min, max, spread } => {
-                    format!("min={min:.2} max={max:.2} spread={spread:.2}")
-                }
-                QueryResult::Value(v) => format!("value={v:.2}"),
-            };
-            format!(
-                "OK {payload} rt={:.2}ms uu={} qos={:.2} qod={:.2}",
-                reply.rt_ms, reply.staleness, reply.qos, reply.qod
-            )
-        }
+        Ok(reply) => render_reply(&reply),
         Err(QueryError::Expired) => "ERR expired".into(),
         Err(QueryError::EngineDown) => "ERR unavailable".into(),
         Err(QueryError::Timeout) => "ERR timeout".into(),
@@ -519,11 +740,11 @@ mod tests {
     }
 
     /// One request over a fresh connection, retrying `ERR busy` (and
-    /// accept races, which surface as IO errors) with jittered
+    /// accept races, which surface as IO errors) on the shared jittered
     /// exponential backoff — the polite client a capped server expects.
     fn request_with_retry(addr: SocketAddr, request: &str) -> String {
-        use std::time::{SystemTime, UNIX_EPOCH};
-        let mut delay = Duration::from_millis(2);
+        let mut backoff =
+            quts_engine::Backoff::new(Duration::from_millis(2), Duration::from_millis(50));
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
             match Client::try_connect(addr).and_then(|mut c| c.try_send(request)) {
@@ -538,15 +759,7 @@ mod tests {
                 std::time::Instant::now() < deadline,
                 "server stayed busy for 10s"
             );
-            // Jitter from the clock's nanoseconds: enough to de-herd
-            // test threads without pulling in an RNG dependency.
-            let nanos = SystemTime::now()
-                .duration_since(UNIX_EPOCH)
-                .expect("clock after epoch")
-                .subsec_nanos() as u64;
-            let jitter = Duration::from_micros(nanos % delay.as_micros().max(1) as u64);
-            std::thread::sleep(delay + jitter);
-            delay = (delay * 2).min(Duration::from_millis(50));
+            std::thread::sleep(backoff.next_sleep());
         }
     }
 
@@ -620,6 +833,7 @@ mod tests {
         "quts_service_us",
         "quts_staleness",
         "quts_update_delay_us",
+        "quts_wal_last_lsn",
     ];
 
     #[test]
@@ -800,6 +1014,128 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.aggregates.committed, 18, "all retried requests land");
+    }
+
+    #[test]
+    fn replication_requires_a_durable_engine() {
+        let mut store = Store::new();
+        store.insert("IBM", 120.0);
+        let result = Server::start(
+            store,
+            ServerConfig {
+                repl_ship: Some(quts_engine::ShipConfig::default()),
+                ..ServerConfig::default()
+            },
+        );
+        match result {
+            Err(err) => assert_eq!(err.kind(), ErrorKind::InvalidInput),
+            Ok(_) => panic!("shipping without a WAL must be rejected"),
+        }
+    }
+
+    #[test]
+    fn repl_without_replication_is_a_polite_error() {
+        let server = test_server();
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.send("REPL"), "ERR replication disabled");
+        // The connection still serves requests afterwards.
+        assert!(c.send("GET IBM").starts_with("OK"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn replicated_server_routes_reads_and_exposes_replica_metrics() {
+        use quts_engine::{DurabilityConfig, Replica, ReplicaConfig};
+        let base = std::env::temp_dir().join(format!(
+            "quts-server-repl-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let primary_dir = base.join("primary");
+        std::fs::create_dir_all(&primary_dir).expect("mkdir");
+        let server = test_server_with(ServerConfig {
+            engine: EngineConfig::default()
+                .with_trace(TraceConfig::spans())
+                .with_durability(
+                    DurabilityConfig::new(&primary_dir)
+                        .with_fsync(quts_engine::FsyncPolicy::Always),
+                ),
+            repl_ship: Some(quts_engine::ShipConfig::default()),
+            router: Some(RouterConfig::default()),
+            ..ServerConfig::default()
+        });
+        let repl_addr = server.repl_addr().expect("shipping enabled");
+        let replica = Replica::start(
+            repl_addr,
+            ReplicaConfig::new("r1", base.join("replica"))
+                .with_fsync(quts_engine::FsyncPolicy::Always)
+                .with_ack_every(1),
+        )
+        .expect("replica starts");
+        server.attach_replica(replica.handle());
+
+        let mut c = Client::connect(server.addr());
+        for i in 0..8 {
+            assert_eq!(c.send(&format!("UPD IBM {} 10", 121 + i)), "OK");
+        }
+        // Wait until the replica has applied the whole feed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while replica.stats().applied_lsn < 8 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "replica never caught up"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A caught-up replica (lag 0, #uu 0) qualifies for any contract,
+        // even a zero-tolerance one: both reads ride the ladder to it.
+        let r = c.send("GET IBM QOS 5 1000 QOD 5 64");
+        assert!(r.starts_with("OK price=128.00"), "{r}");
+        let r = c.send("GET IBM QOS 5 1000 QOD 5 1");
+        assert!(r.starts_with("OK price=128.00"), "{r}");
+
+        // The primary's registry view advances on acks; poll REPL until
+        // the peer line reports the whole feed applied.
+        let text = loop {
+            let text = c.send_multiline("REPL").join("\n");
+            if text.contains("applied=8") {
+                break text;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "registry never saw applied=8: {text}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert!(text.starts_with("OK replication primary_lsn=8"), "{text}");
+        assert!(text.contains("router replicas=1"), "{text}");
+        assert!(text.contains("routed_replica=2"), "{text}");
+        assert!(text.contains("routed_primary=0"), "{text}");
+        assert!(text.contains("qod_violations=0"), "{text}");
+        assert!(text.contains("replica name=r1"), "{text}");
+
+        // METRICS carries the per-replica series and the routing split.
+        let text = c.send_multiline("METRICS").join("\n");
+        assert!(text.contains("quts_wal_last_lsn 8"), "{text}");
+        assert!(
+            text.contains("quts_repl_applied_lsn{replica=\"r1\"} 8"),
+            "{text}"
+        );
+        assert!(text.contains("quts_repl_lag{replica=\"r1\"} 0"), "{text}");
+        assert!(
+            text.contains("quts_routed_reads_total{target=\"replica\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("quts_router_qod_violations_total 0"),
+            "{text}"
+        );
+
+        replica.shutdown();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

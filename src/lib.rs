@@ -56,8 +56,9 @@ pub use quts_workload as workload;
 pub mod prelude {
     pub use quts_db::{FsyncPolicy, QueryOp, QueryResult, StockId, Store, Trade};
     pub use quts_engine::{
-        DurabilityConfig, Engine, EngineConfig, EngineState, FaultPlan, LiveStats, QueryError,
-        QueryTicket, SubmitError,
+        promote, promote_highest, Backoff, DurabilityConfig, Engine, EngineConfig, EngineState,
+        FaultPlan, LinkFaultPlan, LiveStats, QueryError, QueryTicket, Replica, ReplicaConfig,
+        RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, SubmitError,
     };
     pub use quts_qc::{
         Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates, QualityContract,

@@ -329,7 +329,10 @@ fn restart_without_durability_counts_shed_work_honestly() {
         if s.pending_updates >= 1 || s.updates_applied >= 1 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "update never ingested");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "update never ingested"
+        );
         std::thread::yield_now();
     }
     let mut tickets = Vec::new();
@@ -408,4 +411,43 @@ fn init_and_recover_error_paths() {
     // not a silent empty engine.
     let missing = tmp.path().join("never-initialised");
     assert!(Engine::recover(&missing, EngineConfig::default()).is_err());
+}
+
+#[test]
+fn enospc_is_fail_stop_and_recovery_survives_it() {
+    let tmp = TempDir::new("enospc");
+    let cfg = EngineConfig::default()
+        .with_seed(14)
+        .with_durability(DurabilityConfig::new(tmp.path()).with_fsync(FsyncPolicy::Always))
+        .with_restart_on_panic(1)
+        .with_restart_backoff(Duration::from_millis(1))
+        .with_fault_plan(FaultPlan::default().wal_enospc(3));
+    let engine = Engine::try_start(Store::with_synthetic_stocks(8), cfg).unwrap();
+    for i in 0..5u32 {
+        engine
+            .submit_update(trade(i, 400.0 + f64::from(i)))
+            .unwrap();
+    }
+
+    // The third append hits a full disk before a single byte lands.
+    // The update cannot be made durable, so the engine must fail-stop
+    // (never ack-and-hope) and let the supervisor rebuild from
+    // snapshot + WAL tail. Updates still queued in the submission
+    // channel survive the restart; only the ENOSPC'd one is lost.
+    await_restarts(&engine, 1);
+    for i in [0u32, 1, 3, 4] {
+        await_price(&engine, i, 400.0 + f64::from(i));
+    }
+    assert_eq!(
+        price_of(&engine, 2),
+        100.0,
+        "the ENOSPC'd update must never apply — it was not durable"
+    );
+    let stats = engine.shutdown();
+    assert!(stats.wal_io_errors >= 1, "the failed append was counted");
+    assert_eq!(
+        stats.wal_truncated_bytes, 0,
+        "ENOSPC wrote nothing, so recovery truncates nothing"
+    );
+    assert_eq!(stats.engine_restarts, 1);
 }
