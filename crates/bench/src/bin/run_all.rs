@@ -13,7 +13,10 @@ use quts_bench::experiments::{self, ExperimentFn};
 use quts_bench::perf::{self, per_sec, ExperimentPerf};
 use quts_bench::{paper_trace, run_policy_with, tracectx, Policy};
 use quts_db::{Store, Trade};
-use quts_engine::{DurabilityConfig, Engine, EngineConfig, FsyncPolicy, SubmitError};
+use quts_engine::{
+    DurabilityConfig, Engine, EngineConfig, FsyncPolicy, GroupCommitConfig, SubmitError,
+};
+use quts_metrics::LogHistogram;
 use quts_sim::{SimConfig, TraceConfig};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -62,6 +65,7 @@ fn main() {
     tracectx::disable();
     let overhead = measure_trace_overhead(scale);
     let wal = measure_wal_overhead();
+    let gc = measure_group_commit();
 
     // Sequential baseline: a silent one-worker pass so the perf file
     // always records both numbers. When the timed pass already ran with
@@ -84,7 +88,7 @@ fn main() {
         perfs.iter().map(|p| (p.name, p.wall)).collect()
     };
 
-    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal);
+    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal, &gc);
     let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
@@ -165,13 +169,20 @@ fn measure_trace_overhead(scale: u32) -> TraceOverhead {
 }
 
 /// The durability cost probe: the same update stream pushed through a
-/// live engine with the WAL off and at each fsync policy. `fsync=Off`
-/// must stay within noise of the no-WAL engine; `Always` pays one
-/// `fsync` per update and is measured at a smaller count.
+/// live engine with the WAL off and at each fsync policy — **equal
+/// update counts in every mode**, so updates_per_sec and the latency
+/// percentiles compare like for like. `fsync=Off` must stay within
+/// noise of the no-WAL engine; `Always` pays one `fsync` per update;
+/// `fsync_always_group_8` keeps the per-group `Always` guarantee but
+/// amortizes the fsync across a commit group fed by 8 submitters.
 struct WalMode {
     mode: &'static str,
     updates: u64,
+    submitters: u32,
     wall: Duration,
+    /// Client-observed per-update latency (submission call, or
+    /// submission → durable ack when `durable_acks`), microseconds.
+    latency: LogHistogram,
 }
 
 impl WalMode {
@@ -189,105 +200,244 @@ struct WalOverhead {
     modes: Vec<WalMode>,
 }
 
-/// Pushes `n` round-robin trades through a fresh engine and times until
-/// every one is applied (shutdown drains the backlog).
-fn drive_updates(config: EngineConfig, stocks: u32, n: u64) -> Duration {
+fn probe_trade(stocks: u32, i: u64) -> Trade {
+    Trade {
+        stock: quts_db::StockId((i % stocks as u64) as u32),
+        price: 100.0 + (i % 97) as f64 * 0.25,
+        volume: 100 + i % 900,
+        trade_time_ms: i,
+    }
+}
+
+/// Pushes `n` round-robin trades through a fresh engine from
+/// `submitters` concurrent threads and times until every one is applied
+/// (shutdown drains the backlog). Per-update latency — the submission
+/// call, or submission → durable-LSN ack when `durable_acks` — lands in
+/// the returned histogram (µs). Returns the engine's final stats too,
+/// so group-commit probes can read the fsync and batch counters.
+fn drive_updates(
+    config: EngineConfig,
+    stocks: u32,
+    n: u64,
+    submitters: u32,
+    durable_acks: bool,
+) -> (Duration, LogHistogram, quts_engine::LiveStats) {
     let config_had_wal = config.durability.is_some();
     let engine = Engine::start(Store::with_synthetic_stocks(stocks), config);
+    let handle = engine.handle();
     let started = Instant::now();
-    for i in 0..n {
-        let trade = Trade {
-            stock: quts_db::StockId((i % stocks as u64) as u32),
-            price: 100.0 + (i % 97) as f64 * 0.25,
-            volume: 100 + i % 900,
-            trade_time_ms: i,
-        };
-        loop {
-            match engine.submit_update(trade) {
-                Ok(()) => break,
-                Err(SubmitError::QueueFull) => std::thread::yield_now(),
-                Err(e) => panic!("wal probe submission failed: {e:?}"),
-            }
-        }
+    let per_thread = n / submitters as u64;
+    let workers: Vec<_> = (0..submitters)
+        .map(|w| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                let mut hist = LogHistogram::default();
+                let base = w as u64 * per_thread;
+                for i in base..base + per_thread {
+                    let trade = probe_trade(stocks, i);
+                    let t0 = Instant::now();
+                    if durable_acks {
+                        let ticket = loop {
+                            match h.submit_update_durable(trade) {
+                                Ok(t) => break t,
+                                Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                                Err(e) => panic!("wal probe submission failed: {e:?}"),
+                            }
+                        };
+                        ticket
+                            .recv_timeout(Duration::from_secs(30))
+                            .expect("durable ack");
+                    } else {
+                        loop {
+                            match h.submit_update(trade) {
+                                Ok(()) => break,
+                                Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                                Err(e) => panic!("wal probe submission failed: {e:?}"),
+                            }
+                        }
+                    }
+                    hist.record(t0.elapsed().as_micros() as u64);
+                }
+                hist
+            })
+        })
+        .collect();
+    let mut latency = LogHistogram::default();
+    for w in workers {
+        latency.merge(&w.join().expect("submitter thread"));
     }
     let stats = engine.shutdown();
     let wall = started.elapsed();
+    let submitted = per_thread * submitters as u64;
     // The register table collapses same-stock bursts, so fewer trades
     // may *apply* than were submitted — but with a WAL every submission
     // must have been logged before it was admitted.
     assert!(stats.updates_applied > 0, "wal probe applied nothing");
     if config_had_wal {
-        assert_eq!(stats.wal_appended, n, "every admitted update is logged");
+        assert_eq!(
+            stats.wal_appended, submitted,
+            "every admitted update is logged"
+        );
     }
-    wall
+    (wall, latency, stats)
+}
+
+fn wal_bench_config(mode: &str, fsync: FsyncPolicy) -> (PathBuf, EngineConfig) {
+    let dir = std::env::temp_dir().join(format!("quts-wal-bench-{}-{mode}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A huge snapshot cadence isolates the per-append WAL tax; the
+    // final snapshot on shutdown is identical across modes.
+    let cfg = EngineConfig::default().with_durability(
+        DurabilityConfig::new(&dir)
+            .with_fsync(fsync)
+            .with_snapshot_every(u64::MAX),
+    );
+    (dir, cfg)
 }
 
 fn measure_wal_overhead() -> WalOverhead {
     const STOCKS: u32 = 512;
     const N: u64 = 20_000;
-    // One fsync per update is orders of magnitude slower; a smaller
-    // count keeps the probe honest without stalling the suite.
-    const N_ALWAYS: u64 = 500;
-
-    let durable = |mode: &str, fsync: FsyncPolicy| {
-        let dir =
-            std::env::temp_dir().join(format!("quts-wal-bench-{}-{mode}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
-        // A huge snapshot cadence isolates the per-append WAL tax; the
-        // final snapshot on shutdown is identical across modes.
-        let cfg = EngineConfig::default().with_durability(
-            DurabilityConfig::new(&dir)
-                .with_fsync(fsync)
-                .with_snapshot_every(u64::MAX),
-        );
-        (dir, cfg)
-    };
 
     // Warm-up pass so allocator/page-cache state matches across modes;
     // best-of-3 passes filter scheduler and frequency-scaling noise.
-    let _ = drive_updates(EngineConfig::default(), STOCKS, N / 4);
-    let best = |mk: &dyn Fn() -> (Option<PathBuf>, EngineConfig), n: u64| {
+    let _ = drive_updates(EngineConfig::default(), STOCKS, N / 4, 1, false);
+    let best = |mk: &dyn Fn() -> (Option<PathBuf>, EngineConfig), submitters: u32| {
         (0..3)
             .map(|_| {
                 let (dir, cfg) = mk();
-                let wall = drive_updates(cfg, STOCKS, n);
+                let (wall, latency, _) = drive_updates(cfg, STOCKS, N, submitters, false);
                 if let Some(dir) = dir {
                     let _ = std::fs::remove_dir_all(&dir);
                 }
-                wall
+                (wall, latency)
             })
-            .min()
+            .min_by_key(|&(wall, _)| wall)
             .expect("three passes ran")
     };
 
     let mut modes = Vec::new();
-    let wall = best(&|| (None, EngineConfig::default()), N);
+    let (wall, latency) = best(&|| (None, EngineConfig::default()), 1);
     modes.push(WalMode {
         mode: "no_wal",
         updates: N,
+        submitters: 1,
         wall,
+        latency,
     });
-    for (mode, fsync, n) in [
-        ("fsync_off", FsyncPolicy::Off, N),
-        ("fsync_every_64", FsyncPolicy::EveryN(64), N),
-        ("fsync_always", FsyncPolicy::Always, N_ALWAYS),
+    for (mode, fsync) in [
+        ("fsync_off", FsyncPolicy::Off),
+        ("fsync_every_64", FsyncPolicy::EveryN(64)),
+        ("fsync_always", FsyncPolicy::Always),
     ] {
-        let wall = best(
+        let (wall, latency) = best(
             &|| {
-                let (dir, cfg) = durable(mode, fsync);
+                let (dir, cfg) = wal_bench_config(mode, fsync);
                 (Some(dir), cfg)
             },
-            n,
+            1,
         );
         modes.push(WalMode {
             mode,
-            updates: n,
+            updates: N,
+            submitters: 1,
             wall,
+            latency,
         });
     }
+    // Group commit under concurrency: same `Always` guarantee (no group
+    // is applied or acked before its covering fsync), one fsync per
+    // group instead of per update. This is the acceptance row: within
+    // 5× of fsync_off.
+    let (wall, latency) = best(
+        &|| {
+            let (dir, cfg) = wal_bench_config("fsync_always_group_8", FsyncPolicy::Always);
+            let durability = cfg
+                .durability
+                .clone()
+                .expect("wal mode")
+                .with_group_commit(GroupCommitConfig::default());
+            (Some(dir), cfg.with_durability(durability))
+        },
+        8,
+    );
+    modes.push(WalMode {
+        mode: "fsync_always_group_8",
+        updates: N,
+        submitters: 8,
+        wall,
+        latency,
+    });
     WalOverhead {
         stocks: STOCKS,
         modes,
+    }
+}
+
+/// The group-commit scaling probe: durable-acked submitters (each waits
+/// for its LSN before the next submit) swept over concurrency × knob
+/// configurations. Batch sizes and added wait come from the engine's
+/// own histograms; ack latency is client-observed.
+struct GroupCommitCell {
+    submitters: u32,
+    max_batch: usize,
+    max_delay_us: u64,
+    updates: u64,
+    wall: Duration,
+    fsyncs: u64,
+    group_commits: u64,
+    batch_p50: u64,
+    batch_p99: u64,
+    wait_p50_us: u64,
+    wait_p99_us: u64,
+    ack_p50_us: u64,
+    ack_p99_us: u64,
+}
+
+struct GroupCommitProbe {
+    stocks: u32,
+    updates_per_cell: u64,
+    cells: Vec<GroupCommitCell>,
+}
+
+fn measure_group_commit() -> GroupCommitProbe {
+    const STOCKS: u32 = 512;
+    const N: u64 = 4_000;
+    let mut cells = Vec::new();
+    for &(max_batch, max_delay_us) in &[(256usize, 200u64), (32usize, 50u64)] {
+        for &submitters in &[1u32, 2, 4, 8] {
+            let tag = format!("gc-{max_batch}-{max_delay_us}-{submitters}");
+            let (dir, cfg) = wal_bench_config(&tag, FsyncPolicy::Always);
+            let durability = cfg.durability.clone().expect("wal mode").with_group_commit(
+                GroupCommitConfig::default()
+                    .with_max_batch(max_batch)
+                    .with_max_delay_us(max_delay_us),
+            );
+            let (wall, ack, stats) =
+                drive_updates(cfg.with_durability(durability), STOCKS, N, submitters, true);
+            let _ = std::fs::remove_dir_all(&dir);
+            let q = |h: &LogHistogram, p: f64| h.quantile(p).unwrap_or(0);
+            cells.push(GroupCommitCell {
+                submitters,
+                max_batch,
+                max_delay_us,
+                updates: (N / submitters as u64) * submitters as u64,
+                wall,
+                fsyncs: stats.wal_fsyncs,
+                group_commits: stats.group_commits,
+                batch_p50: q(&stats.group_commit_batch, 0.50),
+                batch_p99: q(&stats.group_commit_batch, 0.99),
+                wait_p50_us: q(&stats.group_commit_wait_us, 0.50),
+                wait_p99_us: q(&stats.group_commit_wait_us, 0.99),
+                ack_p50_us: q(&ack, 0.50),
+                ack_p99_us: q(&ack, 0.99),
+            });
+        }
+    }
+    GroupCommitProbe {
+        stocks: STOCKS,
+        updates_per_cell: N,
+        cells,
     }
 }
 
@@ -299,6 +449,7 @@ fn render_json(
     baseline: &[(&str, Duration)],
     overhead: &TraceOverhead,
     wal: &WalOverhead,
+    gc: &GroupCommitProbe,
 ) -> String {
     let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
     let total_events: u64 = perfs.iter().map(|p| p.events).sum();
@@ -369,15 +520,61 @@ fn render_json(
         s.push_str("      {\n");
         s.push_str(&format!("        \"mode\": \"{}\",\n", m.mode));
         s.push_str(&format!("        \"updates\": {},\n", m.updates));
+        s.push_str(&format!("        \"submitters\": {},\n", m.submitters));
         s.push_str(&format!("        \"wall_ms\": {:.3},\n", ms(m.wall)));
         s.push_str(&format!(
             "        \"updates_per_sec\": {:.1},\n",
             per_sec(m.updates, m.wall)
         ));
         s.push_str(&format!(
+            "        \"p50_us\": {},\n",
+            m.latency.quantile(0.50).unwrap_or(0)
+        ));
+        s.push_str(&format!(
+            "        \"p99_us\": {},\n",
+            m.latency.quantile(0.99).unwrap_or(0)
+        ));
+        s.push_str(&format!(
             "        \"overhead_pct_vs_no_wal\": {overhead_pct:.2}\n"
         ));
         s.push_str(if i + 1 == wal.modes.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
+    s.push_str("  \"group_commit\": {\n");
+    s.push_str(&format!("    \"stocks\": {},\n", gc.stocks));
+    s.push_str(&format!(
+        "    \"updates_per_cell\": {},\n",
+        gc.updates_per_cell
+    ));
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in gc.cells.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"submitters\": {},\n", c.submitters));
+        s.push_str(&format!("        \"max_batch\": {},\n", c.max_batch));
+        s.push_str(&format!("        \"max_delay_us\": {},\n", c.max_delay_us));
+        s.push_str(&format!("        \"updates\": {},\n", c.updates));
+        s.push_str(&format!("        \"wall_ms\": {:.3},\n", ms(c.wall)));
+        s.push_str(&format!(
+            "        \"updates_per_sec\": {:.1},\n",
+            per_sec(c.updates, c.wall)
+        ));
+        s.push_str(&format!("        \"fsyncs\": {},\n", c.fsyncs));
+        s.push_str(&format!(
+            "        \"group_commits\": {},\n",
+            c.group_commits
+        ));
+        s.push_str(&format!("        \"batch_p50\": {},\n", c.batch_p50));
+        s.push_str(&format!("        \"batch_p99\": {},\n", c.batch_p99));
+        s.push_str(&format!("        \"wait_p50_us\": {},\n", c.wait_p50_us));
+        s.push_str(&format!("        \"wait_p99_us\": {},\n", c.wait_p99_us));
+        s.push_str(&format!("        \"ack_p50_us\": {},\n", c.ack_p50_us));
+        s.push_str(&format!("        \"ack_p99_us\": {}\n", c.ack_p99_us));
+        s.push_str(if i + 1 == gc.cells.len() {
             "      }\n"
         } else {
             "      },\n"

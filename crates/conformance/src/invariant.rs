@@ -88,7 +88,10 @@ impl Observation {
             updates_invalidated: stats.updates_invalidated,
             updates_dropped: stats.updates_dropped_overload,
             updates_shed_on_restart: stats.shed_on_restart_updates,
-            pending_updates: stats.pending_updates,
+            // Updates parked in the group-commit buffer are arrived but
+            // not yet applied/invalidated/dropped/shed: pending, just
+            // not yet in the register table.
+            pending_updates: stats.pending_updates + stats.group_buffered,
             total_unapplied: None,
         }
     }

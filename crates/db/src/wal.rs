@@ -239,6 +239,9 @@ pub struct Wal {
     fsync: FsyncPolicy,
     unsynced_appends: u32,
     segment_bytes: u64,
+    /// Count of `sync_data` calls issued over this writer's lifetime
+    /// (survives rotation; the group-commit metrics read it).
+    fsyncs: u64,
 }
 
 impl Drop for Wal {
@@ -280,6 +283,7 @@ impl Wal {
             fsync,
             unsynced_appends: 0,
             segment_bytes,
+            fsyncs: 0,
         })
     }
 
@@ -310,6 +314,18 @@ impl Wal {
 
     /// Appends one record, applying the fsync policy; returns its LSN.
     pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let lsn = self.append_deferred(payload)?;
+        self.commit_group()?;
+        Ok(lsn)
+    }
+
+    /// Appends one record **without** applying the fsync policy —
+    /// the group-commit half of [`Wal::append`]. Frames accumulate in
+    /// the user-space buffer (spilling to the file past [`FLUSH_BYTES`])
+    /// until [`Wal::commit_group`] or [`Wal::sync`] closes the group.
+    /// Byte-for-byte identical on disk to the same sequence of plain
+    /// appends; only the sync *points* move.
+    pub fn append_deferred(&mut self, payload: &[u8]) -> io::Result<u64> {
         self.rotate_if_full()?;
         let lsn = self.next_lsn;
         // Encode straight into the buffer — this is the engine's
@@ -323,22 +339,60 @@ impl Wal {
         self.buf.extend_from_slice(payload);
         self.next_lsn += 1;
         self.unsynced_appends += 1;
-        match self.fsync {
-            FsyncPolicy::Always => self.sync()?,
-            FsyncPolicy::EveryN(n) if self.unsynced_appends >= n.max(1) => self.sync()?,
-            _ if self.buf.len() >= FLUSH_BYTES => self.flush_buf()?,
-            _ => {}
+        if self.buf.len() >= FLUSH_BYTES {
+            self.flush_buf()?;
         }
         Ok(lsn)
+    }
+
+    /// Applies the fsync policy once, treating everything deferred since
+    /// the last sync point as a single commit unit: `Always` syncs the
+    /// whole group with one `fsync`, `EveryN(n)` syncs when `n` or more
+    /// appends are pending, `Off` never syncs. This is the group-commit
+    /// leader's closing step — one policy decision (and at most one
+    /// fsync) per group instead of one per record.
+    pub fn commit_group(&mut self) -> io::Result<()> {
+        match self.fsync {
+            FsyncPolicy::Always if self.unsynced_appends > 0 => self.sync(),
+            FsyncPolicy::EveryN(n) if self.unsynced_appends >= n.max(1) => self.sync(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Appends every payload as one deferred batch and closes the group:
+    /// the whole batch shares a single fsync under `Always`. Returns the
+    /// `(first, last)` LSN span, or `None` for an empty batch.
+    pub fn append_batch<P: AsRef<[u8]>>(
+        &mut self,
+        payloads: &[P],
+    ) -> io::Result<Option<(u64, u64)>> {
+        let mut span: Option<(u64, u64)> = None;
+        for p in payloads {
+            let lsn = self.append_deferred(p.as_ref())?;
+            span = Some((span.map_or(lsn, |(first, _)| first), lsn));
+        }
+        self.commit_group()?;
+        Ok(span)
     }
 
     /// Forces everything appended so far to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         self.flush_buf()?;
         self.file.sync_data()?;
+        self.fsyncs += 1;
         self.synced_len = self.file_len;
         self.unsynced_appends = 0;
         Ok(())
+    }
+
+    /// Number of `fsync` (`sync_data`) calls this writer has issued.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Appends not yet covered by a sync point.
+    pub fn unsynced_appends(&self) -> u32 {
+        self.unsynced_appends
     }
 
     /// Starts a new segment at the current `next_lsn`. The old segment
@@ -653,6 +707,77 @@ mod tests {
     }
 
     #[test]
+    fn batch_append_is_byte_identical_to_singles() {
+        let dir_a = tmp_dir("batch-a");
+        let dir_b = tmp_dir("batch-b");
+        let payloads: Vec<[u8; TRADE_PAYLOAD]> = (0..9u32)
+            .map(|i| encode_trade(&trade(i, i as f64)))
+            .collect();
+        let mut a = Wal::create(&dir_a, FsyncPolicy::Always, 1 << 20, 1).unwrap();
+        for p in &payloads {
+            a.append(p).unwrap();
+        }
+        drop(a);
+        let mut b = Wal::create(&dir_b, FsyncPolicy::Always, 1 << 20, 1).unwrap();
+        let span = b.append_batch(&payloads).unwrap().unwrap();
+        assert_eq!(span, (1, 9));
+        assert_eq!(b.fsync_count(), 1, "one fsync covers the whole group");
+        drop(b);
+        let seg_a = segment_files(&dir_a).unwrap();
+        let seg_b = segment_files(&dir_b).unwrap();
+        assert_eq!(seg_a.len(), seg_b.len());
+        for ((_, pa), (_, pb)) in seg_a.iter().zip(&seg_b) {
+            assert_eq!(
+                std::fs::read(pa).unwrap(),
+                std::fs::read(pb).unwrap(),
+                "group commit must not change the on-disk format"
+            );
+        }
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn deferred_appends_are_invisible_to_power_loss_until_committed() {
+        let dir = tmp_dir("deferred");
+        let mut wal = Wal::create(&dir, FsyncPolicy::Always, 1 << 20, 1).unwrap();
+        wal.append(&encode_trade(&trade(0, 1.0))).unwrap();
+        let synced_fsyncs = wal.fsync_count();
+        for i in 1..5u32 {
+            wal.append_deferred(&encode_trade(&trade(i, i as f64)))
+                .unwrap();
+        }
+        assert_eq!(wal.unsynced_appends(), 4);
+        assert_eq!(wal.fsync_count(), synced_fsyncs, "no sync mid-group");
+        // Power loss before the group's fsync: the deferred tail is gone,
+        // the previously committed prefix survives.
+        wal.truncate_to_synced().unwrap();
+        drop(wal);
+        assert_eq!(replay_dir(&dir, 0).unwrap().records.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn commit_group_respects_every_n_policy() {
+        let dir = tmp_dir("group-everyn");
+        let mut wal = Wal::create(&dir, FsyncPolicy::EveryN(8), 1 << 20, 1).unwrap();
+        // A 3-record group: below the threshold, no sync.
+        for i in 0..3u32 {
+            wal.append_deferred(&encode_trade(&trade(i, 0.0))).unwrap();
+        }
+        wal.commit_group().unwrap();
+        assert_eq!(wal.fsync_count(), 0);
+        // Five more crosses the threshold: the group boundary syncs.
+        for i in 3..8u32 {
+            wal.append_deferred(&encode_trade(&trade(i, 0.0))).unwrap();
+        }
+        wal.commit_group().unwrap();
+        assert_eq!(wal.fsync_count(), 1);
+        assert_eq!(wal.unsynced_appends(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn missing_segment_gap_discards_later_history() {
         let dir = tmp_dir("gap");
         let mut wal = Wal::create(&dir, FsyncPolicy::Off, 64, 1).unwrap();
@@ -777,6 +902,73 @@ mod proptests {
             }
             prop_assert!(replay.records.len() < n_records, "corruption within the\
                  record stream must cut it short (pos {pos} of {})", bytes.len());
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+
+        /// Group commit under arbitrary crash points: any number of
+        /// whole groups committed (acked) followed by a crash inside the
+        /// next group — power loss, a torn frame, or silent corruption —
+        /// always recovers a strict gap-free prefix that covers every
+        /// acked LSN. No acked record is ever lost, no group is ever
+        /// recovered torn or reordered.
+        #[test]
+        fn group_commit_crash_recovers_every_acked_lsn(
+            group_sizes in proptest::collection::vec(1usize..9, 1..8),
+            partial in 0usize..9,
+            crash_kind in 0u8..3,
+            torn_keep in 1usize..20,
+            seed in proptest::num::u64::ANY,
+        ) {
+            let dir = tmp_dir(&format!("gc-{seed:x}-{}-{partial}", group_sizes.len()));
+            let mut wal = Wal::create(&dir, FsyncPolicy::Always, 1 << 20, 1).unwrap();
+            let mk = |i: u64| encode_trade(&Trade {
+                stock: StockId(i as u32),
+                price: (seed ^ i) as f64,
+                volume: i,
+                trade_time_ms: seed.wrapping_add(i),
+            });
+            // Commit every full group: each append_batch ends with one
+            // covering fsync, after which the group counts as acked.
+            let mut acked_lsn = 0u64;
+            let mut next = 1u64;
+            for &size in &group_sizes {
+                let payloads: Vec<_> = (0..size as u64).map(|k| mk(next + k)).collect();
+                let (_, last) = wal.append_batch(&payloads).unwrap().unwrap();
+                next = last + 1;
+                acked_lsn = last;
+            }
+            // Start one more group but crash before its commit fsync.
+            let partial = partial.min(7);
+            for k in 0..partial as u64 {
+                wal.append_deferred(&mk(next + k)).unwrap();
+            }
+            match crash_kind {
+                // Power loss: everything unsynced vanishes.
+                0 => wal.truncate_to_synced().unwrap(),
+                // Crash mid-write: a torn frame ends the segment.
+                1 => wal.append_torn(&mk(next + partial as u64), torn_keep).unwrap(),
+                // Media corruption inside the unsynced tail.
+                _ => { wal.append_corrupted(&mk(next + partial as u64)).unwrap(); }
+            }
+            drop(wal);
+
+            let replay = replay_dir(&dir, 0).unwrap(); // never panics
+            // Strict prefix: gap-free LSNs from 1, payloads intact.
+            for (i, frame) in replay.records.iter().enumerate() {
+                let want = i as u64 + 1;
+                prop_assert_eq!(frame.lsn, want);
+                let d = decode_trade(&frame.payload).unwrap();
+                prop_assert_eq!(d.volume, want);
+                prop_assert_eq!(d.price.to_bits(), ((seed ^ want) as f64).to_bits());
+            }
+            // Every acked group survives in full.
+            prop_assert!(
+                replay.records.len() as u64 >= acked_lsn,
+                "acked through LSN {acked_lsn} but only {} recovered",
+                replay.records.len()
+            );
+            // Nothing past the unacked group's end is ever invented.
+            prop_assert!(replay.records.len() as u64 <= acked_lsn + partial as u64 + 1);
             std::fs::remove_dir_all(&dir).unwrap();
         }
     }

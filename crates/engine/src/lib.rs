@@ -73,7 +73,7 @@ pub mod supervisor;
 pub mod virt;
 
 pub use config::{EngineConfig, LivePolicy};
-pub use durability::DurabilityConfig;
+pub use durability::{DurabilityConfig, GroupCommitConfig};
 pub use fault::{FaultPlan, LinkFaultPlan, UpdateBurst};
 pub use quts_db::FsyncPolicy;
 pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
@@ -83,7 +83,10 @@ pub use repl::{
     ShipRegistry,
 };
 pub use retry::Backoff;
-pub use runtime::{Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError};
+pub use runtime::{
+    Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError, UpdateError,
+    UpdateTicket,
+};
 pub use stats::{LiveStats, RHO_HISTORY_CAP};
 pub use supervisor::EngineState;
 pub use virt::{run_virtual, VirtualOutcome, VirtualRunReport};

@@ -33,7 +33,9 @@ pub struct ReplicaConfig {
     pub name: String,
     /// Directory for the replica's own WAL + snapshots.
     pub dir: PathBuf,
-    /// Fsync policy for the replica WAL. Acks always sync first, so
+    /// Fsync policy for the replica WAL. Frames are appended deferred
+    /// (group-commit style): one fsync covers the whole received group
+    /// at ack time, never one per frame. Acks always sync first, so
     /// this only bounds loss between acks.
     pub fsync: FsyncPolicy,
     /// Replica WAL segment rotation threshold.
@@ -629,6 +631,13 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Frame> {
 
 /// Applies one in-order frame: append to the local WAL (byte-identical,
 /// same LSN), then run it through the store + staleness tracker.
+///
+/// The append is **deferred** — no per-frame fsync. The received group
+/// (everything since the last ack) becomes durable with the single sync
+/// [`ack_now`] issues before reporting `durable_lsn`, so the replica
+/// amortizes its commit cost exactly like the primary's group-commit
+/// leader, and a mid-group disconnect can never have acked an unsynced
+/// prefix.
 fn apply_frame(
     shared: &SharedState,
     wal: &mut Option<Wal>,
@@ -638,7 +647,7 @@ fn apply_frame(
     let w = wal
         .as_mut()
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame before any baseline"))?;
-    let lsn = w.append(&frame.payload)?;
+    let lsn = w.append_deferred(&frame.payload)?;
     debug_assert_eq!(lsn, frame.lsn, "replica WAL diverged from stream LSNs");
     {
         let mut data = shared.data.lock().expect("replica data lock");

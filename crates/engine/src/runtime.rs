@@ -2,7 +2,7 @@
 
 use crate::clock::EngineClock;
 use crate::config::{EngineConfig, LivePolicy};
-use crate::durability::{DurabilityConfig, Durable};
+use crate::durability::{DurabilityConfig, Durable, GroupCommitConfig};
 use crate::fault::FaultState;
 use crate::stats::LiveStats;
 use crate::supervisor::{self, EngineSeed, EngineState, STATE_RUNNING};
@@ -125,6 +125,72 @@ impl QueryTicket {
     }
 }
 
+/// Why a durable-update submission produced no LSN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The trade named a stock the store does not hold; nothing was
+    /// logged or enqueued.
+    UnknownStock,
+    /// The engine died (or was poisoned) before the covering fsync
+    /// returned; the update may or may not survive recovery, but it was
+    /// **never acknowledged as durable**.
+    EngineDown,
+    /// The caller-side wait timed out; the commit may still complete.
+    Timeout,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownStock => write!(f, "update names an unknown stock"),
+            UpdateError::EngineDown => write!(f, "engine went down before the commit fsync"),
+            UpdateError::Timeout => write!(f, "timed out waiting for the durable ack"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// A claim on one durable update's commit acknowledgement.
+///
+/// Resolves with the update's WAL LSN **only after the fsync covering
+/// it has returned** — the group-commit leader parks every submitter's
+/// ticket until the group's single fsync completes, then releases them
+/// in LSN order. If the engine panics before that fsync, the ack
+/// channel disconnects and the ticket reports
+/// [`UpdateError::EngineDown`]: an unsynced update is never acked.
+pub struct UpdateTicket {
+    rx: Receiver<Result<u64, UpdateError>>,
+}
+
+impl UpdateTicket {
+    /// Blocks until the update is durable (or failed).
+    pub fn recv(&self) -> Result<u64, UpdateError> {
+        match self.rx.recv() {
+            Ok(outcome) => outcome,
+            Err(_) => Err(UpdateError::EngineDown),
+        }
+    }
+
+    /// Blocks up to `timeout` for the durable ack.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<u64, UpdateError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(outcome) => outcome,
+            Err(RecvTimeoutError::Timeout) => Err(UpdateError::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(UpdateError::EngineDown),
+        }
+    }
+
+    /// Non-blocking poll; `None` while the commit is still in flight.
+    pub fn try_recv(&self) -> Option<Result<u64, UpdateError>> {
+        match self.rx.try_recv() {
+            Ok(outcome) => Some(outcome),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(UpdateError::EngineDown)),
+        }
+    }
+}
+
 /// When a query was submitted: a wall-clock stamp from real clients, or
 /// an exact microsecond offset from the virtual-time conformance driver.
 pub(crate) enum SubmitStamp {
@@ -140,6 +206,10 @@ pub(crate) enum Msg {
         reply: Sender<Result<QueryReply, QueryError>>,
     },
     Update(Trade),
+    UpdateDurable {
+        trade: Trade,
+        ack: Sender<Result<u64, UpdateError>>,
+    },
     Shutdown,
 }
 
@@ -289,6 +359,13 @@ impl Engine {
         self.handle.submit_update(trade)
     }
 
+    /// Submits an update and returns a ticket that resolves with its
+    /// WAL LSN once the covering fsync has returned (see
+    /// [`EngineHandle::submit_update_durable`]).
+    pub fn submit_update_durable(&self, trade: Trade) -> Result<UpdateTicket, SubmitError> {
+        self.handle.submit_update_durable(trade)
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> LiveStats {
         self.handle.stats()
@@ -349,6 +426,28 @@ impl EngineHandle {
         }
     }
 
+    /// Submits an update whose [`UpdateTicket`] resolves with the WAL
+    /// LSN **after** the fsync covering it returns — never before. With
+    /// group commit enabled the submitter parks on the ticket while the
+    /// leader batches concurrent updates into one fsync; without it the
+    /// append is synced individually before the ack. On an engine
+    /// without durability the ticket resolves immediately at LSN 0 (no
+    /// durability promise exists to wait for).
+    pub fn submit_update_durable(&self, trade: Trade) -> Result<UpdateTicket, SubmitError> {
+        if self.state() != EngineState::Running {
+            return Err(SubmitError::EngineDown);
+        }
+        let (ack_tx, ack_rx) = bounded(1);
+        match self.tx.try_send(Msg::UpdateDurable { trade, ack: ack_tx }) {
+            Ok(()) => Ok(UpdateTicket { rx: ack_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.lock().queue_full_rejections += 1;
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::EngineDown),
+        }
+    }
+
     /// Current statistics snapshot.
     pub fn stats(&self) -> LiveStats {
         self.stats.lock().clone()
@@ -372,6 +471,17 @@ impl EngineHandle {
     pub fn state(&self) -> EngineState {
         supervisor::load_state(&self.state)
     }
+}
+
+/// One update parked in the commit buffer awaiting the group's fsync.
+struct GroupEntry {
+    trade: Trade,
+    /// The submitter's ticket, released at the durable LSN after the
+    /// covering fsync; `None` for fire-and-forget submissions.
+    ack: Option<Sender<Result<u64, UpdateError>>>,
+    /// When the entry joined the buffer, µs on the engine clock —
+    /// drives the `max_delay_us` deadline and the wait histogram.
+    enqueued_us: u64,
 }
 
 struct PendingQuery {
@@ -415,6 +525,21 @@ pub(crate) struct Runtime<'a> {
     /// WAL + snapshot state, owned by the supervisor so it survives
     /// panic restarts; `None` without durability.
     durable: Option<&'a mut Durable>,
+
+    // --- Group commit ---
+    /// Group-commit knobs (cached off the durability config); `None`
+    /// commits every update individually, exactly the pre-group
+    /// behavior.
+    group: Option<GroupCommitConfig>,
+    /// Updates accepted but parked for the next group commit. The
+    /// scheduler itself is the leader: it closes the group at
+    /// `max_batch` records, at the `max_delay_us` deadline, or on
+    /// drain.
+    commit_buf: Vec<GroupEntry>,
+    /// Fsyncs already folded into `LiveStats::wal_fsyncs` (the WAL
+    /// counter restarts at zero each incarnation; the stat is
+    /// monotonic).
+    fsyncs_seen: u64,
 
     rho: RhoController,
     rng: StdRng,
@@ -483,6 +608,13 @@ impl<'a> Runtime<'a> {
             update_queue.push_back((trade.stock, id, seq));
         }
         let now_us = clock.now_us();
+        // Group commit only makes sense with a WAL to group into.
+        let group = config
+            .durability
+            .as_ref()
+            .and_then(|d| d.group_commit)
+            .filter(|_| durable.is_some());
+        let fsyncs_seen = durable.as_ref().map_or(0, |d| d.fsync_count());
         Runtime {
             store,
             tracker,
@@ -499,6 +631,9 @@ impl<'a> Runtime<'a> {
             register,
             next_update_id,
             durable,
+            group,
+            commit_buf: Vec::new(),
+            fsyncs_seen,
             rho,
             rng,
             draining: false,
@@ -527,6 +662,7 @@ impl<'a> Runtime<'a> {
             // pending-query high-water mark, so overload backs up into the
             // bounded submission channel and rejects at the door instead
             // of growing the heap without bound.
+            let mut inbox_empty = false;
             while self.queries.len() < self.config.max_pending_queries {
                 match self.rx.try_recv() {
                     Ok(Msg::Shutdown) => {
@@ -534,10 +670,24 @@ impl<'a> Runtime<'a> {
                         self.draining = true;
                     }
                     Ok(msg) => self.ingest(msg),
-                    Err(_) => break,
+                    Err(_) => {
+                        inbox_empty = true;
+                        break;
+                    }
                 }
             }
             self.refresh(self.clock.now_us());
+            // Close the commit group if its hold deadline has passed —
+            // checked every pass so a parked ticket never waits more
+            // than ~max_delay_us past the deadline even under load.
+            self.flush_group_if_due();
+            // Commit-on-idle: the inbox is drained, so holding a group
+            // with parked tickets open buys no more batching — it only
+            // delays the acks. Fire-and-forget groups keep gathering
+            // until max_batch or the deadline.
+            if inbox_empty && self.commit_buf.iter().any(|e| e.ack.is_some()) {
+                self.commit_group();
+            }
             // Snapshot cadence is checked between transactions, after
             // the ingest drain — every trade the snapshot's `last_lsn`
             // covers is then either applied or in the pending queue.
@@ -547,15 +697,27 @@ impl<'a> Runtime<'a> {
                 continue;
             }
             if shutting_down {
-                break;
+                if self.commit_buf.is_empty() {
+                    break;
+                }
+                // Drain: commit the parked group, then loop to apply it.
+                self.commit_group();
+                continue;
             }
             // Nothing runnable: wait for work or the next boundary
             // (capped: the fixed-priority policies park the atom
             // boundary at infinity).
             let boundary_us = self.state_until_us.min(self.next_adapt_us);
-            let timeout = Duration::from_micros(boundary_us.saturating_sub(self.clock.now_us()))
-                .max(Duration::from_micros(200))
-                .min(Duration::from_secs(60));
+            let mut timeout =
+                Duration::from_micros(boundary_us.saturating_sub(self.clock.now_us()))
+                    .max(Duration::from_micros(200))
+                    .min(Duration::from_secs(60));
+            // A parked commit group bounds the idle wait: wake at its
+            // deadline so its tickets release on time.
+            if let Some(deadline_us) = self.group_deadline_us() {
+                let left = deadline_us.saturating_sub(self.clock.now_us());
+                timeout = timeout.min(Duration::from_micros(left));
+            }
             match self.rx.recv_timeout(timeout) {
                 Ok(Msg::Shutdown) => {
                     shutting_down = true;
@@ -593,15 +755,16 @@ impl<'a> Runtime<'a> {
         }
         let pending = self.pending_in_order();
         let durable = self.durable.as_mut().expect("checked above");
-        match durable.publish_snapshot(self.store, self.tracker.missed_counts(), &pending) {
+        let outcome = durable.publish_snapshot(self.store, self.tracker.missed_counts(), &pending);
+        let fsync_delta = self.take_fsync_delta();
+        let mut s = self.stats.lock();
+        s.wal_fsyncs += fsync_delta;
+        match outcome {
             Ok(lsn) => {
-                let mut s = self.stats.lock();
                 s.snapshots_written += 1;
                 s.snapshot_last_lsn = lsn;
             }
-            Err(_) => {
-                self.stats.lock().wal_io_errors += 1;
-            }
+            Err(_) => s.wal_io_errors += 1,
         }
     }
 
@@ -611,6 +774,9 @@ impl<'a> Runtime<'a> {
     /// drain already ran, and the WAL (minus the failed sync window)
     /// still recovers.
     fn finalize(&mut self) {
+        // A drain normally empties the commit buffer before the loop
+        // exits; this covers direct callers (virtual driver, tests).
+        self.commit_group();
         let pending = self.pending_in_order();
         let Some(durable) = self.durable.as_mut() else {
             return;
@@ -618,7 +784,9 @@ impl<'a> Runtime<'a> {
         let outcome = durable.sync().and_then(|()| {
             durable.publish_snapshot(self.store, self.tracker.missed_counts(), &pending)
         });
+        let fsync_delta = self.take_fsync_delta();
         let mut s = self.stats.lock();
+        s.wal_fsyncs += fsync_delta;
         match outcome {
             Ok(lsn) => {
                 s.snapshots_written += 1;
@@ -685,66 +853,253 @@ impl<'a> Runtime<'a> {
                     },
                 );
             }
-            Msg::Update(trade) => {
-                if trade.stock.index() >= self.store.len() {
-                    return; // unknown item: drop (blind update to nowhere)
-                }
-                // WAL-before-enqueue: once the engine accepts an update
-                // it must be recoverable. An append failure is fail-stop
-                // — the panic unwinds to the supervisor, which rebuilds
-                // from snapshot + WAL tail rather than carrying on with
-                // a durability hole.
-                let mut logged = None;
-                if let Some(durable) = self.durable.as_mut() {
-                    match durable.append(&trade, &self.config.fault, &self.faults) {
-                        Ok(lsn) => logged = Some(lsn),
-                        Err(e) => {
-                            self.stats.lock().wal_io_errors += 1;
-                            panic!("wal append failed (fail-stop): {e}");
-                        }
-                    }
-                }
-                self.tracker.on_arrival(trade.stock, self.clock.now_us());
-                // Register-table semantics: the pending entry keeps its
-                // queue position (and arrival seq), only its payload and
-                // identifier are swapped — no new arrival number.
-                if let Some(entry) = self.register.get_mut(&trade.stock) {
-                    let old_id = entry.0;
-                    entry.1 = trade;
-                    self.stats.lock().updates_invalidated += 1;
-                    self.trace_event(TraceEvent::UpdateInvalidate { id: old_id });
-                } else {
-                    if self.update_queue.len() >= self.config.max_pending_updates {
-                        // High-water mark: drop the head. Its payload is
-                        // the oldest in the queue (least valuable to
-                        // apply), and the tracker keeps its item
-                        // correctly accounted stale.
-                        if let Some((victim, victim_id, _seq)) = self.update_queue.pop_front() {
-                            self.register.remove(&victim);
-                            self.stats.lock().updates_dropped_overload += 1;
-                            self.trace_event(TraceEvent::UpdateDrop { id: victim_id });
-                        }
-                    }
-                    let id = self.next_update_id;
-                    self.next_update_id += 1;
-                    let seq = self.next_seq;
-                    self.next_seq += 1;
-                    self.register.insert(trade.stock, (id, trade));
-                    self.update_queue.push_back((trade.stock, id, seq));
-                }
-                // Keep the update gauge live on the ingest path too —
-                // the restart shed accounting reads it. The WAL counter
-                // shares this lock acquisition: the append hot path
-                // shouldn't pay twice.
-                let mut s = self.stats.lock();
-                if let Some(lsn) = logged {
-                    s.wal_appended += 1;
-                    s.wal_last_lsn = lsn;
-                }
-                self.set_depth_gauges(&mut s);
-            }
+            Msg::Update(trade) => self.ingest_update(trade, None),
+            Msg::UpdateDurable { trade, ack } => self.ingest_update(trade, Some(ack)),
             Msg::Shutdown => {}
         }
+    }
+
+    /// Routes one accepted update: into the commit buffer when group
+    /// commit is enabled, otherwise through the classic
+    /// WAL-append-then-enqueue path. `ack` (from
+    /// [`submit_update_durable`](EngineHandle::submit_update_durable))
+    /// is released only after the fsync covering the update returns.
+    fn ingest_update(&mut self, trade: Trade, ack: Option<Sender<Result<u64, UpdateError>>>) {
+        if trade.stock.index() >= self.store.len() {
+            // Unknown item: drop (blind update to nowhere); a waiting
+            // ticket learns it was never accepted.
+            if let Some(ack) = ack {
+                let _ = ack.send(Err(UpdateError::UnknownStock));
+            }
+            return;
+        }
+        if self.group.is_some() {
+            // Park in the commit buffer; the leader (this scheduler)
+            // closes the group at max_batch, at the deadline, or on
+            // drain. Nothing — WAL, tracker, register — happens until
+            // the group commits: an update is enqueued only once it is
+            // (about to be) durable, preserving WAL-before-enqueue.
+            let max_batch = self.group.expect("checked").max_batch;
+            self.commit_buf.push(GroupEntry {
+                trade,
+                ack,
+                enqueued_us: self.clock.now_us(),
+            });
+            self.stats.lock().group_buffered += 1;
+            if self.commit_buf.len() >= max_batch {
+                self.commit_group();
+            }
+            return;
+        }
+        // WAL-before-enqueue: once the engine accepts an update
+        // it must be recoverable. An append failure is fail-stop
+        // — the panic unwinds to the supervisor, which rebuilds
+        // from snapshot + WAL tail rather than carrying on with
+        // a durability hole.
+        let mut logged = None;
+        if let Some(durable) = self.durable.as_mut() {
+            match durable.append(&trade, &self.config.fault, &self.faults) {
+                Ok(lsn) => logged = Some(lsn),
+                Err(e) => {
+                    self.stats.lock().wal_io_errors += 1;
+                    panic!("wal append failed (fail-stop): {e}");
+                }
+            }
+            // A durable ack must wait for the covering fsync; the
+            // append above only guarantees one under `Always`. Sync
+            // failures void the promise: fail-stop, never ack.
+            if ack.is_some() {
+                if let Err(e) = self.durable.as_mut().expect("checked").sync_for_ack() {
+                    self.stats.lock().wal_io_errors += 1;
+                    panic!("wal fsync before ack failed (fail-stop): {e}");
+                }
+            }
+        }
+        if let Some(ack) = ack {
+            // Durable now (or durability is off and LSN 0 says so).
+            let _ = ack.send(Ok(logged.unwrap_or(0)));
+        }
+        self.tracker.on_arrival(trade.stock, self.clock.now_us());
+        // Register-table semantics: the pending entry keeps its
+        // queue position (and arrival seq), only its payload and
+        // identifier are swapped — no new arrival number.
+        if let Some(entry) = self.register.get_mut(&trade.stock) {
+            let old_id = entry.0;
+            entry.1 = trade;
+            self.stats.lock().updates_invalidated += 1;
+            self.trace_event(TraceEvent::UpdateInvalidate { id: old_id });
+        } else {
+            if self.update_queue.len() >= self.config.max_pending_updates {
+                // High-water mark: drop the head. Its payload is
+                // the oldest in the queue (least valuable to
+                // apply), and the tracker keeps its item
+                // correctly accounted stale.
+                if let Some((victim, victim_id, _seq)) = self.update_queue.pop_front() {
+                    self.register.remove(&victim);
+                    self.stats.lock().updates_dropped_overload += 1;
+                    self.trace_event(TraceEvent::UpdateDrop { id: victim_id });
+                }
+            }
+            let id = self.next_update_id;
+            self.next_update_id += 1;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.register.insert(trade.stock, (id, trade));
+            self.update_queue.push_back((trade.stock, id, seq));
+        }
+        // Keep the update gauge live on the ingest path too —
+        // the restart shed accounting reads it. The WAL counter
+        // shares this lock acquisition: the append hot path
+        // shouldn't pay twice.
+        let fsync_delta = self.take_fsync_delta();
+        let mut s = self.stats.lock();
+        if let Some(lsn) = logged {
+            s.wal_appended += 1;
+            s.wal_last_lsn = lsn;
+        }
+        s.wal_fsyncs += fsync_delta;
+        self.set_depth_gauges(&mut s);
+    }
+
+    /// Fsyncs issued since the last accounting, to fold into the
+    /// monotonic `LiveStats::wal_fsyncs` (the WAL counter restarts at
+    /// zero when recovery reopens the log).
+    fn take_fsync_delta(&mut self) -> u64 {
+        let Some(d) = self.durable.as_ref() else {
+            return 0;
+        };
+        let now = d.fsync_count();
+        let delta = now.saturating_sub(self.fsyncs_seen);
+        self.fsyncs_seen = now;
+        delta
+    }
+
+    /// Closes the parked group when its oldest entry has waited past
+    /// the configured hold deadline.
+    fn flush_group_if_due(&mut self) {
+        let Some(gc) = self.group else { return };
+        let Some(oldest_us) = self.commit_buf.first().map(|e| e.enqueued_us) else {
+            return;
+        };
+        if self.clock.now_us().saturating_sub(oldest_us) >= gc.max_delay_us {
+            self.commit_group();
+        }
+    }
+
+    /// The engine-clock instant the parked group must commit by, if one
+    /// is parked.
+    fn group_deadline_us(&self) -> Option<u64> {
+        let gc = self.group?;
+        let oldest_us = self.commit_buf.first()?.enqueued_us;
+        Some(oldest_us + gc.max_delay_us)
+    }
+
+    /// The group-commit leader's critical section: one batched WAL
+    /// append for every parked update, one covering fsync, ticket
+    /// release in LSN order, then one register-table pass folding the
+    /// whole batch.
+    ///
+    /// Failure semantics: any mid-batch IO error poisons the **whole
+    /// group** — the scheduler panics before releasing a single ticket,
+    /// so every parked submitter sees its ack channel disconnect
+    /// ([`UpdateError::EngineDown`]); no partial acks, ever. The
+    /// already-appended prefix is recoverable by replay; the unappended
+    /// remainder stays counted in the `group_buffered` gauge, which the
+    /// supervisor folds into `shed_on_restart_updates`.
+    fn commit_group(&mut self) {
+        if self.commit_buf.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.commit_buf);
+        // A parked ticket needs a real fsync even under EveryN/Off —
+        // the ack *is* a durability promise. Fire-and-forget groups let
+        // the configured policy decide (one decision per group).
+        let force_sync = entries.iter().any(|e| e.ack.is_some());
+        let mut first_lsn = None;
+        if let Some(durable) = self.durable.as_mut() {
+            for (i, e) in entries.iter().enumerate() {
+                match durable.append_deferred(&e.trade, &self.config.fault, &self.faults) {
+                    Ok(lsn) => first_lsn = first_lsn.or(Some(lsn)),
+                    Err(err) => {
+                        // The appended prefix (0..i) is in the WAL
+                        // stream and will be resurrected by replay;
+                        // entries i.. never landed and stay in the
+                        // buffered gauge for the supervisor to count as
+                        // shed. No ticket has been released.
+                        let mut s = self.stats.lock();
+                        s.wal_io_errors += 1;
+                        s.group_buffered = s.group_buffered.saturating_sub(i as u64);
+                        drop(s);
+                        panic!("wal group append failed (fail-stop): {err}");
+                    }
+                }
+            }
+            if let Err(err) = durable.commit_group(force_sync) {
+                // The whole group's durability is unknown: fail-stop
+                // with every ticket unreleased. Replay decides what
+                // survived; nothing was acked.
+                let mut s = self.stats.lock();
+                s.wal_io_errors += 1;
+                s.group_buffered = s.group_buffered.saturating_sub(entries.len() as u64);
+                drop(s);
+                panic!("wal group fsync failed (fail-stop): {err}");
+            }
+        }
+        // Durable point reached: release every ticket at its LSN, in
+        // append (= LSN) order. LSNs are contiguous from the first.
+        for (i, e) in entries.iter().enumerate() {
+            if let Some(ack) = &e.ack {
+                let lsn = first_lsn.map_or(0, |f| f + i as u64);
+                let _ = ack.send(Ok(lsn));
+            }
+        }
+        // Batched apply: fold the whole group through the register
+        // table in one pass — per-entry invalidation/high-water
+        // semantics identical to single ingest, but counters and depth
+        // gauges settle under a single stats-lock acquisition.
+        let now_us = self.clock.now_us();
+        let mut invalidated = 0u64;
+        let mut dropped = 0u64;
+        for e in &entries {
+            self.tracker.on_arrival(e.trade.stock, now_us);
+            if let Some(entry) = self.register.get_mut(&e.trade.stock) {
+                let old_id = entry.0;
+                entry.1 = e.trade;
+                invalidated += 1;
+                self.trace_event(TraceEvent::UpdateInvalidate { id: old_id });
+            } else {
+                if self.update_queue.len() >= self.config.max_pending_updates {
+                    if let Some((victim, victim_id, _seq)) = self.update_queue.pop_front() {
+                        self.register.remove(&victim);
+                        dropped += 1;
+                        self.trace_event(TraceEvent::UpdateDrop { id: victim_id });
+                    }
+                }
+                let id = self.next_update_id;
+                self.next_update_id += 1;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.register.insert(e.trade.stock, (id, e.trade));
+                self.update_queue.push_back((e.trade.stock, id, seq));
+            }
+        }
+        let fsync_delta = self.take_fsync_delta();
+        let mut s = self.stats.lock();
+        if let Some(first) = first_lsn {
+            s.wal_appended += entries.len() as u64;
+            s.wal_last_lsn = first + entries.len() as u64 - 1;
+        }
+        s.updates_invalidated += invalidated;
+        s.updates_dropped_overload += dropped;
+        s.group_commits += 1;
+        s.group_buffered = s.group_buffered.saturating_sub(entries.len() as u64);
+        s.group_commit_batch.record(entries.len() as u64);
+        for e in &entries {
+            s.group_commit_wait_us
+                .record(now_us.saturating_sub(e.enqueued_us));
+        }
+        s.wal_fsyncs += fsync_delta;
+        self.set_depth_gauges(&mut s);
     }
 
     /// Microseconds on the engine clock.
@@ -1455,5 +1810,209 @@ mod tests {
         assert_eq!(stats.aggregates.committed, 1, "shed query never commits");
     }
 
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("quts-runtime-gc-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    #[test]
+    fn durable_ack_without_group_commit() {
+        use crate::durability::DurabilityConfig;
+        let dir = temp_dir("plain-ack");
+        let store = Store::with_synthetic_stocks(2);
+        let cfg = EngineConfig::default()
+            .with_seed(21)
+            .with_durability(DurabilityConfig::new(&dir).with_fsync(FsyncPolicy::EveryN(64)));
+        let engine = Engine::start(store, cfg);
+        let lsn = engine
+            .submit_update_durable(trade(StockId(0), 5.0))
+            .expect("admitted")
+            .recv_timeout(Duration::from_secs(5))
+            .expect("acked");
+        assert_eq!(lsn, 1, "first WAL append");
+        // Unknown stocks resolve the ticket with an error, not a hang.
+        let err = engine
+            .submit_update_durable(trade(StockId(99), 5.0))
+            .expect("admitted")
+            .recv_timeout(Duration::from_secs(5))
+            .expect_err("unknown stock");
+        assert_eq!(err, UpdateError::UnknownStock);
+        let stats = engine.shutdown();
+        assert_eq!(stats.wal_appended, 1);
+        assert!(
+            stats.wal_fsyncs >= 1,
+            "the ack forced a sync despite EveryN(64)"
+        );
+        assert_eq!(stats.group_commits, 0, "group commit is off by default");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn durable_ack_with_no_durability_resolves_lsn_zero() {
+        let (engine, ids) = engine_with_stocks(2);
+        let lsn = engine
+            .submit_update_durable(trade(ids[0], 5.0))
+            .expect("admitted")
+            .recv_timeout(Duration::from_secs(5))
+            .expect("acked");
+        assert_eq!(lsn, 0, "no WAL, no LSN — but the update is accepted");
+        let stats = engine.shutdown();
+        assert_eq!(stats.updates_applied, 1);
+    }
+
+    #[test]
+    fn group_commit_acks_concurrent_submitters_at_contiguous_lsns() {
+        use crate::durability::{DurabilityConfig, GroupCommitConfig};
+        let dir = temp_dir("parked");
+        let store = Store::with_synthetic_stocks(8);
+        let cfg = EngineConfig::default().with_seed(23).with_durability(
+            DurabilityConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Always)
+                .with_group_commit(
+                    GroupCommitConfig::default()
+                        .with_max_batch(8)
+                        .with_max_delay_us(60_000_000),
+                ),
+        );
+        let engine = Engine::start(store, cfg);
+        let handle = engine.handle();
+        let workers: Vec<_> = (0..8u32)
+            .map(|w| {
+                let h = handle.clone();
+                std::thread::spawn(move || {
+                    h.submit_update_durable(trade(StockId(w), w as f64))
+                        .expect("admitted")
+                        .recv_timeout(Duration::from_secs(10))
+                        .expect("acked at durable LSN")
+                })
+            })
+            .collect();
+        let mut lsns: Vec<u64> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        lsns.sort_unstable();
+        assert_eq!(lsns, (1..=8).collect::<Vec<u64>>(), "contiguous LSN span");
+        let stats = engine.shutdown();
+        assert_eq!(stats.wal_appended, 8);
+        // How many groups formed depends on arrival interleaving
+        // (commit-on-idle closes a ticketed group as soon as the inbox
+        // drains), but every update went through exactly one group.
+        assert!(stats.group_commits >= 1 && stats.group_commits <= 8);
+        assert_eq!(stats.group_commit_batch.count(), stats.group_commits);
+        assert_eq!(stats.group_commit_batch.sum(), 8, "batch sizes total 8");
+        assert_eq!(stats.group_commit_wait_us.count(), 8);
+        assert_eq!(stats.group_buffered, 0, "buffer drained");
+        assert_eq!(stats.updates_applied + stats.updates_invalidated, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_closes_fire_and_forget_groups_at_max_batch() {
+        use crate::durability::{DurabilityConfig, GroupCommitConfig};
+        let dir = temp_dir("max-batch");
+        let store = Store::with_synthetic_stocks(4);
+        // No tickets and an unreachable deadline: only max_batch can
+        // close the group, so exactly one group of 4 forms.
+        let cfg = EngineConfig::default().with_seed(27).with_durability(
+            DurabilityConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Always)
+                .with_group_commit(
+                    GroupCommitConfig::default()
+                        .with_max_batch(4)
+                        .with_max_delay_us(60_000_000),
+                ),
+        );
+        let engine = Engine::start(store, cfg);
+        for i in 0..4u32 {
+            engine.submit_update(trade(StockId(i), i as f64)).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = engine.stats();
+            if s.group_commits >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "max_batch never closed the group"
+            );
+            std::thread::yield_now();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.wal_appended, 4);
+        assert_eq!(stats.group_commits, 1, "one group of max_batch records");
+        assert_eq!(stats.group_commit_batch.sum(), 4);
+        assert_eq!(stats.group_buffered, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_deadline_flushes_partial_groups() {
+        use crate::durability::{DurabilityConfig, GroupCommitConfig};
+        let dir = temp_dir("deadline");
+        let store = Store::with_synthetic_stocks(4);
+        // A batch bound far above the submission count: only the
+        // max_delay deadline can release these fire-and-forget updates.
+        let cfg = EngineConfig::default().with_seed(29).with_durability(
+            DurabilityConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Always)
+                .with_group_commit(
+                    GroupCommitConfig::default()
+                        .with_max_batch(100_000)
+                        .with_max_delay_us(500),
+                ),
+        );
+        let engine = Engine::start(store, cfg);
+        for i in 0..3u32 {
+            engine.submit_update(trade(StockId(i), i as f64)).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let s = engine.stats();
+            if s.updates_applied + s.updates_invalidated + s.pending_updates >= 3 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "deadline flush never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.wal_appended, 3);
+        assert!(stats.group_commits >= 1);
+        assert_eq!(stats.group_buffered, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn group_commit_shutdown_drains_the_buffer() {
+        use crate::durability::{DurabilityConfig, GroupCommitConfig};
+        let dir = temp_dir("drain");
+        let store = Store::with_synthetic_stocks(4);
+        // Neither bound can fire before shutdown: the drain path must
+        // commit the parked group itself.
+        let cfg = EngineConfig::default().with_seed(31).with_durability(
+            DurabilityConfig::new(&dir)
+                .with_fsync(FsyncPolicy::Always)
+                .with_group_commit(
+                    GroupCommitConfig::default()
+                        .with_max_batch(100_000)
+                        .with_max_delay_us(60_000_000),
+                ),
+        );
+        let engine = Engine::start(store, cfg);
+        for i in 0..4u32 {
+            engine.submit_update(trade(StockId(i), i as f64)).unwrap();
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.wal_appended, 4);
+        assert_eq!(stats.group_buffered, 0);
+        assert_eq!(stats.updates_applied + stats.updates_invalidated, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     use crate::fault::FaultPlan;
+    use quts_db::FsyncPolicy;
 }

@@ -1,7 +1,7 @@
 //! Live engine statistics, shared between the scheduler thread and
 //! clients.
 
-use quts_metrics::{LifecycleSpans, OnlineStats};
+use quts_metrics::{LifecycleSpans, LogHistogram, OnlineStats};
 use quts_qc::QcAggregates;
 
 /// How many trailing ρ values [`LiveStats::rho_history`] retains. Older
@@ -83,6 +83,23 @@ pub struct LiveStats {
     pub recovery_replayed_updates: u64,
     /// Torn/corrupt WAL bytes truncated during recoveries.
     pub wal_truncated_bytes: u64,
+
+    // --- Group commit ---
+    /// WAL fsyncs issued across all incarnations; with group commit one
+    /// fsync covers a whole batch, so `wal_appended / wal_fsyncs` is the
+    /// realized amortization factor.
+    pub wal_fsyncs: u64,
+    /// Groups committed (each: one batched append + at most one fsync).
+    pub group_commits: u64,
+    /// Updates parked in the commit buffer, not yet durable or acked. A
+    /// panic before the group's fsync sheds them (never acked, so no
+    /// promise is broken); the supervisor folds this gauge into
+    /// [`shed_on_restart_updates`](LiveStats::shed_on_restart_updates).
+    pub group_buffered: u64,
+    /// Committed group sizes (records per fsync).
+    pub group_commit_batch: LogHistogram,
+    /// Per-update wait from buffer entry to covering fsync return, µs.
+    pub group_commit_wait_us: LogHistogram,
 }
 
 impl LiveStats {
@@ -141,6 +158,11 @@ mod tests {
         assert_eq!(s.snapshot_last_lsn, 0);
         assert_eq!(s.recovery_replayed_updates, 0);
         assert_eq!(s.wal_truncated_bytes, 0);
+        assert_eq!(s.wal_fsyncs, 0);
+        assert_eq!(s.group_commits, 0);
+        assert_eq!(s.group_buffered, 0);
+        assert_eq!(s.group_commit_batch.count(), 0);
+        assert_eq!(s.group_commit_wait_us.count(), 0);
     }
 
     #[test]

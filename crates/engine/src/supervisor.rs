@@ -132,6 +132,15 @@ pub(crate) fn supervise(
                         s.shed_on_restart_updates += s.pending_updates;
                         s.pending_updates = 0;
                     }
+                    // Updates parked in the commit buffer died with the
+                    // incarnation before reaching the WAL — they were
+                    // never acked (their tickets disconnect in the
+                    // unwind), so shedding them breaks no promise, but
+                    // conservation must still count them. The scheduler
+                    // already subtracted any appended-and-replayable
+                    // prefix from this gauge before panicking.
+                    s.shed_on_restart_updates += s.group_buffered;
+                    s.group_buffered = 0;
                 }
                 if !(config.restart_on_panic && restarts < config.max_restarts) {
                     // Out of budget: poison, then refuse everything

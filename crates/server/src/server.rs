@@ -495,6 +495,36 @@ fn render_metrics(shared: &Shared) -> String {
         "Torn or corrupt WAL bytes truncated during recoveries",
         s.wal_truncated_bytes,
     );
+    // Group commit: fsync amortization (`quts_wal_appended_total /
+    // quts_wal_fsync_total` is the realized records-per-fsync) plus the
+    // batch-size and added-wait distributions.
+    exp.counter(
+        "quts_wal_fsync_total",
+        "WAL fsyncs issued across all engine incarnations",
+        s.wal_fsyncs,
+    );
+    exp.counter(
+        "quts_group_commits_total",
+        "Commit groups closed (one batched append, at most one fsync each)",
+        s.group_commits,
+    );
+    exp.gauge(
+        "quts_group_commit_buffered",
+        "Updates parked in the commit buffer, not yet durable or acked",
+        s.group_buffered as f64,
+    );
+    exp.histogram(
+        "quts_group_commit_batch_size",
+        "Records per committed group",
+        &s.group_commit_batch,
+        COUNT_BOUNDS,
+    );
+    exp.histogram(
+        "quts_group_commit_wait_us",
+        "Per-update wait from commit-buffer entry to covering fsync return",
+        &s.group_commit_wait_us,
+        LATENCY_BOUNDS_US,
+    );
     exp.histogram(
         "quts_response_us",
         "Submission-to-answer latency of committed queries",
@@ -828,6 +858,11 @@ mod tests {
         "quts_snapshot_last_lsn",
         "quts_recovery_replayed_updates",
         "quts_wal_truncated_bytes",
+        "quts_wal_fsync_total",
+        "quts_group_commits_total",
+        "quts_group_commit_buffered",
+        "quts_group_commit_batch_size",
+        "quts_group_commit_wait_us",
         "quts_response_us",
         "quts_queue_wait_us",
         "quts_service_us",

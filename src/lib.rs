@@ -57,8 +57,9 @@ pub mod prelude {
     pub use quts_db::{FsyncPolicy, QueryOp, QueryResult, StockId, Store, Trade};
     pub use quts_engine::{
         promote, promote_highest, Backoff, DurabilityConfig, Engine, EngineConfig, EngineState,
-        FaultPlan, LinkFaultPlan, LiveStats, QueryError, QueryTicket, Replica, ReplicaConfig,
-        RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, SubmitError,
+        FaultPlan, GroupCommitConfig, LinkFaultPlan, LiveStats, QueryError, QueryTicket, Replica,
+        ReplicaConfig, RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener,
+        SubmitError, UpdateError, UpdateTicket,
     };
     pub use quts_qc::{
         Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates, QualityContract,

@@ -92,6 +92,25 @@ fn await_applied(replica: &Replica, lsn: u64) -> ReplicaStats {
     }
 }
 
+/// Polls until the replica reports `lsn` durable (fsync'd to its own
+/// WAL). Deferred (group) appends only reach the file at the covering
+/// sync, so on-disk comparisons must wait for this, not `applied_lsn`.
+fn await_durable(replica: &Replica, lsn: u64) -> ReplicaStats {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = replica.stats();
+        if stats.durable_lsn >= lsn {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "replica stuck at durable={} wanting {lsn} (stats: {stats:?})",
+            stats.durable_lsn
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// Reads every price via the replica's local store.
 fn replica_price(replica: &Replica, stock: u32) -> f64 {
     match replica
@@ -156,7 +175,9 @@ fn replica_converges_and_wal_is_byte_identical_prefix() {
     // Byte-for-byte: the replica's log holds the same records the
     // primary's does, at the same LSNs, for everything it applied.
     // (Checked before shutdown — the graceful seal publishes a covering
-    // snapshot, which collects the very segments under comparison.)
+    // snapshot, which collects the very segments under comparison —
+    // and only after the acks' covering sync lands the deferred tail.)
+    await_durable(&replica, u64::from(n));
     let primary_records = wal_records(&tmp.sub("primary"), u64::from(n));
     let replica_records = wal_records(&tmp.sub("replica"), u64::from(n));
     assert!(!replica_records.is_empty());
@@ -514,6 +535,64 @@ fn router_sheds_busy_when_no_replica_qualifies_and_primary_is_full() {
     engine.shutdown();
 }
 
+#[test]
+fn group_shipped_replica_survives_mid_group_disconnects() {
+    let tmp = TempDir::new("gc-disconnect");
+    // The primary batches its WAL appends under group commit, so the
+    // shipper tails and ships frames in bursts; the link hard-drops
+    // mid-frame every 5th frame — right inside shipped groups.
+    let cfg = EngineConfig::default().with_durability(
+        DurabilityConfig::new(tmp.sub("primary"))
+            .with_fsync(FsyncPolicy::Always)
+            .with_group_commit(
+                GroupCommitConfig::default()
+                    .with_max_batch(8)
+                    .with_max_delay_us(200),
+            ),
+    );
+    let engine = Engine::try_start(Store::with_synthetic_stocks(4), cfg).unwrap();
+    let faults = LinkFaultPlan::default().disconnect_mid_frame_every(5);
+    let ship =
+        ShipListener::start(tmp.sub("primary"), ShipConfig::default().with_fault(faults)).unwrap();
+    let replica = Replica::start(ship.addr(), replica_config("r1", tmp.sub("replica"))).unwrap();
+
+    let n = iters(64, 512) as u32;
+    for i in 0..n {
+        engine
+            .submit_update(trade(i % 4, 40.0 + f64::from(i)))
+            .unwrap();
+    }
+    let stats = await_applied(&replica, u64::from(n));
+    assert!(
+        stats.reconnects() > 0,
+        "mid-frame disconnects must force reconnects"
+    );
+    assert!(
+        engine.stats().group_commits > 0,
+        "the primary must actually be group-committing"
+    );
+    replica_consistent(&stats).expect("replica accounting under group shipping");
+
+    // Crash-stop the replica: no seal, no final sync — its deferred
+    // (unsynced) tail is at the OS's mercy. The durability contract is
+    // about `durable_lsn` only: every ack was preceded by the covering
+    // fsync, so offline recovery of the replica's own directory must
+    // reach at least that LSN.
+    let killed = replica.kill();
+    assert!(killed.durable_lsn <= killed.applied_lsn);
+    assert!(killed.durable_lsn > 0, "acks must have advanced durability");
+    let rec = snapshot::recover(&tmp.sub("replica")).expect("killed replica dir recovers");
+    let recovered_lsn = rec.next_lsn - 1;
+    assert!(
+        recovered_lsn >= killed.durable_lsn,
+        "acked durable_lsn {} lost: offline replay only reaches {recovered_lsn}",
+        killed.durable_lsn
+    );
+    wal_contiguous_after_snapshot(&tmp.sub("replica")).expect("killed replica WAL contiguity");
+    ship.shutdown();
+    engine.shutdown();
+}
+
 // --- Property: arbitrary disconnect points never corrupt the prefix ---
 
 /// Proptest volume, scaled by `QUTS_TEST_ITERS`.
@@ -591,7 +670,9 @@ proptest! {
 
         // The replica bootstrapped at LSN 0, so its log must equal the
         // primary's full prefix — byte for byte, before the shutdown
-        // seal collects it into a snapshot.
+        // seal collects it into a snapshot, and only once the acks'
+        // covering sync has landed the deferred tail on disk.
+        await_durable(&replica, u64::from(n));
         let primary_records = wal_records(&tmp.sub("primary"), u64::from(n));
         let replica_records = wal_records(&tmp.sub("replica"), u64::from(n));
         prop_assert_eq!(primary_records.len(), n as usize);
