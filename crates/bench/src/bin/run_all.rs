@@ -14,7 +14,8 @@ use quts_bench::perf::{self, per_sec, ExperimentPerf};
 use quts_bench::{paper_trace, run_policy_with, tracectx, Policy};
 use quts_db::{Store, Trade};
 use quts_engine::{
-    DurabilityConfig, Engine, EngineConfig, FsyncPolicy, GroupCommitConfig, SubmitError,
+    DurabilityConfig, Engine, EngineConfig, FsyncPolicy, GroupCommitConfig, LinkFaultPlan, Replica,
+    ReplicaConfig, ShipConfig, ShipListener, SubmitError,
 };
 use quts_metrics::LogHistogram;
 use quts_sim::{SimConfig, TraceConfig};
@@ -66,6 +67,7 @@ fn main() {
     let overhead = measure_trace_overhead(scale);
     let wal = measure_wal_overhead();
     let gc = measure_group_commit();
+    let repl = measure_replication_lag();
 
     // Sequential baseline: a silent one-worker pass so the perf file
     // always records both numbers. When the timed pass already ran with
@@ -88,7 +90,7 @@ fn main() {
         perfs.iter().map(|p| (p.name, p.wall)).collect()
     };
 
-    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal, &gc);
+    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal, &gc, &repl);
     let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
@@ -441,7 +443,137 @@ fn measure_group_commit() -> GroupCommitProbe {
     }
 }
 
+/// One replication-lag measurement: the same update feed shipped to one
+/// replica over a clean link and over each [`LinkFaultPlan`] fault
+/// class, timed until the replica has applied everything. Shipping
+/// throughput counts retransmissions (duplicates, resume-from-LSN
+/// catch-ups); the lag percentiles come from the ship registry's
+/// aggregated histograms — the same data `METRICS` exposes as
+/// `quts_repl_lag_frames` / `quts_repl_apply_lag_us`.
+struct ReplicationLagCell {
+    link: &'static str,
+    updates: u64,
+    frames_shipped: u64,
+    wall: Duration,
+    apply_lag_p50_us: u64,
+    apply_lag_p99_us: u64,
+    lag_frames_p50: u64,
+    lag_frames_p99: u64,
+}
+
+struct ReplicationLagProbe {
+    stocks: u32,
+    updates_per_cell: u64,
+    cells: Vec<ReplicationLagCell>,
+}
+
+fn measure_replication_lag() -> ReplicationLagProbe {
+    const STOCKS: u32 = 64;
+    const N: u64 = 1_024;
+    let links: [(&'static str, Option<LinkFaultPlan>); 5] = [
+        ("clean", None),
+        (
+            "drop_every_16",
+            Some(LinkFaultPlan::default().drop_frame_every(16)),
+        ),
+        (
+            "duplicate_every_16",
+            Some(LinkFaultPlan::default().duplicate_frame_every(16)),
+        ),
+        (
+            "delay_100us",
+            Some(LinkFaultPlan::default().delay_per_frame(Duration::from_micros(100))),
+        ),
+        (
+            "disconnect_every_256",
+            Some(LinkFaultPlan::default().disconnect_mid_frame_every(256)),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (link, fault) in links {
+        let base =
+            std::env::temp_dir().join(format!("quts-repl-lag-{}-{link}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        let primary_dir = base.join("primary");
+        std::fs::create_dir_all(&primary_dir).expect("mkdir");
+        // Fsync-always so every append is immediately visible to the
+        // shipper's tailer (the shipper only ships durable frames).
+        let engine = Engine::start(
+            Store::with_synthetic_stocks(STOCKS),
+            EngineConfig::default().with_durability(
+                DurabilityConfig::new(&primary_dir)
+                    .with_fsync(FsyncPolicy::Always)
+                    .with_snapshot_every(u64::MAX),
+            ),
+        );
+        let mut ship_config = ShipConfig::default();
+        if let Some(fault) = fault {
+            ship_config = ship_config.with_fault(fault);
+        }
+        let ship = ShipListener::start(primary_dir.clone(), ship_config).expect("ship listener");
+        let replica = Replica::start(
+            ship.addr(),
+            ReplicaConfig::new("bench", base.join("replica"))
+                .with_fsync(FsyncPolicy::Off)
+                .with_ack_every(1)
+                .with_backoff(Duration::from_millis(1), Duration::from_millis(20)),
+        )
+        .expect("replica");
+
+        let started = Instant::now();
+        for i in 0..N {
+            let trade = probe_trade(STOCKS, i);
+            loop {
+                match engine.handle().submit_update(trade) {
+                    Ok(()) => break,
+                    Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                    Err(e) => panic!("replication probe submission failed: {e:?}"),
+                }
+            }
+        }
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while replica.stats().applied_lsn < N {
+            assert!(
+                Instant::now() < deadline,
+                "replica never caught up over the {link} link"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let wall = started.elapsed();
+        let registry = ship.registry();
+        let frames_shipped = registry
+            .peers()
+            .iter()
+            .map(|p| p.frames_shipped)
+            .sum::<u64>();
+        let apply_lag = registry.apply_lag_histogram();
+        let lag_frames = registry.lag_frames_histogram();
+        let q = |h: &LogHistogram, p: f64| h.quantile(p).unwrap_or(0);
+        cells.push(ReplicationLagCell {
+            link,
+            updates: N,
+            frames_shipped,
+            wall,
+            apply_lag_p50_us: q(&apply_lag, 0.50),
+            apply_lag_p99_us: q(&apply_lag, 0.99),
+            lag_frames_p50: q(&lag_frames, 0.50),
+            lag_frames_p99: q(&lag_frames, 0.99),
+        });
+
+        replica.shutdown();
+        ship.shutdown();
+        engine.shutdown();
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    ReplicationLagProbe {
+        stocks: STOCKS,
+        updates_per_cell: N,
+        cells,
+    }
+}
+
 /// Hand-rolled JSON (the workspace vendors no serializer by design).
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: u32,
     jobs: usize,
@@ -450,6 +582,7 @@ fn render_json(
     overhead: &TraceOverhead,
     wal: &WalOverhead,
     gc: &GroupCommitProbe,
+    repl: &ReplicationLagProbe,
 ) -> String {
     let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
     let total_events: u64 = perfs.iter().map(|p| p.events).sum();
@@ -575,6 +708,50 @@ fn render_json(
         s.push_str(&format!("        \"ack_p50_us\": {},\n", c.ack_p50_us));
         s.push_str(&format!("        \"ack_p99_us\": {}\n", c.ack_p99_us));
         s.push_str(if i + 1 == gc.cells.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
+    s.push_str("  \"replication_lag\": {\n");
+    s.push_str(&format!("    \"stocks\": {},\n", repl.stocks));
+    s.push_str(&format!(
+        "    \"updates_per_cell\": {},\n",
+        repl.updates_per_cell
+    ));
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in repl.cells.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"link\": \"{}\",\n", c.link));
+        s.push_str(&format!("        \"updates\": {},\n", c.updates));
+        s.push_str(&format!(
+            "        \"frames_shipped\": {},\n",
+            c.frames_shipped
+        ));
+        s.push_str(&format!("        \"wall_ms\": {:.3},\n", ms(c.wall)));
+        s.push_str(&format!(
+            "        \"frames_per_sec\": {:.1},\n",
+            per_sec(c.frames_shipped, c.wall)
+        ));
+        s.push_str(&format!(
+            "        \"apply_lag_p50_us\": {},\n",
+            c.apply_lag_p50_us
+        ));
+        s.push_str(&format!(
+            "        \"apply_lag_p99_us\": {},\n",
+            c.apply_lag_p99_us
+        ));
+        s.push_str(&format!(
+            "        \"lag_frames_p50\": {},\n",
+            c.lag_frames_p50
+        ));
+        s.push_str(&format!(
+            "        \"lag_frames_p99\": {}\n",
+            c.lag_frames_p99
+        ));
+        s.push_str(if i + 1 == repl.cells.len() {
             "      }\n"
         } else {
             "      },\n"

@@ -31,9 +31,10 @@
 //!   dispatched a replica read whose staleness bound broke the
 //!   contract's `qodmax` (the audit counter stays zero).
 
-use quts_engine::{LiveStats, ReplicaStats, RouterStats, VirtualRunReport};
+use quts_engine::{LiveStats, ReplicaStats, RouterStats, TraceRecord, VirtualRunReport};
 use quts_qc::QualityContract;
 use quts_sim::RunReport;
+use std::collections::HashMap;
 use std::path::Path;
 
 /// A normalised view of one run, checkable by every [`Invariant`].
@@ -373,6 +374,40 @@ pub fn router_respects_qod(stats: &RouterStats) -> Result<(), String> {
     Ok(())
 }
 
+/// Span causality over a trace-record sequence: every non-root span's
+/// parent must have appeared **earlier** in the sequence, within the
+/// same trace id. For a cross-process chain, pass the merged record
+/// sets with the upstream process first (primary before replica) — the
+/// update's ingest span on the primary is the parent every downstream
+/// `ship_frame` / `replica_apply` span names.
+///
+/// `dropped` is the ring's overwrite counter: once records have been
+/// lost, a missing parent proves nothing, so the check passes
+/// vacuously.
+pub fn trace_causality(records: &[TraceRecord], dropped: u64) -> Result<(), String> {
+    if dropped > 0 {
+        return Ok(());
+    }
+    // First occurrence of each (trace_id, span); records are scanned in
+    // sequence order, so presence in the map means "appeared earlier".
+    let mut seen: HashMap<(u64, u32), usize> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        let Some(ctx) = r.event.ctx() else { continue };
+        if ctx.parent != 0 && !seen.contains_key(&(ctx.trace_id, ctx.parent)) {
+            return Err(format!(
+                "record {i} ({}): span {} of trace {:#018x} parented on span {}, \
+                 which never appeared before it",
+                r.event.kind(),
+                ctx.span,
+                ctx.trace_id,
+                ctx.parent
+            ));
+        }
+        seen.entry((ctx.trace_id, ctx.span)).or_insert(i);
+    }
+    Ok(())
+}
+
 /// [`wal_contiguous`] anchored at the newest decodable snapshot under
 /// `dir` (LSN 0 when none decodes): the shape a replica or recovered
 /// primary directory must have after snapshot GC pruned covered
@@ -501,6 +536,68 @@ mod tests {
         router_respects_qod(&s).expect("clean audit");
         s.qod_violations = 1;
         assert!(router_respects_qod(&s).is_err());
+    }
+
+    #[test]
+    fn trace_causality_accepts_an_ordered_chain_and_catches_breaks() {
+        use quts_engine::{update_trace_id, TraceCtx, TraceEvent};
+        use quts_metrics::TraceClass;
+
+        let seed = 7;
+        let id = update_trace_id(seed, 1);
+        let root = TraceCtx::root(id);
+        let rec = |seq: u64, event: TraceEvent| TraceRecord {
+            seq,
+            at_us: seq,
+            event,
+        };
+        // ingest (primary) → ship (primary) → apply (replica), merged
+        // upstream-first: the shape replication tests assert.
+        let chain = vec![
+            rec(
+                0,
+                TraceEvent::Ingest {
+                    ctx: root,
+                    class: TraceClass::Update,
+                    id: 1,
+                },
+            ),
+            rec(
+                1,
+                TraceEvent::ShipFrame {
+                    ctx: root.child(quts_metrics::SPAN_SHIP),
+                    lsn: 1,
+                },
+            ),
+            rec(
+                2,
+                TraceEvent::ReplicaApply {
+                    ctx: root.child(quts_metrics::SPAN_APPLY),
+                    lsn: 1,
+                },
+            ),
+        ];
+        trace_causality(&chain, 0).expect("ordered chain");
+
+        // A child before its parent is a violation...
+        let mut reversed = chain.clone();
+        reversed.swap(0, 1);
+        assert!(trace_causality(&reversed, 0)
+            .unwrap_err()
+            .contains("never appeared"));
+        // ...unless the ring lost records, when nothing can be proven.
+        trace_causality(&reversed, 3).expect("lenient after drops");
+
+        // An orphan (parent span never recorded at all) is caught too.
+        let orphan = vec![rec(
+            0,
+            TraceEvent::GroupCommitAck {
+                ctx: root.child(quts_metrics::SPAN_COMMIT_ACK),
+                lsn: 1,
+                batch: 4,
+            },
+        )];
+        assert!(trace_causality(&orphan, 0).is_err());
     }
 
     #[test]

@@ -235,6 +235,10 @@ fn extract(records: &[TraceRecord], n_queries: usize, to_index: &HashMap<u64, us
             TraceEvent::AtomStart { class, rho, .. } => {
                 f.atoms.push((r.at_us, class, rho.to_bits()))
             }
+            // Request-tracing events (ingest / route / ship / apply /
+            // commit-ack) carry no scheduling facts to compare — the
+            // trace_causality invariant covers them instead.
+            _ => {}
         }
     }
     f

@@ -2,7 +2,7 @@
 
 use crate::durability::DurabilityConfig;
 use crate::fault::FaultPlan;
-use quts_metrics::TraceConfig;
+use quts_metrics::{FlightRecorderConfig, TraceConfig};
 use quts_qc::StalenessAggregation;
 use std::time::Duration;
 
@@ -117,6 +117,13 @@ pub struct EngineConfig {
     /// readable through
     /// [`EngineHandle::trace_snapshot`](crate::EngineHandle::trace_snapshot).
     pub trace: TraceConfig,
+
+    /// Crash flight recorder: a bounded ring of recent events plus
+    /// coarse timeseries (queue depth, ρ, replica lag, group-commit
+    /// batch size, profit rate) that the supervisor dumps to
+    /// `<dir>/flightrec-<ts>.jsonl` on panic, poison or fail-stop.
+    /// `None` (the default) records nothing and costs nothing.
+    pub flight: Option<FlightRecorderConfig>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +148,7 @@ impl Default for EngineConfig {
             durability: None,
             fault: FaultPlan::default(),
             trace: TraceConfig::default(),
+            flight: None,
         }
     }
 }
@@ -237,6 +245,12 @@ impl EngineConfig {
         self.trace = trace;
         self
     }
+
+    /// Builder: arms the crash flight recorder.
+    pub fn with_flight_recorder(mut self, flight: FlightRecorderConfig) -> Self {
+        self.flight = Some(flight);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -286,6 +300,19 @@ mod tests {
         assert!(!c.restart_on_panic, "restarts are opt-in");
         assert!(c.fault.is_noop(), "no faults unless asked");
         assert!(c.durability.is_none(), "durability is opt-in");
+        assert!(c.flight.is_none(), "flight recorder is opt-in");
+    }
+
+    #[test]
+    fn flight_recorder_builder() {
+        let c = EngineConfig::default().with_flight_recorder(
+            FlightRecorderConfig::new("/tmp/quts-fr")
+                .with_capacity(128)
+                .with_resolution_us(500_000),
+        );
+        let f = c.flight.expect("recorder armed");
+        assert_eq!(f.capacity, 128);
+        assert_eq!(f.resolution_us, 500_000);
     }
 
     #[test]

@@ -176,6 +176,14 @@ impl Durable {
         self.cfg
     }
 
+    /// The LSN the next append will be assigned. Trace events for an
+    /// update are stamped with this *before* the append syscall, so the
+    /// ingest record is in the ring before the WAL shipper's tailer can
+    /// possibly see the frame on disk.
+    pub(crate) fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
     /// Appends one update to the WAL (before it may be enqueued),
     /// applying the fsync policy and any injected IO faults. An `Err`
     /// means the update is **not** durable — the caller must fail-stop.

@@ -76,11 +76,15 @@ pub use config::{EngineConfig, LivePolicy};
 pub use durability::{DurabilityConfig, GroupCommitConfig};
 pub use fault::{FaultPlan, LinkFaultPlan, UpdateBurst};
 pub use quts_db::FsyncPolicy;
-pub use quts_metrics::{TraceConfig, TraceEvent, TraceLevel, TraceRecord};
+pub use quts_metrics::{
+    query_trace_id, records_to_jsonl, route_trace_id, update_trace_id, FlightRecorder,
+    FlightRecorderConfig, RouteTarget, SeriesKind, TraceConfig, TraceCtx, TraceEvent, TraceLevel,
+    TraceRecord,
+};
 pub use repl::{
     promote, promote_highest, Replica, ReplicaConfig, ReplicaHandle, ReplicaPeerStats,
     ReplicaStats, RoutedReadError, Router, RouterConfig, RouterStats, ShipConfig, ShipListener,
-    ShipRegistry,
+    ShipRegistry, ShipTrace,
 };
 pub use retry::Backoff;
 pub use runtime::{

@@ -31,4 +31,4 @@ mod wire;
 pub use failover::{promote, promote_highest};
 pub use replica::{Replica, ReplicaConfig, ReplicaHandle, ReplicaStats};
 pub use router::{RoutedReadError, Router, RouterConfig, RouterStats};
-pub use ship::{ReplicaPeerStats, ShipConfig, ShipListener, ShipRegistry};
+pub use ship::{ReplicaPeerStats, ShipConfig, ShipListener, ShipRegistry, ShipTrace};

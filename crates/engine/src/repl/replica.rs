@@ -18,6 +18,7 @@ use crate::retry::Backoff;
 use quts_db::snapshot::{self, MANIFEST_NAME};
 use quts_db::wal::{self, Frame, Wal};
 use quts_db::{FsyncPolicy, QueryOp, QueryResult, StalenessTracker, Store};
+use quts_metrics::{update_trace_id, TraceCtx, TraceEvent, TraceRecord, TraceRing, SPAN_APPLY};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpStream};
 use std::path::{Path, PathBuf};
@@ -48,6 +49,10 @@ pub struct ReplicaConfig {
     pub backoff_base: Duration,
     /// Reconnect backoff cap.
     pub backoff_cap: Duration,
+    /// Capacity of the replica's own trace ring. `Some(n)` records a
+    /// `replica_apply` event per applied frame (trace ids recomputed
+    /// from the primary's announced seed); `None` traces nothing.
+    pub trace_capacity: Option<usize>,
 }
 
 impl ReplicaConfig {
@@ -63,6 +68,7 @@ impl ReplicaConfig {
             ack_every: 32,
             backoff_base: Duration::from_millis(2),
             backoff_cap: Duration::from_millis(200),
+            trace_capacity: None,
         }
     }
 
@@ -90,6 +96,13 @@ impl ReplicaConfig {
     pub fn with_backoff(mut self, base: Duration, cap: Duration) -> Self {
         self.backoff_base = base;
         self.backoff_cap = cap;
+        self
+    }
+
+    /// Builder: enables apply tracing with a ring of `capacity` records.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        self.trace_capacity = Some(capacity);
         self
     }
 }
@@ -168,6 +181,12 @@ struct SharedState {
     reads: AtomicU64,
     shutdown: AtomicBool,
     graceful: AtomicBool,
+    /// The replica's own decision ring (`replica_apply` events).
+    ring: Option<parking_lot::Mutex<TraceRing>>,
+    /// Trace seed announced by the primary's `TAG_TRACE` preamble.
+    trace_seed: AtomicU64,
+    /// Whether a seed announcement has arrived (0 is a valid seed).
+    trace_seed_set: AtomicBool,
 }
 
 impl SharedState {
@@ -210,6 +229,21 @@ impl ReplicaHandle {
     /// Snapshots the replica's progress counters.
     pub fn stats(&self) -> ReplicaStats {
         self.shared.stats()
+    }
+
+    /// Exports the replica's trace ring as JSONL (oldest record first).
+    /// `None` when the replica was started without tracing.
+    pub fn trace_to_jsonl(&self) -> Option<String> {
+        self.shared.ring.as_ref().map(|r| r.lock().to_jsonl())
+    }
+
+    /// Snapshots the replica's trace ring as `(records, dropped)`.
+    /// `None` when the replica was started without tracing.
+    pub fn trace_records(&self) -> Option<(Vec<TraceRecord>, u64)> {
+        self.shared.ring.as_ref().map(|r| {
+            let ring = r.lock();
+            (ring.iter_ordered().cloned().collect(), ring.dropped())
+        })
     }
 
     /// Serves a read from the replica store. `None` until the replica
@@ -258,6 +292,11 @@ impl Replica {
             reads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             graceful: AtomicBool::new(false),
+            ring: config
+                .trace_capacity
+                .map(|cap| parking_lot::Mutex::new(TraceRing::new(cap))),
+            trace_seed: AtomicU64::new(0),
+            trace_seed_set: AtomicBool::new(false),
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -461,7 +500,16 @@ fn replica_session(
     let resume = shared.applied.load(Ordering::Acquire);
     wire::send_hello(&mut stream, &config.name, resume)?;
 
-    match wire::read_u8(&mut stream)? {
+    // A tracing primary announces its seed before the bootstrap
+    // preamble; a silent one goes straight to it. Both are accepted.
+    let mut tag = wire::read_u8(&mut stream)?;
+    if tag == wire::TAG_TRACE {
+        let seed = wire::read_u64(&mut stream)?;
+        shared.trace_seed.store(seed, Ordering::Release);
+        shared.trace_seed_set.store(true, Ordering::Release);
+        tag = wire::read_u8(&mut stream)?;
+    }
+    match tag {
         wire::TAG_SNAP => {
             let len = wire::read_u64(&mut stream)?;
             if len > wire::MAX_SNAPSHOT {
@@ -662,6 +710,19 @@ fn apply_frame(
     }
     shared.applied.store(frame.lsn, Ordering::Release);
     shared.frames_applied.fetch_add(1, Ordering::AcqRel);
+    if let (Some(ring), true) = (&shared.ring, shared.trace_seed_set.load(Ordering::Acquire)) {
+        // Timestamped with the LSN (logical time), so same-seed runs
+        // export byte-identical replica trace JSONL.
+        let seed = shared.trace_seed.load(Ordering::Acquire);
+        let ctx = TraceCtx::root(update_trace_id(seed, frame.lsn)).child(SPAN_APPLY);
+        ring.lock().push(
+            frame.lsn,
+            TraceEvent::ReplicaApply {
+                ctx,
+                lsn: frame.lsn,
+            },
+        );
+    }
     Ok(())
 }
 

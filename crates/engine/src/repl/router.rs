@@ -17,6 +17,7 @@
 use crate::repl::replica::ReplicaHandle;
 use crate::runtime::{EngineHandle, QueryError, QueryReply, SubmitError};
 use quts_db::QueryOp;
+use quts_metrics::{route_trace_id, RouteTarget, TraceCtx, TraceEvent};
 use quts_qc::QualityContract;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -130,6 +131,9 @@ pub struct Router {
     demotions: AtomicU64,
     rejoins: AtomicU64,
     qod_violations: AtomicU64,
+    /// Dispatch counter feeding [`route_trace_id`] — each routed read
+    /// opens its own deterministic trace chain.
+    route_seq: AtomicU64,
 }
 
 impl fmt::Debug for Router {
@@ -154,6 +158,7 @@ impl Router {
             demotions: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
             qod_violations: AtomicU64::new(0),
+            route_seq: AtomicU64::new(0),
         }
     }
 
@@ -231,7 +236,23 @@ impl Router {
     /// Routes one read: cheapest qualifying replica, else the primary,
     /// else a bounded shed.
     pub fn route(&self, op: QueryOp, qc: QualityContract) -> Result<QueryReply, RoutedReadError> {
+        // Each routed read opens a deterministic trace chain; the
+        // decision event lands in the primary's ring either way the
+        // read goes.
+        let ctx = self.primary.tracing_on().then(|| {
+            let n = self.route_seq.fetch_add(1, Ordering::AcqRel);
+            TraceCtx::root(route_trace_id(self.primary.trace_seed(), n))
+        });
         if let Some((replica, bound)) = self.pick_replica(&qc) {
+            if let Some(ctx) = ctx {
+                self.primary.trace_push(TraceEvent::RouteDecision {
+                    ctx,
+                    target: RouteTarget::Replica,
+                    bound,
+                    qod_earned: qc.qod_profit(bound as f64),
+                    qod_full: qc.qodmax(),
+                });
+            }
             let started = Instant::now();
             if let Some(result) = replica.execute(&op) {
                 let rt_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -252,7 +273,22 @@ impl Router {
             // The replica lost its store between pick and execute
             // (re-bootstrap in flight): fall through to the primary.
         }
-        match self.primary.submit_query(op, qc) {
+        if let Some(ctx) = ctx {
+            // Primary bound is 0 by definition: it always earns the
+            // contract's full QoD profit at dispatch.
+            self.primary.trace_push(TraceEvent::RouteDecision {
+                ctx,
+                target: RouteTarget::Primary,
+                bound: 0,
+                qod_earned: qc.qodmax(),
+                qod_full: qc.qodmax(),
+            });
+        }
+        let submitted = match ctx {
+            Some(ctx) => self.primary.submit_query_traced(op, qc, ctx),
+            None => self.primary.submit_query(op, qc),
+        };
+        match submitted {
             Ok(ticket) => match ticket.recv_timeout(self.cfg.query_timeout) {
                 Ok(reply) => {
                     self.routed_primary.fetch_add(1, Ordering::AcqRel);

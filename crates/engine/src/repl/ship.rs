@@ -15,9 +15,14 @@
 
 use crate::fault::LinkFaultPlan;
 use crate::repl::wire::{self, Ack};
+use crate::runtime::EngineHandle;
 use quts_db::snapshot;
 use quts_db::tail::{TailPoll, WalTailer};
-use std::collections::HashMap;
+use quts_metrics::{
+    update_trace_id, FlightRecorder, LogHistogram, SeriesKind, TraceCtx, TraceEvent, TraceRing,
+    SPAN_SHIP,
+};
+use std::collections::{HashMap, VecDeque};
 use std::fs::File;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -40,6 +45,52 @@ pub struct ShipConfig {
     pub poll_interval: Duration,
     /// Frames fetched per tailer poll (bounds per-iteration memory).
     pub batch: usize,
+    /// Trace/observability wiring: seed announcement, `ship_frame`
+    /// events and per-peer lag sampling. `None` ships silently.
+    pub trace: Option<ShipTrace>,
+}
+
+/// Trace wiring for a [`ShipListener`]: where shipped-frame events and
+/// replica-lag samples go, and which seed replicas should derive trace
+/// ids from. Build one from the primary's handle with
+/// [`ShipTrace::from_handle`].
+#[derive(Debug, Clone)]
+pub struct ShipTrace {
+    /// Seed trace ids derive from (the primary engine's workload seed).
+    pub seed: u64,
+    /// The primary's decision ring; `ship_frame` events land here.
+    pub ring: Option<Arc<parking_lot::Mutex<TraceRing>>>,
+    /// The primary's flight recorder; lag timeseries and a mirror of
+    /// the `ship_frame` events land here.
+    pub flight: Option<Arc<parking_lot::Mutex<FlightRecorder>>>,
+}
+
+impl ShipTrace {
+    /// Trace wiring borrowed from a primary engine handle: its seed,
+    /// its decision ring (when tracing at `Full`) and its flight
+    /// recorder (when armed).
+    pub fn from_handle(handle: &EngineHandle) -> Self {
+        ShipTrace {
+            seed: handle.trace_seed(),
+            ring: handle.trace_ring_arc(),
+            flight: handle.flight_arc(),
+        }
+    }
+
+    fn record_event(&self, at_us: u64, event: TraceEvent) {
+        if let Some(ring) = &self.ring {
+            ring.lock().push(at_us, event);
+        }
+        if let Some(flight) = &self.flight {
+            flight.lock().record_event(at_us, event);
+        }
+    }
+
+    fn sample(&self, kind: SeriesKind, at_us: u64, value: f64) {
+        if let Some(flight) = &self.flight {
+            flight.lock().sample(kind, at_us, value);
+        }
+    }
 }
 
 impl Default for ShipConfig {
@@ -50,6 +101,7 @@ impl Default for ShipConfig {
             heartbeat: Duration::from_millis(25),
             poll_interval: Duration::from_millis(2),
             batch: 256,
+            trace: None,
         }
     }
 }
@@ -64,6 +116,12 @@ impl ShipConfig {
     /// Builder: sets the heartbeat interval.
     pub fn with_heartbeat(mut self, every: Duration) -> Self {
         self.heartbeat = every;
+        self
+    }
+
+    /// Builder: sets the trace wiring.
+    pub fn with_trace(mut self, trace: ShipTrace) -> Self {
+        self.trace = Some(trace);
         self
     }
 }
@@ -102,16 +160,46 @@ struct PeerEntry {
 }
 
 /// Shared registry of per-replica shipping state — the source for the
-/// server's per-replica `METRICS` gauges.
+/// server's per-replica `METRICS` gauges and the aggregated
+/// replication-lag histograms.
 #[derive(Debug, Default)]
 pub struct ShipRegistry {
     peers: Mutex<HashMap<String, Arc<PeerEntry>>>,
+    /// Frames behind at each heartbeat, aggregated across peers
+    /// (`quts_repl_lag_frames`).
+    lag_frames: Mutex<LogHistogram>,
+    /// Ship-to-ack round trip per acked frame, µs, aggregated across
+    /// peers (`quts_repl_apply_lag_us`).
+    apply_lag_us: Mutex<LogHistogram>,
 }
 
 impl ShipRegistry {
     fn entry(&self, name: &str) -> Arc<PeerEntry> {
         let mut peers = self.peers.lock().expect("registry lock");
         Arc::clone(peers.entry(name.to_string()).or_default())
+    }
+
+    fn record_lag_frames(&self, frames: u64) {
+        self.lag_frames
+            .lock()
+            .expect("lag hist lock")
+            .record(frames);
+    }
+
+    fn record_apply_lag_us(&self, us: u64) {
+        self.apply_lag_us.lock().expect("lag hist lock").record(us);
+    }
+
+    /// Snapshot of the aggregated frames-behind histogram (one sample
+    /// per peer heartbeat).
+    pub fn lag_frames_histogram(&self) -> LogHistogram {
+        self.lag_frames.lock().expect("lag hist lock").clone()
+    }
+
+    /// Snapshot of the aggregated ship-to-ack latency histogram (µs,
+    /// one sample per acked frame).
+    pub fn apply_lag_histogram(&self) -> LogHistogram {
+        self.apply_lag_us.lock().expect("lag hist lock").clone()
     }
 
     /// Snapshots every known replica, sorted by name.
@@ -157,12 +245,15 @@ impl ShipListener {
         listener.set_nonblocking(true)?;
         let registry = Arc::new(ShipRegistry::default());
         let stop = Arc::new(AtomicBool::new(false));
+        // One epoch for every connection this listener serves, so trace
+        // timestamps from different shipping threads share a timeline.
+        let epoch = Instant::now();
         let acceptor = {
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
             thread::Builder::new()
                 .name("quts-ship-accept".into())
-                .spawn(move || accept_loop(listener, dir, config, registry, stop))
+                .spawn(move || accept_loop(listener, dir, config, registry, stop, epoch))
                 .expect("spawn acceptor")
         };
         Ok(ShipListener {
@@ -208,6 +299,7 @@ fn accept_loop(
     config: ShipConfig,
     registry: Arc<ShipRegistry>,
     stop: Arc<AtomicBool>,
+    epoch: Instant,
 ) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
     while !stop.load(Ordering::Acquire) {
@@ -222,7 +314,7 @@ fn accept_loop(
                     .spawn(move || {
                         // Shipping errors close the connection; the
                         // replica reconnects and resumes.
-                        let _ = ship_connection(stream, &dir, &config, &registry, &stop);
+                        let _ = ship_connection(stream, &dir, &config, &registry, &stop, epoch);
                     })
                     .expect("spawn shipper");
                 conns.push(handle);
@@ -304,26 +396,72 @@ fn ship_connection(
     config: &ShipConfig,
     registry: &ShipRegistry,
     stop: &AtomicBool,
+    epoch: Instant,
 ) -> io::Result<()> {
     stream.set_nodelay(true).ok();
     // The handshake arrives promptly or the connection is abandoned.
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let hello = wire::read_hello(&mut stream)?;
+    // Seed announcement precedes the bootstrap preamble so the replica
+    // can derive trace ids for every frame it will ever apply.
+    if let Some(t) = &config.trace {
+        wire::send_trace_seed(&mut stream, t.seed)?;
+    }
     let peer = registry.entry(&hello.name);
     peer.connections.fetch_add(1, Ordering::AcqRel);
     peer.connected.store(true, Ordering::Release);
-    let result = ship_stream(&mut stream, dir, config, &peer, hello.resume_lsn, stop);
+    let result = ship_stream(
+        &mut stream,
+        dir,
+        config,
+        registry,
+        &peer,
+        hello.resume_lsn,
+        stop,
+        epoch,
+    );
     peer.connected.store(false, Ordering::Release);
     result
 }
 
+/// Longest remembered ship-to-ack window; past this the oldest in-flight
+/// frame is forgotten rather than growing memory against a stuck replica.
+const OUTSTANDING_CAP: usize = 4096;
+
+/// Trace bookkeeping for one frame written to the link: a `ship_frame`
+/// event (span parented under the update's root) and an in-flight entry
+/// for the apply-lag measurement. No-op when tracing is off.
+fn note_shipped(
+    config: &ShipConfig,
+    outstanding: &mut VecDeque<(u64, Instant)>,
+    lsn: u64,
+    epoch: Instant,
+) {
+    if let Some(t) = &config.trace {
+        let ctx = TraceCtx::root(update_trace_id(t.seed, lsn)).child(SPAN_SHIP);
+        t.record_event(
+            epoch.elapsed().as_micros() as u64,
+            TraceEvent::ShipFrame { ctx, lsn },
+        );
+    }
+    // The outstanding queue feeds the registry's apply-lag histogram —
+    // a metrics surface, tracked whether or not tracing is wired.
+    outstanding.push_back((lsn, Instant::now()));
+    if outstanding.len() > OUTSTANDING_CAP {
+        outstanding.pop_front();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn ship_stream(
     stream: &mut TcpStream,
     dir: &Path,
     config: &ShipConfig,
+    registry: &ShipRegistry,
     peer: &PeerEntry,
     resume_lsn: u64,
     stop: &AtomicBool,
+    epoch: Instant,
 ) -> io::Result<()> {
     // Bootstrap decision: a replica with no state (resume 0) always gets
     // a snapshot (it needs a baseline store); a resuming replica gets
@@ -346,6 +484,9 @@ fn ship_stream(
 
     let mut link = LinkState::default();
     let mut last_beat = Instant::now();
+    // (lsn, ship time) per in-flight frame, drained as acks arrive —
+    // the source of the ship-to-ack apply-lag histogram.
+    let mut outstanding: VecDeque<(u64, Instant)> = VecDeque::new();
     // Ack reads are opportunistic: a short timeout per loop iteration.
     stream.set_read_timeout(Some(Duration::from_millis(1)))?;
 
@@ -370,6 +511,7 @@ fn ship_stream(
                     stream.write_all(&[wire::TAG_FRAME])?;
                     stream.write_all(&bytes)?;
                     peer.shipped.fetch_add(1, Ordering::AcqRel);
+                    note_shipped(config, &mut outstanding, frame.lsn, epoch);
                 }
                 LinkAction::ShipTwice => {
                     stream.write_all(&[wire::TAG_FRAME])?;
@@ -377,6 +519,7 @@ fn ship_stream(
                     stream.write_all(&[wire::TAG_FRAME])?;
                     stream.write_all(&bytes)?;
                     peer.shipped.fetch_add(2, Ordering::AcqRel);
+                    note_shipped(config, &mut outstanding, frame.lsn, epoch);
                 }
                 LinkAction::Drop => {}
                 LinkAction::DisconnectMidFrame => {
@@ -403,6 +546,23 @@ fn ship_stream(
                     peer.applied.store(ack.applied_lsn, Ordering::Release);
                     peer.durable.store(ack.durable_lsn, Ordering::Release);
                     peer.uu.store(ack.uu, Ordering::Release);
+                    // Every frame the ack covers yields one ship-to-ack
+                    // round-trip sample.
+                    while let Some(&(lsn, shipped_at)) = outstanding.front() {
+                        if lsn > ack.applied_lsn {
+                            break;
+                        }
+                        outstanding.pop_front();
+                        let us = shipped_at.elapsed().as_micros() as u64;
+                        registry.record_apply_lag_us(us);
+                        if let Some(t) = &config.trace {
+                            t.sample(
+                                SeriesKind::ReplicaLagMicros,
+                                epoch.elapsed().as_micros() as u64,
+                                us as f64,
+                            );
+                        }
+                    }
                 }
                 Ok(_) => {
                     return Err(io::Error::new(
@@ -423,11 +583,25 @@ fn ship_stream(
         if last_beat.elapsed() >= config.heartbeat {
             // The watermark is the last file-visible LSN at the tailer's
             // position — what lag is measured against on the wire.
+            let watermark = tailer.next_lsn() - 1;
             let mut beat = [0u8; 9];
             beat[0] = wire::TAG_HEARTBEAT;
-            beat[1..9].copy_from_slice(&(tailer.next_lsn() - 1).to_le_bytes());
+            beat[1..9].copy_from_slice(&watermark.to_le_bytes());
             stream.write_all(&beat)?;
             last_beat = Instant::now();
+            // One frames-behind sample per heartbeat, against the last
+            // applied LSN the replica reported.
+            let lag = watermark.saturating_sub(peer.applied.load(Ordering::Acquire));
+            registry.record_lag_frames(lag);
+            if let Some(t) = &config.trace {
+                let at_us = epoch.elapsed().as_micros() as u64;
+                t.sample(SeriesKind::ReplicaLagFrames, at_us, lag as f64);
+                t.sample(
+                    SeriesKind::ReplicaUnapplied,
+                    at_us,
+                    peer.uu.load(Ordering::Acquire) as f64,
+                );
+            }
         }
 
         if !progressed {

@@ -31,6 +31,11 @@ pub(crate) const TAG_ACK: u8 = 2;
 pub(crate) const TAG_HEARTBEAT: u8 = 3;
 /// Preamble: no bootstrap needed, frames resume from the requested LSN.
 pub(crate) const TAG_RESUME: u8 = 4;
+/// Preamble: the primary's trace seed follows (u64). Sent before the
+/// bootstrap decision when the primary traces; a replica that knows the
+/// seed recomputes every update's trace id from `(seed, lsn)` at apply
+/// time, so ids never travel inside WAL frames.
+pub(crate) const TAG_TRACE: u8 = 5;
 
 /// Longest accepted replica name.
 pub(crate) const MAX_NAME: usize = 256;
@@ -108,6 +113,14 @@ pub(crate) fn read_hello(r: &mut impl Read) -> io::Result<Hello> {
     Ok(Hello { name, resume_lsn })
 }
 
+/// Writes the trace-seed preamble (single write).
+pub(crate) fn send_trace_seed(w: &mut impl Write, seed: u64) -> io::Result<()> {
+    let mut buf = [0u8; 9];
+    buf[0] = TAG_TRACE;
+    buf[1..9].copy_from_slice(&seed.to_le_bytes());
+    w.write_all(&buf)
+}
+
 /// Writes one progress report (single write: arrives atomically in
 /// practice, so the shipper's timeout-bounded reads never desync).
 pub(crate) fn send_ack(w: &mut impl Write, ack: Ack) -> io::Result<()> {
@@ -154,6 +167,16 @@ mod tests {
         buf.extend_from_slice(HANDSHAKE_MAGIC);
         buf.extend_from_slice(&(MAX_NAME as u16 + 1).to_le_bytes());
         assert!(read_hello(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn trace_seed_roundtrip() {
+        let mut buf = Vec::new();
+        send_trace_seed(&mut buf, 0xDEAD_BEEF_0042).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), TAG_TRACE);
+        assert_eq!(read_u64(&mut r).unwrap(), 0xDEAD_BEEF_0042);
+        assert!(r.is_empty());
     }
 
     #[test]

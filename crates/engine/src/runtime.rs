@@ -9,7 +9,10 @@ use crate::supervisor::{self, EngineSeed, EngineState, STATE_RUNNING};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 use parking_lot::Mutex;
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
-use quts_metrics::{TraceClass, TraceEvent, TraceRecord, TraceRing};
+use quts_metrics::{
+    query_trace_id, update_trace_id, FlightRecorder, SeriesKind, TraceClass, TraceCtx, TraceEvent,
+    TraceRecord, TraceRing, SPAN_COMMIT_ACK, SPAN_INGEST,
+};
 use quts_qc::QualityContract;
 use quts_sched::{QueryOrder, QueryQueue, RhoController};
 use quts_sim::{QueryId, QueryInfo, SimDuration, SimTime};
@@ -203,6 +206,9 @@ pub(crate) enum Msg {
         op: QueryOp,
         qc: QualityContract,
         submitted: SubmitStamp,
+        /// Trace context opened upstream (the read router's root span);
+        /// `None` lets the engine stamp a fresh root at ingest.
+        ctx: Option<TraceCtx>,
         reply: Sender<Result<QueryReply, QueryError>>,
     },
     Update(Trade),
@@ -226,6 +232,13 @@ pub struct EngineHandle {
     stats: Arc<Mutex<LiveStats>>,
     state: Arc<AtomicU8>,
     ring: Option<Arc<Mutex<TraceRing>>>,
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
+    /// The engine's workload seed — every deterministic trace id
+    /// (router roots included) derives from it.
+    seed: u64,
+    /// Wall-clock zero for events pushed from outside the scheduler
+    /// thread (the router); the scheduler's own clock has its own epoch.
+    epoch: Instant,
 }
 
 impl Engine {
@@ -311,9 +324,19 @@ impl Engine {
             .level
             .events()
             .then(|| Arc::new(Mutex::new(TraceRing::new(config.trace.ring_capacity))));
+        // The flight recorder is its own opt-in (any trace level); like
+        // the ring it is shared with client handles and survives panic
+        // restarts — that persistence is what makes its crash dump
+        // cover the moments *before* the fault.
+        let flight = config
+            .flight
+            .as_ref()
+            .map(|fc| Arc::new(Mutex::new(FlightRecorder::new(fc))));
+        let trace_seed = config.seed;
         let shared_stats = Arc::clone(&stats);
         let shared_state = Arc::clone(&state);
         let shared_ring = ring.clone();
+        let shared_flight = flight.clone();
         let thread = std::thread::Builder::new()
             .name("quts-engine".into())
             .spawn(move || {
@@ -325,6 +348,7 @@ impl Engine {
                     shared_state,
                     faults,
                     shared_ring,
+                    shared_flight,
                 )
             })
             .expect("spawn engine thread");
@@ -334,6 +358,9 @@ impl Engine {
                 stats,
                 state,
                 ring,
+                flight,
+                seed: trace_seed,
+                epoch: Instant::now(),
             },
             thread,
         }
@@ -392,6 +419,27 @@ impl EngineHandle {
         op: QueryOp,
         qc: QualityContract,
     ) -> Result<QueryTicket, SubmitError> {
+        self.submit_query_inner(op, qc, None)
+    }
+
+    /// Submits a read-only query carrying an upstream trace context —
+    /// the read router opens the chain with its routing decision and the
+    /// engine stamps its ingest as a child span instead of a new root.
+    pub fn submit_query_traced(
+        &self,
+        op: QueryOp,
+        qc: QualityContract,
+        ctx: TraceCtx,
+    ) -> Result<QueryTicket, SubmitError> {
+        self.submit_query_inner(op, qc, Some(ctx))
+    }
+
+    fn submit_query_inner(
+        &self,
+        op: QueryOp,
+        qc: QualityContract,
+        ctx: Option<TraceCtx>,
+    ) -> Result<QueryTicket, SubmitError> {
         if self.state() != EngineState::Running {
             return Err(SubmitError::EngineDown);
         }
@@ -400,6 +448,7 @@ impl EngineHandle {
             op,
             qc,
             submitted: SubmitStamp::Real(Instant::now()),
+            ctx,
             reply: reply_tx,
         }) {
             Ok(()) => Ok(QueryTicket { rx: reply_rx }),
@@ -465,6 +514,51 @@ impl EngineHandle {
     /// wraps; `None` when tracing is below `Full`).
     pub fn trace_dropped(&self) -> Option<u64> {
         self.ring.as_ref().map(|r| r.lock().dropped())
+    }
+
+    /// Serialises the engine's flight recorder as JSON Lines, or `None`
+    /// when no recorder is configured. Taken live — the supervisor's
+    /// crash dump uses the same encoding.
+    pub fn flight_snapshot(&self) -> Option<String> {
+        self.flight.as_ref().map(|f| f.lock().to_jsonl())
+    }
+
+    /// The seed every deterministic trace id derives from.
+    pub(crate) fn trace_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether any trace sink (ring or flight recorder) is attached.
+    pub(crate) fn tracing_on(&self) -> bool {
+        self.ring.is_some() || self.flight.is_some()
+    }
+
+    /// The shared decision ring, for components (WAL shipper) that
+    /// stamp events into the primary's trace from their own threads.
+    pub(crate) fn trace_ring_arc(&self) -> Option<Arc<Mutex<TraceRing>>> {
+        self.ring.clone()
+    }
+
+    /// The shared flight recorder, for out-of-thread samplers.
+    pub(crate) fn flight_arc(&self) -> Option<Arc<Mutex<FlightRecorder>>> {
+        self.flight.clone()
+    }
+
+    /// Pushes one event into the decision ring and flight recorder on
+    /// behalf of a component outside the scheduler thread — the read
+    /// router's dispatch decisions use this. Timestamps use the handle's
+    /// wall-clock epoch.
+    pub(crate) fn trace_push(&self, event: TraceEvent) {
+        if self.ring.is_none() && self.flight.is_none() {
+            return;
+        }
+        let at_us = self.epoch.elapsed().as_micros() as u64;
+        if let Some(ring) = &self.ring {
+            ring.lock().push(at_us, event);
+        }
+        if let Some(flight) = &self.flight {
+            flight.lock().record_event(at_us, event);
+        }
     }
 
     /// Current lifecycle state.
@@ -560,6 +654,11 @@ pub(crate) struct Runtime<'a> {
 
     /// Decision ring, shared with client handles; `None` below `Full`.
     ring: Option<Arc<Mutex<TraceRing>>>,
+    /// Crash flight recorder, shared with the supervisor's flush hook;
+    /// `None` unless [`EngineConfig::flight`] is set. Mirrors every
+    /// trace event regardless of trace level and takes the coarse
+    /// timeseries samples (queue depth, ρ, batch size, profit rate).
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
     /// Whether lifecycle spans feed `LiveStats::spans` (level ≥ `Spans`).
     spans_on: bool,
 }
@@ -574,6 +673,7 @@ impl<'a> Runtime<'a> {
         stats: Arc<Mutex<LiveStats>>,
         faults: Arc<FaultState>,
         ring: Option<Arc<Mutex<TraceRing>>>,
+        flight: Option<Arc<Mutex<FlightRecorder>>>,
         durable: Option<&'a mut Durable>,
         seed_pending: Vec<Trade>,
         clock: EngineClock,
@@ -623,6 +723,7 @@ impl<'a> Runtime<'a> {
             stats,
             faults,
             ring,
+            flight,
             spans_on,
             query_queue: QueryQueue::new(query_order),
             queries: HashMap::new(),
@@ -802,6 +903,7 @@ impl<'a> Runtime<'a> {
                 op,
                 qc,
                 submitted,
+                ctx,
                 reply,
             } => {
                 let arrival_us = match submitted {
@@ -816,6 +918,23 @@ impl<'a> Runtime<'a> {
                 self.refresh(arrival_us);
                 let seq = self.next_seq;
                 self.next_seq += 1;
+                if self.tracing() {
+                    // Root of the request's causal chain — unless a
+                    // router already opened it, in which case ingest is
+                    // the first child span.
+                    let ctx = match ctx {
+                        Some(upstream) => upstream.child(SPAN_INGEST),
+                        None => TraceCtx::root(query_trace_id(self.config.seed, seq)),
+                    };
+                    self.trace_event_at(
+                        arrival_us,
+                        TraceEvent::Ingest {
+                            ctx,
+                            class: TraceClass::Query,
+                            id: seq,
+                        },
+                    );
+                }
                 self.acc_qos += qc.qosmax();
                 self.acc_qod += qc.qodmax();
                 {
@@ -896,7 +1015,25 @@ impl<'a> Runtime<'a> {
         // — the panic unwinds to the supervisor, which rebuilds
         // from snapshot + WAL tail rather than carrying on with
         // a durability hole.
+        // An update's trace id is born with its LSN: primary and replica
+        // both derive it from (seed, lsn), so it never rides a frame.
+        // The ingest event is stamped with the *predicted* LSN before
+        // the append — once the frame is on disk the shipper's tailer
+        // can race us, and the root span must already be in the ring.
+        // (An append failure panics fail-stop, so a stamped-but-never-
+        // appended record can only be the ring's final entry.) Without
+        // durability there is no LSN and no cross-process chain.
         let mut logged = None;
+        if self.tracing() {
+            if let Some(durable) = self.durable.as_ref() {
+                let lsn = durable.next_lsn();
+                self.trace_event(TraceEvent::Ingest {
+                    ctx: TraceCtx::root(update_trace_id(self.config.seed, lsn)),
+                    class: TraceClass::Update,
+                    id: lsn,
+                });
+            }
+        }
         if let Some(durable) = self.durable.as_mut() {
             match durable.append(&trade, &self.config.fault, &self.faults) {
                 Ok(lsn) => logged = Some(lsn),
@@ -1006,6 +1143,10 @@ impl<'a> Runtime<'a> {
     /// already-appended prefix is recoverable by replay; the unappended
     /// remainder stays counted in the `group_buffered` gauge, which the
     /// supervisor folds into `shed_on_restart_updates`.
+    // `is_some()` + per-statement `expect` instead of one `if let`: the
+    // append loop needs `&mut self` for `trace_event` between durable
+    // borrows, so a single binding cannot live across the body.
+    #[allow(clippy::unnecessary_unwrap)]
     fn commit_group(&mut self) {
         if self.commit_buf.is_empty() {
             return;
@@ -1016,8 +1157,20 @@ impl<'a> Runtime<'a> {
         // the configured policy decide (one decision per group).
         let force_sync = entries.iter().any(|e| e.ack.is_some());
         let mut first_lsn = None;
-        if let Some(durable) = self.durable.as_mut() {
+        if self.durable.is_some() {
             for (i, e) in entries.iter().enumerate() {
+                // Stamp the ingest span before the append syscall — the
+                // WAL shipper can see the frame on disk the moment the
+                // write lands, and the root must precede any ship span.
+                if self.tracing() {
+                    let lsn = self.durable.as_ref().expect("checked").next_lsn();
+                    self.trace_event(TraceEvent::Ingest {
+                        ctx: TraceCtx::root(update_trace_id(self.config.seed, lsn)),
+                        class: TraceClass::Update,
+                        id: lsn,
+                    });
+                }
+                let durable = self.durable.as_mut().expect("checked");
                 match durable.append_deferred(&e.trade, &self.config.fault, &self.faults) {
                     Ok(lsn) => first_lsn = first_lsn.or(Some(lsn)),
                     Err(err) => {
@@ -1034,6 +1187,7 @@ impl<'a> Runtime<'a> {
                     }
                 }
             }
+            let durable = self.durable.as_mut().expect("checked");
             if let Err(err) = durable.commit_group(force_sync) {
                 // The whole group's durability is unknown: fail-stop
                 // with every ticket unreleased. Replay decides what
@@ -1045,8 +1199,26 @@ impl<'a> Runtime<'a> {
                 panic!("wal group fsync failed (fail-stop): {err}");
             }
         }
-        // Durable point reached: release every ticket at its LSN, in
-        // append (= LSN) order. LSNs are contiguous from the first.
+        // Durable point reached: resolve each ticketed update's trace
+        // chain (its ingest span was stamped at append time), then
+        // release every ticket at its LSN, in append (= LSN) order.
+        // LSNs are contiguous from the first.
+        if self.tracing() {
+            if let Some(first) = first_lsn {
+                let batch = entries.len() as u32;
+                for (i, e) in entries.iter().enumerate() {
+                    if e.ack.is_some() {
+                        let lsn = first + i as u64;
+                        let ctx = TraceCtx::root(update_trace_id(self.config.seed, lsn));
+                        self.trace_event(TraceEvent::GroupCommitAck {
+                            ctx: ctx.child(SPAN_COMMIT_ACK),
+                            lsn,
+                            batch,
+                        });
+                    }
+                }
+            }
+        }
         for (i, e) in entries.iter().enumerate() {
             if let Some(ack) = &e.ack {
                 let lsn = first_lsn.map_or(0, |f| f + i as u64);
@@ -1083,6 +1255,7 @@ impl<'a> Runtime<'a> {
                 self.update_queue.push_back((e.trade.stock, id, seq));
             }
         }
+        self.sample_flight(SeriesKind::GroupCommitBatch, now_us, entries.len() as f64);
         let fsync_delta = self.take_fsync_delta();
         let mut s = self.stats.lock();
         if let Some(first) = first_lsn {
@@ -1125,10 +1298,27 @@ impl<'a> Runtime<'a> {
         if let Some(ring) = &self.ring {
             ring.lock().push(at_us, event);
         }
+        if let Some(flight) = &self.flight {
+            flight.lock().record_event(at_us, event);
+        }
+    }
+
+    /// True when anything records events — the decision ring (level
+    /// `Full`) or the flight recorder (its own opt-in). Gating event
+    /// construction on this keeps `TraceLevel::Off` free.
+    fn tracing(&self) -> bool {
+        self.ring.is_some() || self.flight.is_some()
+    }
+
+    /// Adds one flight-recorder timeseries sample, when armed.
+    fn sample_flight(&self, kind: SeriesKind, at_us: u64, value: f64) {
+        if let Some(flight) = &self.flight {
+            flight.lock().sample(kind, at_us, value);
+        }
     }
 
     fn trace_atom_at(&self, at_us: u64) {
-        if self.ring.is_some() {
+        if self.tracing() {
             self.trace_event_at(
                 at_us,
                 TraceEvent::AtomStart {
@@ -1178,6 +1368,12 @@ impl<'a> Runtime<'a> {
                         qos_max,
                         qod_max,
                     },
+                );
+                self.sample_flight(SeriesKind::Rho, at_us, rho);
+                self.sample_flight(
+                    SeriesKind::QueueDepth,
+                    at_us,
+                    (self.queries.len() + self.register.len()) as f64,
                 );
                 let mut s = self.stats.lock();
                 s.rho = rho;
@@ -1349,6 +1545,7 @@ impl<'a> Runtime<'a> {
         }
 
         let (qos, qod) = q.qc.profit_split(rt_ms, staleness);
+        self.sample_flight(SeriesKind::ProfitRate, now_us, qos + qod);
         {
             let mut s = self.stats.lock();
             s.aggregates.gain(qos, qod);

@@ -28,7 +28,7 @@ use crate::stats::LiveStats;
 use crossbeam::channel::Receiver;
 use parking_lot::Mutex;
 use quts_db::{StalenessTracker, Store, Trade};
-use quts_metrics::TraceRing;
+use quts_metrics::{FlightRecorder, TraceRing};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
@@ -65,6 +65,18 @@ pub(crate) fn backoff_delay(base: Duration, attempt: u32) -> Duration {
     base.saturating_mul(1u32 << (attempt - 1).min(16)).min(CAP)
 }
 
+/// Dumps the flight recorder to `<dir>/flightrec-<unix µs>.jsonl`.
+/// Dump failures are swallowed: the post-mortem must never block the
+/// restart/poison path it documents.
+pub(crate) fn flush_flight(flight: Option<&Mutex<FlightRecorder>>) {
+    let Some(flight) = flight else { return };
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+    let _ = flight.lock().write_dump(ts);
+}
+
 /// Everything one scheduler incarnation starts from. The supervisor
 /// owns it across restarts; [`Engine::recover`](crate::Engine::recover)
 /// builds one from a durability directory.
@@ -80,6 +92,7 @@ pub(crate) struct EngineSeed {
 }
 
 /// Body of the engine thread: run the scheduler, absorb its panics.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn supervise(
     seed: EngineSeed,
     config: EngineConfig,
@@ -88,6 +101,7 @@ pub(crate) fn supervise(
     state: Arc<AtomicU8>,
     faults: Arc<FaultState>,
     ring: Option<Arc<Mutex<TraceRing>>>,
+    flight: Option<Arc<Mutex<FlightRecorder>>>,
 ) {
     let EngineSeed {
         mut store,
@@ -107,6 +121,7 @@ pub(crate) fn supervise(
                 Arc::clone(&stats),
                 Arc::clone(&faults),
                 ring.clone(),
+                flight.clone(),
                 durable.as_mut(),
                 seed_pending,
                 crate::clock::EngineClock::real(),
@@ -119,6 +134,13 @@ pub(crate) fn supervise(
                 return;
             }
             Err(_panic) => {
+                // First thing after any panic — scheduler bug, injected
+                // chaos, or a WAL fail-stop — flush the flight recorder
+                // so the moments before the fault survive it. Poison
+                // paths below return without another flush; restart
+                // paths leave the recorder armed for the next
+                // incarnation.
+                flush_flight(flight.as_deref());
                 // The crashed incarnation's pending queries resolved
                 // their reply channels by dropping them in the unwind —
                 // count them as shed, don't let them vanish silently.

@@ -117,6 +117,7 @@ pub fn run_virtual(
             Arc::new(FaultState::default()),
             ring.clone(),
             None,
+            None,
             Vec::new(),
             EngineClock::virtual_at_zero(),
         );
@@ -149,6 +150,7 @@ pub fn run_virtual(
                             op: spec.op.clone(),
                             qc: spec.qc.clone(),
                             submitted: SubmitStamp::VirtualUs(spec.arrival.as_micros()),
+                            ctx: None,
                             reply: reply_tx,
                         });
                         *qi += 1;
@@ -301,6 +303,29 @@ mod tests {
                 other => panic!("outcome mismatch: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn same_seed_trace_jsonl_is_byte_identical() {
+        // The trace-annotated JSONL — ingest events carrying the
+        // deterministic per-request trace ids included — is a pure
+        // function of (trace, seed): two runs serialise to equal bytes.
+        let queries: Vec<_> = (0..16)
+            .map(|i| qspec(i * 3, i as u32 % 4, 10.0, 5.0))
+            .collect();
+        let updates: Vec<_> = (0..24)
+            .map(|i| uspec(i * 2, i as u32 % 4, 50.0 + i as f64))
+            .collect();
+        let jsonl = || {
+            let r = run_virtual(4, &queries, &updates, &conf());
+            quts_metrics::records_to_jsonl(r.trace.as_ref().expect("traced run"))
+        };
+        let a = jsonl();
+        assert!(
+            a.lines().any(|l| l.contains("\"trace_id\":")),
+            "ingest events must carry trace ids: {a}"
+        );
+        assert_eq!(a, jsonl(), "same-seed trace JSONL diverged");
     }
 
     #[test]

@@ -42,15 +42,36 @@ pub const COUNT_BOUNDS: &[u64] = &[0, 1, 2, 5, 10, 50, 100, 1_000];
 #[derive(Debug, Default)]
 pub struct Exposition {
     out: String,
+    families: std::collections::HashSet<String>,
+}
+
+/// Whether `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
 }
 
 impl Exposition {
     /// An empty document.
     pub fn new() -> Self {
-        Exposition { out: String::new() }
+        Exposition::default()
     }
 
+    /// Every metric family goes through here, so the hygiene rules are
+    /// structural: a malformed name or a family emitted twice (which
+    /// would duplicate its `# TYPE` line) is a caller bug, caught at
+    /// encode time rather than by the scraper.
     fn header(&mut self, name: &str, help: &str, kind: &str) {
+        assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        assert!(
+            self.families.insert(name.to_string()),
+            "metric family {name:?} emitted twice"
+        );
         let _ = writeln!(self.out, "# HELP {name} {help}");
         let _ = writeln!(self.out, "# TYPE {name} {kind}");
     }
@@ -219,5 +240,149 @@ mod tests {
         assert!(text.contains("quts_rt_us_bucket{le=\"+Inf\"} 0\n"));
         assert!(text.contains("quts_rt_us_sum 0\n"));
         assert_parses(&text);
+    }
+
+    #[test]
+    #[should_panic(expected = "emitted twice")]
+    fn duplicate_family_is_rejected() {
+        let mut exp = Exposition::new();
+        exp.counter("quts_x_total", "x", 1);
+        exp.gauge("quts_x_total", "x again", 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn malformed_name_is_rejected() {
+        let mut exp = Exposition::new();
+        exp.counter("1starts_with_digit", "bad", 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Names valid by the Prometheus grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn metric_name() -> impl Strategy<Value = String> {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:";
+        (
+            0usize..FIRST.len(),
+            proptest::collection::vec(0usize..REST.len(), 0..20),
+        )
+            .prop_map(|(first, rest)| {
+                let mut s = String::new();
+                s.push(FIRST[first] as char);
+                for i in rest {
+                    s.push(REST[i] as char);
+                }
+                s
+            })
+    }
+
+    /// One arbitrary metric family to append to a document.
+    #[derive(Debug, Clone)]
+    enum Family {
+        Counter(u64),
+        Gauge(f64),
+        Labeled(Vec<(String, f64)>),
+        Histogram(Vec<u64>),
+    }
+
+    fn family() -> impl Strategy<Value = Family> {
+        prop_oneof![
+            proptest::num::u64::ANY.prop_map(Family::Counter),
+            (-1e12..1e12f64).prop_map(Family::Gauge),
+            proptest::collection::vec(
+                (proptest::collection::vec(0usize..26, 1..8), -1e6..1e6f64),
+                1..4
+            )
+            .prop_map(|series| Family::Labeled(
+                series
+                    .into_iter()
+                    .map(|(idx, v)| {
+                        (idx.iter().map(|&i| (b'a' + i as u8) as char).collect(), v)
+                    })
+                    .collect()
+            )),
+            proptest::collection::vec(0u64..10_000_000, 0..20).prop_map(Family::Histogram),
+        ]
+    }
+
+    proptest! {
+        /// Exposition hygiene: whatever mix of families a caller emits
+        /// (distinct names, as the builder enforces), every sample and
+        /// header line carries a grammar-valid name, every value
+        /// parses, and no `# TYPE` line appears twice.
+        #[test]
+        fn documents_are_hygienic(
+            entries in proptest::collection::vec((metric_name(), family()), 0..12),
+        ) {
+            let mut exp = Exposition::new();
+            let mut used = std::collections::HashSet::new();
+            for (name, fam) in &entries {
+                // The builder rejects duplicates by design; the
+                // generator may produce them, so skip those here.
+                if !used.insert(name.clone()) {
+                    continue;
+                }
+                match fam {
+                    Family::Counter(v) => exp.counter(name, "h", *v),
+                    Family::Gauge(v) => exp.gauge(name, "h", *v),
+                    Family::Labeled(series) => {
+                        let series: Vec<(&str, f64)> =
+                            series.iter().map(|(l, v)| (l.as_str(), *v)).collect();
+                        exp.labeled_gauges(name, "h", "dim", &series);
+                    }
+                    Family::Histogram(values) => {
+                        let mut h = LogHistogram::new();
+                        for &v in values {
+                            h.record(v);
+                        }
+                        exp.histogram(name, "h", &h, COUNT_BOUNDS);
+                    }
+                }
+            }
+            let text = exp.finish();
+            let mut type_lines = std::collections::HashSet::new();
+            for line in text.lines() {
+                if line == "# EOF" {
+                    continue;
+                }
+                if let Some(rest) = line.strip_prefix("# TYPE ") {
+                    prop_assert!(
+                        type_lines.insert(rest.to_string()),
+                        "duplicate TYPE line: {}", line
+                    );
+                    let family_name = rest.split(' ').next().unwrap();
+                    prop_assert!(valid_metric_name(family_name), "bad TYPE name: {}", line);
+                    continue;
+                }
+                if line.starts_with("# HELP ") {
+                    continue;
+                }
+                let (name, value) = line.rsplit_once(' ').unwrap();
+                prop_assert!(value.parse::<f64>().is_ok(), "bad value in: {}", line);
+                let bare = name.split('{').next().unwrap();
+                prop_assert!(valid_metric_name(bare), "bad sample name in: {}", line);
+            }
+            prop_assert!(text.ends_with("# EOF\n"));
+        }
+
+        /// The grammar predicate agrees with a reference implementation
+        /// over arbitrary byte soup (decoded lossily).
+        #[test]
+        fn name_grammar_matches_reference(
+            bytes in proptest::collection::vec(proptest::num::u8::ANY, 0..12),
+        ) {
+            let s = String::from_utf8_lossy(&bytes).into_owned();
+            let reference = !s.is_empty()
+                && s.chars().enumerate().all(|(i, c)| {
+                    let base = c.is_ascii_alphabetic() || c == '_' || c == ':';
+                    if i == 0 { base } else { base || c.is_ascii_digit() }
+                });
+            prop_assert_eq!(valid_metric_name(&s), reference);
+        }
     }
 }

@@ -13,12 +13,15 @@
 //!   JSONL export,
 //! * [`span`] — query-lifecycle spans (queue-wait / service /
 //!   staleness) over histograms,
-//! * [`exposition`] — Prometheus-style text exposition encoding.
+//! * [`exposition`] — Prometheus-style text exposition encoding,
+//! * [`flightrec`] — a crash flight recorder (recent-event ring +
+//!   coarse timeseries) flushed on panic/poison.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod exposition;
+pub mod flightrec;
 pub mod histogram;
 pub mod profit;
 pub mod span;
@@ -28,12 +31,15 @@ pub mod trace;
 pub mod welford;
 
 pub use exposition::Exposition;
+pub use flightrec::{FlightRecorder, FlightRecorderConfig, SeriesKind};
 pub use histogram::LogHistogram;
 pub use profit::ProfitSeries;
 pub use span::LifecycleSpans;
 pub use table::TextTable;
 pub use timeseries::BinnedSeries;
 pub use trace::{
-    SchedDecision, TraceClass, TraceConfig, TraceEvent, TraceLevel, TraceRecord, TraceRing,
+    query_trace_id, records_to_jsonl, route_trace_id, update_trace_id, RouteTarget, SchedDecision,
+    TraceClass, TraceConfig, TraceCtx, TraceEvent, TraceLevel, TraceRecord, TraceRing, SPAN_APPLY,
+    SPAN_COMMIT_ACK, SPAN_INGEST, SPAN_ROOT, SPAN_SHIP,
 };
 pub use welford::OnlineStats;

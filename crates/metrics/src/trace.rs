@@ -91,6 +91,109 @@ impl TraceConfig {
     }
 }
 
+/// End-to-end request-trace context: a 64-bit trace id shared by every
+/// event on one request's causal chain, plus the per-ring span ids that
+/// order the chain inside a single [`TraceRing`].
+///
+/// Trace ids are derived deterministically from the workload seed
+/// ([`query_trace_id`] / [`update_trace_id`]), so same-seed runs stamp
+/// identical ids and the primary and a replica compute the *same* id
+/// for the same WAL record without shipping the id over the wire.
+///
+/// `parent == 0` marks a root span; each stage uses a fixed span number
+/// (see the `SPAN_*` constants) so the chain's shape is knowable without
+/// global state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// 64-bit request trace id (shared across processes).
+    pub trace_id: u64,
+    /// This event's span number within the ring.
+    pub span: u32,
+    /// The parent span's number; `0` for a root span.
+    pub parent: u32,
+}
+
+impl TraceCtx {
+    /// A root context (span [`SPAN_ROOT`], no parent).
+    pub fn root(trace_id: u64) -> Self {
+        TraceCtx {
+            trace_id,
+            span: SPAN_ROOT,
+            parent: 0,
+        }
+    }
+
+    /// A child context: same trace, new span, parented on `self`.
+    pub fn child(self, span: u32) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span,
+            parent: self.span,
+        }
+    }
+}
+
+/// Root span of a chain: the routing decision (routed reads) or the
+/// ingest stamp (everything else).
+pub const SPAN_ROOT: u32 = 1;
+/// Ingest on the target engine when a router already opened the chain.
+pub const SPAN_INGEST: u32 = 2;
+/// Group-commit ticket resolution (durable LSN assigned and fsync'd).
+pub const SPAN_COMMIT_ACK: u32 = 2;
+/// A WAL frame shipped to a replica.
+pub const SPAN_SHIP: u32 = 3;
+/// A shipped frame applied on a replica (root in the replica's ring).
+pub const SPAN_APPLY: u32 = 4;
+
+/// splitmix64 finalizer: the bijective mixer both trace-id derivations
+/// share.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic trace id for the `n`-th admitted query (by the
+/// engine's merged arrival sequence) under `seed`.
+pub fn query_trace_id(seed: u64, seq: u64) -> u64 {
+    mix64(seed ^ 0x0051_5545_5259_u64 ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Deterministic trace id for the update durably logged at `lsn` under
+/// `seed`. The primary computes this at append time and a replica
+/// recomputes it at apply time from the same `(seed, lsn)` pair, so the
+/// id never travels inside a WAL frame.
+pub fn update_trace_id(seed: u64, lsn: u64) -> u64 {
+    mix64(seed ^ 0x5550_4441_5445u64 ^ lsn.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Deterministic trace id for the `n`-th read the router dispatched
+/// under `seed`. A separate domain from [`query_trace_id`]: the router's
+/// counter and the engine's arrival sequence advance independently, so
+/// sharing a domain could collide two different requests.
+pub fn route_trace_id(seed: u64, n: u64) -> u64 {
+    mix64(seed ^ 0x0052_4f55_5445_u64 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Where the router sent a read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget {
+    /// A replica qualified and was picked.
+    Replica,
+    /// No replica qualified; the primary served the read.
+    Primary,
+}
+
+impl RouteTarget {
+    /// Stable lowercase name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RouteTarget::Replica => "replica",
+            RouteTarget::Primary => "primary",
+        }
+    }
+}
+
 /// Transaction class as seen by the tracer (mirror of the scheduler's
 /// class enum, kept here so `quts-metrics` stays dependency-free).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +282,52 @@ pub enum TraceEvent {
         /// Update id.
         id: u64,
     },
+    /// A request entered the engine and was stamped with its trace id.
+    Ingest {
+        /// Trace context (root unless a router opened the chain).
+        ctx: TraceCtx,
+        /// Class of the admitted transaction.
+        class: TraceClass,
+        /// Host-assigned transaction id (query seq or durable LSN).
+        id: u64,
+    },
+    /// The router picked a target for a read.
+    RouteDecision {
+        /// Trace context (always a root span).
+        ctx: TraceCtx,
+        /// The node class that will serve the read.
+        target: RouteTarget,
+        /// Dispatch-time staleness bound (lag + unapplied) of the
+        /// chosen target; `0` for the primary.
+        bound: u64,
+        /// QoD profit the contract earns at that bound.
+        qod_earned: f64,
+        /// The contract's full QoD profit (`qodmax`).
+        qod_full: f64,
+    },
+    /// A WAL frame left the primary towards a replica.
+    ShipFrame {
+        /// Trace context (child of the update's ingest span).
+        ctx: TraceCtx,
+        /// LSN of the shipped frame.
+        lsn: u64,
+    },
+    /// A shipped frame was applied on a replica.
+    ReplicaApply {
+        /// Trace context (root within the replica's own ring).
+        ctx: TraceCtx,
+        /// LSN of the applied frame.
+        lsn: u64,
+    },
+    /// A group-commit ticket resolved: the update is durable at `lsn`.
+    GroupCommitAck {
+        /// Trace context (child of the update's ingest span).
+        ctx: TraceCtx,
+        /// Durable LSN assigned to the update.
+        lsn: u64,
+        /// Size of the commit group that made it durable.
+        batch: u32,
+    },
 }
 
 impl TraceEvent {
@@ -193,6 +342,25 @@ impl TraceEvent {
             TraceEvent::UpdateApply { .. } => "update_apply",
             TraceEvent::UpdateInvalidate { .. } => "update_invalidate",
             TraceEvent::UpdateDrop { .. } => "update_drop",
+            TraceEvent::Ingest { .. } => "ingest",
+            TraceEvent::RouteDecision { .. } => "route_decision",
+            TraceEvent::ShipFrame { .. } => "ship_frame",
+            TraceEvent::ReplicaApply { .. } => "replica_apply",
+            TraceEvent::GroupCommitAck { .. } => "group_commit_ack",
+        }
+    }
+
+    /// The trace context carried by this event, when it is part of a
+    /// request's causal chain (the PR-3 scheduler-decision events carry
+    /// none).
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        match self {
+            TraceEvent::Ingest { ctx, .. }
+            | TraceEvent::RouteDecision { ctx, .. }
+            | TraceEvent::ShipFrame { ctx, .. }
+            | TraceEvent::ReplicaApply { ctx, .. }
+            | TraceEvent::GroupCommitAck { ctx, .. } => Some(*ctx),
+            _ => None,
         }
     }
 }
@@ -282,9 +450,48 @@ impl TraceRecord {
             TraceEvent::UpdateInvalidate { id } | TraceEvent::UpdateDrop { id } => {
                 let _ = write!(out, ",\"id\":{id}");
             }
+            TraceEvent::Ingest { ctx, class, id } => {
+                write_ctx(out, ctx);
+                let _ = write!(out, ",\"class\":\"{}\",\"id\":{}", class.as_str(), id);
+            }
+            TraceEvent::RouteDecision {
+                ctx,
+                target,
+                bound,
+                qod_earned,
+                qod_full,
+            } => {
+                write_ctx(out, ctx);
+                let _ = write!(
+                    out,
+                    ",\"target\":\"{}\",\"bound\":{},\"qod_earned\":{},\"qod_full\":{}",
+                    target.as_str(),
+                    bound,
+                    qod_earned,
+                    qod_full
+                );
+            }
+            TraceEvent::ShipFrame { ctx, lsn } | TraceEvent::ReplicaApply { ctx, lsn } => {
+                write_ctx(out, ctx);
+                let _ = write!(out, ",\"lsn\":{lsn}");
+            }
+            TraceEvent::GroupCommitAck { ctx, lsn, batch } => {
+                write_ctx(out, ctx);
+                let _ = write!(out, ",\"lsn\":{lsn},\"batch\":{batch}");
+            }
         }
         out.push('}');
     }
+}
+
+/// Appends the trace-context keys in their stable order (`trace_id`,
+/// `span`, `parent`) right after the `event` key.
+fn write_ctx(out: &mut String, ctx: TraceCtx) {
+    let _ = write!(
+        out,
+        ",\"trace_id\":{},\"span\":{},\"parent\":{}",
+        ctx.trace_id, ctx.span, ctx.parent
+    );
 }
 
 /// Fixed-capacity event ring: O(1) push, overwrite-oldest on overflow.
@@ -522,6 +729,35 @@ mod tests {
             TraceEvent::UpdateApply { id: 6, delay_us: 7 },
             TraceEvent::UpdateInvalidate { id: 8 },
             TraceEvent::UpdateDrop { id: 9 },
+            TraceEvent::Ingest {
+                ctx: TraceCtx::root(10),
+                class: TraceClass::Query,
+                id: 11,
+            },
+            TraceEvent::RouteDecision {
+                ctx: TraceCtx::root(12),
+                target: RouteTarget::Replica,
+                bound: 2,
+                qod_earned: 1.5,
+                qod_full: 1.5,
+            },
+            TraceEvent::ShipFrame {
+                ctx: TraceCtx::root(13).child(SPAN_SHIP),
+                lsn: 14,
+            },
+            TraceEvent::ReplicaApply {
+                ctx: TraceCtx {
+                    trace_id: 15,
+                    span: SPAN_APPLY,
+                    parent: 0,
+                },
+                lsn: 16,
+            },
+            TraceEvent::GroupCommitAck {
+                ctx: TraceCtx::root(17).child(SPAN_COMMIT_ACK),
+                lsn: 18,
+                batch: 4,
+            },
         ];
         let mut ring = TraceRing::new(events.len());
         for (i, e) in events.iter().enumerate() {
@@ -530,6 +766,72 @@ mod tests {
         for (rec, line) in ring.iter_ordered().zip(ring.to_jsonl().lines()) {
             assert!(line.starts_with('{') && line.ends_with('}'));
             assert!(line.contains(&format!("\"event\":\"{}\"", rec.event.kind())));
+            // Every chain event carries its trace id under a stable key.
+            if let Some(ctx) = rec.event.ctx() {
+                assert!(
+                    line.contains(&format!("\"trace_id\":{}", ctx.trace_id)),
+                    "{line}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn trace_ctx_events_serialise_with_stable_keys() {
+        let mut ring = TraceRing::new(4);
+        let ctx = TraceCtx::root(0xfeed);
+        ring.push(
+            5,
+            TraceEvent::Ingest {
+                ctx,
+                class: TraceClass::Update,
+                id: 3,
+            },
+        );
+        ring.push(
+            6,
+            TraceEvent::GroupCommitAck {
+                ctx: ctx.child(SPAN_COMMIT_ACK),
+                lsn: 3,
+                batch: 2,
+            },
+        );
+        let lines: Vec<String> = ring.to_jsonl().lines().map(String::from).collect();
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"at_us\":5,\"event\":\"ingest\",\"trace_id\":65261,\"span\":1,\"parent\":0,\"class\":\"update\",\"id\":3}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"at_us\":6,\"event\":\"group_commit_ack\",\"trace_id\":65261,\"span\":2,\"parent\":1,\"lsn\":3,\"batch\":2}"
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_distinct_by_class() {
+        // Same (seed, n) always derives the same id; query and update
+        // domains never alias; ids spread (no trivial collisions over a
+        // small dense range).
+        let mut seen = std::collections::HashSet::new();
+        for n in 0..1000u64 {
+            assert_eq!(query_trace_id(42, n), query_trace_id(42, n));
+            assert_eq!(update_trace_id(42, n), update_trace_id(42, n));
+            assert_ne!(query_trace_id(42, n), update_trace_id(42, n));
+            assert!(seen.insert(query_trace_id(42, n)));
+            assert!(seen.insert(update_trace_id(42, n)));
+        }
+        // A different seed relabels every chain.
+        assert_ne!(update_trace_id(1, 7), update_trace_id(2, 7));
+    }
+
+    #[test]
+    fn child_spans_parent_on_their_origin() {
+        let root = TraceCtx::root(9);
+        assert_eq!(root.span, SPAN_ROOT);
+        assert_eq!(root.parent, 0);
+        let ship = root.child(SPAN_SHIP);
+        assert_eq!(ship.trace_id, 9);
+        assert_eq!(ship.span, SPAN_SHIP);
+        assert_eq!(ship.parent, SPAN_ROOT);
     }
 }

@@ -3,7 +3,7 @@
 //! Grammar (whitespace-separated, case-insensitive verbs):
 //!
 //! ```text
-//! request   := get | avg | cmp | upd | stats | metrics | repl | quit
+//! request   := get | avg | cmp | upd | stats | metrics | repl | flight | quit
 //! get       := "GET" symbol contract?
 //! avg       := "AVG" symbol window contract?
 //! cmp       := "CMP" symbol symbol+ contract?
@@ -11,6 +11,7 @@
 //! stats     := "STATS"
 //! metrics   := "METRICS"
 //! repl      := "REPL"
+//! flight    := "FLIGHT"
 //! quit      := "QUIT"
 //! contract  := qos? qod?             (absent sides are worth nothing)
 //! qos       := "QOS" max rtmax_ms
@@ -61,6 +62,9 @@ pub enum Request {
     /// Replication status: router counters plus one line per replica,
     /// terminated by `# EOF`. Errors when replication is not enabled.
     Repl,
+    /// Live flight-recorder dump (JSONL event ring + timeseries),
+    /// terminated by `# EOF`. Errors when no recorder is configured.
+    Flight,
     /// Close the connection.
     Quit,
 }
@@ -162,6 +166,13 @@ pub fn parse(line: &str) -> Result<Request, ParseError> {
                 Ok(Request::Repl)
             } else {
                 Err(err("REPL takes no arguments"))
+            }
+        }
+        "FLIGHT" => {
+            if rest.is_empty() {
+                Ok(Request::Flight)
+            } else {
+                Err(err("FLIGHT takes no arguments"))
             }
         }
         "QUIT" => {
@@ -303,6 +314,8 @@ mod tests {
         assert_eq!(parse("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse("REPL").unwrap(), Request::Repl);
         assert_eq!(parse("repl").unwrap(), Request::Repl);
+        assert_eq!(parse("FLIGHT").unwrap(), Request::Flight);
+        assert_eq!(parse("flight").unwrap(), Request::Flight);
         assert_eq!(parse("QUIT").unwrap(), Request::Quit);
     }
 
@@ -324,6 +337,7 @@ mod tests {
             "STATS NOW",
             "METRICS NOW",
             "REPL STATUS",
+            "FLIGHT NOW",
             "GET IBM PLEASE",
         ] {
             assert!(parse(bad).is_err(), "{bad:?} should not parse");

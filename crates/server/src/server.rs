@@ -16,8 +16,8 @@ use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
 use quts_engine::{
     Engine, EngineConfig, EngineHandle, LiveStats, QueryError, QueryReply, ReplicaHandle,
-    RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry, SubmitError,
-    TraceConfig,
+    RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry, ShipTrace,
+    SubmitError, TraceConfig,
 };
 use quts_metrics::exposition::{Exposition, COUNT_BOUNDS, LATENCY_BOUNDS_US};
 use std::collections::HashMap;
@@ -133,9 +133,12 @@ impl Server {
         let addr = listener.local_addr()?;
         let engine = Engine::start(store, config.engine);
         let ship = match config.repl_ship {
+            // The shipper inherits the engine's trace seed and sinks so
+            // ship_frame events land in the primary's decision ring and
+            // replicas can derive the same per-LSN trace ids.
             Some(ship_config) => Some(ShipListener::start(
                 wal_dir.expect("checked above"),
-                ship_config,
+                ship_config.with_trace(ShipTrace::from_handle(&engine.handle())),
             )?),
             None => None,
         };
@@ -342,6 +345,7 @@ fn handle(request: Request, shared: &Shared) -> String {
         }
         Request::Metrics => render_metrics(shared),
         Request::Repl => render_repl_status(shared),
+        Request::Flight => render_flight(shared),
         Request::Quit => unreachable!("handled by the connection loop"),
     }
 }
@@ -388,6 +392,17 @@ fn render_repl_status(shared: &Shared) -> String {
     }
     out.push_str("\n# EOF");
     out
+}
+
+/// Renders the `FLIGHT` response: the engine's live flight-recorder
+/// contents (recent events plus 1-second timeseries) in the same JSONL
+/// encoding the supervisor dumps on a crash, `# EOF`-terminated.
+fn render_flight(shared: &Shared) -> String {
+    match shared.handle.flight_snapshot() {
+        Some(jsonl) if jsonl.is_empty() => "# EOF".into(),
+        Some(jsonl) => format!("{}\n# EOF", jsonl.trim_end()),
+        None => "ERR flight recorder disabled".into(),
+    }
 }
 
 /// Renders the stats snapshot as Prometheus-style text exposition
@@ -618,6 +633,18 @@ fn render_metrics(shared: &Shared) -> String {
             "Shipping sessions the replica has established",
             "replica",
             &counter_series(peers.iter().map(|p| p.connections).collect()),
+        );
+        exp.histogram(
+            "quts_repl_lag_frames",
+            "Unapplied WAL frames per replica, sampled at each heartbeat",
+            &registry.lag_frames_histogram(),
+            COUNT_BOUNDS,
+        );
+        exp.histogram(
+            "quts_repl_apply_lag_us",
+            "Ship-to-apply-ack latency of shipped WAL frames",
+            &registry.apply_lag_histogram(),
+            LATENCY_BOUNDS_US,
         );
     }
     if let Some(router) = &shared.router {
@@ -1079,6 +1106,60 @@ mod tests {
     }
 
     #[test]
+    fn flight_without_recorder_is_a_polite_error() {
+        let server = test_server();
+        let mut c = Client::connect(server.addr());
+        assert_eq!(c.send("FLIGHT"), "ERR flight recorder disabled");
+        assert!(c.send("GET IBM").starts_with("OK"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_serves_the_live_recorder_as_jsonl() {
+        use quts_engine::FlightRecorderConfig;
+        let dir = std::env::temp_dir().join(format!(
+            "quts-server-flight-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let server = test_server_with(ServerConfig {
+            engine: EngineConfig::default()
+                .with_trace(TraceConfig::full())
+                .with_flight_recorder(FlightRecorderConfig::new(&dir)),
+            ..ServerConfig::default()
+        });
+        let mut c = Client::connect(server.addr());
+        assert!(c.send("GET IBM QOS 5 1000 QOD 2 1").starts_with("OK"));
+        assert_eq!(c.send("UPD IBM 121.5 300"), "OK");
+        std::thread::sleep(Duration::from_millis(50));
+
+        let lines = c.send_multiline("FLIGHT");
+        assert_eq!(lines.last().map(String::as_str), Some("# EOF"));
+        let events = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"rec\":\"event\","))
+            .count();
+        assert!(events >= 2, "query + update events expected: {lines:?}");
+        for line in &lines {
+            if line == "# EOF" {
+                continue;
+            }
+            assert!(
+                line.starts_with("{\"rec\":\"event\",") || line.starts_with("{\"rec\":\"series\","),
+                "unparseable flight line: {line}"
+            );
+            assert!(line.ends_with('}'), "truncated flight line: {line}");
+        }
+
+        // The connection still serves single-line requests afterwards.
+        assert!(c.send("GET IBM").starts_with("OK"));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn replicated_server_routes_reads_and_exposes_replica_metrics() {
         use quts_engine::{DurabilityConfig, Replica, ReplicaConfig};
         let base = std::env::temp_dir().join(format!(
@@ -1167,6 +1248,13 @@ mod tests {
             text.contains("quts_router_qod_violations_total 0"),
             "{text}"
         );
+        // The replication-lag histograms ride along: ack_every(1) means
+        // every applied frame recorded one ship-to-ack latency sample.
+        assert!(
+            text.contains("# TYPE quts_repl_lag_frames histogram"),
+            "{text}"
+        );
+        assert!(text.contains("quts_repl_apply_lag_us_count 8"), "{text}");
 
         replica.shutdown();
         server.shutdown();

@@ -5,8 +5,9 @@
 //! hang**, no matter what the scheduler does (panics, restarts, stalls,
 //! floods, dropped replies, shutdown races).
 
+use quts::engine::{FlightRecorderConfig, TraceConfig};
 use quts::prelude::*;
-use quts_conformance::{check_run, Observation};
+use quts_conformance::{check_run, trace_causality, Observation};
 use std::time::Duration;
 
 fn stocks(n: u32) -> (Store, Vec<StockId>) {
@@ -315,6 +316,86 @@ fn update_floods_hit_the_high_water_mark_but_memory_stays_bounded() {
     // rest of the suite.
     assert!(stats.updates_applied > 0, "the backlog still drains");
     assert_invariants(&stats, None);
+}
+
+#[test]
+fn poisoned_engine_leaves_a_parseable_flight_recorder_dump() {
+    let dir = std::env::temp_dir().join(format!("quts-flightrec-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let (store, ids) = stocks(4);
+    // Tracing + flight recorder + an injected panic with no restart
+    // budget: the supervisor must poison the engine AND flush the
+    // recorder's last-events window to disk on its way down.
+    let cfg = EngineConfig::default()
+        .with_seed(11)
+        .with_trace(TraceConfig::full())
+        .with_flight_recorder(FlightRecorderConfig::new(&dir))
+        .with_fault_plan(FaultPlan::default().panic_after(6));
+    let engine = Engine::start(store, cfg);
+    let handle = engine.handle();
+
+    let mut tickets = Vec::new();
+    for i in 0..scaled(10, 24) as u32 {
+        match handle.submit_query(QueryOp::Lookup(ids[(i % 4) as usize]), qc()) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::EngineDown) => break,
+            Err(SubmitError::QueueFull) => panic!("capacity is ample here"),
+        }
+    }
+    for t in &tickets {
+        assert_settled(&t.recv_timeout(Duration::from_secs(10)));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while handle.state() == EngineState::Running {
+        assert!(std::time::Instant::now() < deadline, "never poisoned");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.state(), EngineState::Poisoned);
+
+    // Exactly one dump file, named flightrec-<ts>.jsonl.
+    let dumps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            let name = p.file_name().unwrap().to_string_lossy().into_owned();
+            name.starts_with("flightrec-") && name.ends_with(".jsonl")
+        })
+        .collect();
+    assert_eq!(dumps.len(), 1, "one crash dump expected, got {dumps:?}");
+
+    // Every line is one JSON object tagged event or series, and the
+    // event window covers activity from before the injected fault (the
+    // plan panics at transaction 6, so at least the first transactions'
+    // dispatch/ingest events precede it).
+    let body = std::fs::read_to_string(&dumps[0]).unwrap();
+    let mut events = 0usize;
+    for line in body.lines() {
+        assert!(
+            line.starts_with("{\"rec\":\"event\",") || line.starts_with("{\"rec\":\"series\","),
+            "unparseable flight-recorder line: {line}"
+        );
+        assert!(line.ends_with('}'), "truncated line: {line}");
+        if line.starts_with("{\"rec\":\"event\",") {
+            events += 1;
+        }
+    }
+    assert!(
+        events >= 5,
+        "dump should hold the events preceding the fault, got {events}"
+    );
+
+    // The decision ring survives poisoning too, and its span causality
+    // holds right up to the crash.
+    let records = handle.trace_snapshot().expect("tracing at Full");
+    let dropped = handle.trace_dropped().unwrap();
+    trace_causality(&records, dropped).expect("span causality across the crash");
+
+    let stats = engine.shutdown();
+    assert_eq!(stats.engine_restarts, 0);
+    assert_invariants(&stats, Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

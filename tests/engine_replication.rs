@@ -15,9 +15,13 @@
 //!    violates the contract's qodmax.
 
 use quts::db::{snapshot, wal};
-use quts::engine::repl::ReplicaStats;
+use quts::engine::repl::{ReplicaStats, ShipTrace};
+use quts::engine::{update_trace_id, TraceConfig, TraceEvent};
+use quts::metrics::{RouteTarget, SPAN_APPLY, SPAN_SHIP};
 use quts::prelude::*;
-use quts_conformance::{replica_consistent, router_respects_qod, wal_contiguous_after_snapshot};
+use quts_conformance::{
+    replica_consistent, router_respects_qod, trace_causality, wal_contiguous_after_snapshot,
+};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -533,6 +537,144 @@ fn router_sheds_busy_when_no_replica_qualifies_and_primary_is_full() {
     router_respects_qod(&router.stats()).expect("shedding never breaks qod");
     drop(tickets);
     engine.shutdown();
+}
+
+#[test]
+fn trace_chain_spans_router_primary_ship_and_replica_apply() {
+    let tmp = TempDir::new("tracechain");
+    let seed = 0xFEED_F00D;
+    let cfg = primary_config(&tmp.sub("primary"))
+        .with_seed(seed)
+        .with_trace(TraceConfig::full().with_ring_capacity(16_384));
+    let engine = Engine::try_start(Store::with_synthetic_stocks(4), cfg).unwrap();
+    let ship = ShipListener::start(
+        tmp.sub("primary"),
+        ShipConfig::default().with_trace(ShipTrace::from_handle(&engine.handle())),
+    )
+    .unwrap();
+    let replica = Replica::start(
+        ship.addr(),
+        replica_config("r1", tmp.sub("replica")).with_trace(16_384),
+    )
+    .unwrap();
+
+    let n = 48u32;
+    for i in 0..n {
+        engine
+            .submit_update(trade(i % 4, 10.0 + f64::from(i)))
+            .unwrap();
+    }
+    await_applied(&replica, u64::from(n));
+
+    // A routed read opens its own chain (route_decision → ingest).
+    let router = Router::new(engine.handle(), RouterConfig::default());
+    router.add_replica(replica.handle());
+    router
+        .route(
+            QueryOp::Lookup(StockId(0)),
+            QualityContract::step(5.0, 1000.0, 5.0, 64),
+        )
+        .unwrap();
+
+    let primary = engine.handle().trace_snapshot().expect("tracing at Full");
+    let primary_dropped = engine.handle().trace_dropped().unwrap();
+    let (replica_recs, replica_dropped) = replica.handle().trace_records().expect("traced replica");
+    assert_eq!(primary_dropped + replica_dropped, 0, "rings must not wrap");
+
+    // One update's chain, followed by its single trace id across both
+    // processes: ingest (primary, root) → ship_frame (primary) →
+    // replica_apply (replica).
+    let lsn = 10u64;
+    let id = update_trace_id(seed, lsn);
+    assert!(
+        primary.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::Ingest { ctx, .. } if ctx.trace_id == id && ctx.parent == 0
+        )),
+        "update lsn {lsn} missing its root ingest span"
+    );
+    assert!(
+        primary.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::ShipFrame { ctx, lsn: l } if ctx.trace_id == id && l == lsn
+                && ctx.span == SPAN_SHIP
+        )),
+        "update lsn {lsn} missing its ship_frame span"
+    );
+    assert!(
+        replica_recs.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::ReplicaApply { ctx, lsn: l } if ctx.trace_id == id && l == lsn
+                && ctx.span == SPAN_APPLY
+        )),
+        "update lsn {lsn} missing its replica_apply span"
+    );
+
+    // The routed read's decision is in the ring and names the replica.
+    assert!(
+        primary.iter().any(|r| matches!(
+            r.event,
+            TraceEvent::RouteDecision {
+                target: RouteTarget::Replica,
+                ..
+            }
+        )),
+        "routed read left no route_decision event"
+    );
+
+    // Causality over the merged (upstream-first) record sets: every
+    // child span's parent precedes it.
+    let mut merged = primary.clone();
+    merged.extend(replica_recs.iter().cloned());
+    trace_causality(&merged, 0).expect("cross-process span causality");
+
+    replica.shutdown();
+    ship.shutdown();
+    engine.shutdown();
+}
+
+#[test]
+fn same_seed_replica_trace_jsonl_is_byte_identical() {
+    // Replica apply events are stamped with logical time (the LSN), so
+    // two replicas fed the same seeded stream export byte-identical
+    // trace JSONL even though wall-clock shipping differed — including
+    // the trace ids both sides derive from the shipped seed.
+    let seed = 0xA11C_E5ED;
+    let jsonl = |tag: &str| {
+        let tmp = TempDir::new(&format!("tracedet-{tag}"));
+        let cfg = primary_config(&tmp.sub("primary"))
+            .with_seed(seed)
+            .with_trace(TraceConfig::full().with_ring_capacity(4_096));
+        let engine = Engine::try_start(Store::with_synthetic_stocks(4), cfg).unwrap();
+        let ship = ShipListener::start(
+            tmp.sub("primary"),
+            ShipConfig::default().with_trace(ShipTrace::from_handle(&engine.handle())),
+        )
+        .unwrap();
+        let replica = Replica::start(
+            ship.addr(),
+            replica_config("r1", tmp.sub("replica")).with_trace(4_096),
+        )
+        .unwrap();
+        for i in 0..32u32 {
+            engine
+                .submit_update(trade(i % 4, 10.0 + f64::from(i)))
+                .unwrap();
+        }
+        await_applied(&replica, 32);
+        let out = replica.handle().trace_to_jsonl().expect("traced replica");
+        replica.shutdown();
+        ship.shutdown();
+        engine.shutdown();
+        out
+    };
+    let a = jsonl("a");
+    assert_eq!(a.lines().count(), 32, "one replica_apply per frame");
+    assert!(
+        a.lines().all(|l| l.contains("\"trace_id\":")),
+        "apply events must carry the shipped-seed trace ids: {a}"
+    );
+    assert_eq!(a, jsonl("b"), "same-seed replica trace JSONL diverged");
 }
 
 #[test]
