@@ -14,8 +14,9 @@ use quts_bench::perf::{self, per_sec, ExperimentPerf};
 use quts_bench::{paper_trace, run_policy_with, tracectx, Policy};
 use quts_db::{Store, Trade};
 use quts_engine::{
-    DurabilityConfig, Engine, EngineConfig, FsyncPolicy, GroupCommitConfig, LinkFaultPlan, Replica,
-    ReplicaConfig, ShipConfig, ShipListener, SubmitError,
+    Cluster, ControllerConfig, DurabilityConfig, Engine, EngineConfig, FaultPlan, FsyncPolicy,
+    GroupCommitConfig, LinkFaultPlan, Replica, ReplicaConfig, Router, RouterConfig, ShipConfig,
+    ShipListener, SubmitError,
 };
 use quts_metrics::LogHistogram;
 use quts_sim::{SimConfig, TraceConfig};
@@ -68,6 +69,7 @@ fn main() {
     let wal = measure_wal_overhead();
     let gc = measure_group_commit();
     let repl = measure_replication_lag();
+    let fo = measure_failover_mttr();
 
     // Sequential baseline: a silent one-worker pass so the perf file
     // always records both numbers. When the timed pass already ran with
@@ -90,7 +92,7 @@ fn main() {
         perfs.iter().map(|p| (p.name, p.wall)).collect()
     };
 
-    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal, &gc, &repl);
+    let json = render_json(scale, jobs, &perfs, &baseline, &overhead, &wal, &gc, &repl, &fo);
     let path = std::env::var("QUTS_BENCH_OUT").unwrap_or_else(|_| "BENCH_quts.json".into());
     match std::fs::write(&path, json) {
         Ok(()) => println!("wrote {path} (jobs={jobs}, scale={scale})"),
@@ -572,6 +574,183 @@ fn measure_replication_lag() -> ReplicationLagProbe {
     }
 }
 
+/// One failover-MTTR measurement: a two-replica cluster under the
+/// controller, killed (scheduler panic), partitioned (links go dark) or
+/// manually deposed (`failover_now`, the zombie-demotion path), timed
+/// through the controller's own phase clocks — detection, promotion,
+/// router re-point — the same numbers `METRICS` exposes as
+/// `quts_failover_detect_us` / `quts_failover_mttr_us`.
+struct FailoverMttrCell {
+    scenario: &'static str,
+    iterations: u32,
+    detect_p50_us: u64,
+    detect_p99_us: u64,
+    promote_p50_us: u64,
+    promote_p99_us: u64,
+    repoint_p50_us: u64,
+    repoint_p99_us: u64,
+    mttr_p50_us: u64,
+    mttr_p99_us: u64,
+}
+
+struct FailoverMttrProbe {
+    replicas: u32,
+    baseline_updates: u64,
+    cells: Vec<FailoverMttrCell>,
+}
+
+fn measure_failover_mttr() -> FailoverMttrProbe {
+    const STOCKS: u32 = 16;
+    const N: u64 = 128;
+    const ITERS: u32 = 5;
+    let scenarios: [&'static str; 3] = ["kill", "partition", "zombie_manual"];
+    let exact = |sorted: &[u64], p: f64| -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let mut cells = Vec::new();
+    for scenario in scenarios {
+        let (mut detect, mut promote, mut repoint, mut mttr) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for iter in 0..ITERS {
+            let base = std::env::temp_dir().join(format!(
+                "quts-failover-mttr-{}-{scenario}-{iter}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&base);
+            let primary_dir = base.join("primary");
+            std::fs::create_dir_all(&primary_dir).expect("mkdir");
+            let durable = |dir: &std::path::Path| {
+                EngineConfig::default().with_durability(
+                    DurabilityConfig::new(dir)
+                        .with_fsync(FsyncPolicy::Always)
+                        .with_snapshot_every(u64::MAX),
+                )
+            };
+            let mut engine_cfg = durable(&primary_dir);
+            if scenario == "kill" {
+                engine_cfg = engine_cfg.with_fault_plan(FaultPlan::default().panic_after(N + 4));
+            }
+            let engine = Engine::try_start(Store::with_synthetic_stocks(STOCKS), engine_cfg)
+                .expect("primary");
+            let mut ship_cfg = ShipConfig::default().with_heartbeat(Duration::from_millis(10));
+            if scenario == "partition" {
+                ship_cfg =
+                    ship_cfg.with_fault(LinkFaultPlan::default().partition_after(N + 4));
+            }
+            let ship = ShipListener::start(primary_dir.clone(), ship_cfg).expect("ship listener");
+            let replica_cfg = |name: &str| {
+                ReplicaConfig::new(name, base.join(name))
+                    .with_fsync(FsyncPolicy::Always)
+                    .with_ack_every(1)
+                    .with_backoff(Duration::from_millis(1), Duration::from_millis(20))
+            };
+            let r1 = Replica::start(ship.addr(), replica_cfg("r1")).expect("r1");
+            let r2 = Replica::start(ship.addr(), replica_cfg("r2")).expect("r2");
+            let router = std::sync::Arc::new(Router::new(
+                engine.handle(),
+                RouterConfig::default(),
+            ));
+            router.add_replica(r1.handle());
+            router.add_replica(r2.handle());
+            let auto = scenario != "zombie_manual";
+            let cluster = Cluster::start(
+                engine,
+                ship,
+                vec![(r1, replica_cfg("r1")), (r2, replica_cfg("r2"))],
+                router,
+                durable(&primary_dir),
+                ShipConfig::default().with_heartbeat(Duration::from_millis(10)),
+                ControllerConfig::default()
+                    .with_detection(2, Duration::from_millis(100))
+                    .with_probes(Duration::from_millis(5), Duration::from_millis(20), 2)
+                    .with_poll_interval(Duration::from_millis(10))
+                    .with_auto_failover(auto),
+            );
+
+            // Replica-acked baseline, so the promotion has real history
+            // to cover.
+            for i in 0..N {
+                let lsn = cluster
+                    .primary()
+                    .submit_update_durable(probe_trade(STOCKS, i))
+                    .expect("admitted")
+                    .recv()
+                    .expect("durable");
+                debug_assert!(lsn >= 1);
+            }
+            let deadline = Instant::now() + Duration::from_secs(60);
+            while cluster
+                .router()
+                .replica_stats()
+                .iter()
+                .filter(|s| s.durable_lsn >= N)
+                .count()
+                < 2
+            {
+                assert!(
+                    Instant::now() < deadline,
+                    "failover probe baseline never replicated ({scenario})"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+
+            let report = if auto {
+                // Push the primary (or its links) over the fault point
+                // with live fire-and-forget load, then let the
+                // controller notice and recover on its own.
+                let deadline = Instant::now() + Duration::from_secs(60);
+                let mut i = N;
+                while cluster.stats().failovers == 0 {
+                    let _ = cluster.primary().submit_update(probe_trade(STOCKS, i));
+                    i += 1;
+                    assert!(
+                        Instant::now() < deadline,
+                        "failover probe: controller never fired ({scenario})"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                cluster.reports().remove(0)
+            } else {
+                // The operator deposes a live primary: detection is
+                // free, promotion + re-point are the whole MTTR.
+                cluster.failover_now().expect("manual failover")
+            };
+            detect.push(report.detect_us);
+            promote.push(report.promote_us);
+            repoint.push(report.repoint_us);
+            mttr.push(report.mttr_us);
+
+            cluster.shutdown();
+            let _ = std::fs::remove_dir_all(&base);
+        }
+        detect.sort_unstable();
+        promote.sort_unstable();
+        repoint.sort_unstable();
+        mttr.sort_unstable();
+        cells.push(FailoverMttrCell {
+            scenario,
+            iterations: ITERS,
+            detect_p50_us: exact(&detect, 0.50),
+            detect_p99_us: exact(&detect, 0.99),
+            promote_p50_us: exact(&promote, 0.50),
+            promote_p99_us: exact(&promote, 0.99),
+            repoint_p50_us: exact(&repoint, 0.50),
+            repoint_p99_us: exact(&repoint, 0.99),
+            mttr_p50_us: exact(&mttr, 0.50),
+            mttr_p99_us: exact(&mttr, 0.99),
+        });
+    }
+    FailoverMttrProbe {
+        replicas: 2,
+        baseline_updates: N,
+        cells,
+    }
+}
+
 /// Hand-rolled JSON (the workspace vendors no serializer by design).
 #[allow(clippy::too_many_arguments)]
 fn render_json(
@@ -583,6 +762,7 @@ fn render_json(
     wal: &WalOverhead,
     gc: &GroupCommitProbe,
     repl: &ReplicationLagProbe,
+    fo: &FailoverMttrProbe,
 ) -> String {
     let total_wall: Duration = perfs.iter().map(|p| p.wall).sum();
     let total_events: u64 = perfs.iter().map(|p| p.events).sum();
@@ -752,6 +932,51 @@ fn render_json(
             c.lag_frames_p99
         ));
         s.push_str(if i + 1 == repl.cells.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
+    s.push_str("  \"failover_mttr\": {\n");
+    s.push_str(&format!("    \"replicas\": {},\n", fo.replicas));
+    s.push_str(&format!(
+        "    \"baseline_updates\": {},\n",
+        fo.baseline_updates
+    ));
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in fo.cells.iter().enumerate() {
+        s.push_str("      {\n");
+        s.push_str(&format!("        \"scenario\": \"{}\",\n", c.scenario));
+        s.push_str(&format!("        \"iterations\": {},\n", c.iterations));
+        s.push_str(&format!(
+            "        \"detect_p50_us\": {},\n",
+            c.detect_p50_us
+        ));
+        s.push_str(&format!(
+            "        \"detect_p99_us\": {},\n",
+            c.detect_p99_us
+        ));
+        s.push_str(&format!(
+            "        \"promote_p50_us\": {},\n",
+            c.promote_p50_us
+        ));
+        s.push_str(&format!(
+            "        \"promote_p99_us\": {},\n",
+            c.promote_p99_us
+        ));
+        s.push_str(&format!(
+            "        \"repoint_p50_us\": {},\n",
+            c.repoint_p50_us
+        ));
+        s.push_str(&format!(
+            "        \"repoint_p99_us\": {},\n",
+            c.repoint_p99_us
+        ));
+        s.push_str(&format!("        \"mttr_p50_us\": {},\n", c.mttr_p50_us));
+        s.push_str(&format!("        \"mttr_p99_us\": {}\n", c.mttr_p99_us));
+        s.push_str(if i + 1 == fo.cells.len() {
             "      }\n"
         } else {
             "      },\n"

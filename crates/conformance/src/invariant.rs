@@ -408,6 +408,46 @@ pub fn trace_causality(records: &[TraceRecord], dropped: u64) -> Result<(), Stri
     Ok(())
 }
 
+/// Term fencing's core safety claim, checked over a promotions log of
+/// `(term, promoted replica)` entries in the order the controller
+/// performed them: terms must be strictly increasing — each term was
+/// held by at most one primary, and no term was ever reused. A repeated
+/// or regressing term would mean two nodes could both have said
+/// "durable" for the same term, which is exactly the split-brain the
+/// MANIFEST fence exists to rule out.
+pub fn at_most_one_primary_per_term(promotions: &[(u64, String)]) -> Result<(), String> {
+    for pair in promotions.windows(2) {
+        let (prev_term, prev_name) = &pair[0];
+        let (term, name) = &pair[1];
+        if term <= prev_term {
+            return Err(format!(
+                "term {term} (promoted {name}) does not exceed prior term \
+                 {prev_term} (promoted {prev_name}): two primaries per term"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Zero-acked-loss across failover: every update a client was told is
+/// durable (the highest durably-acked LSN before the primary was lost)
+/// must still be inside the promoted primary's WAL. The promoted log
+/// covering the acked floor is necessary; the chaos tests additionally
+/// re-read the acked *values* through the new primary to prove the
+/// payloads survived, not just the LSN range.
+pub fn no_acked_loss_across_failover(
+    acked_durable_lsn: u64,
+    promoted_wal_last_lsn: u64,
+) -> Result<(), String> {
+    if promoted_wal_last_lsn < acked_durable_lsn {
+        return Err(format!(
+            "promoted primary's WAL ends at {promoted_wal_last_lsn} but LSN \
+             {acked_durable_lsn} was acked durable: acked-durable loss"
+        ));
+    }
+    Ok(())
+}
+
 /// [`wal_contiguous`] anchored at the newest decodable snapshot under
 /// `dir` (LSN 0 when none decodes): the shape a replica or recovered
 /// primary directory must have after snapshot GC pruned covered
@@ -497,6 +537,9 @@ mod tests {
             snapshots_written: 1,
             reads_served: 7,
             uu_total: 0,
+            term: 0,
+            fenced: 0,
+            heartbeat_age_us: 1_000,
         }
     }
 
@@ -532,10 +575,33 @@ mod tests {
             demotions: 1,
             rejoins: 1,
             qod_violations: 0,
+            repoints: 0,
         };
         router_respects_qod(&s).expect("clean audit");
         s.qod_violations = 1;
         assert!(router_respects_qod(&s).is_err());
+    }
+
+    #[test]
+    fn one_primary_per_term_accepts_increasing_and_catches_reuse() {
+        let log = |terms: &[u64]| -> Vec<(u64, String)> {
+            terms.iter().map(|&t| (t, format!("r{t}"))).collect()
+        };
+        at_most_one_primary_per_term(&[]).expect("empty log");
+        at_most_one_primary_per_term(&log(&[1])).expect("single promotion");
+        at_most_one_primary_per_term(&log(&[1, 2, 5])).expect("gaps are fine");
+
+        let err = at_most_one_primary_per_term(&log(&[1, 2, 2])).unwrap_err();
+        assert!(err.contains("two primaries per term"), "{err}");
+        assert!(at_most_one_primary_per_term(&log(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn acked_loss_invariant_compares_floors() {
+        no_acked_loss_across_failover(40, 40).expect("exact cover");
+        no_acked_loss_across_failover(40, 55).expect("promoted ran ahead");
+        let err = no_acked_loss_across_failover(41, 40).unwrap_err();
+        assert!(err.contains("acked-durable loss"), "{err}");
     }
 
     #[test]

@@ -45,8 +45,9 @@ pub mod trace;
 pub use envelope::{Envelope, Policy};
 pub use generate::{gen_trace, shrink_divergent, GenParams};
 pub use invariant::{
-    check_run, profit_monotone, replica_consistent, router_respects_qod, trace_causality,
-    wal_contiguous, wal_contiguous_after_snapshot, Invariant, Observation,
+    at_most_one_primary_per_term, check_run, no_acked_loss_across_failover, profit_monotone,
+    replica_consistent, router_respects_qod, trace_causality, wal_contiguous,
+    wal_contiguous_after_snapshot, Invariant, Observation,
 };
 pub use oracle::{run_differential, DiffReport, Divergence, DivergenceKind};
 pub use trace::{ConfQuery, ConfTrace, ConfUpdate};

@@ -198,10 +198,13 @@ pub fn decode_snapshot(buf: &[u8]) -> io::Result<Snapshot> {
 
 // --- Manifest ---
 
-fn render_manifest(snapshot_file: &str, last_lsn: u64, segments: &[String]) -> String {
+fn render_manifest(snapshot_file: &str, last_lsn: u64, segments: &[String], term: u64) -> String {
     let mut text = String::new();
     text.push_str("quts-manifest-v1\n");
     text.push_str(&format!("snapshot {snapshot_file} {last_lsn}\n"));
+    if term > 0 {
+        text.push_str(&format!("term {term}\n"));
+    }
     for seg in segments {
         text.push_str(&format!("segment {seg}\n"));
     }
@@ -210,9 +213,18 @@ fn render_manifest(snapshot_file: &str, last_lsn: u64, segments: &[String]) -> S
     text
 }
 
-/// Parses a manifest, returning `(snapshot_file, last_lsn)`; `None` on
-/// any corruption (recovery falls back to a directory scan).
-fn parse_manifest(text: &str) -> Option<(String, u64)> {
+/// A parsed manifest: the authoritative snapshot, its covered LSN, and
+/// the replication term the directory last served under (0 when the
+/// manifest predates term fencing).
+struct Manifest {
+    file: String,
+    lsn: u64,
+    term: u64,
+}
+
+/// Parses a manifest; `None` on any corruption (recovery falls back to
+/// a directory scan).
+fn parse_manifest(text: &str) -> Option<Manifest> {
     let body_end = text.rfind("crc ")?;
     let (body, crc_line) = text.split_at(body_end);
     let want = u32::from_str_radix(crc_line.trim().strip_prefix("crc ")?, 16).ok()?;
@@ -230,17 +242,61 @@ fn parse_manifest(text: &str) -> Option<(String, u64)> {
     }
     let file = parts.next()?.to_string();
     let lsn = parts.next()?.parse().ok()?;
-    Some((file, lsn))
+    // The term line is optional: manifests written before term fencing
+    // simply carry term 0, so an old durability dir stays recoverable.
+    let mut term = 0;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("term ") {
+            term = rest.trim().parse().ok()?;
+        }
+    }
+    Some(Manifest { file, lsn, term })
+}
+
+/// The replication term persisted in `dir`'s manifest; 0 when the
+/// manifest is absent, corrupt, or predates term fencing. Terms only
+/// ever move through [`bump_term`], so this is the fencing floor: a
+/// primary whose peers have persisted a higher term is a zombie.
+pub fn manifest_term(dir: &Path) -> u64 {
+    std::fs::read_to_string(dir.join(MANIFEST_NAME))
+        .ok()
+        .and_then(|text| parse_manifest(&text))
+        .map(|m| m.term)
+        .unwrap_or(0)
+}
+
+/// Persists `term` into `dir`'s manifest if it is higher than the term
+/// already recorded — terms are monotone, so a stale bump is a no-op.
+/// Returns the term in effect after the call.
+pub fn bump_term(dir: &Path, term: u64) -> io::Result<u64> {
+    let text = std::fs::read_to_string(dir.join(MANIFEST_NAME))?;
+    let m = parse_manifest(&text).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("corrupt manifest in {}", dir.display()),
+        )
+    })?;
+    if term <= m.term {
+        return Ok(m.term);
+    }
+    publish_manifest_at(dir, &m.file, m.lsn, term)?;
+    Ok(term)
 }
 
 /// Writes the manifest atomically (tmp + rename) and best-effort syncs
-/// the directory so the rename itself is durable.
+/// the directory so the rename itself is durable. Preserves whatever
+/// term the directory already carries.
 fn publish_manifest(dir: &Path, snapshot_file: &str, last_lsn: u64) -> io::Result<()> {
+    let term = manifest_term(dir);
+    publish_manifest_at(dir, snapshot_file, last_lsn, term)
+}
+
+fn publish_manifest_at(dir: &Path, snapshot_file: &str, last_lsn: u64, term: u64) -> io::Result<()> {
     let segments: Vec<String> = wal::segment_files(dir)?
         .into_iter()
         .filter_map(|(_, p)| p.file_name().map(|n| n.to_string_lossy().into_owned()))
         .collect();
-    let text = render_manifest(snapshot_file, last_lsn, &segments);
+    let text = render_manifest(snapshot_file, last_lsn, &segments, term);
     let tmp = dir.join("MANIFEST.tmp");
     {
         let mut f = std::fs::File::create(&tmp)?;
@@ -368,8 +424,8 @@ pub fn recover(dir: &Path) -> io::Result<Recovered> {
     //    on-disk snapshot newest-first (dedup'd).
     let mut candidates: Vec<PathBuf> = Vec::new();
     if let Ok(text) = std::fs::read_to_string(dir.join(MANIFEST_NAME)) {
-        if let Some((file, _lsn)) = parse_manifest(&text) {
-            candidates.push(dir.join(file));
+        if let Some(m) = parse_manifest(&text) {
+            candidates.push(dir.join(m.file));
         }
     }
     for (_, path) in snapshot_files(dir)? {
@@ -597,6 +653,51 @@ mod tests {
         let rec = recover(&dir).unwrap();
         assert_eq!(rec.snapshot_lsn, 0, "fell back past the corrupt snapshot");
         assert_eq!(rec.store.record(StockId(0)).price(), 100.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn term_is_monotone_and_survives_publish() {
+        let dir = tmp_dir("term");
+        let mut store = Store::with_synthetic_stocks(2);
+        init_dir(&dir, &store).unwrap();
+        assert_eq!(manifest_term(&dir), 0, "fresh dir starts at term 0");
+        assert_eq!(bump_term(&dir, 3).unwrap(), 3);
+        assert_eq!(manifest_term(&dir), 3);
+        // Stale bumps are no-ops: terms never move backwards.
+        assert_eq!(bump_term(&dir, 1).unwrap(), 3);
+        assert_eq!(bump_term(&dir, 3).unwrap(), 3);
+        assert_eq!(manifest_term(&dir), 3);
+        // A snapshot publish re-renders the manifest but keeps the term.
+        store.apply_update(&trade(0, 50.0));
+        publish(&dir, &store, &[0, 0], &[], 7).unwrap();
+        assert_eq!(manifest_term(&dir), 3);
+        let rec = recover(&dir).unwrap();
+        assert_eq!(rec.snapshot_lsn, 7);
+        assert_eq!(bump_term(&dir, 4).unwrap(), 4);
+        assert_eq!(manifest_term(&dir), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn termless_manifest_reads_as_term_zero() {
+        let dir = tmp_dir("termless");
+        let store = Store::with_synthetic_stocks(2);
+        init_dir(&dir, &store).unwrap();
+        // Rewrite the manifest without a term line, the pre-fencing
+        // format: it must parse and report term 0.
+        let snaps = snapshot_files(&dir).unwrap();
+        let file = snaps[0].1.file_name().unwrap().to_string_lossy().into_owned();
+        let mut text = format!("quts-manifest-v1\nsnapshot {file} 0\n");
+        let crc = crc32(text.as_bytes());
+        text.push_str(&format!("crc {crc:08x}\n"));
+        std::fs::write(dir.join(MANIFEST_NAME), text).unwrap();
+        assert_eq!(manifest_term(&dir), 0);
+        assert!(recover(&dir).is_ok());
+        // Corrupt manifest: term reads as 0, bump refuses.
+        std::fs::write(dir.join(MANIFEST_NAME), b"garbage\n").unwrap();
+        assert_eq!(manifest_term(&dir), 0);
+        assert!(bump_term(&dir, 1).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -42,6 +42,12 @@ pub struct LinkFaultPlan {
     /// On every `k`-th frame, write only half the frame and drop the
     /// connection — a mid-frame disconnect the receiver must survive.
     pub disconnect_mid_frame_every: Option<u64>,
+    /// After the `n`-th frame the link goes dark: every later frame is
+    /// silently dropped **and heartbeats stop**, while the TCP
+    /// connection stays open — a network partition, not a crash. The
+    /// receiver sees silence (no gap, no reset) and the failure
+    /// detector must tell this apart from a dead primary.
+    pub partition_after: Option<u64>,
 }
 
 impl LinkFaultPlan {
@@ -69,6 +75,13 @@ impl LinkFaultPlan {
     pub fn disconnect_mid_frame_every(mut self, k: u64) -> Self {
         assert!(k > 0, "disconnect_mid_frame_every(0) is meaningless");
         self.disconnect_mid_frame_every = Some(k);
+        self
+    }
+
+    /// Builder: black-hole the link (frames and heartbeats) after the
+    /// `n`-th frame while keeping the connection open.
+    pub fn partition_after(mut self, n: u64) -> Self {
+        self.partition_after = Some(n);
         self
     }
 }
@@ -352,11 +365,13 @@ mod tests {
             .drop_frame_every(5)
             .duplicate_frame_every(3)
             .delay_per_frame(Duration::from_millis(1))
-            .disconnect_mid_frame_every(11);
+            .disconnect_mid_frame_every(11)
+            .partition_after(40);
         assert_eq!(link.drop_frame_every, Some(5));
         assert_eq!(link.duplicate_frame_every, Some(3));
         assert_eq!(link.delay_per_frame, Some(Duration::from_millis(1)));
         assert_eq!(link.disconnect_mid_frame_every, Some(11));
+        assert_eq!(link.partition_after, Some(40));
         assert!(!FaultPlan::default().link(link).is_noop());
     }
 }

@@ -82,9 +82,11 @@ pub use quts_metrics::{
     TraceRecord,
 };
 pub use repl::{
-    promote, promote_highest, Replica, ReplicaConfig, ReplicaHandle, ReplicaPeerStats,
-    ReplicaStats, RoutedReadError, Router, RouterConfig, RouterStats, ShipConfig, ShipListener,
-    ShipRegistry, ShipTrace,
+    promote, promote_at_term, promote_highest, promote_highest_at_term, Cluster, ClusterHandle,
+    ClusterStats, ControllerConfig, FailoverReport, FailureVerdict, PromoteError, Replica,
+    ReplicaConfig,
+    ReplicaHandle, ReplicaPeerStats, ReplicaStats, RoutedReadError, Router, RouterConfig,
+    RouterStats, ShipConfig, ShipListener, ShipRegistry, ShipTrace,
 };
 pub use retry::Backoff;
 pub use runtime::{

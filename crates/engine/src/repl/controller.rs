@@ -1,0 +1,759 @@
+//! Autopilot failover: the cluster controller.
+//!
+//! The controller owns one primary [`Engine`], its [`ShipListener`],
+//! the replica fleet and the read [`Router`], and closes the loop the
+//! manual promotion API leaves open: *noticing* that the primary is
+//! gone and *repairing* the cluster without losing anything a client
+//! was told is durable.
+//!
+//! # Failure detection
+//!
+//! The detector is deadline-based over signals the replication stream
+//! already produces — no extra chatter on the wire:
+//!
+//! - **Crash** is cheap to spot: the engine lives in this process, so
+//!   [`EngineState`] leaving `Running` (a poisoned scheduler whose
+//!   restart budget is spent, or a stop) is an immediate verdict.
+//! - **Partition** is the subtle one. Every replica tracks the age of
+//!   the last heartbeat or frame it saw; when the *freshest* replica's
+//!   age exceeds `heartbeat_timeout` for `miss_threshold` consecutive
+//!   polls, the controller enters a re-probe phase paced by a jittered
+//!   [`Backoff`] — a transient stall clears itself during the probes
+//!   and resets the detector; a dark link does not. Only after the
+//!   probes are exhausted, with the engine still `Running`, is the
+//!   verdict `Partition`.
+//!
+//! Using the freshest replica (not the stalest) is deliberate: one
+//! slow replica is a replica problem; *all* replicas going silent at
+//! once is a primary problem.
+//!
+//! # The failover sequence
+//!
+//! 1. **Demote** the old primary: shut down its ship listener and the
+//!    engine itself. Even if this node were unreachable instead of
+//!    co-located, term fencing makes the demotion safe — see below.
+//! 2. **Promote** the replica with the highest *durable* LSN at
+//!    `term + 1` ([`promote_highest_at_term`]) — what a replica
+//!    fsync'd is what it acked, so the winner carries every
+//!    acked-durable update.
+//! 3. **Re-ship**: start a fresh [`ShipListener`] over the promoted
+//!    directory with `term_floor` at the promotion LSN, restart the
+//!    surviving replicas against it (a survivor whose WAL ran past the
+//!    floor is force-bootstrapped — its tail may diverge from the new
+//!    history), and swap the router's replica pool.
+//! 4. **Re-point** the router at the promoted engine
+//!    ([`Router::repoint`]). In-flight reads against the dead handle
+//!    resolve as errors, never as stale answers counted fresh.
+//!
+//! # Why a zombie primary cannot ack
+//!
+//! The promotion bumped the term in the winner's MANIFEST before the
+//! new engine served anything. A resurrected old primary still speaks
+//! `term n`: replicas that adopted `n+1` refuse its session outright
+//! (and persist their term, so the refusal survives *their* restarts),
+//! its acks carry the stale term and are discarded, and its own
+//! listener fences any peer that has seen the newer term. At most one
+//! primary can hold a given term ([`PromoteError::StaleTerm`]), so
+//! "durable" can only ever have been said by the term's one owner.
+
+use crate::config::EngineConfig;
+use crate::repl::failover::{self as failover_api, PromoteError};
+use crate::repl::replica::{Replica, ReplicaConfig};
+use crate::repl::router::Router;
+use crate::repl::ship::{ShipConfig, ShipListener, ShipTrace};
+use crate::retry::Backoff;
+use crate::runtime::{Engine, EngineHandle};
+use crate::supervisor::EngineState;
+use quts_metrics::{FailoverStep, LogHistogram, TraceEvent};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Knobs for the cluster controller's failure detector.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Consecutive polls the freshest replica heartbeat must be stale
+    /// before the controller starts re-probing.
+    pub miss_threshold: u32,
+    /// Heartbeat age past which a poll counts as a miss. Must comfortably
+    /// exceed the ship heartbeat interval or a healthy idle link trips it.
+    pub heartbeat_timeout: Duration,
+    /// Re-probe backoff floor (jittered, doubling).
+    pub probe_backoff_base: Duration,
+    /// Re-probe backoff cap.
+    pub probe_backoff_cap: Duration,
+    /// Re-probes before a still-silent link becomes a `Partition`
+    /// verdict.
+    pub probe_retries: u32,
+    /// Whether the detector may fail over on its own. Off by default:
+    /// with this false the controller only observes, and
+    /// [`Cluster::failover_now`] is the sole path to promotion — the
+    /// cluster behaves exactly like the hand-wired primary + replicas
+    /// it was built from.
+    pub auto_failover: bool,
+    /// Detector poll interval.
+    pub poll_interval: Duration,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            miss_threshold: 3,
+            heartbeat_timeout: Duration::from_millis(250),
+            probe_backoff_base: Duration::from_millis(10),
+            probe_backoff_cap: Duration::from_millis(100),
+            probe_retries: 3,
+            auto_failover: false,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Builder: sets the miss threshold and heartbeat deadline.
+    pub fn with_detection(mut self, misses: u32, timeout: Duration) -> Self {
+        assert!(misses > 0, "miss threshold must be positive");
+        self.miss_threshold = misses;
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Builder: sets the re-probe backoff floor/cap and retry budget.
+    pub fn with_probes(mut self, base: Duration, cap: Duration, retries: u32) -> Self {
+        self.probe_backoff_base = base;
+        self.probe_backoff_cap = cap;
+        self.probe_retries = retries;
+        self
+    }
+
+    /// Builder: arms automatic failover.
+    pub fn with_auto_failover(mut self, on: bool) -> Self {
+        self.auto_failover = on;
+        self
+    }
+
+    /// Builder: sets the detector poll interval.
+    pub fn with_poll_interval(mut self, every: Duration) -> Self {
+        self.poll_interval = every;
+        self
+    }
+}
+
+/// What the detector concluded about a lost primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureVerdict {
+    /// The engine left `Running` in-process: a crash (or stop).
+    Crash,
+    /// The engine still runs but every replica's link went dark past
+    /// the probe budget: a partition. The old primary is a live zombie
+    /// and only term fencing keeps it harmless.
+    Partition,
+}
+
+impl FailureVerdict {
+    /// Stable lowercase name for logs and the bench report.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailureVerdict::Crash => "crash",
+            FailureVerdict::Partition => "partition",
+        }
+    }
+}
+
+/// What one failover did and what it cost, phase by phase.
+#[derive(Debug, Clone)]
+pub struct FailoverReport {
+    /// The term the failover established.
+    pub term: u64,
+    /// Name of the promoted replica.
+    pub promoted: String,
+    /// Why the primary was given up on.
+    pub verdict: FailureVerdict,
+    /// First suspicion → confirmed dead.
+    pub detect_us: u64,
+    /// Confirmed → promoted engine recovered.
+    pub promote_us: u64,
+    /// Promoted → router re-pointed (includes replica restarts).
+    pub repoint_us: u64,
+    /// Total: first suspicion → router re-pointed.
+    pub mttr_us: u64,
+}
+
+/// A point-in-time view of the cluster, for the `REPL`/`METRICS` verbs.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Current fencing term.
+    pub term: u64,
+    /// Completed failovers.
+    pub failovers: u64,
+    /// Stale-term frames/acks/sessions fenced by the *current*
+    /// listener (resets across failover, like the listener itself).
+    pub fenced_frames: u64,
+    /// Microseconds since the last failover completed; `None` if the
+    /// founding primary still serves.
+    pub last_failover_age_us: Option<u64>,
+    /// Detection-latency median across failovers.
+    pub detect_p50_us: Option<u64>,
+    /// Detection-latency p99.
+    pub detect_p99_us: Option<u64>,
+    /// MTTR median across failovers.
+    pub mttr_p50_us: Option<u64>,
+    /// MTTR p99.
+    pub mttr_p99_us: Option<u64>,
+    /// Every promotion as `(term, replica name)` — the conformance
+    /// invariant asserts the terms are unique and increasing.
+    pub promotions: Vec<(u64, String)>,
+}
+
+/// Counters and histograms shared between the controller, its detector
+/// thread, and stats readers.
+struct ClusterShared {
+    term: AtomicU64,
+    failovers: AtomicU64,
+    /// µs since `epoch` when the last failover completed; `u64::MAX`
+    /// means never.
+    last_failover_us: AtomicU64,
+    epoch: Instant,
+    detect: Mutex<LogHistogram>,
+    mttr: Mutex<LogHistogram>,
+    promotions: Mutex<Vec<(u64, String)>>,
+    reports: Mutex<Vec<FailoverReport>>,
+}
+
+/// The pieces the controller owns and replaces wholesale at failover.
+struct Core {
+    engine: Option<Engine>,
+    ship: Option<ShipListener>,
+    replicas: Vec<Replica>,
+    /// Start configs keyed implicitly by `ReplicaConfig::name`, kept so
+    /// survivors can be restarted against the promoted primary.
+    configs: Vec<ReplicaConfig>,
+}
+
+impl Core {
+    fn config_for(&self, name: &str) -> Option<ReplicaConfig> {
+        self.configs.iter().find(|c| c.name == name).cloned()
+    }
+}
+
+/// A self-healing replication cluster: primary + shipper + replicas +
+/// router under one controller. See the module docs for the failover
+/// contract.
+pub struct Cluster {
+    core: Arc<Mutex<Core>>,
+    shared: Arc<ClusterShared>,
+    router: Arc<Router>,
+    /// Template for engines recovered at promotion (durability dir is
+    /// overridden by the winner's directory).
+    engine_template: EngineConfig,
+    /// Template for post-failover ship listeners (addr/term_floor are
+    /// overridden; trace wiring is rebuilt from the promoted handle).
+    ship_template: ShipConfig,
+    config: ControllerConfig,
+    stop: Arc<AtomicBool>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("term", &self.shared.term.load(Ordering::Acquire))
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Cluster {
+    /// Takes over an already-wired cluster: the running primary, its
+    /// ship listener, the replicas (paired with the configs they were
+    /// started from — needed to restart survivors after a promotion)
+    /// and the shared router. The controller's term starts at whatever
+    /// the listener read from the primary's MANIFEST.
+    pub fn start(
+        engine: Engine,
+        ship: ShipListener,
+        members: Vec<(Replica, ReplicaConfig)>,
+        router: Arc<Router>,
+        engine_template: EngineConfig,
+        ship_template: ShipConfig,
+        config: ControllerConfig,
+    ) -> Cluster {
+        let term = ship.term();
+        let (replicas, configs): (Vec<_>, Vec<_>) = members.into_iter().unzip();
+        let shared = Arc::new(ClusterShared {
+            term: AtomicU64::new(term),
+            failovers: AtomicU64::new(0),
+            last_failover_us: AtomicU64::new(u64::MAX),
+            epoch: Instant::now(),
+            detect: Mutex::new(LogHistogram::new()),
+            mttr: Mutex::new(LogHistogram::new()),
+            promotions: Mutex::new(Vec::new()),
+            reports: Mutex::new(Vec::new()),
+        });
+        let core = Arc::new(Mutex::new(Core {
+            engine: Some(engine),
+            ship: Some(ship),
+            replicas,
+            configs,
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let monitor = config.auto_failover.then(|| {
+            let core = Arc::clone(&core);
+            let shared = Arc::clone(&shared);
+            let router = Arc::clone(&router);
+            let stop = Arc::clone(&stop);
+            let cfg = config.clone();
+            let engine_template = engine_template.clone();
+            let ship_template = ship_template.clone();
+            thread::Builder::new()
+                .name("quts-cluster-monitor".into())
+                .spawn(move || {
+                    monitor_main(
+                        &core,
+                        &shared,
+                        &router,
+                        &stop,
+                        &cfg,
+                        &engine_template,
+                        &ship_template,
+                    )
+                })
+                .expect("spawn cluster monitor thread")
+        });
+        Cluster {
+            core,
+            shared,
+            router,
+            engine_template,
+            ship_template,
+            config,
+            stop,
+            monitor,
+        }
+    }
+
+    /// The router this cluster routes reads through.
+    pub fn router(&self) -> Arc<Router> {
+        Arc::clone(&self.router)
+    }
+
+    /// A cheap cloneable stats reader, for wiring the cluster into a
+    /// server's `REPL`/`METRICS` verbs without handing over ownership.
+    pub fn stats_handle(&self) -> ClusterHandle {
+        ClusterHandle {
+            core: Arc::clone(&self.core),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current primary's client handle (post-failover this is the
+    /// promoted engine's).
+    pub fn primary(&self) -> EngineHandle {
+        self.router.primary()
+    }
+
+    /// Current fencing term.
+    pub fn term(&self) -> u64 {
+        self.shared.term.load(Ordering::Acquire)
+    }
+
+    /// The current ship listener's address (changes across failover).
+    pub fn ship_addr(&self) -> Option<SocketAddr> {
+        let core = self.core.lock().expect("cluster core lock");
+        core.ship.as_ref().map(|s| s.addr())
+    }
+
+    /// Every completed failover, oldest first.
+    pub fn reports(&self) -> Vec<FailoverReport> {
+        self.shared.reports.lock().expect("reports lock").clone()
+    }
+
+    /// Point-in-time cluster stats.
+    pub fn stats(&self) -> ClusterStats {
+        let fenced = {
+            let core = self.core.lock().expect("cluster core lock");
+            core.ship.as_ref().map(|s| s.fenced_total()).unwrap_or(0)
+        };
+        let last = self.shared.last_failover_us.load(Ordering::Acquire);
+        let detect = self.shared.detect.lock().expect("detect hist lock");
+        let mttr = self.shared.mttr.lock().expect("mttr hist lock");
+        ClusterStats {
+            term: self.shared.term.load(Ordering::Acquire),
+            failovers: self.shared.failovers.load(Ordering::Acquire),
+            fenced_frames: fenced,
+            last_failover_age_us: (last != u64::MAX)
+                .then(|| (self.shared.epoch.elapsed().as_micros() as u64).saturating_sub(last)),
+            detect_p50_us: detect.quantile(0.5),
+            detect_p99_us: detect.quantile(0.99),
+            mttr_p50_us: mttr.quantile(0.5),
+            mttr_p99_us: mttr.quantile(0.99),
+            promotions: self
+                .shared
+                .promotions
+                .lock()
+                .expect("promotions lock")
+                .clone(),
+        }
+    }
+
+    /// Forces a failover right now, regardless of what the detector
+    /// thinks — the operator's big red button, and the test/bench hook.
+    /// Reports the verdict as [`FailureVerdict::Crash`] when the
+    /// engine already left `Running`, [`FailureVerdict::Partition`]
+    /// otherwise (the still-live primary is demoted to zombie and
+    /// fenced out).
+    pub fn failover_now(&self) -> Result<FailoverReport, PromoteError> {
+        let mut core = self.core.lock().expect("cluster core lock");
+        let verdict = match core.engine.as_ref().map(|e| e.state()) {
+            Some(EngineState::Running) => FailureVerdict::Partition,
+            _ => FailureVerdict::Crash,
+        };
+        failover(
+            &mut core,
+            &self.shared,
+            &self.router,
+            &self.engine_template,
+            &self.ship_template,
+            verdict,
+            0,
+        )
+    }
+
+    /// Stops the detector and shuts the whole cluster down: replicas
+    /// first (they ack their last group), then the listener, then the
+    /// primary.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
+        let mut core = self.core.lock().expect("cluster core lock");
+        for replica in core.replicas.drain(..) {
+            let _ = replica.shutdown();
+        }
+        if let Some(ship) = core.ship.take() {
+            ship.shutdown();
+        }
+        if let Some(engine) = core.engine.take() {
+            let _ = engine.shutdown();
+        }
+    }
+}
+
+/// A cloneable read-only view of a [`Cluster`]'s failover state —
+/// what a server needs to answer `REPL` and `METRICS`.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    core: Arc<Mutex<Core>>,
+    shared: Arc<ClusterShared>,
+}
+
+impl std::fmt::Debug for ClusterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterHandle")
+            .field("term", &self.term())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterHandle {
+    /// Current fencing term.
+    pub fn term(&self) -> u64 {
+        self.shared.term.load(Ordering::Acquire)
+    }
+
+    /// Completed failovers.
+    pub fn failovers(&self) -> u64 {
+        self.shared.failovers.load(Ordering::Acquire)
+    }
+
+    /// Microseconds since the last completed failover, or `None` if the
+    /// founding primary still serves.
+    pub fn last_failover_age_us(&self) -> Option<u64> {
+        let last = self.shared.last_failover_us.load(Ordering::Acquire);
+        (last != u64::MAX)
+            .then(|| (self.shared.epoch.elapsed().as_micros() as u64).saturating_sub(last))
+    }
+
+    /// Detection-latency histogram (one sample per failover).
+    pub fn detect_histogram(&self) -> LogHistogram {
+        self.shared.detect.lock().expect("detect hist lock").clone()
+    }
+
+    /// MTTR histogram (one sample per failover).
+    pub fn mttr_histogram(&self) -> LogHistogram {
+        self.shared.mttr.lock().expect("mttr hist lock").clone()
+    }
+
+    /// Every promotion as `(term, replica name)`, oldest first.
+    pub fn promotions(&self) -> Vec<(u64, String)> {
+        self.shared
+            .promotions
+            .lock()
+            .expect("promotions lock")
+            .clone()
+    }
+
+    /// Stale-term traffic fenced by the current listener.
+    pub fn fenced_frames(&self) -> u64 {
+        let core = self.core.lock().expect("cluster core lock");
+        core.ship.as_ref().map(|s| s.fenced_total()).unwrap_or(0)
+    }
+}
+
+/// The detector loop. Polls the engine's in-process state and the
+/// replicas' heartbeat ages; on a confirmed verdict, runs the failover
+/// under the core lock.
+fn monitor_main(
+    core: &Arc<Mutex<Core>>,
+    shared: &Arc<ClusterShared>,
+    router: &Arc<Router>,
+    stop: &Arc<AtomicBool>,
+    cfg: &ControllerConfig,
+    engine_template: &EngineConfig,
+    ship_template: &ShipConfig,
+) {
+    let mut misses: u32 = 0;
+    let mut suspected_at: Option<Instant> = None;
+    while !stop.load(Ordering::Acquire) {
+        thread::sleep(cfg.poll_interval);
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = core.lock().expect("cluster core lock");
+        let Some(engine) = guard.engine.as_ref() else {
+            return; // failed promotion left the cluster headless
+        };
+
+        // Crash: the primary lives in this process, so its lifecycle
+        // state is ground truth — no deadline needed.
+        if engine.state() != EngineState::Running {
+            let since = suspected_at.unwrap_or_else(Instant::now);
+            note_suspected(&guard, shared, suspected_at.is_none());
+            let _ = failover(
+                &mut guard,
+                shared,
+                router,
+                engine_template,
+                ship_template,
+                FailureVerdict::Crash,
+                since.elapsed().as_micros() as u64,
+            );
+            misses = 0;
+            suspected_at = None;
+            continue;
+        }
+
+        // Partition: judge by the *freshest* replica. One silent
+        // replica is that replica's problem; all of them silent at
+        // once is the primary's.
+        let freshest = freshest_beat_us(&guard);
+        let stale = match freshest {
+            Some(age_us) => Duration::from_micros(age_us) > cfg.heartbeat_timeout,
+            None => false, // no bootstrapped replica yet — nothing to judge by
+        };
+        if !stale {
+            misses = 0;
+            suspected_at = None;
+            continue;
+        }
+        misses += 1;
+        if suspected_at.is_none() {
+            suspected_at = Some(Instant::now());
+            note_suspected(&guard, shared, true);
+        }
+        if misses < cfg.miss_threshold {
+            continue;
+        }
+
+        // Deadline blown repeatedly. Re-probe with backoff: a stall
+        // clears itself here, a dark link does not. The lock is held
+        // throughout — routing does not depend on it, and a failover
+        // decision should not race a concurrent manual one.
+        let mut backoff = Backoff::new(cfg.probe_backoff_base, cfg.probe_backoff_cap);
+        let mut recovered = false;
+        for _ in 0..cfg.probe_retries {
+            thread::sleep(backoff.next_sleep());
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            if guard.engine.as_ref().map(|e| e.state()) != Some(EngineState::Running) {
+                break; // crash verdict wins; handled next poll
+            }
+            let fresh_now = freshest_beat_us(&guard);
+            if fresh_now.is_some_and(|age| Duration::from_micros(age) <= cfg.heartbeat_timeout) {
+                recovered = true;
+                break;
+            }
+        }
+        if recovered {
+            misses = 0;
+            suspected_at = None;
+            continue;
+        }
+        let since = suspected_at.unwrap_or_else(Instant::now);
+        let verdict = match guard.engine.as_ref().map(|e| e.state()) {
+            Some(EngineState::Running) => FailureVerdict::Partition,
+            _ => FailureVerdict::Crash,
+        };
+        let _ = failover(
+            &mut guard,
+            shared,
+            router,
+            engine_template,
+            ship_template,
+            verdict,
+            since.elapsed().as_micros() as u64,
+        );
+        misses = 0;
+        suspected_at = None;
+    }
+}
+
+/// Age in µs of the most recent heartbeat any bootstrapped replica saw,
+/// or `None` when no replica has both bootstrapped and heard one.
+fn freshest_beat_us(core: &Core) -> Option<u64> {
+    core.replicas
+        .iter()
+        .map(|r| r.stats())
+        .filter(|s| s.ready)
+        .map(|s| s.heartbeat_age_us)
+        .filter(|&age| age != u64::MAX)
+        .min()
+}
+
+/// Stamps a `Suspected` flight event into the (possibly dying) old
+/// primary's recorder the first time suspicion arises.
+fn note_suspected(core: &Core, shared: &ClusterShared, first: bool) {
+    if !first {
+        return;
+    }
+    if let Some(engine) = core.engine.as_ref() {
+        engine.handle().trace_push(TraceEvent::Failover {
+            term: shared.term.load(Ordering::Acquire),
+            step: FailoverStep::Suspected,
+            elapsed_us: 0,
+        });
+    }
+}
+
+/// The failover itself: demote, promote at `term + 1`, re-ship behind
+/// the promotion floor, restart survivors, re-point the router. Called
+/// with the core locked; on success the core holds the new regime.
+#[allow(clippy::too_many_arguments)]
+fn failover(
+    core: &mut Core,
+    shared: &ClusterShared,
+    router: &Router,
+    engine_template: &EngineConfig,
+    ship_template: &ShipConfig,
+    verdict: FailureVerdict,
+    detect_us: u64,
+) -> Result<FailoverReport, PromoteError> {
+    let confirm = Instant::now();
+    if let Some(engine) = core.engine.as_ref() {
+        engine.handle().trace_push(TraceEvent::Failover {
+            term: shared.term.load(Ordering::Acquire),
+            step: FailoverStep::Confirmed,
+            elapsed_us: detect_us,
+        });
+    }
+
+    // Demote the old primary before anything serves at the new term.
+    // Co-located, this is a real shutdown; were it remote and dark,
+    // term fencing alone keeps the zombie harmless (module docs).
+    if let Some(ship) = core.ship.take() {
+        ship.shutdown();
+    }
+    if let Some(engine) = core.engine.take() {
+        let _ = engine.shutdown();
+    }
+
+    // Promote the most-durable replica at the next term.
+    let new_term = shared.term.load(Ordering::Acquire) + 1;
+    let winner = failover_api::elect(&core.replicas)?;
+    let mut survivors = std::mem::take(&mut core.replicas);
+    let chosen = survivors.remove(winner);
+    let promoted = chosen.stats().name;
+    let promoted_dir = chosen.dir();
+    let engine = failover_api::promote_at_term(chosen, engine_template.clone(), new_term)?;
+    shared.term.store(new_term, Ordering::Release);
+    let handle = engine.handle();
+    let promote_us = confirm.elapsed().as_micros() as u64;
+    handle.trace_push(TraceEvent::Failover {
+        term: new_term,
+        step: FailoverStep::Promoted,
+        elapsed_us: detect_us + promote_us,
+    });
+
+    // Re-ship from the promoted directory. The term floor is the
+    // promotion LSN: a survivor resuming at or below it shares the
+    // history; above it, its tail may diverge and it re-bootstraps.
+    let promoted_lsn = engine.stats().wal_last_lsn;
+    let mut ship_cfg = ship_template.clone().with_term_floor(promoted_lsn);
+    ship_cfg.trace = ship_template
+        .trace
+        .as_ref()
+        .map(|_| ShipTrace::from_handle(&handle));
+    let ship = ShipListener::start(promoted_dir, ship_cfg)?;
+    let addr = ship.addr();
+
+    // Restart survivors against the new primary and give the router
+    // the fresh handles — the old pool's frozen stats must not qualify
+    // another read.
+    let mut restarted = Vec::with_capacity(survivors.len());
+    for survivor in survivors {
+        let name = survivor.stats().name;
+        let _ = survivor.shutdown();
+        if let Some(cfg) = core.config_for(&name) {
+            restarted.push(Replica::start(addr, cfg)?);
+        }
+    }
+    router.set_replicas(restarted.iter().map(|r| r.handle()).collect());
+    router.repoint(handle.clone());
+    let repoint_us = (confirm.elapsed().as_micros() as u64).saturating_sub(promote_us);
+    let mttr_us = detect_us + promote_us + repoint_us;
+    handle.trace_push(TraceEvent::Failover {
+        term: new_term,
+        step: FailoverStep::Repointed,
+        elapsed_us: mttr_us,
+    });
+
+    core.engine = Some(engine);
+    core.ship = Some(ship);
+    core.replicas = restarted;
+
+    shared.failovers.fetch_add(1, Ordering::AcqRel);
+    shared.last_failover_us.store(
+        shared.epoch.elapsed().as_micros() as u64,
+        Ordering::Release,
+    );
+    shared
+        .detect
+        .lock()
+        .expect("detect hist lock")
+        .record(detect_us);
+    shared.mttr.lock().expect("mttr hist lock").record(mttr_us);
+    shared
+        .promotions
+        .lock()
+        .expect("promotions lock")
+        .push((new_term, promoted.clone()));
+    let report = FailoverReport {
+        term: new_term,
+        promoted,
+        verdict,
+        detect_us,
+        promote_us,
+        repoint_us,
+        mttr_us,
+    };
+    shared
+        .reports
+        .lock()
+        .expect("reports lock")
+        .push(report.clone());
+    Ok(report)
+}

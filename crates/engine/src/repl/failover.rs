@@ -4,53 +4,156 @@
 //! directory is kept in the exact `snapshot + WAL` layout the engine's
 //! own recovery consumes, so promoting one is: seal it (graceful
 //! shutdown fsyncs the WAL tail and publishes a covering snapshot —
-//! nothing the replica ever acked can be lost past this line), then run
-//! [`Engine::recover`] over its directory. The promoted engine answers
-//! no client until that recovery completes, which is the "refuse to ack
-//! until the WAL tail is durable" rule in mechanism form.
+//! nothing the replica ever acked can be lost past this line), bump the
+//! fencing term in its MANIFEST, then run [`Engine::recover`] over its
+//! directory. The promoted engine answers no client until that recovery
+//! completes, which is the "refuse to ack until the WAL tail is
+//! durable" rule in mechanism form.
+//!
+//! Elections pick the replica with the highest **durable** LSN: what a
+//! replica fsync'd is what it acked, and zero-acked-loss promotion is a
+//! statement about acks, not about frames that only ever reached a page
+//! cache.
+//!
+//! Term-aware promotion ([`promote_at_term`]) is idempotent in the only
+//! sense that matters for split-brain: promoting twice at the same term
+//! fails with [`PromoteError::StaleTerm`] on the second attempt, so at
+//! most one primary can ever hold a given term.
 
 use crate::config::EngineConfig;
 use crate::repl::replica::Replica;
 use crate::runtime::Engine;
+use quts_db::snapshot;
+use std::fmt;
 use std::io;
 
+/// Why a promotion was refused or failed.
+#[derive(Debug)]
+pub enum PromoteError {
+    /// The chosen replica was never bootstrapped: it has no baseline
+    /// store, so there is nothing coherent to promote.
+    NotBootstrapped,
+    /// No replica in the candidate set was bootstrapped.
+    NoCandidate,
+    /// The directory has already seen `current >= requested`: someone
+    /// promoted at this term (or a later one) first. The refusing
+    /// caller must not serve — this is the at-most-one-primary-per-term
+    /// guarantee in error form.
+    StaleTerm {
+        /// The term already persisted in the directory's MANIFEST.
+        current: u64,
+        /// The term the caller asked to promote at.
+        requested: u64,
+    },
+    /// Sealing, term persistence, or engine recovery failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for PromoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromoteError::NotBootstrapped => {
+                write!(f, "replica was never bootstrapped; nothing to promote")
+            }
+            PromoteError::NoCandidate => write!(f, "no bootstrapped replica to promote"),
+            PromoteError::StaleTerm { current, requested } => write!(
+                f,
+                "promotion at term {requested} refused: directory already at term {current}"
+            ),
+            PromoteError::Io(e) => write!(f, "promotion failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PromoteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PromoteError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PromoteError {
+    fn from(e: io::Error) -> Self {
+        PromoteError::Io(e)
+    }
+}
+
 /// Promotes one replica: seals its state (graceful shutdown) and
-/// recovers a primary engine from its directory. The returned engine
-/// continues the LSN sequence the replica applied.
-pub fn promote(replica: Replica, config: EngineConfig) -> io::Result<Engine> {
+/// recovers a primary engine from its directory, preserving whatever
+/// term the directory already carries. The returned engine continues
+/// the LSN sequence the replica applied.
+pub fn promote(replica: Replica, config: EngineConfig) -> Result<Engine, PromoteError> {
     let dir = replica.dir();
     let stats = replica.shutdown();
     if !stats.ready {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "replica was never bootstrapped; nothing to promote",
-        ));
+        return Err(PromoteError::NotBootstrapped);
     }
-    Engine::recover(dir, config)
+    Ok(Engine::recover(dir, config)?)
 }
 
-/// Promotes the replica with the highest `applied_lsn` — the standard
-/// "most caught-up survivor wins" election — and returns the new
-/// primary plus the replicas that were passed over (still running,
-/// ready to re-point at the new primary's shipper).
-pub fn promote_highest(
-    replicas: Vec<Replica>,
+/// Promotes one replica *at a new term*: seals it, refuses if the
+/// directory has already reached `term` (a concurrent or repeated
+/// promotion — the loser must stand down, not serve), persists the term
+/// bump, then recovers the engine.
+pub fn promote_at_term(
+    replica: Replica,
     config: EngineConfig,
-) -> io::Result<(Engine, Vec<Replica>)> {
-    let winner = replicas
+    term: u64,
+) -> Result<Engine, PromoteError> {
+    let dir = replica.dir();
+    let stats = replica.shutdown();
+    if !stats.ready {
+        return Err(PromoteError::NotBootstrapped);
+    }
+    let current = snapshot::manifest_term(&dir);
+    if current >= term {
+        return Err(PromoteError::StaleTerm {
+            current,
+            requested: term,
+        });
+    }
+    snapshot::bump_term(&dir, term)?;
+    Ok(Engine::recover(dir, config)?)
+}
+
+/// Picks the index of the most-durable bootstrapped replica.
+pub(crate) fn elect(replicas: &[Replica]) -> Result<usize, PromoteError> {
+    replicas
         .iter()
         .enumerate()
         .filter(|(_, r)| r.stats().ready)
-        .max_by_key(|(_, r)| r.stats().applied_lsn)
+        .max_by_key(|(_, r)| r.stats().durable_lsn)
         .map(|(i, _)| i)
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::NotFound,
-                "no bootstrapped replica to promote",
-            )
-        })?;
+        .ok_or(PromoteError::NoCandidate)
+}
+
+/// Promotes the replica with the highest **durable** LSN — what was
+/// fsync'd is what was acked, so the winner carries every
+/// acked-durable update — and returns the new primary plus the
+/// replicas that were passed over (still running, ready to re-point at
+/// the new primary's shipper).
+pub fn promote_highest(
+    replicas: Vec<Replica>,
+    config: EngineConfig,
+) -> Result<(Engine, Vec<Replica>), PromoteError> {
+    let winner = elect(&replicas)?;
     let mut rest = replicas;
     let chosen = rest.remove(winner);
     let engine = promote(chosen, config)?;
+    Ok((engine, rest))
+}
+
+/// [`promote_highest`], fenced at a new term (see [`promote_at_term`]).
+pub fn promote_highest_at_term(
+    replicas: Vec<Replica>,
+    config: EngineConfig,
+    term: u64,
+) -> Result<(Engine, Vec<Replica>), PromoteError> {
+    let winner = elect(&replicas)?;
+    let mut rest = replicas;
+    let chosen = rest.remove(winner);
+    let engine = promote_at_term(chosen, config, term)?;
     Ok((engine, rest))
 }

@@ -18,17 +18,29 @@
 //!   *replica → primary → `ERR busy`*.
 //! - **[`promote`] / [`promote_highest`]** implement failover: seal the
 //!   most caught-up replica and recover a primary engine from its
-//!   directory.
+//!   directory. Their term-aware forms ([`promote_at_term`] /
+//!   [`promote_highest_at_term`]) fence the promotion: at most one
+//!   primary per term, enforced by the MANIFEST.
+//! - **[`Cluster`]** closes the loop: a controller that detects a lost
+//!   primary (crash or partition), promotes by highest *durable* LSN
+//!   at a bumped term, re-ships behind a term floor and re-points the
+//!   router — zero-acked-loss autopilot failover.
 //!
 //! [`LinkFaultPlan`]: crate::fault::LinkFaultPlan
 
+mod controller;
 mod failover;
 mod replica;
 mod router;
 mod ship;
 mod wire;
 
-pub use failover::{promote, promote_highest};
+pub use controller::{
+    Cluster, ClusterHandle, ClusterStats, ControllerConfig, FailoverReport, FailureVerdict,
+};
+pub use failover::{
+    promote, promote_at_term, promote_highest, promote_highest_at_term, PromoteError,
+};
 pub use replica::{Replica, ReplicaConfig, ReplicaHandle, ReplicaStats};
 pub use router::{RoutedReadError, Router, RouterConfig, RouterStats};
 pub use ship::{ReplicaPeerStats, ShipConfig, ShipListener, ShipRegistry, ShipTrace};

@@ -12,6 +12,15 @@
 //!
 //! Reconnection uses the shared [`Backoff`] helper: capped exponential
 //! delay with jitter, reset after any successful session.
+//!
+//! **Term fencing.** The replica persists the highest fencing term it
+//! has followed in its own MANIFEST and sends it in every hello. A
+//! primary announcing a *lower* term is a zombie: the session is
+//! refused before any preamble is processed, the refusal is counted,
+//! and **no local state changes** — not the store, not the WAL, not
+//! the term. A higher announced term is adopted (persisted before the
+//! first ack under it), and every shipped frame must carry the session
+//! term or the link is dropped on the spot.
 
 use crate::repl::wire::{self, Ack};
 use crate::retry::Backoff;
@@ -140,6 +149,16 @@ pub struct ReplicaStats {
     /// Total `#uu` of the local staleness tracker (arrivals not yet
     /// applied; ~0 because the replica applies synchronously).
     pub uu_total: u64,
+    /// The highest fencing term this replica has followed (persisted in
+    /// its MANIFEST).
+    pub term: u64,
+    /// Fencing events: sessions refused because the primary announced a
+    /// stale term, and frames rejected for a term mismatch.
+    pub fenced: u64,
+    /// Microseconds since the last primary heartbeat (or frame) was
+    /// heard; `u64::MAX` until the first one. The failure detector's
+    /// raw signal.
+    pub heartbeat_age_us: u64,
 }
 
 impl ReplicaStats {
@@ -181,12 +200,21 @@ struct SharedState {
     reads: AtomicU64,
     shutdown: AtomicBool,
     graceful: AtomicBool,
+    /// The highest fencing term this replica has followed.
+    term: AtomicU64,
+    /// Fencing events (stale-term sessions refused, mismatched frames).
+    fenced: AtomicU64,
+    /// Microseconds (since `epoch`) of the last heard heartbeat or
+    /// frame; `u64::MAX` until the first.
+    last_beat_us: AtomicU64,
     /// The replica's own decision ring (`replica_apply` events).
     ring: Option<parking_lot::Mutex<TraceRing>>,
     /// Trace seed announced by the primary's `TAG_TRACE` preamble.
     trace_seed: AtomicU64,
     /// Whether a seed announcement has arrived (0 is a valid seed).
     trace_seed_set: AtomicBool,
+    /// The thread epoch heartbeat ages are measured against.
+    epoch: Instant,
 }
 
 impl SharedState {
@@ -210,7 +238,18 @@ impl SharedState {
             snapshots_written: self.snapshots.load(Ordering::Acquire),
             reads_served: self.reads.load(Ordering::Acquire),
             uu_total,
+            term: self.term.load(Ordering::Acquire),
+            fenced: self.fenced.load(Ordering::Acquire),
+            heartbeat_age_us: match self.last_beat_us.load(Ordering::Acquire) {
+                u64::MAX => u64::MAX,
+                at => (self.epoch.elapsed().as_micros() as u64).saturating_sub(at),
+            },
         }
+    }
+
+    fn note_beat(&self) {
+        self.last_beat_us
+            .store(self.epoch.elapsed().as_micros() as u64, Ordering::Release);
     }
 }
 
@@ -292,11 +331,15 @@ impl Replica {
             reads: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             graceful: AtomicBool::new(false),
+            term: AtomicU64::new(snapshot::manifest_term(&config.dir)),
+            fenced: AtomicU64::new(0),
+            last_beat_us: AtomicU64::new(u64::MAX),
             ring: config
                 .trace_capacity
                 .map(|cap| parking_lot::Mutex::new(TraceRing::new(cap))),
             trace_seed: AtomicU64::new(0),
             trace_seed_set: AtomicBool::new(false),
+            epoch: Instant::now(),
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -406,7 +449,7 @@ fn recover_local(dir: &Path) -> io::Result<Option<(Store, u64)>> {
 }
 
 fn replica_main(primary: SocketAddr, config: ReplicaConfig, shared: Arc<SharedState>) {
-    let epoch = Instant::now();
+    let epoch = shared.epoch;
     let mut wal: Option<Wal> = None;
 
     // Local recovery: a restarted replica resumes from its own state
@@ -498,7 +541,28 @@ fn replica_session(
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let resume = shared.applied.load(Ordering::Acquire);
-    wire::send_hello(&mut stream, &config.name, resume)?;
+    let my_term = shared.term.load(Ordering::Acquire);
+    wire::send_hello(&mut stream, &config.name, resume, my_term)?;
+
+    // The primary's first bytes are its term announcement. Fencing
+    // happens here, before any preamble is trusted: a primary behind
+    // our persisted term is a zombie and nothing it sends — snapshot,
+    // frame or heartbeat — may touch local state.
+    if wire::read_u8(&mut stream)? != wire::TAG_TERM {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "primary did not announce its term",
+        ));
+    }
+    let session_term = wire::read_u64(&mut stream)?;
+    if session_term < my_term {
+        shared.fenced.fetch_add(1, Ordering::AcqRel);
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!("fenced: primary at stale term {session_term}, ours is {my_term}"),
+        ));
+    }
+    shared.term.store(session_term, Ordering::Release);
 
     // A tracing primary announces its seed before the bootstrap
     // preamble; a silent one goes straight to it. Both are accepted.
@@ -541,6 +605,15 @@ fn replica_session(
         }
     }
 
+    // The adopted term goes durable before the first ack under it: a
+    // restart must never hello with a term lower than one it acked in,
+    // or a zombie could slip past the fence. Checked against the *on
+    // disk* term (not `my_term`) because a bootstrap just rewrote the
+    // manifest from scratch.
+    if session_term > 0 {
+        snapshot::bump_term(&shared.dir, session_term)?;
+    }
+
     // Apply loop. Reads are timeout-bounded so shutdown stays prompt.
     stream.set_read_timeout(Some(Duration::from_millis(50)))?;
     let mut since_ack = 0u64;
@@ -552,7 +625,17 @@ fn replica_session(
         }
         match wire::read_u8(&mut stream) {
             Ok(wire::TAG_FRAME) => {
-                let frame = read_frame(&mut stream)?;
+                let (frame_term, frame) = read_frame(&mut stream)?;
+                if frame_term != session_term {
+                    // A frame from another term on a session fenced to
+                    // this one: reject it before it touches anything.
+                    shared.fenced.fetch_add(1, Ordering::AcqRel);
+                    return Err(io::Error::new(
+                        io::ErrorKind::PermissionDenied,
+                        format!("fenced: frame term {frame_term} on term-{session_term} session"),
+                    ));
+                }
+                shared.note_beat();
                 shared.primary.fetch_max(frame.lsn, Ordering::AcqRel);
                 let applied = shared.applied.load(Ordering::Acquire);
                 if frame.lsn <= applied {
@@ -583,6 +666,7 @@ fn replica_session(
             }
             Ok(wire::TAG_HEARTBEAT) => {
                 let watermark = wire::read_u64(&mut stream)?;
+                shared.note_beat();
                 shared.primary.fetch_max(watermark, Ordering::AcqRel);
                 ack_now(&mut stream, shared, wal)?;
                 since_ack = 0;
@@ -645,14 +729,15 @@ fn install_snapshot(
     Ok(())
 }
 
-/// Reads one shipped WAL frame off the stream and CRC-checks it with
-/// the same decoder replay uses. The header read tolerates the stream's
-/// short timeout; once a header is in hand the payload gets a generous
-/// one (a stalled half-frame is a link failure, handled by reconnect).
-fn read_frame(stream: &mut TcpStream) -> io::Result<Frame> {
+/// Reads one shipped WAL frame — its leading term, then the on-disk
+/// frame bytes — and CRC-checks it with the same decoder replay uses.
+/// The reads after the tag get a generous timeout (a stalled half-frame
+/// is a link failure, handled by reconnect).
+fn read_frame(stream: &mut TcpStream) -> io::Result<(u64, Frame)> {
     let mut header = [0u8; wal::FRAME_HEADER];
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let result = (|| {
+        let term = wire::read_u64(stream)?;
         stream.read_exact(&mut header)?;
         let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
         if len > wal::MAX_PAYLOAD {
@@ -666,7 +751,7 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Frame> {
         buf.resize(wal::FRAME_HEADER + len, 0);
         stream.read_exact(&mut buf[wal::FRAME_HEADER..])?;
         match wal::decode_frame(&buf, 0) {
-            Ok(Some((frame, _))) => Ok(frame),
+            Ok(Some((frame, _))) => Ok((term, frame)),
             Ok(None) | Err(_) => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "shipped frame failed CRC/length validation",
@@ -746,6 +831,7 @@ fn ack_now(stream: &mut TcpStream, shared: &SharedState, wal: &mut Option<Wal>) 
             applied_lsn: applied,
             durable_lsn: shared.durable.load(Ordering::Acquire),
             uu,
+            term: shared.term.load(Ordering::Acquire),
         },
     )
 }

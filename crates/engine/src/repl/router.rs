@@ -13,6 +13,13 @@
 //! exceeds `demotion_lag` is demoted out of the rotation and only
 //! rejoins once it has caught back up under `rejoin_lag`, so a flapping
 //! link doesn't thrash routing decisions.
+//!
+//! The primary handle is swappable: on failover the cluster controller
+//! calls [`Router::repoint`] and every subsequent route dispatches
+//! against the new primary. Reads already in flight against the dead
+//! handle resolve as [`RoutedReadError::EngineDown`] or
+//! [`RoutedReadError::Busy`] — an error, never a stale answer counted
+//! fresh — so `qod_violations` stays zero across the swap.
 
 use crate::repl::replica::ReplicaHandle;
 use crate::runtime::{EngineHandle, QueryError, QueryReply, SubmitError};
@@ -109,6 +116,9 @@ pub struct RouterStats {
     /// check — this stays zero by construction, and the conformance
     /// oracle asserts it.
     pub qod_violations: u64,
+    /// Primary swaps performed by [`Router::repoint`] (one per
+    /// failover).
+    pub repoints: u64,
 }
 
 struct ReplicaSlot {
@@ -122,7 +132,10 @@ struct ReplicaSlot {
 /// e.g. from a server admin path): the pool is read-locked per route
 /// and write-locked only by [`Router::add_replica`].
 pub struct Router {
-    primary: EngineHandle,
+    /// The current primary. Swapped atomically by [`Router::repoint`];
+    /// each route clones the handle once and dispatches against that
+    /// coherent view.
+    primary: RwLock<EngineHandle>,
     slots: RwLock<Vec<ReplicaSlot>>,
     cfg: RouterConfig,
     routed_replica: AtomicU64,
@@ -131,6 +144,7 @@ pub struct Router {
     demotions: AtomicU64,
     rejoins: AtomicU64,
     qod_violations: AtomicU64,
+    repoints: AtomicU64,
     /// Dispatch counter feeding [`route_trace_id`] — each routed read
     /// opens its own deterministic trace chain.
     route_seq: AtomicU64,
@@ -149,7 +163,7 @@ impl Router {
     /// A router over `primary` with no replicas yet.
     pub fn new(primary: EngineHandle, cfg: RouterConfig) -> Router {
         Router {
-            primary,
+            primary: RwLock::new(primary),
             slots: RwLock::new(Vec::new()),
             cfg,
             routed_replica: AtomicU64::new(0),
@@ -158,8 +172,23 @@ impl Router {
             demotions: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
             qod_violations: AtomicU64::new(0),
+            repoints: AtomicU64::new(0),
             route_seq: AtomicU64::new(0),
         }
+    }
+
+    /// Atomically swings the router to a new primary (the promoted
+    /// engine, after a failover). Routes dispatched after this use the
+    /// new handle; reads in flight against the old one resolve as
+    /// errors, never as stale answers counted fresh.
+    pub fn repoint(&self, primary: EngineHandle) {
+        *self.primary.write().expect("router primary lock") = primary;
+        self.repoints.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// A clone of the current primary handle.
+    pub fn primary(&self) -> EngineHandle {
+        self.primary.read().expect("router primary lock").clone()
     }
 
     /// Adds a replica to the routing pool (usable on a shared router).
@@ -171,6 +200,22 @@ impl Router {
                 handle,
                 demoted: AtomicBool::new(false),
             });
+    }
+
+    /// Replaces the whole replica pool. The cluster controller calls
+    /// this at failover: the old pool's handles point at sealed or dead
+    /// replicas whose frozen stats could qualify a stale read, so they
+    /// are swapped out atomically for the restarted survivors (which
+    /// start demoted-equivalent: not ready until bootstrapped).
+    pub fn set_replicas(&self, handles: Vec<ReplicaHandle>) {
+        let mut slots = self.slots.write().expect("router slots lock");
+        *slots = handles
+            .into_iter()
+            .map(|handle| ReplicaSlot {
+                handle,
+                demoted: AtomicBool::new(false),
+            })
+            .collect();
     }
 
     /// How many replicas are in the pool (demoted ones included).
@@ -193,13 +238,18 @@ impl Router {
             demotions: self.demotions.load(Ordering::Acquire),
             rejoins: self.rejoins.load(Ordering::Acquire),
             qod_violations: self.qod_violations.load(Ordering::Acquire),
+            repoints: self.repoints.load(Ordering::Acquire),
         }
     }
 
     /// Picks the qualifying replica with the smallest staleness bound.
     /// Returns its handle and the bound used to qualify it.
-    fn pick_replica(&self, qc: &QualityContract) -> Option<(ReplicaHandle, u64)> {
-        let primary_lsn = self.primary.stats().wal_last_lsn;
+    fn pick_replica(
+        &self,
+        primary: &EngineHandle,
+        qc: &QualityContract,
+    ) -> Option<(ReplicaHandle, u64)> {
+        let primary_lsn = primary.stats().wal_last_lsn;
         let slots = self.slots.read().expect("router slots lock");
         let mut best: Option<(usize, u64)> = None;
         for (i, slot) in slots.iter().enumerate() {
@@ -236,16 +286,20 @@ impl Router {
     /// Routes one read: cheapest qualifying replica, else the primary,
     /// else a bounded shed.
     pub fn route(&self, op: QueryOp, qc: QualityContract) -> Result<QueryReply, RoutedReadError> {
+        // One coherent primary view per route: a repoint mid-route
+        // leaves this read on the old handle, where a dead engine
+        // resolves as an error rather than a misrouted answer.
+        let primary = self.primary();
         // Each routed read opens a deterministic trace chain; the
         // decision event lands in the primary's ring either way the
         // read goes.
-        let ctx = self.primary.tracing_on().then(|| {
+        let ctx = primary.tracing_on().then(|| {
             let n = self.route_seq.fetch_add(1, Ordering::AcqRel);
-            TraceCtx::root(route_trace_id(self.primary.trace_seed(), n))
+            TraceCtx::root(route_trace_id(primary.trace_seed(), n))
         });
-        if let Some((replica, bound)) = self.pick_replica(&qc) {
+        if let Some((replica, bound)) = self.pick_replica(&primary, &qc) {
             if let Some(ctx) = ctx {
-                self.primary.trace_push(TraceEvent::RouteDecision {
+                primary.trace_push(TraceEvent::RouteDecision {
                     ctx,
                     target: RouteTarget::Replica,
                     bound,
@@ -276,7 +330,7 @@ impl Router {
         if let Some(ctx) = ctx {
             // Primary bound is 0 by definition: it always earns the
             // contract's full QoD profit at dispatch.
-            self.primary.trace_push(TraceEvent::RouteDecision {
+            primary.trace_push(TraceEvent::RouteDecision {
                 ctx,
                 target: RouteTarget::Primary,
                 bound: 0,
@@ -285,8 +339,8 @@ impl Router {
             });
         }
         let submitted = match ctx {
-            Some(ctx) => self.primary.submit_query_traced(op, qc, ctx),
-            None => self.primary.submit_query(op, qc),
+            Some(ctx) => primary.submit_query_traced(op, qc, ctx),
+            None => primary.submit_query(op, qc),
         };
         match submitted {
             Ok(ticket) => match ticket.recv_timeout(self.cfg.query_timeout) {

@@ -9,9 +9,19 @@
 //! snapshot file first, then tailed from the snapshot's LSN.
 //!
 //! The shipper is also the chaos port: a [`LinkFaultPlan`] injects
-//! dropped frames, duplicated frames, per-frame delay and mid-frame
-//! disconnects into the outgoing stream, exercising exactly the resume
-//! and CRC paths a flaky network would.
+//! dropped frames, duplicated frames, per-frame delay, mid-frame
+//! disconnects and full partitions into the outgoing stream, exercising
+//! exactly the resume and CRC paths a flaky network would.
+//!
+//! **Term fencing.** The listener serves under the fencing term
+//! persisted in its directory's MANIFEST at start. A replica whose
+//! hello carries a *higher* term proves this primary is a zombie — the
+//! session is refused before a single frame moves, and the refusal is
+//! counted. A replica on a *lower* term is a survivor of an older
+//! primary: it may resume only below the listener's `term_floor` (the
+//! WAL position where this term began); above it, its tail may diverge
+//! from ours, so it is force-bootstrapped from a snapshot instead.
+//! Acks are only trusted when they echo our own term.
 
 use crate::fault::LinkFaultPlan;
 use crate::repl::wire::{self, Ack};
@@ -48,6 +58,13 @@ pub struct ShipConfig {
     /// Trace/observability wiring: seed announcement, `ship_frame`
     /// events and per-peer lag sampling. `None` ships silently.
     pub trace: Option<ShipTrace>,
+    /// The WAL LSN at which this primary's term began. A replica still
+    /// on an older term may resume at or below this floor (the history
+    /// up to it is shared); above it, the replica's tail may diverge
+    /// and it is bootstrapped from a snapshot instead. A promoted
+    /// primary sets this to its LSN at promotion; 0 (the default) means
+    /// any stale-term resume beyond LSN 0 re-bootstraps.
+    pub term_floor: u64,
 }
 
 /// Trace wiring for a [`ShipListener`]: where shipped-frame events and
@@ -102,6 +119,7 @@ impl Default for ShipConfig {
             poll_interval: Duration::from_millis(2),
             batch: 256,
             trace: None,
+            term_floor: 0,
         }
     }
 }
@@ -122,6 +140,12 @@ impl ShipConfig {
     /// Builder: sets the trace wiring.
     pub fn with_trace(mut self, trace: ShipTrace) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Builder: sets the LSN at which this primary's term began.
+    pub fn with_term_floor(mut self, floor: u64) -> Self {
+        self.term_floor = floor;
         self
     }
 }
@@ -171,12 +195,33 @@ pub struct ShipRegistry {
     /// Ship-to-ack round trip per acked frame, µs, aggregated across
     /// peers (`quts_repl_apply_lag_us`).
     apply_lag_us: Mutex<LogHistogram>,
+    /// The fencing term this listener serves under (from its MANIFEST).
+    term: AtomicU64,
+    /// Fencing events: sessions refused because a replica proved a
+    /// higher term exists, plus acks discarded for a term mismatch
+    /// (`quts_fenced_frames_total`).
+    fenced: AtomicU64,
 }
 
 impl ShipRegistry {
     fn entry(&self, name: &str) -> Arc<PeerEntry> {
         let mut peers = self.peers.lock().expect("registry lock");
         Arc::clone(peers.entry(name.to_string()).or_default())
+    }
+
+    fn note_fenced(&self) {
+        self.fenced.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The fencing term this listener ships under.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Total fencing events on the primary side: refused sessions and
+    /// discarded term-mismatched acks.
+    pub fn fenced_total(&self) -> u64 {
+        self.fenced.load(Ordering::Acquire)
     }
 
     fn record_lag_frames(&self, frames: u64) {
@@ -237,13 +282,17 @@ pub struct ShipListener {
 
 impl ShipListener {
     /// Starts shipping `dir` (an engine durability directory) on
-    /// `config.addr`.
+    /// `config.addr`, under the fencing term persisted in the
+    /// directory's MANIFEST.
     pub fn start(dir: impl Into<PathBuf>, config: ShipConfig) -> io::Result<ShipListener> {
         let dir = dir.into();
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let registry = Arc::new(ShipRegistry::default());
+        registry
+            .term
+            .store(snapshot::manifest_term(&dir), Ordering::Release);
         let stop = Arc::new(AtomicBool::new(false));
         // One epoch for every connection this listener serves, so trace
         // timestamps from different shipping threads share a timeline.
@@ -272,6 +321,16 @@ impl ShipListener {
     /// The per-replica stats registry.
     pub fn registry(&self) -> Arc<ShipRegistry> {
         Arc::clone(&self.registry)
+    }
+
+    /// The fencing term this listener ships under.
+    pub fn term(&self) -> u64 {
+        self.registry.term()
+    }
+
+    /// Stale-term frames, acks and sessions this listener fenced.
+    pub fn fenced_total(&self) -> u64 {
+        self.registry.fenced_total()
     }
 
     /// Stops accepting and signals shipping threads to exit.
@@ -367,11 +426,21 @@ enum LinkAction {
 }
 
 impl LinkState {
+    /// Whether the injected partition has engaged: the link delivers
+    /// nothing (frames or heartbeats) from the `n`-th frame on.
+    fn partitioned(&self, plan: Option<&LinkFaultPlan>) -> bool {
+        plan.and_then(|p| p.partition_after)
+            .is_some_and(|n| self.seen >= n)
+    }
+
     fn next(&mut self, plan: Option<&LinkFaultPlan>) -> LinkAction {
         self.seen += 1;
         let Some(plan) = plan else {
             return LinkAction::Ship;
         };
+        if plan.partition_after.is_some_and(|n| self.seen > n) {
+            return LinkAction::Drop;
+        }
         if let Some(d) = plan.delay_per_frame {
             thread::sleep(d);
         }
@@ -402,11 +471,30 @@ fn ship_connection(
     // The handshake arrives promptly or the connection is abandoned.
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     let hello = wire::read_hello(&mut stream)?;
-    // Seed announcement precedes the bootstrap preamble so the replica
-    // can derive trace ids for every frame it will ever apply.
+    let term = registry.term();
+    if hello.term > term {
+        // The replica has persisted a higher term than ours: a failover
+        // happened behind our back and we are the zombie. Refuse the
+        // session before a single frame moves — nothing we ship or hear
+        // acked may be trusted.
+        registry.note_fenced();
+        return Err(io::Error::new(
+            io::ErrorKind::PermissionDenied,
+            format!(
+                "fenced: replica {} is at term {}, we are at {}",
+                hello.name, hello.term, term
+            ),
+        ));
+    }
+    // Term announcement first — the replica fences us on this one byte
+    // sequence before trusting anything else — then the trace seed.
+    wire::send_term(&mut stream, term)?;
     if let Some(t) = &config.trace {
         wire::send_trace_seed(&mut stream, t.seed)?;
     }
+    // A survivor of an older term may only resume below the LSN where
+    // our term began; past it, its WAL tail may diverge from ours.
+    let force_bootstrap = hello.term < term && hello.resume_lsn > config.term_floor;
     let peer = registry.entry(&hello.name);
     peer.connections.fetch_add(1, Ordering::AcqRel);
     peer.connected.store(true, Ordering::Release);
@@ -417,6 +505,8 @@ fn ship_connection(
         registry,
         &peer,
         hello.resume_lsn,
+        term,
+        force_bootstrap,
         stop,
         epoch,
     );
@@ -460,13 +550,16 @@ fn ship_stream(
     registry: &ShipRegistry,
     peer: &PeerEntry,
     resume_lsn: u64,
+    term: u64,
+    force_bootstrap: bool,
     stop: &AtomicBool,
     epoch: Instant,
 ) -> io::Result<()> {
     // Bootstrap decision: a replica with no state (resume 0) always gets
     // a snapshot (it needs a baseline store); a resuming replica gets
-    // one only if the segments covering its position were collected.
-    let needs_snapshot = resume_lsn == 0 || {
+    // one if the segments covering its position were collected, or if
+    // its resume point belongs to an older term (divergent tail).
+    let needs_snapshot = force_bootstrap || resume_lsn == 0 || {
         let mut probe = WalTailer::new(dir, resume_lsn);
         matches!(probe.poll(1)?, TailPoll::Gap { .. })
     };
@@ -504,19 +597,23 @@ fn ship_stream(
             }
         };
         let progressed = !frames.is_empty();
+        let term_bytes = term.to_le_bytes();
         for frame in &frames {
             let bytes = quts_db::wal::encode_frame(frame.lsn, &frame.payload);
             match link.next(config.fault.as_ref()) {
                 LinkAction::Ship => {
                     stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&term_bytes)?;
                     stream.write_all(&bytes)?;
                     peer.shipped.fetch_add(1, Ordering::AcqRel);
                     note_shipped(config, &mut outstanding, frame.lsn, epoch);
                 }
                 LinkAction::ShipTwice => {
                     stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&term_bytes)?;
                     stream.write_all(&bytes)?;
                     stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&term_bytes)?;
                     stream.write_all(&bytes)?;
                     peer.shipped.fetch_add(2, Ordering::AcqRel);
                     note_shipped(config, &mut outstanding, frame.lsn, epoch);
@@ -527,6 +624,7 @@ fn ship_stream(
                     // a short read and must resume from its last ack.
                     let half = bytes.len() / 2;
                     stream.write_all(&[wire::TAG_FRAME])?;
+                    stream.write_all(&term_bytes)?;
                     stream.write_all(&bytes[..half])?;
                     stream.flush()?;
                     return Err(io::Error::other("fault injection: mid-frame disconnect"));
@@ -534,15 +632,23 @@ fn ship_stream(
             }
         }
 
-        // Drain any progress reports the replica sent.
-        loop {
+        // Drain any progress reports the replica sent. An injected
+        // partition swallows them: a black-holed link delivers nothing
+        // in either direction, so the primary's peer view freezes.
+        while !link.partitioned(config.fault.as_ref()) {
             match wire::read_u8(stream) {
                 Ok(tag) if tag == wire::TAG_ACK => {
-                    // The tag arrived; give the 24-byte body a real
+                    // The tag arrived; give the 32-byte body a real
                     // timeout so a packet boundary can't desync us.
                     stream.set_read_timeout(Some(Duration::from_secs(1)))?;
                     let ack: Ack = wire::read_ack_body(stream)?;
                     stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+                    if ack.term != term {
+                        // An ack from another term proves nothing about
+                        // replication under ours — discard it whole.
+                        registry.note_fenced();
+                        continue;
+                    }
                     peer.applied.store(ack.applied_lsn, Ordering::Release);
                     peer.durable.store(ack.durable_lsn, Ordering::Release);
                     peer.uu.store(ack.uu, Ordering::Release);
@@ -580,7 +686,7 @@ fn ship_stream(
             }
         }
 
-        if last_beat.elapsed() >= config.heartbeat {
+        if last_beat.elapsed() >= config.heartbeat && !link.partitioned(config.fault.as_ref()) {
             // The watermark is the last file-visible LSN at the tailer's
             // position — what lag is measured against on the wire.
             let watermark = tailer.next_lsn() - 1;

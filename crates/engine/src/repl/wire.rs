@@ -6,15 +6,25 @@
 //! a corrupted link is detected the same way corrupted media is.
 //!
 //! ```text
-//! replica → primary   HELLO:      "QUTSREPL" ‖ name_len u16 ‖ name ‖ resume_lsn u64
+//! replica → primary   HELLO:      "QUTSREPL" ‖ name_len u16 ‖ name ‖ resume_lsn u64 ‖ term u64
+//! primary → replica   preamble:   TAG_TERM ‖ term u64       (the primary's fencing epoch)
 //! primary → replica   preamble:   TAG_SNAP ‖ len u64 ‖ snapshot bytes
 //!                              or TAG_RESUME               (stream continues at resume_lsn+1)
 //! primary → replica   stream:     TAG_FRAME ‖ wal frame    (repeated)
 //!                              or TAG_HEARTBEAT ‖ last_lsn u64
-//! replica → primary   ack:        TAG_ACK ‖ applied u64 ‖ durable u64 ‖ uu u64
+//! replica → primary   ack:        TAG_ACK ‖ applied u64 ‖ durable u64 ‖ uu u64 ‖ term u64
 //! ```
 //!
 //! All integers little-endian, matching the WAL on disk.
+//!
+//! **Term fencing.** Every session carries the sender's fencing epoch:
+//! the replica's persisted term rides the hello, the primary announces
+//! its own term with `TAG_TERM` before the bootstrap decision, and every
+//! ack echoes the term the replica is following. A receiver that knows a
+//! higher term refuses the session (or the ack) without mutating any
+//! state, so a zombie primary resurrected after a failover can neither
+//! feed stale frames to a fenced replica nor collect acks that would let
+//! it report writes durable.
 
 use std::io::{self, Read, Write};
 
@@ -25,7 +35,7 @@ pub(crate) const HANDSHAKE_MAGIC: &[u8; 8] = b"QUTSREPL";
 pub(crate) const TAG_FRAME: u8 = 0;
 /// A snapshot bootstrap follows (length-prefixed snapshot file bytes).
 pub(crate) const TAG_SNAP: u8 = 1;
-/// A replica progress report follows (applied, durable, `#uu`).
+/// A replica progress report follows (applied, durable, `#uu`, term).
 pub(crate) const TAG_ACK: u8 = 2;
 /// A primary liveness/watermark beacon follows (last file-visible LSN).
 pub(crate) const TAG_HEARTBEAT: u8 = 3;
@@ -36,6 +46,10 @@ pub(crate) const TAG_RESUME: u8 = 4;
 /// seed recomputes every update's trace id from `(seed, lsn)` at apply
 /// time, so ids never travel inside WAL frames.
 pub(crate) const TAG_TRACE: u8 = 5;
+/// Preamble: the primary's fencing term follows (u64). Always the first
+/// thing the primary writes, so the replica can fence a stale primary
+/// before any bootstrap or frame bytes arrive.
+pub(crate) const TAG_TERM: u8 = 6;
 
 /// Longest accepted replica name.
 pub(crate) const MAX_NAME: usize = 256;
@@ -49,6 +63,9 @@ pub(crate) struct Hello {
     pub name: String,
     /// Highest LSN the replica has applied; the stream resumes after it.
     pub resume_lsn: u64,
+    /// Highest fencing term the replica has persisted. A primary whose
+    /// own term is lower is a zombie and must refuse the session.
+    pub term: u64,
 }
 
 /// A replica progress report.
@@ -60,6 +77,9 @@ pub(crate) struct Ack {
     pub durable_lsn: u64,
     /// The replica's total `#uu` at ack time.
     pub uu: u64,
+    /// The term the replica acknowledges under; the primary discards
+    /// acks from any other term.
+    pub term: u64,
 }
 
 pub(crate) fn read_u16(r: &mut impl Read) -> io::Result<u16> {
@@ -85,13 +105,14 @@ fn bad(what: &str) -> io::Error {
 }
 
 /// Writes the replica's handshake.
-pub(crate) fn send_hello(w: &mut impl Write, name: &str, resume_lsn: u64) -> io::Result<()> {
+pub(crate) fn send_hello(w: &mut impl Write, name: &str, resume_lsn: u64, term: u64) -> io::Result<()> {
     assert!(name.len() <= MAX_NAME, "replica name too long");
-    let mut buf = Vec::with_capacity(HANDSHAKE_MAGIC.len() + 2 + name.len() + 8);
+    let mut buf = Vec::with_capacity(HANDSHAKE_MAGIC.len() + 2 + name.len() + 16);
     buf.extend_from_slice(HANDSHAKE_MAGIC);
     buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
     buf.extend_from_slice(name.as_bytes());
     buf.extend_from_slice(&resume_lsn.to_le_bytes());
+    buf.extend_from_slice(&term.to_le_bytes());
     w.write_all(&buf)
 }
 
@@ -110,7 +131,12 @@ pub(crate) fn read_hello(r: &mut impl Read) -> io::Result<Hello> {
     r.read_exact(&mut name)?;
     let name = String::from_utf8(name).map_err(|_| bad("non-utf8 replica name"))?;
     let resume_lsn = read_u64(r)?;
-    Ok(Hello { name, resume_lsn })
+    let term = read_u64(r)?;
+    Ok(Hello {
+        name,
+        resume_lsn,
+        term,
+    })
 }
 
 /// Writes the trace-seed preamble (single write).
@@ -121,14 +147,24 @@ pub(crate) fn send_trace_seed(w: &mut impl Write, seed: u64) -> io::Result<()> {
     w.write_all(&buf)
 }
 
+/// Writes the term announcement (single write). Always the primary's
+/// first bytes on a session.
+pub(crate) fn send_term(w: &mut impl Write, term: u64) -> io::Result<()> {
+    let mut buf = [0u8; 9];
+    buf[0] = TAG_TERM;
+    buf[1..9].copy_from_slice(&term.to_le_bytes());
+    w.write_all(&buf)
+}
+
 /// Writes one progress report (single write: arrives atomically in
 /// practice, so the shipper's timeout-bounded reads never desync).
 pub(crate) fn send_ack(w: &mut impl Write, ack: Ack) -> io::Result<()> {
-    let mut buf = [0u8; 25];
+    let mut buf = [0u8; 33];
     buf[0] = TAG_ACK;
     buf[1..9].copy_from_slice(&ack.applied_lsn.to_le_bytes());
     buf[9..17].copy_from_slice(&ack.durable_lsn.to_le_bytes());
     buf[17..25].copy_from_slice(&ack.uu.to_le_bytes());
+    buf[25..33].copy_from_slice(&ack.term.to_le_bytes());
     w.write_all(&buf)
 }
 
@@ -138,6 +174,7 @@ pub(crate) fn read_ack_body(r: &mut impl Read) -> io::Result<Ack> {
         applied_lsn: read_u64(r)?,
         durable_lsn: read_u64(r)?,
         uu: read_u64(r)?,
+        term: read_u64(r)?,
     })
 }
 
@@ -148,13 +185,14 @@ mod tests {
     #[test]
     fn hello_roundtrip() {
         let mut buf = Vec::new();
-        send_hello(&mut buf, "replica-a", 42).unwrap();
+        send_hello(&mut buf, "replica-a", 42, 7).unwrap();
         let hello = read_hello(&mut buf.as_slice()).unwrap();
         assert_eq!(
             hello,
             Hello {
                 name: "replica-a".into(),
-                resume_lsn: 42
+                resume_lsn: 42,
+                term: 7,
             }
         );
     }
@@ -166,6 +204,13 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(HANDSHAKE_MAGIC);
         buf.extend_from_slice(&(MAX_NAME as u16 + 1).to_le_bytes());
+        assert!(read_hello(&mut buf.as_slice()).is_err());
+        // A truncated hello (missing the trailing term) is an error, not
+        // a silent zero: a peer speaking the pre-term protocol must not
+        // slip past the fence unnoticed.
+        let mut buf = Vec::new();
+        send_hello(&mut buf, "r", 1, 1).unwrap();
+        buf.truncate(buf.len() - 8);
         assert!(read_hello(&mut buf.as_slice()).is_err());
     }
 
@@ -180,11 +225,22 @@ mod tests {
     }
 
     #[test]
+    fn term_announcement_roundtrip() {
+        let mut buf = Vec::new();
+        send_term(&mut buf, 9).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_u8(&mut r).unwrap(), TAG_TERM);
+        assert_eq!(read_u64(&mut r).unwrap(), 9);
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn ack_roundtrip() {
         let ack = Ack {
             applied_lsn: 7,
             durable_lsn: 5,
             uu: 3,
+            term: 2,
         };
         let mut buf = Vec::new();
         send_ack(&mut buf, ack).unwrap();

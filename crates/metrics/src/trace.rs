@@ -194,6 +194,35 @@ impl RouteTarget {
     }
 }
 
+/// A step within a cluster failover, as recorded by the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverStep {
+    /// The detector started doubting the primary (first missed
+    /// deadline).
+    Suspected,
+    /// Re-probes exhausted; the primary is declared dead. `elapsed_us`
+    /// is the detection latency.
+    Confirmed,
+    /// A replica was promoted at the new term. `elapsed_us` is the
+    /// promotion time (seal + term bump + recovery).
+    Promoted,
+    /// The router was re-pointed at the promoted engine. `elapsed_us`
+    /// is the full failover MTTR.
+    Repointed,
+}
+
+impl FailoverStep {
+    /// Stable lowercase name used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FailoverStep::Suspected => "suspected",
+            FailoverStep::Confirmed => "confirmed",
+            FailoverStep::Promoted => "promoted",
+            FailoverStep::Repointed => "repointed",
+        }
+    }
+}
+
 /// Transaction class as seen by the tracer (mirror of the scheduler's
 /// class enum, kept here so `quts-metrics` stays dependency-free).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -328,6 +357,18 @@ pub enum TraceEvent {
         /// Size of the commit group that made it durable.
         batch: u32,
     },
+    /// A cluster-controller failover step (suspected, confirmed,
+    /// promoted, re-pointed). Carries no trace context: failovers are
+    /// cluster events, not request-scoped ones.
+    Failover {
+        /// The fencing term the failover established (or, for
+        /// `Suspected`, the term being doubted).
+        term: u64,
+        /// Which step of the failover this is.
+        step: FailoverStep,
+        /// Time since the failover began (0 for `Suspected`).
+        elapsed_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -347,6 +388,7 @@ impl TraceEvent {
             TraceEvent::ShipFrame { .. } => "ship_frame",
             TraceEvent::ReplicaApply { .. } => "replica_apply",
             TraceEvent::GroupCommitAck { .. } => "group_commit_ack",
+            TraceEvent::Failover { .. } => "failover",
         }
     }
 
@@ -478,6 +520,17 @@ impl TraceRecord {
             TraceEvent::GroupCommitAck { ctx, lsn, batch } => {
                 write_ctx(out, ctx);
                 let _ = write!(out, ",\"lsn\":{lsn},\"batch\":{batch}");
+            }
+            TraceEvent::Failover {
+                term,
+                step,
+                elapsed_us,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"term\":{term},\"step\":\"{}\",\"elapsed_us\":{elapsed_us}",
+                    step.as_str()
+                );
             }
         }
         out.push('}');

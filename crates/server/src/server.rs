@@ -15,9 +15,9 @@
 use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
 use quts_engine::{
-    Engine, EngineConfig, EngineHandle, LiveStats, QueryError, QueryReply, ReplicaHandle,
-    RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry, ShipTrace,
-    SubmitError, TraceConfig,
+    ClusterHandle, Engine, EngineConfig, EngineHandle, LiveStats, QueryError, QueryReply,
+    ReplicaHandle, RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry,
+    ShipTrace, SubmitError, TraceConfig,
 };
 use quts_metrics::exposition::{Exposition, COUNT_BOUNDS, LATENCY_BOUNDS_US};
 use std::collections::HashMap;
@@ -77,6 +77,7 @@ pub struct Server {
     acceptor: Option<std::thread::JoinHandle<()>>,
     ship: Option<ShipListener>,
     router: Option<Arc<Router>>,
+    shared: Arc<Shared>,
 }
 
 struct Shared {
@@ -89,6 +90,15 @@ struct Shared {
     active_connections: AtomicUsize,
     router: Option<Arc<Router>>,
     registry: Option<Arc<ShipRegistry>>,
+    /// Failover stats reader, attached by [`Server::attach_cluster`]
+    /// when a cluster controller fronts this server's engine.
+    cluster: std::sync::RwLock<Option<ClusterHandle>>,
+}
+
+impl Shared {
+    fn cluster(&self) -> Option<ClusterHandle> {
+        self.cluster.read().expect("cluster handle lock").clone()
+    }
 }
 
 /// Holds one slot in the connection cap; releases it on drop (however
@@ -158,8 +168,10 @@ impl Server {
             active_connections: AtomicUsize::new(0),
             router: router.clone(),
             registry: ship.as_ref().map(ShipListener::registry),
+            cluster: std::sync::RwLock::new(None),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
+        let server_shared = Arc::clone(&shared);
 
         let accept_shutdown = Arc::clone(&shutdown);
         let acceptor = std::thread::Builder::new()
@@ -184,6 +196,7 @@ impl Server {
             acceptor: Some(acceptor),
             ship,
             router,
+            shared: server_shared,
         })
     }
 
@@ -207,6 +220,12 @@ impl Server {
             .as_ref()
             .expect("server started without a router")
             .add_replica(handle);
+    }
+
+    /// Wires a cluster controller's stats into the `REPL` and `METRICS`
+    /// verbs (role/term/failover lines, `quts_failover*` series).
+    pub fn attach_cluster(&self, handle: ClusterHandle) {
+        *self.shared.cluster.write().expect("cluster handle lock") = Some(handle);
     }
 
     /// Engine statistics snapshot.
@@ -359,11 +378,31 @@ fn render_repl_status(shared: &Shared) -> String {
     }
     let primary_lsn = shared.handle.stats().wal_last_lsn;
     let mut out = format!("OK replication primary_lsn={primary_lsn}");
+    // Role and term. The serving node is by definition the primary of
+    // its term; the term itself comes from the cluster controller when
+    // one fronts this engine, else from the ship listener's MANIFEST
+    // read.
+    if let Some(cluster) = shared.cluster() {
+        out.push_str(&format!(
+            "\nrole primary term={} failovers={}",
+            cluster.term(),
+            cluster.failovers(),
+        ));
+        match cluster.last_failover_age_us() {
+            Some(age) => out.push_str(&format!("\nlast_failover age_us={age}")),
+            None => out.push_str("\nlast_failover never"),
+        }
+        for (term, name) in cluster.promotions() {
+            out.push_str(&format!("\npromotion term={term} replica={name}"));
+        }
+    } else if let Some(registry) = &shared.registry {
+        out.push_str(&format!("\nrole primary term={}", registry.term()));
+    }
     if let Some(router) = &shared.router {
         let s = router.stats();
         out.push_str(&format!(
             "\nrouter replicas={} routed_replica={} routed_primary={} shed_busy={} \
-             demotions={} rejoins={} qod_violations={}",
+             demotions={} rejoins={} qod_violations={} repoints={}",
             router.replica_count(),
             s.routed_replica,
             s.routed_primary,
@@ -371,6 +410,7 @@ fn render_repl_status(shared: &Shared) -> String {
             s.demotions,
             s.rejoins,
             s.qod_violations,
+            s.repoints,
         ));
     }
     if let Some(registry) = &shared.registry {
@@ -576,6 +616,16 @@ fn render_metrics(shared: &Shared) -> String {
         s.wal_last_lsn as f64,
     );
     if let Some(registry) = &shared.registry {
+        exp.gauge(
+            "quts_repl_term",
+            "Fencing term this primary ships under",
+            registry.term() as f64,
+        );
+        exp.counter(
+            "quts_fenced_frames_total",
+            "Stale-term sessions, frames and acks fenced by the listener",
+            registry.fenced_total(),
+        );
         let peers = registry.peers();
         let names: Vec<&str> = peers.iter().map(|p| p.name.as_str()).collect();
         let gauge_series =
@@ -647,6 +697,25 @@ fn render_metrics(shared: &Shared) -> String {
             LATENCY_BOUNDS_US,
         );
     }
+    if let Some(cluster) = shared.cluster() {
+        exp.counter(
+            "quts_failovers_total",
+            "Completed controller failovers (term bumps)",
+            cluster.failovers(),
+        );
+        exp.histogram(
+            "quts_failover_detect_us",
+            "Primary-failure detection latency (first suspicion to verdict)",
+            &cluster.detect_histogram(),
+            LATENCY_BOUNDS_US,
+        );
+        exp.histogram(
+            "quts_failover_mttr_us",
+            "Failover MTTR (first suspicion to router re-point)",
+            &cluster.mttr_histogram(),
+            LATENCY_BOUNDS_US,
+        );
+    }
     if let Some(router) = &shared.router {
         let r = router.stats();
         exp.labeled_counters(
@@ -674,6 +743,11 @@ fn render_metrics(shared: &Shared) -> String {
             "quts_router_qod_violations_total",
             "Replica reads whose dispatch bound broke the contract (must stay 0)",
             r.qod_violations,
+        );
+        exp.counter(
+            "quts_router_repoints_total",
+            "Primary swaps performed at failover",
+            r.repoints,
         );
     }
     // `writeln!` in the connection loop supplies the final newline.
@@ -1226,14 +1300,20 @@ mod tests {
             std::thread::sleep(Duration::from_millis(5));
         };
         assert!(text.starts_with("OK replication primary_lsn=8"), "{text}");
+        // A fresh (never-promoted) primary ships under term 0.
+        assert!(text.contains("role primary term=0"), "{text}");
         assert!(text.contains("router replicas=1"), "{text}");
         assert!(text.contains("routed_replica=2"), "{text}");
         assert!(text.contains("routed_primary=0"), "{text}");
         assert!(text.contains("qod_violations=0"), "{text}");
+        assert!(text.contains("repoints=0"), "{text}");
         assert!(text.contains("replica name=r1"), "{text}");
 
         // METRICS carries the per-replica series and the routing split.
         let text = c.send_multiline("METRICS").join("\n");
+        assert!(text.contains("quts_repl_term 0"), "{text}");
+        assert!(text.contains("quts_fenced_frames_total 0"), "{text}");
+        assert!(text.contains("quts_router_repoints_total 0"), "{text}");
         assert!(text.contains("quts_wal_last_lsn 8"), "{text}");
         assert!(
             text.contains("quts_repl_applied_lsn{replica=\"r1\"} 8"),

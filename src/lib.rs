@@ -56,10 +56,11 @@ pub use quts_workload as workload;
 pub mod prelude {
     pub use quts_db::{FsyncPolicy, QueryOp, QueryResult, StockId, Store, Trade};
     pub use quts_engine::{
-        promote, promote_highest, Backoff, DurabilityConfig, Engine, EngineConfig, EngineState,
-        FaultPlan, GroupCommitConfig, LinkFaultPlan, LiveStats, QueryError, QueryTicket, Replica,
-        ReplicaConfig, RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener,
-        SubmitError, UpdateError, UpdateTicket,
+        promote, promote_at_term, promote_highest, promote_highest_at_term, Backoff, Cluster,
+        ClusterHandle, ClusterStats, ControllerConfig, DurabilityConfig, Engine, EngineConfig,
+        EngineState, FailoverReport, FailureVerdict, FaultPlan, GroupCommitConfig, LinkFaultPlan,
+        LiveStats, PromoteError, QueryError, QueryTicket, Replica, ReplicaConfig, RoutedReadError,
+        Router, RouterConfig, ShipConfig, ShipListener, SubmitError, UpdateError, UpdateTicket,
     };
     pub use quts_qc::{
         Composition, Family, Measurements, MultiContract, ProfitFn, QcAggregates, QualityContract,

@@ -20,7 +20,8 @@ use quts::engine::{update_trace_id, TraceConfig, TraceEvent};
 use quts::metrics::{RouteTarget, SPAN_APPLY, SPAN_SHIP};
 use quts::prelude::*;
 use quts_conformance::{
-    replica_consistent, router_respects_qod, trace_causality, wal_contiguous_after_snapshot,
+    no_acked_loss_across_failover, replica_consistent, router_respects_qod, trace_causality,
+    wal_contiguous_after_snapshot,
 };
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -391,12 +392,11 @@ fn failover_promotes_highest_replica_and_loses_no_acked_update() {
     // No acked update lost: the promoted engine's recovered log covers
     // every LSN any replica reported durable.
     let stats = promoted.stats();
-    assert!(
-        stats.wal_last_lsn >= durable_floor || stats.snapshot_last_lsn >= durable_floor,
-        "promoted engine (wal={}, snap={}) lost acked history (floor {durable_floor})",
-        stats.wal_last_lsn,
-        stats.snapshot_last_lsn,
-    );
+    no_acked_loss_across_failover(
+        durable_floor,
+        stats.wal_last_lsn.max(stats.snapshot_last_lsn),
+    )
+    .expect("promoted engine covers the acked-durable floor");
     assert_eq!(stats.wal_truncated_bytes, 0, "sealed tail replays cleanly");
 
     // The survivor serves every write the clean replica applied.
