@@ -29,19 +29,33 @@
 //!
 //! # The failover sequence
 //!
-//! 1. **Demote** the old primary: shut down its ship listener and the
+//! 1. **Elect** the replica with the highest *durable* LSN — what a
+//!    replica fsync'd is what it acked, so the winner carries every
+//!    acked-durable update — and pre-check that its directory has not
+//!    already reached the target term. Everything that can *refuse*
+//!    runs here, before the old primary is touched: a failover with no
+//!    promotable candidate is a no-op error, never an outage.
+//! 2. **Demote** the old primary: shut down its ship listener and the
 //!    engine itself. Even if this node were unreachable instead of
 //!    co-located, term fencing makes the demotion safe — see below.
-//! 2. **Promote** the replica with the highest *durable* LSN at
-//!    `term + 1` ([`promote_highest_at_term`]) — what a replica
-//!    fsync'd is what it acked, so the winner carries every
-//!    acked-durable update.
-//! 3. **Re-ship**: start a fresh [`ShipListener`] over the promoted
+//! 3. **Promote** the winner at `term + 1`. If the promotion itself
+//!    fails here (an I/O error in recovery), the controller rolls
+//!    back: it resurrects the old primary from its own directory,
+//!    re-ships it and restarts the fleet — counted in
+//!    `failed_failovers` — rather than leaving the cluster headless.
+//! 4. **Re-ship**: start a fresh [`ShipListener`] over the promoted
 //!    directory with `term_floor` at the promotion LSN, restart the
 //!    surviving replicas against it (a survivor whose WAL ran past the
-//!    floor is force-bootstrapped — its tail may diverge from the new
-//!    history), and swap the router's replica pool.
-//! 4. **Re-point** the router at the promoted engine
+//!    floor — or that missed more than one term — is
+//!    force-bootstrapped), and swap the router's replica pool. A
+//!    survivor that cannot be restarted is dropped *loudly*: named in
+//!    [`FailoverReport::lost`] and counted in `lost_replicas`. If the
+//!    listener itself cannot start, the term is already burned in the
+//!    winner's MANIFEST, so the cluster rolls *forward* to a degraded
+//!    primary-only regime; the stale survivors are shut down (their
+//!    old durable state must never win a later election against
+//!    writes acked at the new term).
+//! 5. **Re-point** the router at the promoted engine
 //!    ([`Router::repoint`]). In-flight reads against the dead handle
 //!    resolve as errors, never as stale answers counted fresh.
 //!
@@ -64,8 +78,10 @@ use crate::repl::ship::{ShipConfig, ShipListener, ShipTrace};
 use crate::retry::Backoff;
 use crate::runtime::{Engine, EngineHandle};
 use crate::supervisor::EngineState;
+use quts_db::snapshot;
 use quts_metrics::{FailoverStep, LogHistogram, TraceEvent};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -179,6 +195,10 @@ pub struct FailoverReport {
     pub repoint_us: u64,
     /// Total: first suspicion → router re-pointed.
     pub mttr_us: u64,
+    /// Replicas the failover could not carry over: no start config for
+    /// their name, a restart error, or (degraded roll-forward) no
+    /// listener to restart them against. Empty on a clean failover.
+    pub lost: Vec<String>,
 }
 
 /// A point-in-time view of the cluster, for the `REPL`/`METRICS` verbs.
@@ -205,6 +225,14 @@ pub struct ClusterStats {
     /// Every promotion as `(term, replica name)` — the conformance
     /// invariant asserts the terms are unique and increasing.
     pub promotions: Vec<(u64, String)>,
+    /// Failovers that errored *after* demoting the old primary and had
+    /// to roll back (old primary resurrected) or roll forward degraded
+    /// (primary-only, no listener). Pre-demotion refusals — no
+    /// candidate, stale winner — are not failures; nothing was touched.
+    pub failed_failovers: u64,
+    /// Replicas dropped from the fleet across all failovers (missing
+    /// start config, restart error, or degraded roll-forward).
+    pub lost_replicas: u64,
 }
 
 /// Counters and histograms shared between the controller, its detector
@@ -220,6 +248,8 @@ struct ClusterShared {
     mttr: Mutex<LogHistogram>,
     promotions: Mutex<Vec<(u64, String)>>,
     reports: Mutex<Vec<FailoverReport>>,
+    failed_failovers: AtomicU64,
+    lost_replicas: AtomicU64,
 }
 
 /// The pieces the controller owns and replaces wholesale at failover.
@@ -227,9 +257,13 @@ struct Core {
     engine: Option<Engine>,
     ship: Option<ShipListener>,
     replicas: Vec<Replica>,
-    /// Start configs keyed implicitly by `ReplicaConfig::name`, kept so
-    /// survivors can be restarted against the promoted primary.
+    /// Start configs keyed implicitly by `ReplicaConfig::name` (names
+    /// are unique — [`Cluster::start`] asserts it), kept so survivors
+    /// can be restarted against the promoted primary.
     configs: Vec<ReplicaConfig>,
+    /// The serving primary's durability directory — the rollback
+    /// target when a promotion fails after the demotion point.
+    primary_dir: PathBuf,
 }
 
 impl Core {
@@ -271,6 +305,15 @@ impl Cluster {
     /// started from — needed to restart survivors after a promotion)
     /// and the shared router. The controller's term starts at whatever
     /// the listener read from the primary's MANIFEST.
+    ///
+    /// Replica names must be unique within the cluster: survivors are
+    /// matched back to their start configs by name at failover, so a
+    /// duplicate would silently restart the wrong replica. Duplicates
+    /// panic here rather than corrupting the fleet later.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two members share a `ReplicaConfig::name`.
     pub fn start(
         engine: Engine,
         ship: ShipListener,
@@ -281,7 +324,19 @@ impl Cluster {
         config: ControllerConfig,
     ) -> Cluster {
         let term = ship.term();
-        let (replicas, configs): (Vec<_>, Vec<_>) = members.into_iter().unzip();
+        let primary_dir = ship.dir();
+        let (replicas, configs): (Vec<Replica>, Vec<ReplicaConfig>) =
+            members.into_iter().unzip();
+        {
+            let mut names: Vec<&str> = configs.iter().map(|c| c.name.as_str()).collect();
+            names.sort_unstable();
+            for pair in names.windows(2) {
+                assert_ne!(
+                    pair[0], pair[1],
+                    "replica names must be unique within a cluster"
+                );
+            }
+        }
         let shared = Arc::new(ClusterShared {
             term: AtomicU64::new(term),
             failovers: AtomicU64::new(0),
@@ -291,12 +346,15 @@ impl Cluster {
             mttr: Mutex::new(LogHistogram::new()),
             promotions: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
+            failed_failovers: AtomicU64::new(0),
+            lost_replicas: AtomicU64::new(0),
         });
         let core = Arc::new(Mutex::new(Core {
             engine: Some(engine),
             ship: Some(ship),
             replicas,
             configs,
+            primary_dir,
         }));
         let stop = Arc::new(AtomicBool::new(false));
         let monitor = config.auto_failover.then(|| {
@@ -395,6 +453,8 @@ impl Cluster {
                 .lock()
                 .expect("promotions lock")
                 .clone(),
+            failed_failovers: self.shared.failed_failovers.load(Ordering::Acquire),
+            lost_replicas: self.shared.lost_replicas.load(Ordering::Acquire),
         }
     }
 
@@ -501,6 +561,17 @@ impl ClusterHandle {
         let core = self.core.lock().expect("cluster core lock");
         core.ship.as_ref().map(|s| s.fenced_total()).unwrap_or(0)
     }
+
+    /// Failovers that errored after the demotion point (rolled back or
+    /// degraded to primary-only).
+    pub fn failed_failovers(&self) -> u64 {
+        self.shared.failed_failovers.load(Ordering::Acquire)
+    }
+
+    /// Replicas dropped from the fleet across all failovers.
+    pub fn lost_replicas(&self) -> u64 {
+        self.shared.lost_replicas.load(Ordering::Acquire)
+    }
 }
 
 /// The detector loop. Polls the engine's in-process state and the
@@ -569,9 +640,13 @@ fn monitor_main(
         }
 
         // Deadline blown repeatedly. Re-probe with backoff: a stall
-        // clears itself here, a dark link does not. The lock is held
-        // throughout — routing does not depend on it, and a failover
-        // decision should not race a concurrent manual one.
+        // clears itself here, a dark link does not. The core lock is
+        // dropped across the probe sleeps — stats readers and a manual
+        // `failover_now` must not stall behind the detector for the
+        // whole backoff sequence — and each probe (plus the final
+        // verdict) re-acquires and re-validates instead.
+        let failovers_before = shared.failovers.load(Ordering::Acquire);
+        drop(guard);
         let mut backoff = Backoff::new(cfg.probe_backoff_base, cfg.probe_backoff_cap);
         let mut recovered = false;
         for _ in 0..cfg.probe_retries {
@@ -579,10 +654,11 @@ fn monitor_main(
             if stop.load(Ordering::Acquire) {
                 return;
             }
-            if guard.engine.as_ref().map(|e| e.state()) != Some(EngineState::Running) {
-                break; // crash verdict wins; handled next poll
+            let probe = core.lock().expect("cluster core lock");
+            if probe.engine.as_ref().map(|e| e.state()) != Some(EngineState::Running) {
+                break; // crash (or headless) — settled under the lock below
             }
-            let fresh_now = freshest_beat_us(&guard);
+            let fresh_now = freshest_beat_us(&probe);
             if fresh_now.is_some_and(|age| Duration::from_micros(age) <= cfg.heartbeat_timeout) {
                 recovered = true;
                 break;
@@ -593,11 +669,32 @@ fn monitor_main(
             suspected_at = None;
             continue;
         }
-        let since = suspected_at.unwrap_or_else(Instant::now);
-        let verdict = match guard.engine.as_ref().map(|e| e.state()) {
-            Some(EngineState::Running) => FailureVerdict::Partition,
-            _ => FailureVerdict::Crash,
+
+        // Re-validate under a fresh lock before acting: a manual
+        // `failover_now` may have already repaired the cluster while
+        // the lock was down, or the link may have come back between
+        // the last probe and now.
+        let mut guard = core.lock().expect("cluster core lock");
+        if shared.failovers.load(Ordering::Acquire) != failovers_before {
+            misses = 0;
+            suspected_at = None;
+            continue;
+        }
+        let Some(engine) = guard.engine.as_ref() else {
+            return; // failed rollback left the cluster headless
         };
+        let verdict = if engine.state() == EngineState::Running {
+            let fresh_now = freshest_beat_us(&guard);
+            if fresh_now.is_some_and(|age| Duration::from_micros(age) <= cfg.heartbeat_timeout) {
+                misses = 0;
+                suspected_at = None;
+                continue;
+            }
+            FailureVerdict::Partition
+        } else {
+            FailureVerdict::Crash
+        };
+        let since = suspected_at.unwrap_or_else(Instant::now);
         let _ = failover(
             &mut guard,
             shared,
@@ -639,9 +736,20 @@ fn note_suspected(core: &Core, shared: &ClusterShared, first: bool) {
     }
 }
 
-/// The failover itself: demote, promote at `term + 1`, re-ship behind
-/// the promotion floor, restart survivors, re-point the router. Called
-/// with the core locked; on success the core holds the new regime.
+/// The failover itself: elect (while nothing is demoted yet), demote,
+/// promote at `term + 1`, re-ship behind the promotion floor, restart
+/// survivors, re-point the router. Called with the core locked; on
+/// success the core holds the new regime.
+///
+/// Ordering is the error-containment story. Everything that can
+/// *refuse* — the election, the winner's term pre-check — runs before
+/// the old primary is touched, so `NoCandidate` against a healthy
+/// primary is a no-op, not an outage. Errors past the demotion point
+/// are repaired instead of propagated half-done: a failed promotion
+/// rolls back to the old primary's directory ([`rollback`]); a failed
+/// re-ship rolls forward to a degraded primary-only regime (the term
+/// is already burned in the winner's MANIFEST). Both paths count in
+/// `failed_failovers`, and dropped replicas in `lost_replicas`.
 #[allow(clippy::too_many_arguments)]
 fn failover(
     core: &mut Core,
@@ -661,6 +769,19 @@ fn failover(
         });
     }
 
+    // Elect the most-durable replica and pre-check that its directory
+    // can actually hold the next term — both before the old regime is
+    // touched, so a refusal leaves a working primary working.
+    let new_term = shared.term.load(Ordering::Acquire) + 1;
+    let winner = failover_api::elect(&core.replicas)?;
+    let winner_term = snapshot::manifest_term(&core.replicas[winner].dir());
+    if winner_term >= new_term {
+        return Err(PromoteError::StaleTerm {
+            current: winner_term,
+            requested: new_term,
+        });
+    }
+
     // Demote the old primary before anything serves at the new term.
     // Co-located, this is a real shutdown; were it remote and dark,
     // term fencing alone keeps the zombie harmless (module docs).
@@ -671,14 +792,21 @@ fn failover(
         let _ = engine.shutdown();
     }
 
-    // Promote the most-durable replica at the next term.
-    let new_term = shared.term.load(Ordering::Acquire) + 1;
-    let winner = failover_api::elect(&core.replicas)?;
+    // Promote the winner at the next term.
     let mut survivors = std::mem::take(&mut core.replicas);
     let chosen = survivors.remove(winner);
     let promoted = chosen.stats().name;
     let promoted_dir = chosen.dir();
-    let engine = failover_api::promote_at_term(chosen, engine_template.clone(), new_term)?;
+    let engine = match failover_api::promote_at_term(chosen, engine_template.clone(), new_term) {
+        Ok(engine) => engine,
+        Err(e) => {
+            // The winner is consumed and the old primary is down; the
+            // only honest repair is resurrecting the old regime from
+            // its own directory.
+            rollback(core, shared, router, engine_template, ship_template, survivors);
+            return Err(e);
+        }
+    };
     shared.term.store(new_term, Ordering::Release);
     let handle = engine.handle();
     let promote_us = confirm.elapsed().as_micros() as u64;
@@ -697,20 +825,53 @@ fn failover(
         .trace
         .as_ref()
         .map(|_| ShipTrace::from_handle(&handle));
-    let ship = ShipListener::start(promoted_dir, ship_cfg)?;
-    let addr = ship.addr();
+    let ship = ShipListener::start(promoted_dir.clone(), ship_cfg).ok();
 
     // Restart survivors against the new primary and give the router
     // the fresh handles — the old pool's frozen stats must not qualify
-    // another read.
+    // another read. Failures here shrink the fleet, never abort the
+    // failover: each dropped survivor is named in the report and
+    // counted, and the promoted primary serves regardless.
     let mut restarted = Vec::with_capacity(survivors.len());
-    for survivor in survivors {
-        let name = survivor.stats().name;
-        let _ = survivor.shutdown();
-        if let Some(cfg) = core.config_for(&name) {
-            restarted.push(Replica::start(addr, cfg)?);
+    let mut lost: Vec<String> = Vec::new();
+    match ship.as_ref() {
+        Some(ship) => {
+            let addr = ship.addr();
+            for survivor in survivors {
+                let name = survivor.stats().name;
+                let _ = survivor.shutdown();
+                let Some(cfg) = core.config_for(&name) else {
+                    // Unreachable while Cluster::start's unique-name
+                    // assert holds — a miss means members and configs
+                    // disagree, which is a wiring bug.
+                    debug_assert!(false, "no start config for replica {name}");
+                    lost.push(name);
+                    continue;
+                };
+                match Replica::start(addr, cfg) {
+                    Ok(replica) => restarted.push(replica),
+                    Err(_) => lost.push(name),
+                }
+            }
+        }
+        None => {
+            // No listener: the term is burned (the winner's MANIFEST
+            // carries it), so there is no rolling back to the old
+            // primary — degrade to a primary-only regime. Survivors
+            // are shut down rather than left pointed at a dead
+            // address: their stale durable state must never win a
+            // later election against writes acked at this term.
+            shared.failed_failovers.fetch_add(1, Ordering::AcqRel);
+            for survivor in survivors {
+                let name = survivor.stats().name;
+                let _ = survivor.shutdown();
+                lost.push(name);
+            }
         }
     }
+    shared
+        .lost_replicas
+        .fetch_add(lost.len() as u64, Ordering::AcqRel);
     router.set_replicas(restarted.iter().map(|r| r.handle()).collect());
     router.repoint(handle.clone());
     let repoint_us = (confirm.elapsed().as_micros() as u64).saturating_sub(promote_us);
@@ -722,8 +883,9 @@ fn failover(
     });
 
     core.engine = Some(engine);
-    core.ship = Some(ship);
+    core.ship = ship;
     core.replicas = restarted;
+    core.primary_dir = promoted_dir;
 
     shared.failovers.fetch_add(1, Ordering::AcqRel);
     shared.last_failover_us.store(
@@ -749,6 +911,7 @@ fn failover(
         promote_us,
         repoint_us,
         mttr_us,
+        lost,
     };
     shared
         .reports
@@ -756,4 +919,72 @@ fn failover(
         .expect("reports lock")
         .push(report.clone());
     Ok(report)
+}
+
+/// Best-effort resurrection of the demoted primary after a promotion
+/// failed *past* the demotion point: recover an engine from the old
+/// primary's own directory, re-ship it, restart every configured
+/// replica against the new listener and point the router back at it.
+/// The old directory's term never advanced, so resuming it cannot
+/// conflict with the failed promotion — no engine ever served at the
+/// burned term.
+///
+/// Counted in `failed_failovers` either way. If even the resurrection
+/// fails, the cluster is left deliberately empty (`core.engine ==
+/// None`, no replicas in the router) — visible as a failed failover
+/// with no serving primary — rather than half-wired to dead handles.
+fn rollback(
+    core: &mut Core,
+    shared: &ClusterShared,
+    router: &Router,
+    engine_template: &EngineConfig,
+    ship_template: &ShipConfig,
+    survivors: Vec<Replica>,
+) {
+    shared.failed_failovers.fetch_add(1, Ordering::AcqRel);
+    // The survivors point at the demoted listener's dead address; the
+    // rollback listener binds afresh, so everything restarts from its
+    // start config (the consumed winner included — promotion sealed
+    // its directory, which restarts like any stopped replica).
+    for survivor in survivors {
+        let _ = survivor.shutdown();
+    }
+    let dir = core.primary_dir.clone();
+    let Ok(engine) = Engine::recover(dir.clone(), engine_template.clone()) else {
+        router.set_replicas(Vec::new());
+        shared
+            .lost_replicas
+            .fetch_add(core.configs.len() as u64, Ordering::AcqRel);
+        return; // headless: nothing serves until the operator steps in
+    };
+    let handle = engine.handle();
+    // Template floor (not a promotion LSN): with the old history back
+    // in charge, any stale-term resume re-bootstrapping is the safe
+    // conservative default.
+    let mut ship_cfg = ship_template.clone();
+    ship_cfg.trace = ship_template
+        .trace
+        .as_ref()
+        .map(|_| ShipTrace::from_handle(&handle));
+    let ship = ShipListener::start(dir, ship_cfg).ok();
+    let mut replicas = Vec::new();
+    if let Some(ship) = ship.as_ref() {
+        for cfg in core.configs.clone() {
+            match Replica::start(ship.addr(), cfg) {
+                Ok(replica) => replicas.push(replica),
+                Err(_) => {
+                    shared.lost_replicas.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+    } else {
+        shared
+            .lost_replicas
+            .fetch_add(core.configs.len() as u64, Ordering::AcqRel);
+    }
+    router.set_replicas(replicas.iter().map(|r| r.handle()).collect());
+    router.repoint(handle);
+    core.engine = Some(engine);
+    core.ship = ship;
+    core.replicas = replicas;
 }

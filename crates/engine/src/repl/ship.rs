@@ -18,9 +18,14 @@
 //! hello carries a *higher* term proves this primary is a zombie — the
 //! session is refused before a single frame moves, and the refusal is
 //! counted. A replica on a *lower* term is a survivor of an older
-//! primary: it may resume only below the listener's `term_floor` (the
-//! WAL position where this term began); above it, its tail may diverge
-//! from ours, so it is force-bootstrapped from a snapshot instead.
+//! primary. If it is exactly one term behind, it followed our
+//! immediate predecessor — whose history we extend — so it may resume
+//! at or below the listener's `term_floor` (the WAL position where
+//! this term began); above the floor its tail may diverge from ours
+//! and it is force-bootstrapped from a snapshot instead. A replica two
+//! or more terms behind is *always* force-bootstrapped: its history
+//! split from ours at some older term boundary this listener has no
+//! floor for, so even a resume LSN below our floor proves nothing.
 //! Acks are only trusted when they echo our own term.
 
 use crate::fault::LinkFaultPlan;
@@ -58,12 +63,15 @@ pub struct ShipConfig {
     /// Trace/observability wiring: seed announcement, `ship_frame`
     /// events and per-peer lag sampling. `None` ships silently.
     pub trace: Option<ShipTrace>,
-    /// The WAL LSN at which this primary's term began. A replica still
-    /// on an older term may resume at or below this floor (the history
-    /// up to it is shared); above it, the replica's tail may diverge
-    /// and it is bootstrapped from a snapshot instead. A promoted
-    /// primary sets this to its LSN at promotion; 0 (the default) means
-    /// any stale-term resume beyond LSN 0 re-bootstraps.
+    /// The WAL LSN at which this primary's term began. The floor can
+    /// only vouch for a replica exactly one term behind (it followed
+    /// the immediate predecessor whose history this term extends): such
+    /// a replica may resume at or below the floor, and is bootstrapped
+    /// from a snapshot above it, where its tail may diverge. A replica
+    /// two or more terms behind is always bootstrapped — its history
+    /// split at an older boundary this floor says nothing about. A
+    /// promoted primary sets this to its LSN at promotion; 0 (the
+    /// default) means any stale-term resume beyond LSN 0 re-bootstraps.
     pub term_floor: u64,
 }
 
@@ -275,6 +283,7 @@ impl ShipRegistry {
 #[derive(Debug)]
 pub struct ShipListener {
     addr: SocketAddr,
+    dir: PathBuf,
     registry: Arc<ShipRegistry>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
@@ -300,6 +309,7 @@ impl ShipListener {
         let acceptor = {
             let registry = Arc::clone(&registry);
             let stop = Arc::clone(&stop);
+            let dir = dir.clone();
             thread::Builder::new()
                 .name("quts-ship-accept".into())
                 .spawn(move || accept_loop(listener, dir, config, registry, stop, epoch))
@@ -307,10 +317,16 @@ impl ShipListener {
         };
         Ok(ShipListener {
             addr,
+            dir,
             registry,
             stop,
             acceptor: Some(acceptor),
         })
+    }
+
+    /// The durability directory this listener ships from.
+    pub fn dir(&self) -> PathBuf {
+        self.dir.clone()
     }
 
     /// The bound address replicas should connect to.
@@ -492,9 +508,15 @@ fn ship_connection(
     if let Some(t) = &config.trace {
         wire::send_trace_seed(&mut stream, t.seed)?;
     }
-    // A survivor of an older term may only resume below the LSN where
-    // our term began; past it, its WAL tail may diverge from ours.
-    let force_bootstrap = hello.term < term && hello.resume_lsn > config.term_floor;
+    // A survivor of an older term may only resume when its whole tail
+    // is provably shared history. The persisted floor marks where *our*
+    // term began, so it can vouch only for a replica exactly one term
+    // behind (it followed the predecessor whose log we extend); a
+    // replica two or more terms behind diverged at some older boundary
+    // the floor says nothing about — its resume point can sit below our
+    // floor yet above the split — so it re-bootstraps unconditionally.
+    let force_bootstrap = hello.term < term
+        && (hello.term + 1 < term || hello.resume_lsn > config.term_floor);
     let peer = registry.entry(&hello.name);
     peer.connections.fetch_add(1, Ordering::AcqRel);
     peer.connected.store(true, Ordering::Release);

@@ -384,9 +384,11 @@ fn render_repl_status(shared: &Shared) -> String {
     // read.
     if let Some(cluster) = shared.cluster() {
         out.push_str(&format!(
-            "\nrole primary term={} failovers={}",
+            "\nrole primary term={} failovers={} failed={} lost_replicas={}",
             cluster.term(),
             cluster.failovers(),
+            cluster.failed_failovers(),
+            cluster.lost_replicas(),
         ));
         match cluster.last_failover_age_us() {
             Some(age) => out.push_str(&format!("\nlast_failover age_us={age}")),
@@ -702,6 +704,16 @@ fn render_metrics(shared: &Shared) -> String {
             "quts_failovers_total",
             "Completed controller failovers (term bumps)",
             cluster.failovers(),
+        );
+        exp.counter(
+            "quts_failovers_failed_total",
+            "Failovers that errored after demotion (rolled back or degraded)",
+            cluster.failed_failovers(),
+        );
+        exp.counter(
+            "quts_failover_lost_replicas_total",
+            "Replicas dropped from the fleet during failovers",
+            cluster.lost_replicas(),
         );
         exp.histogram(
             "quts_failover_detect_us",

@@ -464,6 +464,162 @@ fn zombie_primary_is_fenced_in_both_directions() {
     engine_a.shutdown();
 }
 
+/// A failover with nothing to promote must refuse *before* touching
+/// the old regime: `failover_now` against a replica-less cluster
+/// returns `NoCandidate` and the healthy primary keeps serving —
+/// listener up, term unchanged, durable writes accepted.
+#[test]
+fn failover_with_no_candidate_leaves_the_primary_serving() {
+    let tmp = TempDir::new("no-candidate");
+    let engine = Engine::try_start(
+        Store::with_synthetic_stocks(4),
+        primary_config(&tmp.sub("primary")),
+    )
+    .unwrap();
+    let ship = ShipListener::start(tmp.sub("primary"), ShipConfig::default()).unwrap();
+    let router = Arc::new(Router::new(engine.handle(), RouterConfig::default()));
+    let cluster = Cluster::start(
+        engine,
+        ship,
+        Vec::new(),
+        router,
+        primary_config(&tmp.sub("primary")),
+        ShipConfig::default(),
+        ControllerConfig::default(),
+    );
+    cluster
+        .primary()
+        .submit_update_durable(trade(0, 42.0))
+        .unwrap()
+        .recv()
+        .unwrap();
+
+    match cluster.failover_now() {
+        Err(PromoteError::NoCandidate) => {}
+        other => panic!("expected NoCandidate, got {other:?}"),
+    }
+
+    let stats = cluster.stats();
+    assert_eq!(stats.failovers, 0, "{stats:?}");
+    assert_eq!(
+        stats.failed_failovers, 0,
+        "a refusal before demotion is not a failed failover"
+    );
+    assert_eq!(stats.term, 0);
+    assert!(cluster.ship_addr().is_some(), "listener survived the refusal");
+    cluster
+        .primary()
+        .submit_update_durable(trade(1, 43.0))
+        .unwrap()
+        .recv()
+        .unwrap();
+    cluster.shutdown();
+}
+
+/// When the post-promotion listener cannot start, the term is already
+/// burned in the winner's MANIFEST, so the controller rolls *forward*:
+/// the promoted primary serves alone, the stale survivor is shut down
+/// and reported lost (its old durable state must never win a later
+/// election), and the failure is visible in the counters — never a
+/// silent half-wired cluster.
+#[test]
+fn failed_reship_degrades_to_primary_only_not_headless() {
+    let tmp = TempDir::new("degraded");
+    // Occupy a port up front; the ship *template* pins that port, so
+    // the listener the failover tries to start can never bind.
+    let blocker = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut ship_template = ShipConfig::default().with_heartbeat(Duration::from_millis(10));
+    ship_template.addr = blocker.local_addr().unwrap();
+
+    let engine = Engine::try_start(
+        Store::with_synthetic_stocks(8),
+        primary_config(&tmp.sub("primary")),
+    )
+    .unwrap();
+    let ship = ShipListener::start(
+        tmp.sub("primary"),
+        ShipConfig::default().with_heartbeat(Duration::from_millis(10)),
+    )
+    .unwrap();
+    let r1_cfg = replica_config("r1", tmp.sub("r1"));
+    let r2_cfg = replica_config("r2", tmp.sub("r2"));
+    let r1 = Replica::start(ship.addr(), r1_cfg.clone()).unwrap();
+    let r2 = Replica::start(ship.addr(), r2_cfg.clone()).unwrap();
+    let router = Arc::new(Router::new(engine.handle(), RouterConfig::default()));
+    router.add_replica(r1.handle());
+    router.add_replica(r2.handle());
+    let cluster = Cluster::start(
+        engine,
+        ship,
+        vec![(r1, r1_cfg), (r2, r2_cfg)],
+        router,
+        primary_config(&tmp.sub("primary")),
+        ship_template,
+        ControllerConfig::default(),
+    );
+    let floor = replicate_baseline(&cluster, 16);
+
+    let report = cluster.failover_now().expect("the promotion itself succeeds");
+    assert_eq!(report.term, 1);
+    assert_eq!(report.lost.len(), 1, "{report:?}");
+
+    let stats = cluster.stats();
+    assert_eq!(stats.failovers, 1, "{stats:?}");
+    assert_eq!(stats.failed_failovers, 1, "{stats:?}");
+    assert_eq!(stats.lost_replicas, 1, "{stats:?}");
+    assert_eq!(stats.term, 1);
+    assert!(
+        cluster.ship_addr().is_none(),
+        "degraded regime has no listener"
+    );
+    assert!(
+        cluster.router().replica_stats().is_empty(),
+        "stale survivors must not stay in the read pool"
+    );
+
+    // Degraded is still a primary: the acked floor is covered and new
+    // durable writes land.
+    no_acked_loss_across_failover(floor, cluster.primary().stats().wal_last_lsn)
+        .expect("acked-durable floor covered");
+    cluster
+        .primary()
+        .submit_update_durable(trade(0, 77.0))
+        .unwrap()
+        .recv()
+        .unwrap();
+    cluster.shutdown();
+    drop(blocker);
+}
+
+/// Survivors are matched back to their start configs by name, so a
+/// duplicate name could silently restart the wrong replica at
+/// failover. The controller refuses the wiring outright.
+#[test]
+#[should_panic(expected = "replica names must be unique")]
+fn duplicate_replica_names_are_refused_at_cluster_start() {
+    let tmp = TempDir::new("dup-names");
+    let engine = Engine::try_start(
+        Store::with_synthetic_stocks(4),
+        primary_config(&tmp.sub("primary")),
+    )
+    .unwrap();
+    let ship = ShipListener::start(tmp.sub("primary"), ShipConfig::default()).unwrap();
+    let a_cfg = replica_config("r1", tmp.sub("a"));
+    let b_cfg = replica_config("r1", tmp.sub("b"));
+    let a = Replica::start(ship.addr(), a_cfg.clone()).unwrap();
+    let b = Replica::start(ship.addr(), b_cfg.clone()).unwrap();
+    let router = Arc::new(Router::new(engine.handle(), RouterConfig::default()));
+    Cluster::start(
+        engine,
+        ship,
+        vec![(a, a_cfg), (b, b_cfg)],
+        router,
+        primary_config(&tmp.sub("primary")),
+        ShipConfig::default(),
+        ControllerConfig::default(),
+    );
+}
+
 // --- Property: MANIFEST terms are monotone under any schedule ---
 
 fn prop_cases() -> u32 {

@@ -347,6 +347,91 @@ fn resume_after_snapshot_gc_rebootstraps() {
     engine.shutdown();
 }
 
+/// The term floor only vouches for a survivor exactly one term behind.
+/// Two replicas stop with identical prefixes; one "follows" the
+/// intervening term (its MANIFEST reaches term 1), the other misses it
+/// entirely. Against a term-2 listener whose floor sits *above* both
+/// resume points, the one-term-behind survivor resumes in place, but
+/// the two-terms-behind one must re-bootstrap — its history could have
+/// split anywhere in the missed term, and the floor says nothing about
+/// where.
+#[test]
+fn survivor_terms_behind_rebootstraps_even_below_the_floor() {
+    let tmp = TempDir::new("multiterm");
+    let engine = Engine::try_start(
+        Store::with_synthetic_stocks(4),
+        primary_config(&tmp.sub("primary")),
+    )
+    .unwrap();
+    // Term 0: both replicas converge on the same 16-frame prefix and
+    // stop cleanly.
+    let ship = ShipListener::start(tmp.sub("primary"), ShipConfig::default()).unwrap();
+    let r1 = Replica::start(ship.addr(), replica_config("r1", tmp.sub("r1"))).unwrap();
+    let r2 = Replica::start(ship.addr(), replica_config("r2", tmp.sub("r2"))).unwrap();
+    for i in 0..16u32 {
+        engine
+            .submit_update(trade(i % 4, 10.0 + f64::from(i)))
+            .unwrap();
+    }
+    await_applied(&r1, 16);
+    await_applied(&r2, 16);
+    assert_eq!(r1.shutdown().applied_lsn, 16);
+    assert_eq!(r2.shutdown().applied_lsn, 16);
+    ship.shutdown();
+
+    // History runs on to LSN 32 while both are down. The primary's
+    // directory moves two terms ahead; r1's separately reaches term 1
+    // (it followed the intervening primary), r2 stays at term 0.
+    for i in 16..32u32 {
+        engine
+            .submit_update(trade(i % 4, 10.0 + f64::from(i)))
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while engine.stats().wal_last_lsn < 32 {
+        assert!(Instant::now() < deadline, "primary WAL stalled");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    snapshot::bump_term(&tmp.sub("r1"), 1).unwrap();
+    snapshot::bump_term(&tmp.sub("primary"), 2).unwrap();
+
+    // Term-2 listener with its floor at 24: both resume points (16)
+    // sit below it.
+    let ship = ShipListener::start(
+        tmp.sub("primary"),
+        ShipConfig::default().with_term_floor(24),
+    )
+    .unwrap();
+    assert_eq!(ship.term(), 2);
+
+    // One term behind: everything below the floor is history shared
+    // with the predecessor this primary extends — resume in place.
+    let r1 = Replica::start(ship.addr(), replica_config("r1", tmp.sub("r1"))).unwrap();
+    let s1 = await_applied(&r1, 32);
+    assert_eq!(s1.bootstraps, 0, "one term behind, below the floor: resume");
+    assert_eq!(s1.term, 2, "caught-up survivor adopts the serving term");
+
+    // Two terms behind: same resume point, but the floor cannot vouch
+    // for where its history split — it must re-bootstrap.
+    let r2 = Replica::start(ship.addr(), replica_config("r2", tmp.sub("r2"))).unwrap();
+    let s2 = await_applied(&r2, 32);
+    assert_eq!(
+        s2.bootstraps, 1,
+        "two terms behind must re-bootstrap, floor or not"
+    );
+    assert_eq!(s2.term, 2);
+
+    for s in 0..4u32 {
+        let last = (0..32u32).filter(|i| i % 4 == s).max().unwrap();
+        assert_eq!(replica_price(&r1, s), 10.0 + f64::from(last));
+        assert_eq!(replica_price(&r2, s), 10.0 + f64::from(last));
+    }
+    r1.shutdown();
+    r2.shutdown();
+    ship.shutdown();
+    engine.shutdown();
+}
+
 #[test]
 fn failover_promotes_highest_replica_and_loses_no_acked_update() {
     let tmp = TempDir::new("failover");
