@@ -40,6 +40,7 @@ pub mod envelope;
 pub mod generate;
 pub mod invariant;
 pub mod oracle;
+pub mod sharded;
 pub mod trace;
 
 pub use envelope::{Envelope, Policy};
@@ -50,4 +51,8 @@ pub use invariant::{
     wal_contiguous_after_snapshot, Invariant, Observation,
 };
 pub use oracle::{run_differential, DiffReport, Divergence, DivergenceKind};
+pub use sharded::{
+    partition_conf_trace, run_sharded_differential, shards_conserve, shards_independent,
+    ShardConfPart, ShardedDiffReport,
+};
 pub use trace::{ConfQuery, ConfTrace, ConfUpdate};

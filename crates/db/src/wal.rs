@@ -191,8 +191,25 @@ pub enum FsyncPolicy {
 
 // --- Segment bookkeeping ---
 
-fn segment_path(dir: &Path, first_lsn: u64) -> PathBuf {
-    dir.join(format!("wal-{first_lsn:016x}.log"))
+fn segment_path(dir: &Path, tag: Option<&str>, first_lsn: u64) -> PathBuf {
+    match tag {
+        Some(tag) => dir.join(format!("wal-{tag}-{first_lsn:016x}.log")),
+        None => dir.join(format!("wal-{first_lsn:016x}.log")),
+    }
+}
+
+/// Parses a segment file name — both the untagged `wal-<lsn016x>.log`
+/// form and the tagged `wal-<tag>-<lsn016x>.log` form a sharded engine
+/// writes — returning the first LSN the segment holds.
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    // The LSN is always the final `-`-separated component; tags may
+    // themselves contain dashes, hex digits never do.
+    let hex = match rest.rfind('-') {
+        Some(i) => &rest[i + 1..],
+        None => rest,
+    };
+    u64::from_str_radix(hex, 16).ok()
 }
 
 /// WAL segment files in `dir`, sorted by their first LSN.
@@ -202,13 +219,8 @@ pub fn segment_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
         let entry = entry?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
-        if let Some(hex) = name
-            .strip_prefix("wal-")
-            .and_then(|rest| rest.strip_suffix(".log"))
-        {
-            if let Ok(lsn) = u64::from_str_radix(hex, 16) {
-                out.push((lsn, entry.path()));
-            }
+        if let Some(lsn) = parse_segment_name(&name) {
+            out.push((lsn, entry.path()));
         }
     }
     out.sort_by_key(|&(lsn, _)| lsn);
@@ -228,6 +240,9 @@ const FLUSH_BYTES: usize = 64 * 1024;
 #[derive(Debug)]
 pub struct Wal {
     dir: PathBuf,
+    /// Optional segment-name tag (`wal-<tag>-<lsn>.log`); a sharded
+    /// engine stamps each shard's stream so segments stay attributable.
+    tag: Option<String>,
     file: File,
     /// Frames not yet written to the file (see [`FLUSH_BYTES`]).
     buf: Vec<u8>,
@@ -242,6 +257,9 @@ pub struct Wal {
     /// Count of `sync_data` calls issued over this writer's lifetime
     /// (survives rotation; the group-commit metrics read it).
     fsyncs: u64,
+    /// Added per-sync latency modeling a slower flush device (see
+    /// [`Wal::set_flush_delay`]).
+    flush_delay: Option<std::time::Duration>,
 }
 
 impl Drop for Wal {
@@ -264,9 +282,23 @@ impl Wal {
         segment_bytes: u64,
         next_lsn: u64,
     ) -> io::Result<Wal> {
+        Wal::create_tagged(dir, None, fsync, segment_bytes, next_lsn)
+    }
+
+    /// [`Wal::create`] with a segment-name tag: segments are named
+    /// `wal-<tag>-<lsn016x>.log` so per-shard streams sharing naming
+    /// conventions stay attributable to their shard. Replay and segment
+    /// listing accept both forms.
+    pub fn create_tagged(
+        dir: impl Into<PathBuf>,
+        tag: Option<&str>,
+        fsync: FsyncPolicy,
+        segment_bytes: u64,
+        next_lsn: u64,
+    ) -> io::Result<Wal> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let path = segment_path(&dir, next_lsn);
+        let path = segment_path(&dir, tag, next_lsn);
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -275,6 +307,7 @@ impl Wal {
         file.write_all(SEGMENT_MAGIC)?;
         Ok(Wal {
             dir,
+            tag: tag.map(str::to_owned),
             file,
             buf: Vec::with_capacity(FLUSH_BYTES),
             file_len: SEGMENT_MAGIC.len() as u64,
@@ -284,7 +317,18 @@ impl Wal {
             unsynced_appends: 0,
             segment_bytes,
             fsyncs: 0,
+            flush_delay: None,
         })
+    }
+
+    /// Adds `delay` of **blocking** latency to every sync point,
+    /// modeling a storage device whose cache flush takes that long
+    /// (enterprise disk, network volume). The writer's thread sleeps —
+    /// it does not spin — so, exactly like real flush IO, the CPU stays
+    /// free for other work while the sync is in flight. Durability
+    /// semantics are unchanged: the `sync_data` still happens first.
+    pub fn set_flush_delay(&mut self, delay: Option<std::time::Duration>) {
+        self.flush_delay = delay;
     }
 
     /// Bytes appended to the active segment (file + unflushed buffer).
@@ -379,6 +423,9 @@ impl Wal {
     pub fn sync(&mut self) -> io::Result<()> {
         self.flush_buf()?;
         self.file.sync_data()?;
+        if let Some(delay) = self.flush_delay {
+            std::thread::sleep(delay);
+        }
         self.fsyncs += 1;
         self.synced_len = self.file_len;
         self.unsynced_appends = 0;
@@ -399,7 +446,7 @@ impl Wal {
     /// is synced first so rotation never races durability.
     pub fn rotate(&mut self) -> io::Result<()> {
         self.sync()?;
-        let path = segment_path(&self.dir, self.next_lsn);
+        let path = segment_path(&self.dir, self.tag.as_deref(), self.next_lsn);
         let mut file = OpenOptions::new()
             .create(true)
             .write(true)
@@ -672,6 +719,27 @@ mod tests {
         drop(wal);
         let segs = segment_files(&dir).unwrap();
         assert!(segs.len() > 1, "rotation must create segments");
+        let replay = replay_dir(&dir, 0).unwrap();
+        assert_eq!(replay.records.len(), 6);
+        assert_eq!(replay.truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tagged_segments_name_list_and_replay() {
+        let dir = tmp_dir("tagged");
+        // Tiny segment budget so rotation exercises the tagged path too.
+        let mut wal = Wal::create_tagged(&dir, Some("shard3"), FsyncPolicy::Off, 64, 1).unwrap();
+        for i in 0..6u32 {
+            wal.append(&encode_trade(&trade(i, i as f64))).unwrap();
+        }
+        drop(wal);
+        let segs = segment_files(&dir).unwrap();
+        assert!(segs.len() > 1, "rotation must create tagged segments");
+        for (lsn, path) in &segs {
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            assert_eq!(name, format!("wal-shard3-{lsn:016x}.log"));
+        }
         let replay = replay_dir(&dir, 0).unwrap();
         assert_eq!(replay.records.len(), 6);
         assert_eq!(replay.truncated_bytes, 0);

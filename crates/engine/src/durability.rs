@@ -81,6 +81,14 @@ pub struct DurabilityConfig {
     /// Group-commit pipeline; `None` (default) keeps today's
     /// commit-per-update behavior.
     pub group_commit: Option<GroupCommitConfig>,
+    /// Segment-name tag (`wal-<tag>-<lsn>.log`); a sharded engine sets
+    /// `shard<k>` so every shard's WAL stream is attributable on disk.
+    pub wal_tag: Option<String>,
+    /// Added blocking latency per WAL sync, modeling a slower flush
+    /// device (the writer sleeps — the CPU stays free, like real flush
+    /// IO). `None` (default) syncs at native device speed. A bench/test
+    /// knob: it changes timing only, never durability semantics.
+    pub flush_delay: Option<std::time::Duration>,
 }
 
 impl DurabilityConfig {
@@ -94,7 +102,16 @@ impl DurabilityConfig {
             snapshot_every: 4096,
             segment_bytes: 8 << 20,
             group_commit: None,
+            wal_tag: None,
+            flush_delay: None,
         }
+    }
+
+    /// Builder: adds blocking per-sync latency modeling a slower flush
+    /// device (see the `flush_delay` field).
+    pub fn with_flush_delay(mut self, delay: std::time::Duration) -> Self {
+        self.flush_delay = Some(delay);
+        self
     }
 
     /// Builder: sets the fsync policy.
@@ -122,6 +139,12 @@ impl DurabilityConfig {
         self.group_commit = Some(gc);
         self
     }
+
+    /// Builder: tags WAL segment names (`wal-<tag>-<lsn>.log`).
+    pub fn with_wal_tag(mut self, tag: impl Into<String>) -> Self {
+        self.wal_tag = Some(tag.into());
+        self
+    }
 }
 
 /// The engine's durable state: the open WAL plus snapshot bookkeeping.
@@ -147,7 +170,14 @@ impl Durable {
     /// [`Durable::recover`] for that.
     pub(crate) fn create(cfg: DurabilityConfig, store: &Store) -> io::Result<Durable> {
         snapshot::init_dir(&cfg.dir, store)?;
-        let wal = Wal::create(&cfg.dir, cfg.fsync, cfg.segment_bytes, 1)?;
+        let mut wal = Wal::create_tagged(
+            &cfg.dir,
+            cfg.wal_tag.as_deref(),
+            cfg.fsync,
+            cfg.segment_bytes,
+            1,
+        )?;
+        wal.set_flush_delay(cfg.flush_delay);
         Ok(Durable {
             wal,
             cfg,
@@ -161,7 +191,14 @@ impl Durable {
     /// already replayed, so truncate-create loses nothing).
     pub(crate) fn recover(cfg: DurabilityConfig) -> io::Result<(Durable, Recovered)> {
         let rec = snapshot::recover(&cfg.dir)?;
-        let wal = Wal::create(&cfg.dir, cfg.fsync, cfg.segment_bytes, rec.next_lsn)?;
+        let mut wal = Wal::create_tagged(
+            &cfg.dir,
+            cfg.wal_tag.as_deref(),
+            cfg.fsync,
+            cfg.segment_bytes,
+            rec.next_lsn,
+        )?;
+        wal.set_flush_delay(cfg.flush_delay);
         let durable = Durable {
             wal,
             cfg,

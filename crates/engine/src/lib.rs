@@ -68,6 +68,7 @@ pub mod fault;
 pub mod repl;
 pub mod retry;
 pub mod runtime;
+pub mod shard;
 pub mod stats;
 pub mod supervisor;
 pub mod virt;
@@ -89,6 +90,11 @@ pub use repl::{
     RouterStats, ShipConfig, ShipListener, ShipRegistry, ShipTrace,
 };
 pub use retry::Backoff;
+pub use shard::{
+    merge_shard_stats, partition_trace, run_virtual_sharded, shard_of, shard_seed, splitmix64,
+    CrossShardStats, CrossShardTxn, ShardConfig, ShardMap, ShardTracePart, ShardedEngine,
+    ShardedHandle, ShardedVirtualReport,
+};
 pub use runtime::{
     Engine, EngineHandle, QueryError, QueryReply, QueryTicket, SubmitError, UpdateError,
     UpdateTicket,

@@ -7,7 +7,7 @@ use crate::fault::FaultState;
 use crate::stats::LiveStats;
 use crate::supervisor::{self, EngineSeed, EngineState, STATE_RUNNING};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use quts_db::{QueryOp, QueryResult, StalenessTracker, StockId, Store, Trade};
 use quts_metrics::{
     query_trace_id, update_trace_id, FlightRecorder, SeriesKind, TraceClass, TraceCtx, TraceEvent,
@@ -101,6 +101,13 @@ pub struct QueryTicket {
 }
 
 impl QueryTicket {
+    /// Wraps a reply channel — the cross-shard coordinator resolves its
+    /// merged aggregates through the same ticket type single-shard
+    /// queries use.
+    pub(crate) fn from_rx(rx: Receiver<Result<QueryReply, QueryError>>) -> QueryTicket {
+        QueryTicket { rx }
+    }
+
     /// Blocks until the query resolves.
     pub fn recv(&self) -> Result<QueryReply, QueryError> {
         match self.rx.recv() {
@@ -216,7 +223,27 @@ pub(crate) enum Msg {
         trade: Trade,
         ack: Sender<Result<u64, UpdateError>>,
     },
+    /// Cross-shard 2PL: read the named items' committed values, send the
+    /// grant, then hold the scheduler still until `release` fires (or
+    /// the deadline passes). While held, no update can move the read
+    /// values — the coordinator's multi-shard read is torn-free.
+    Lock {
+        items: Vec<StockId>,
+        deadline: Instant,
+        grant: Sender<LockGrant>,
+        release: Receiver<()>,
+    },
     Shutdown,
+}
+
+/// What a shard grants a [`CrossShardTxn`](crate::shard::CrossShardTxn)
+/// coordinator: the committed value and staleness of each requested
+/// item, frozen until the coordinator releases the shard.
+pub(crate) struct LockGrant {
+    /// Committed price per requested item, request order.
+    pub(crate) prices: Vec<f64>,
+    /// Unapplied-update count (`#uu`) per requested item, request order.
+    pub(crate) unapplied: Vec<u64>,
 }
 
 /// The running engine: owns the supervised scheduler thread.
@@ -239,6 +266,12 @@ pub struct EngineHandle {
     /// Wall-clock zero for events pushed from outside the scheduler
     /// thread (the router); the scheduler's own clock has its own epoch.
     epoch: Instant,
+    /// Submission gate: every submit holds the read guard across its
+    /// state-check + send, and the supervisor closes the write side
+    /// before draining the inbox on poison/stop — so a message either
+    /// reaches the scheduler or is drained *and counted* as shed; none
+    /// can slip into the channel after the final drain and vanish.
+    gate: Arc<RwLock<()>>,
 }
 
 impl Engine {
@@ -333,10 +366,12 @@ impl Engine {
             .as_ref()
             .map(|fc| Arc::new(Mutex::new(FlightRecorder::new(fc))));
         let trace_seed = config.seed;
+        let gate = Arc::new(RwLock::new(()));
         let shared_stats = Arc::clone(&stats);
         let shared_state = Arc::clone(&state);
         let shared_ring = ring.clone();
         let shared_flight = flight.clone();
+        let shared_gate = Arc::clone(&gate);
         let thread = std::thread::Builder::new()
             .name("quts-engine".into())
             .spawn(move || {
@@ -349,6 +384,7 @@ impl Engine {
                     faults,
                     shared_ring,
                     shared_flight,
+                    shared_gate,
                 )
             })
             .expect("spawn engine thread");
@@ -361,6 +397,7 @@ impl Engine {
                 flight,
                 seed: trace_seed,
                 epoch: Instant::now(),
+                gate,
             },
             thread,
         }
@@ -440,6 +477,9 @@ impl EngineHandle {
         qc: QualityContract,
         ctx: Option<TraceCtx>,
     ) -> Result<QueryTicket, SubmitError> {
+        // Holding the gate across check + send pins the supervisor's
+        // terminal drain behind this send (see `EngineHandle::gate`).
+        let _open = self.gate.read();
         if self.state() != EngineState::Running {
             return Err(SubmitError::EngineDown);
         }
@@ -462,6 +502,7 @@ impl EngineHandle {
 
     /// Submits a blind update (see [`Engine::submit_update`]).
     pub fn submit_update(&self, trade: Trade) -> Result<(), SubmitError> {
+        let _open = self.gate.read();
         if self.state() != EngineState::Running {
             return Err(SubmitError::EngineDown);
         }
@@ -483,12 +524,44 @@ impl EngineHandle {
     /// without durability the ticket resolves immediately at LSN 0 (no
     /// durability promise exists to wait for).
     pub fn submit_update_durable(&self, trade: Trade) -> Result<UpdateTicket, SubmitError> {
+        let _open = self.gate.read();
         if self.state() != EngineState::Running {
             return Err(SubmitError::EngineDown);
         }
         let (ack_tx, ack_rx) = bounded(1);
         match self.tx.try_send(Msg::UpdateDurable { trade, ack: ack_tx }) {
             Ok(()) => Ok(UpdateTicket { rx: ack_rx }),
+            Err(TrySendError::Full(_)) => {
+                self.stats.lock().queue_full_rejections += 1;
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::EngineDown),
+        }
+    }
+
+    /// Requests a cross-shard lock on `items` (this shard's local ids).
+    /// Returns the grant receiver and the release sender; the shard
+    /// freezes from grant until release (or `deadline`). Only the
+    /// [`CrossShardTxn`](crate::shard::CrossShardTxn) coordinator calls
+    /// this, always in ascending shard-id order.
+    pub(crate) fn submit_lock(
+        &self,
+        items: Vec<StockId>,
+        deadline: Instant,
+    ) -> Result<(Receiver<LockGrant>, Sender<()>), SubmitError> {
+        let _open = self.gate.read();
+        if self.state() != EngineState::Running {
+            return Err(SubmitError::EngineDown);
+        }
+        let (grant_tx, grant_rx) = bounded(1);
+        let (release_tx, release_rx) = bounded(1);
+        match self.tx.try_send(Msg::Lock {
+            items,
+            deadline,
+            grant: grant_tx,
+            release: release_rx,
+        }) {
+            Ok(()) => Ok((grant_rx, release_tx)),
             Err(TrySendError::Full(_)) => {
                 self.stats.lock().queue_full_rejections += 1;
                 Err(SubmitError::QueueFull)
@@ -974,7 +1047,49 @@ impl<'a> Runtime<'a> {
             }
             Msg::Update(trade) => self.ingest_update(trade, None),
             Msg::UpdateDurable { trade, ack } => self.ingest_update(trade, Some(ack)),
+            Msg::Lock {
+                items,
+                deadline,
+                grant,
+                release,
+            } => self.serve_lock(&items, deadline, grant, &release),
             Msg::Shutdown => {}
+        }
+    }
+
+    /// Serves one cross-shard lock: read the items' committed state,
+    /// grant it, and *freeze* — the scheduler thread blocks on the
+    /// release channel, so nothing can apply an update and tear the
+    /// coordinator's multi-shard read. The deadline bounds the freeze:
+    /// a coordinator that dies mid-transaction costs this shard at most
+    /// `deadline - now`, counted in `cross_shard_lock_timeouts`.
+    fn serve_lock(
+        &mut self,
+        items: &[StockId],
+        deadline: Instant,
+        grant: Sender<LockGrant>,
+        release: &Receiver<()>,
+    ) {
+        if items.iter().any(|s| s.index() >= self.store.len()) {
+            // Unknown item: refuse by dropping the grant sender; the
+            // coordinator sees a disconnect, not a hang. Nothing is held.
+            return;
+        }
+        let prices = items
+            .iter()
+            .map(|&s| self.store.record(s).price())
+            .collect();
+        let unapplied = items.iter().map(|&s| self.tracker.unapplied(s)).collect();
+        if grant.send(LockGrant { prices, unapplied }).is_err() {
+            return; // coordinator already gone; nothing was held
+        }
+        self.stats.lock().cross_shard_locks += 1;
+        let left = deadline.saturating_duration_since(Instant::now());
+        match release.recv_timeout(left) {
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => {}
+            Err(RecvTimeoutError::Timeout) => {
+                self.stats.lock().cross_shard_lock_timeouts += 1;
+            }
         }
     }
 

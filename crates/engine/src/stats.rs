@@ -100,6 +100,14 @@ pub struct LiveStats {
     pub group_commit_batch: LogHistogram,
     /// Per-update wait from buffer entry to covering fsync return, µs.
     pub group_commit_wait_us: LogHistogram,
+
+    // --- Cross-shard transactions (sharded engines only) ---
+    /// Cross-shard lock grants this shard served (each froze the shard
+    /// from grant to release).
+    pub cross_shard_locks: u64,
+    /// Lock grants whose release never arrived: the shard resumed at the
+    /// coordinator's deadline instead of hanging.
+    pub cross_shard_lock_timeouts: u64,
 }
 
 impl LiveStats {
@@ -163,6 +171,8 @@ mod tests {
         assert_eq!(s.group_buffered, 0);
         assert_eq!(s.group_commit_batch.count(), 0);
         assert_eq!(s.group_commit_wait_us.count(), 0);
+        assert_eq!(s.cross_shard_locks, 0);
+        assert_eq!(s.cross_shard_lock_timeouts, 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::fault::FaultState;
 use crate::runtime::{Msg, Runtime};
 use crate::stats::LiveStats;
 use crossbeam::channel::Receiver;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use quts_db::{StalenessTracker, Store, Trade};
 use quts_metrics::{FlightRecorder, TraceRing};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -91,6 +91,37 @@ pub(crate) struct EngineSeed {
     pub(crate) durable: Option<Durable>,
 }
 
+/// Terminal-state epilogue: empty the inbox and *count* what it held.
+///
+/// Every submit path holds the gate's read guard across its
+/// state-check + send, so acquiring the write guard here (after the
+/// terminal state was stored) is a barrier: all sends that saw
+/// `Running` have landed, and every later submitter observes the
+/// terminal state and fails fast without sending. The drain below is
+/// therefore the complete set of accepted-but-never-ingested messages
+/// — fold them into the conservation ledger (`submitted` + shed for
+/// queries, shed for updates) instead of letting them vanish with the
+/// channel. Their reply/ack channels disconnect on drop, so waiting
+/// tickets still resolve with a clean error, never a hang.
+fn drain_and_account(gate: &RwLock<()>, rx: &Receiver<Msg>, stats: &Mutex<LiveStats>) {
+    let _closed = gate.write();
+    while let Ok(msg) = rx.try_recv() {
+        match msg {
+            Msg::Query { qc, .. } => {
+                let mut s = stats.lock();
+                s.aggregates.submit(&qc);
+                s.shed_on_restart_queries += 1;
+            }
+            Msg::Update(_) | Msg::UpdateDurable { .. } => {
+                stats.lock().shed_on_restart_updates += 1;
+            }
+            // A dropped lock request disconnects its grant channel; the
+            // coordinator counts the failure on its side.
+            Msg::Lock { .. } | Msg::Shutdown => {}
+        }
+    }
+}
+
 /// Body of the engine thread: run the scheduler, absorb its panics.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn supervise(
@@ -102,6 +133,7 @@ pub(crate) fn supervise(
     faults: Arc<FaultState>,
     ring: Option<Arc<Mutex<TraceRing>>>,
     flight: Option<Arc<Mutex<FlightRecorder>>>,
+    gate: Arc<RwLock<()>>,
 ) {
     let EngineSeed {
         mut store,
@@ -131,6 +163,7 @@ pub(crate) fn supervise(
         match outcome {
             Ok(()) => {
                 state.store(STATE_STOPPED, Ordering::Release);
+                drain_and_account(&gate, &rx, &stats);
                 return;
             }
             Err(_panic) => {
@@ -167,11 +200,11 @@ pub(crate) fn supervise(
                 if !(config.restart_on_panic && restarts < config.max_restarts) {
                     // Out of budget: poison, then refuse everything
                     // queued. New submissions fail fast on the state
-                    // flag; stragglers that raced past it are discarded
-                    // when `rx` drops below, which disconnects their
-                    // reply channels too.
+                    // flag; stragglers that raced past it are drained
+                    // under the closed gate and counted as shed — their
+                    // reply channels disconnect on drop.
                     state.store(STATE_POISONED, Ordering::Release);
-                    while rx.try_recv().is_ok() {}
+                    drain_and_account(&gate, &rx, &stats);
                     return;
                 }
                 restarts += 1;
@@ -199,7 +232,7 @@ pub(crate) fn supervise(
                             // durable state would lie about QoD. Poison.
                             stats.lock().wal_io_errors += 1;
                             state.store(STATE_POISONED, Ordering::Release);
-                            while rx.try_recv().is_ok() {}
+                            drain_and_account(&gate, &rx, &stats);
                             return;
                         }
                     }

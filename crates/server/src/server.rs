@@ -15,9 +15,9 @@
 use crate::protocol::{parse, Request};
 use quts_db::{QueryOp, QueryResult, StockId, Store, Trade};
 use quts_engine::{
-    ClusterHandle, Engine, EngineConfig, EngineHandle, LiveStats, QueryError, QueryReply,
-    ReplicaHandle, RoutedReadError, Router, RouterConfig, ShipConfig, ShipListener, ShipRegistry,
-    ShipTrace, SubmitError, TraceConfig,
+    merge_shard_stats, ClusterHandle, Engine, EngineConfig, EngineHandle, LiveStats, QueryError,
+    QueryReply, ReplicaHandle, RoutedReadError, Router, RouterConfig, ShardConfig, ShardedEngine,
+    ShardedHandle, ShipConfig, ShipListener, ShipRegistry, ShipTrace, SubmitError, TraceConfig,
 };
 use quts_metrics::exposition::{Exposition, COUNT_BOUNDS, LATENCY_BOUNDS_US};
 use std::collections::HashMap;
@@ -51,6 +51,18 @@ pub struct ServerConfig {
     /// is overridden by `query_timeout` so `ERR timeout` means the same
     /// thing on both paths.
     pub router: Option<RouterConfig>,
+    /// Number of engine shards. `1` (the default) runs the classic
+    /// single-scheduler engine; above that the server fronts a
+    /// [`ShardedEngine`] — per-shard QUTS schedulers and WAL streams,
+    /// with cross-shard aggregates served by the 2PL coordinator.
+    /// Incompatible with `repl_ship`/`router` (replication ships *one*
+    /// WAL stream; shard a replicated deployment at the cluster layer
+    /// instead).
+    pub shards: u32,
+    /// Record the intent to pin shard coordinator workers to cores (see
+    /// [`ShardedHandle::affinity_applied`] — never actually applied in
+    /// this `forbid(unsafe)` build, but carried in configs).
+    pub pin_shard_workers: bool,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +77,8 @@ impl Default for ServerConfig {
             max_connections: 1024,
             repl_ship: None,
             router: None,
+            shards: 1,
+            pin_shard_workers: false,
         }
     }
 }
@@ -72,6 +86,7 @@ impl Default for ServerConfig {
 /// A running QUTS web-database server.
 pub struct Server {
     engine: Option<Engine>,
+    sharded_engine: Option<ShardedEngine>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<std::thread::JoinHandle<()>>,
@@ -81,7 +96,13 @@ pub struct Server {
 }
 
 struct Shared {
+    /// The single engine's handle, or shard 0's with sharding on (the
+    /// `FLIGHT` verb and replication watermarks read through it; the
+    /// query/update paths go through `sharded` when present).
     handle: EngineHandle,
+    /// Present when `ServerConfig::shards > 1`: all traffic routes
+    /// through it.
+    sharded: Option<ShardedHandle>,
     symbols: HashMap<String, StockId>,
     trade_seq: AtomicU64,
     query_timeout: Duration,
@@ -98,6 +119,15 @@ struct Shared {
 impl Shared {
     fn cluster(&self) -> Option<ClusterHandle> {
         self.cluster.read().expect("cluster handle lock").clone()
+    }
+
+    /// Engine-wide statistics: the single engine's snapshot, or the
+    /// merged per-shard snapshots with sharding on.
+    fn stats(&self) -> LiveStats {
+        match &self.sharded {
+            Some(sharded) => sharded.merged_stats(),
+            None => self.handle.stats(),
+        }
     }
 }
 
@@ -136,30 +166,60 @@ impl Server {
                 "replication requires a durable engine (set engine.durability)",
             ));
         }
+        if config.shards == 0 {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "shards must be at least 1",
+            ));
+        }
+        if config.shards > 1 && (config.repl_ship.is_some() || config.router.is_some()) {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "sharding is incompatible with repl_ship/router: replication ships one WAL \
+                 stream; shard a replicated deployment at the cluster layer instead",
+            ));
+        }
         let listener = TcpListener::bind(config.addr)?;
         // Nonblocking accept lets the acceptor observe the shutdown flag
         // without needing a wake-up connection.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let engine = Engine::start(store, config.engine);
+        let (engine, sharded_engine) = if config.shards > 1 {
+            let sharded = ShardedEngine::try_start(
+                store,
+                ShardConfig::new(config.shards)
+                    .with_engine(config.engine)
+                    .with_pin_workers(config.pin_shard_workers),
+            )?;
+            (None, Some(sharded))
+        } else {
+            (Some(Engine::start(store, config.engine)), None)
+        };
+        let handle = match (&engine, &sharded_engine) {
+            (Some(engine), _) => engine.handle(),
+            (None, Some(sharded)) => sharded.handle().shard_handle(0).clone(),
+            (None, None) => unreachable!("one backend always starts"),
+        };
         let ship = match config.repl_ship {
             // The shipper inherits the engine's trace seed and sinks so
             // ship_frame events land in the primary's decision ring and
-            // replicas can derive the same per-LSN trace ids.
+            // replicas can derive the same per-LSN trace ids. Sharding
+            // was rejected above, so the single engine exists here.
             Some(ship_config) => Some(ShipListener::start(
                 wal_dir.expect("checked above"),
-                ship_config.with_trace(ShipTrace::from_handle(&engine.handle())),
+                ship_config.with_trace(ShipTrace::from_handle(&handle)),
             )?),
             None => None,
         };
         let router = config.router.map(|rc| {
             Arc::new(Router::new(
-                engine.handle(),
+                handle.clone(),
                 rc.with_query_timeout(config.query_timeout),
             ))
         });
         let shared = Arc::new(Shared {
-            handle: engine.handle(),
+            handle,
+            sharded: sharded_engine.as_ref().map(ShardedEngine::handle),
             symbols,
             trade_seq: AtomicU64::new(0),
             query_timeout: config.query_timeout,
@@ -190,7 +250,8 @@ impl Server {
             .expect("spawn acceptor");
 
         Ok(Server {
-            engine: Some(engine),
+            engine,
+            sharded_engine,
             addr,
             shutdown,
             acceptor: Some(acceptor),
@@ -228,13 +289,23 @@ impl Server {
         *self.shared.cluster.write().expect("cluster handle lock") = Some(handle);
     }
 
-    /// Engine statistics snapshot.
+    /// Engine statistics snapshot (merged over shards when sharded).
     pub fn stats(&self) -> LiveStats {
-        self.engine.as_ref().expect("running").stats()
+        match (&self.engine, &self.sharded_engine) {
+            (Some(engine), _) => engine.stats(),
+            (None, Some(sharded)) => merge_shard_stats(&sharded.shard_stats()),
+            (None, None) => unreachable!("taken only in shutdown"),
+        }
+    }
+
+    /// Per-shard statistics, shard-id order; `None` unless the server
+    /// was started with `shards > 1`.
+    pub fn shard_stats(&self) -> Option<Vec<LiveStats>> {
+        self.sharded_engine.as_ref().map(ShardedEngine::shard_stats)
     }
 
     /// Stops accepting, stops shipping, drains the engine, and returns
-    /// final statistics.
+    /// final statistics (merged over shards when sharded).
     pub fn shutdown(mut self) -> LiveStats {
         self.shutdown.store(true, Ordering::Release);
         if let Some(acceptor) = self.acceptor.take() {
@@ -242,6 +313,9 @@ impl Server {
         }
         if let Some(ship) = self.ship.take() {
             ship.shutdown();
+        }
+        if let Some(sharded) = self.sharded_engine.take() {
+            return merge_shard_stats(&sharded.shutdown());
         }
         self.engine.take().expect("running").shutdown()
     }
@@ -332,12 +406,17 @@ fn handle(request: Request, shared: &Shared) -> String {
         } => match shared.symbols.get(&symbol) {
             Some(&stock) => {
                 let seq = shared.trade_seq.fetch_add(1, Ordering::Relaxed);
-                match shared.handle.submit_update(Trade {
+                let trade = Trade {
                     stock,
                     price,
                     volume,
                     trade_time_ms: seq,
-                }) {
+                };
+                let outcome = match &shared.sharded {
+                    Some(sharded) => sharded.submit_update(trade),
+                    None => shared.handle.submit_update(trade),
+                };
+                match outcome {
                     Ok(()) => "OK".into(),
                     Err(e) => submit_error(e),
                 }
@@ -345,10 +424,11 @@ fn handle(request: Request, shared: &Shared) -> String {
             None => format!("ERR unknown symbol {symbol}"),
         },
         Request::Stats => {
-            let s = shared.handle.stats();
+            let s = shared.stats();
+            let shards = shared.sharded.as_ref().map_or(1, |sh| sh.map().shards());
             format!(
                 "OK submitted={} committed={} profit={:.2} of={:.2} rho={:.3} applied={} \
-                 invalidated={} rejected={} shed={} dropped={} restarts={}",
+                 invalidated={} rejected={} shed={} dropped={} restarts={} shards={}",
                 s.aggregates.submitted,
                 s.aggregates.committed,
                 s.aggregates.q_gained(),
@@ -360,6 +440,7 @@ fn handle(request: Request, shared: &Shared) -> String {
                 s.shed_expired,
                 s.updates_dropped_overload,
                 s.engine_restarts,
+                shards,
             )
         }
         Request::Metrics => render_metrics(shared),
@@ -451,7 +532,10 @@ fn render_flight(shared: &Shared) -> String {
 /// (plus per-replica and routing series when replication is enabled).
 /// The final `# EOF` line doubles as the end-of-response marker.
 fn render_metrics(shared: &Shared) -> String {
-    let s = &shared.handle.stats();
+    // With sharding on, the headline series are sums/means over shards
+    // (see `merge_shard_stats`); the per-shard breakdown follows below
+    // under `quts_shard_*` with a `shard` label.
+    let s = &shared.stats();
     let mut exp = Exposition::new();
     exp.counter(
         "quts_queries_submitted_total",
@@ -728,6 +812,107 @@ fn render_metrics(shared: &Shared) -> String {
             LATENCY_BOUNDS_US,
         );
     }
+    if let Some(sharded) = &shared.sharded {
+        let per_shard = sharded.shard_stats();
+        let states = sharded.shard_states();
+        let labels: Vec<String> = (0..per_shard.len()).map(|k| k.to_string()).collect();
+        let gauge_series = |values: Vec<f64>| -> Vec<(&str, f64)> {
+            labels.iter().map(String::as_str).zip(values).collect()
+        };
+        let counter_series = |values: Vec<u64>| -> Vec<(&str, u64)> {
+            labels.iter().map(String::as_str).zip(values).collect()
+        };
+        exp.gauge(
+            "quts_shards",
+            "Number of QUTS shards this server partitions the store over",
+            per_shard.len() as f64,
+        );
+        exp.gauge(
+            "quts_shard_affinity_applied",
+            "Whether worker CPU pinning took effect (recorded-only on this build)",
+            f64::from(u8::from(sharded.affinity_applied())),
+        );
+        exp.labeled_gauges(
+            "quts_shard_up",
+            "Whether the shard's scheduler is running (0 = poisoned or restarting)",
+            "shard",
+            &gauge_series(
+                states
+                    .iter()
+                    .map(|st| f64::from(u8::from(*st == quts_engine::EngineState::Running)))
+                    .collect(),
+            ),
+        );
+        exp.labeled_gauges(
+            "quts_shard_rho",
+            "Per-shard query-class bias (rho)",
+            "shard",
+            &gauge_series(per_shard.iter().map(|s| s.rho).collect()),
+        );
+        exp.labeled_counters(
+            "quts_shard_queries_submitted_total",
+            "Queries admitted, by owning shard",
+            "shard",
+            &counter_series(per_shard.iter().map(|s| s.aggregates.submitted).collect()),
+        );
+        exp.labeled_counters(
+            "quts_shard_queries_committed_total",
+            "Queries answered within their lifetime, by owning shard",
+            "shard",
+            &counter_series(per_shard.iter().map(|s| s.aggregates.committed).collect()),
+        );
+        exp.labeled_counters(
+            "quts_shard_updates_applied_total",
+            "Updates whose value reached the shard's store",
+            "shard",
+            &counter_series(per_shard.iter().map(|s| s.updates_applied).collect()),
+        );
+        exp.labeled_gauges(
+            "quts_shard_pending_queries",
+            "Admitted queries not yet executed, by shard",
+            "shard",
+            &gauge_series(per_shard.iter().map(|s| s.pending_queries as f64).collect()),
+        );
+        exp.labeled_gauges(
+            "quts_shard_pending_updates",
+            "Admitted updates not yet applied, by shard",
+            "shard",
+            &gauge_series(per_shard.iter().map(|s| s.pending_updates as f64).collect()),
+        );
+        exp.labeled_counters(
+            "quts_shard_restarts_total",
+            "Per-shard scheduler restarts after panics",
+            "shard",
+            &counter_series(per_shard.iter().map(|s| s.engine_restarts).collect()),
+        );
+        exp.labeled_counters(
+            "quts_shard_cross_locks_total",
+            "Cross-shard 2PL grants served, by granting shard",
+            "shard",
+            &counter_series(per_shard.iter().map(|s| s.cross_shard_locks).collect()),
+        );
+        let cross = sharded.cross_shard_stats();
+        exp.labeled_counters(
+            "quts_cross_shard_txns_total",
+            "Spanning aggregates through the 2PL coordinator, by outcome",
+            "outcome",
+            &[
+                ("committed", cross.committed),
+                ("expired", cross.expired),
+                ("failed", cross.failed),
+            ],
+        );
+        exp.counter(
+            "quts_shard_executor_jobs_total",
+            "Jobs run by the shard executor (cross-shard txns and routed work)",
+            sharded.executor_jobs(),
+        );
+        exp.counter(
+            "quts_shard_executor_steals_total",
+            "Jobs a worker stole from another worker's queue",
+            sharded.executor_steals(),
+        );
+    }
     if let Some(router) = &shared.router {
         let r = router.stats();
         exp.labeled_counters(
@@ -801,7 +986,14 @@ fn run_query(op: QueryOp, qc: quts_qc::QualityContract, shared: &Shared) -> Stri
             Err(RoutedReadError::EngineDown) => "ERR unavailable".into(),
         };
     }
-    let ticket = match shared.handle.submit_query(op, qc) {
+    // With sharding, the sharded handle routes single-item queries to
+    // their home shard and runs spanning aggregates through the
+    // cross-shard 2PL coordinator.
+    let ticket = match &shared.sharded {
+        Some(sharded) => sharded.submit_query(op, qc),
+        None => shared.handle.submit_query(op, qc),
+    };
+    let ticket = match ticket {
         Ok(ticket) => ticket,
         Err(e) => return submit_error(e),
     };
@@ -1042,6 +1234,112 @@ mod tests {
         // The connection still serves single-line requests afterwards.
         assert!(c.send("GET IBM").starts_with("OK"));
         server.shutdown();
+    }
+
+    /// An 8-symbol store so a 2-shard partition is guaranteed to put
+    /// traffic on both sides; returns the server plus one symbol from
+    /// each shard (for a spanning CMP).
+    fn sharded_test_server(shards: u32) -> (Server, Vec<String>) {
+        let mut store = Store::new();
+        for i in 0..8u32 {
+            store.insert(&format!("S{i}"), 100.0 + i as f64);
+        }
+        let map = quts_engine::ShardMap::new(8, shards);
+        let spanning: Vec<String> = (0..shards)
+            .map(|k| format!("S{}", map.members(k)[0].0))
+            .collect();
+        let server = Server::start(
+            store,
+            ServerConfig {
+                shards,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("sharded server starts");
+        (server, spanning)
+    }
+
+    #[test]
+    fn sharded_session_routes_updates_and_spanning_reads() {
+        let (server, spanning) = sharded_test_server(2);
+        let mut c = Client::connect(server.addr());
+
+        // Single-item traffic on every symbol: each shard serves its own.
+        for i in 0..8 {
+            let r = c.send(&format!("GET S{i}"));
+            assert!(r.starts_with(&format!("OK price=10{i}.00")), "{r}");
+        }
+        assert_eq!(c.send(&format!("UPD {} 150.5 10", spanning[0])), "OK");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let r = c.send(&format!("GET {}", spanning[0]));
+            if r.starts_with("OK price=150.50") {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "update never applied: {r}");
+            std::thread::yield_now();
+        }
+
+        // A CMP over one symbol per shard exercises the 2PL coordinator.
+        let cmp = format!("CMP {}", spanning.join(" "));
+        let r = c.send(&cmp);
+        assert!(r.starts_with("OK min="), "{r}");
+
+        let stats = c.send("STATS");
+        assert!(stats.contains("shards=2"), "{stats}");
+        assert!(stats.contains("restarts=0"), "{stats}");
+
+        let text = c.send_multiline("METRICS").join("\n");
+        assert!(text.contains("quts_shards 2"), "missing shard gauge");
+        for k in 0..2 {
+            assert!(
+                text.contains(&format!("quts_shard_rho{{shard=\"{k}\"}}")),
+                "missing per-shard rho for shard {k}"
+            );
+            assert!(
+                text.contains(&format!("quts_shard_up{{shard=\"{k}\"}} 1")),
+                "shard {k} must report up"
+            );
+        }
+        assert!(
+            text.contains("quts_cross_shard_txns_total{outcome=\"committed\"} 1"),
+            "the spanning CMP must commit through the coordinator"
+        );
+        assert!(text.contains("quts_shard_executor_jobs_total"), "{text}");
+
+        let stats = server.shutdown();
+        // Merged accounting: 8 lookups + the spanning CMP + the applied
+        // poll loop all committed; exactly one update applied somewhere.
+        assert!(stats.aggregates.committed >= 9, "{stats:?}");
+        assert_eq!(stats.updates_applied, 1);
+    }
+
+    #[test]
+    fn sharding_rejects_replication_and_zero_shards() {
+        let mut store = Store::new();
+        store.insert("IBM", 120.0);
+        match Server::start(
+            store.clone(),
+            ServerConfig {
+                shards: 0,
+                ..ServerConfig::default()
+            },
+        ) {
+            Err(err) => assert_eq!(err.kind(), ErrorKind::InvalidInput),
+            Ok(_) => panic!("zero shards must be rejected"),
+        }
+
+        match Server::start(
+            store,
+            ServerConfig {
+                shards: 2,
+                router: Some(RouterConfig::default()),
+                ..ServerConfig::default()
+            },
+        ) {
+            Err(err) => assert_eq!(err.kind(), ErrorKind::InvalidInput),
+            Ok(_) => panic!("sharding plus a replica router must be rejected"),
+        }
     }
 
     #[test]
